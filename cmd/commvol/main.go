@@ -1,0 +1,229 @@
+// Command commvol reproduces the communication-load experiments of §IV-A:
+//
+//	Table I   — volume sent during Col-Bcast (audikw_1 stand-in, 46×46 grid)
+//	Table II  — volume received during Row-Reduce for the six-matrix suite
+//	Figure 4  — Col-Bcast volume distribution histograms
+//	Figure 5  — Col-Bcast volume heat maps (Flat / Binary / Shifted)
+//	Figure 6  — Flat-Tree heat map on a 16×16 grid (imbalance milder at small P)
+//	Figure 7  — Row-Reduce heat maps (Flat vs Shifted)
+//
+// Volumes are measured, not modeled: the real parallel engine runs on a
+// simulated MPI world with one goroutine per rank and byte counters per
+// communication class. Matrices are laptop-scale stand-ins, so volumes are
+// proportionally smaller than the paper's; the comparisons between schemes
+// are the reproduced result.
+//
+// Usage:
+//
+//	commvol -table1 -table2 -fig4 -fig5 -fig6 -fig7   # or -all
+//	commvol -all -quick                               # smaller grid & matrices
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pselinv/internal/core"
+	"pselinv/internal/exp"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/sparse"
+	"pselinv/internal/stats"
+)
+
+var (
+	flagTable1 = flag.Bool("table1", false, "reproduce Table I")
+	flagTable2 = flag.Bool("table2", false, "reproduce Table II")
+	flagFig4   = flag.Bool("fig4", false, "reproduce Figure 4 histograms")
+	flagFig5   = flag.Bool("fig5", false, "reproduce Figure 5 heat maps")
+	flagFig6   = flag.Bool("fig6", false, "reproduce Figure 6 small-grid heat map")
+	flagFig7   = flag.Bool("fig7", false, "reproduce Figure 7 Row-Reduce heat maps")
+	flagAll    = flag.Bool("all", false, "run every experiment")
+	flagQuick  = flag.Bool("quick", false, "smaller grid and matrices (seconds instead of minutes)")
+	flagSeed   = flag.Int64("seed", 1, "matrix and shift seed")
+	flagCSV    = flag.Bool("csv", false, "emit heat maps as CSV instead of ASCII")
+	flagPr     = flag.Int("pr", 24, "main grid dimension (Pr = Pc)")
+	flag46     = flag.Bool("table1paper", false, "Table I on the paper's literal 46x46 grid via the analytic volume model (no engine run)")
+)
+
+func main() {
+	flag.Parse()
+	if *flagAll {
+		*flagTable1, *flagTable2 = true, true
+		*flagFig4, *flagFig5, *flagFig6, *flagFig7 = true, true, true, true
+	}
+	if !(*flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flag46) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *flag46 {
+		table1Paper()
+	}
+
+	// The paper uses a 46×46 grid for audikw_1 (N = 943,695); the stand-in
+	// is ~115× smaller, so the default grid shrinks to 24×24 to keep the
+	// work-per-rank and tree-width-to-grid ratios comparable (EXPERIMENTS.md
+	// details the scaling). Use -pr to override, e.g. -pr 46 for the
+	// literal grid.
+	grid := procgrid.New(*flagPr, *flagPr)
+	smallGrid := procgrid.New(*flagPr/3, *flagPr/3) // Figure 6's "small P" grid
+	audikw := sparse.AudikwStandin(*flagSeed)
+	if *flagQuick {
+		grid = procgrid.New(12, 12)
+		smallGrid = procgrid.New(6, 6)
+		audikw = sparse.FE3D(7, 7, 7, 2, *flagSeed)
+		audikw.Name = "audikw_1_standin_quick"
+	}
+
+	needMain := *flagTable1 || *flagFig4 || *flagFig5 || *flagFig7
+	var mainMs []*exp.VolumeMeasurement
+	var pipe *exp.Pipeline
+	if needMain || *flagFig6 {
+		var err error
+		pipe, err = exp.Prepare(audikw, exp.DefaultRelax, exp.DefaultMaxWidth)
+		check(err)
+		fmt.Printf("# matrix %s: n=%d nnz(A)=%d nnz(L+U)=%d supernodes=%d grid=%v\n\n",
+			audikw.Name, audikw.A.N, audikw.A.NNZ(), 2*pipe.An.BP.NNZScalars(), pipe.An.BP.NumSnodes(), grid)
+	}
+	if needMain {
+		var err error
+		mainMs, err = exp.MeasureVolumes(pipe, grid, core.Schemes(), uint64(*flagSeed), 20*time.Minute)
+		check(err)
+	}
+
+	if *flagTable1 {
+		fmt.Printf("== Table I: volume sent during Col-Bcast (MB) for %s on %v ==\n", audikw.Name, grid)
+		fmt.Printf("%-22s %10s %10s %10s %10s\n", "Communication tree", "Min", "Max", "Median", "Std.dev")
+		for _, m := range mainMs {
+			fmt.Printf("%-22s %s\n", m.Scheme, m.ColBcastSummary().Row())
+		}
+		fmt.Println()
+	}
+
+	if *flagFig4 {
+		fmt.Println("== Figure 4: Col-Bcast volume distribution (MB vs #ranks) ==")
+		for _, m := range mainMs {
+			fmt.Printf("-- %v --\n%s\n", m.Scheme, stats.NewHistogram(m.ColBcastSent, 12).Render(50))
+		}
+	}
+
+	if *flagFig5 {
+		fmt.Println("== Figure 5: Col-Bcast volume heat maps ==")
+		// Shared scale across (a) and (c), as in the paper.
+		lo, hi := sharedScale(mainMs[0].ColBcastSent, mainMs[2].ColBcastSent)
+		for _, m := range mainMs {
+			fmt.Printf("-- %v --\n", m.Scheme)
+			hm := stats.NewHeatMap(grid.Pr, grid.Pc, m.ColBcastSent)
+			if *flagCSV {
+				fmt.Print(hm.CSV())
+			} else if m.Scheme == core.BinaryTree {
+				fmt.Print(hm.Render()) // own scale: stripes exceed the shared range
+			} else {
+				fmt.Print(hm.RenderScaled(lo, hi))
+			}
+			fmt.Println()
+		}
+	}
+
+	if *flagFig6 {
+		fmt.Printf("== Figure 6: Col-Bcast Flat-Tree heat map on %v ==\n", smallGrid)
+		ms, err := exp.MeasureVolumes(pipe, smallGrid, []core.Scheme{core.FlatTree}, uint64(*flagSeed), 20*time.Minute)
+		check(err)
+		s := ms[0].ColBcastSummary()
+		hm := stats.NewHeatMap(smallGrid.Pr, smallGrid.Pc, ms[0].ColBcastSent)
+		if *flagCSV {
+			fmt.Print(hm.CSV())
+		} else {
+			fmt.Print(hm.Render())
+		}
+		fmt.Printf("mean %.3f MB, std %.3f MB (%.1f%% of mean)\n\n", s.Mean, s.Std, 100*s.Std/s.Mean)
+		if needMain {
+			sBig := mainMs[0].ColBcastSummary()
+			fmt.Printf("compare %v: std is %.1f%% of mean (paper: 10.2%% vs 19.2%%)\n\n",
+				grid, 100*sBig.Std/sBig.Mean)
+		}
+	}
+
+	if *flagFig7 {
+		fmt.Println("== Figure 7: Row-Reduce received-volume heat maps ==")
+		for _, m := range mainMs {
+			if m.Scheme == core.BinaryTree {
+				continue // the paper shows Flat vs Shifted
+			}
+			fmt.Printf("-- %v --\n", m.Scheme)
+			hm := stats.NewHeatMap(grid.Pr, grid.Pc, m.RowReduceRecv)
+			if *flagCSV {
+				fmt.Print(hm.CSV())
+			} else {
+				fmt.Print(hm.Render())
+			}
+			fmt.Println()
+		}
+	}
+
+	if *flagTable2 {
+		fmt.Printf("== Table II: volume received during Row-Reduce (MB), grid %v ==\n", grid)
+		suite := sparse.Standins(*flagSeed)
+		if *flagQuick {
+			suite = []*sparse.Generated{
+				sparse.DG2D(10, 10, 4, *flagSeed+1),
+				sparse.Grid3D(9, 9, 9, *flagSeed+2),
+			}
+			suite[0].Name = "DG_quick_standin"
+			suite[1].Name = "FE3D_quick_standin"
+		}
+		for _, g := range suite {
+			p, err := exp.Prepare(g, exp.DefaultRelax, exp.DefaultMaxWidth)
+			check(err)
+			fmt.Printf("%s\n  n=%d nnz(A)=%d nnz(L+U)=%d\n", g.Name, g.A.N, g.A.NNZ(), 2*p.An.BP.NNZScalars())
+			ms, err := exp.MeasureVolumes(p, grid, core.Schemes(), uint64(*flagSeed), 20*time.Minute)
+			check(err)
+			fmt.Printf("  %-22s %10s %10s %10s %10s\n", "Communication tree", "Min", "Max", "Median", "Std.dev")
+			for _, m := range ms {
+				fmt.Printf("  %-22s %s\n", m.Scheme, m.RowReduceSummary().Row())
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// table1Paper reproduces Table I on the paper's literal 46×46 grid using
+// the analytic per-rank volume model (the traffic is fully determined by
+// the communication plan; the model is validated byte-for-byte against the
+// engine in internal/pselinv's tests). This allows the large scaling
+// stand-in, whose trees span entire 46-rank processor columns.
+func table1Paper() {
+	g, relax, mw := exp.ScalingAudikwStandin(1)
+	pipe := exp.PrepareSymbolic(g, relax, mw)
+	grid := procgrid.New(46, 46)
+	fmt.Printf("== Table I (analytic) : volume sent during Col-Bcast (MB) for %s on %v ==\n",
+		g.Name, grid)
+	fmt.Printf("%-22s %10s %10s %10s %10s\n", "Communication tree", "Min", "Max", "Median", "Std.dev")
+	for _, scheme := range core.Schemes() {
+		plan := core.NewPlan(pipe.An.BP, grid, scheme, 1)
+		mb := stats.BytesToMB(plan.PerRankSent(core.OpColBcast))
+		fmt.Printf("%-22s %s\n", scheme, stats.Summarize(mb).Row())
+	}
+	fmt.Println()
+}
+
+func sharedScale(a, b []float64) (lo, hi float64) {
+	sa, sb := stats.Summarize(a), stats.Summarize(b)
+	lo, hi = sa.Min, sa.Max
+	if sb.Min < lo {
+		lo = sb.Min
+	}
+	if sb.Max > hi {
+		hi = sb.Max
+	}
+	return lo, hi
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commvol:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// Command pexsi runs the pole-expansion workload that motivates PSelInv
+// (§I of the paper): estimate diag f(H) for the Fermi–Dirac function by
+// repeated selected inversion of shifted systems.
+//
+// Two modes:
+//
+//	-mode real     real positive shifts, each pole solved by the
+//	               distributed engine on its own simulated rank group
+//	               (reports per-pole communication);
+//	-mode complex  true Matsubara poles via the complex-shift selected
+//	               inversion (reports the truncated Fermi density).
+//
+// Examples:
+//
+//	pexsi -mode complex -nx 10 -ny 10 -beta 2 -mu 50 -poles 32
+//	pexsi -mode real -nx 12 -ny 12 -poles 5 -procs 16 -scheme shifted
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pselinv/internal/core"
+	"pselinv/internal/pexsi"
+	"pselinv/internal/sparse"
+)
+
+var (
+	flagMode   = flag.String("mode", "complex", "real|complex")
+	flagNX     = flag.Int("nx", 10, "grid extent x")
+	flagNY     = flag.Int("ny", 10, "grid extent y")
+	flagDofs   = flag.Int("dofs", 1, "unknowns per element (>1 uses the DG generator)")
+	flagSeed   = flag.Int64("seed", 1, "generator seed")
+	flagPoles  = flag.Int("poles", 16, "number of poles")
+	flagBeta   = flag.Float64("beta", 2.0, "inverse temperature (complex mode)")
+	flagMu     = flag.Float64("mu", 50.0, "chemical potential (complex mode)")
+	flagProcs  = flag.Int("procs", 16, "simulated ranks per pole group (real mode)")
+	flagScheme = flag.String("scheme", "shifted", "tree scheme (real mode): flat|binary|shifted|hybrid")
+)
+
+func main() {
+	flag.Parse()
+	var h *sparse.Generated
+	if *flagDofs > 1 {
+		h = sparse.DG2D(*flagNX, *flagNY, *flagDofs, *flagSeed)
+	} else {
+		h = sparse.Grid2D(*flagNX, *flagNY, *flagSeed)
+	}
+	fmt.Printf("Hamiltonian %s: n=%d nnz=%d\n", h.Name, h.A.N, h.A.NNZ())
+
+	switch strings.ToLower(*flagMode) {
+	case "complex":
+		poles := pexsi.MatsubaraPoles(*flagPoles, *flagBeta, *flagMu)
+		res, err := pexsi.RunComplex(h, pexsi.ComplexConfig{
+			Poles: poles, Relax: 4, MaxWidth: 48, Parallel: true,
+		})
+		check(err)
+		lo, hi, tr := summarize(res.Density)
+		fmt.Printf("complex Matsubara expansion: %d poles, %v\n", len(poles), res.Elapsed.Round(1e6))
+		fmt.Printf("density diag: min %.4f max %.4f, electron count (trace) %.3f of %d states\n",
+			lo, hi, tr, h.A.N)
+		fmt.Printf("log|det(H - z_0)| = %.4f\n", real(res.LogDets[0]))
+	case "real":
+		scheme := map[string]core.Scheme{
+			"flat": core.FlatTree, "binary": core.BinaryTree,
+			"shifted": core.ShiftedBinaryTree, "hybrid": core.Hybrid,
+		}[strings.ToLower(*flagScheme)]
+		poles := pexsi.FermiPoles(*flagPoles, 0.5, 1.6)
+		res, err := pexsi.Run(h, pexsi.Config{
+			Poles: poles, ProcsPerPole: *flagProcs, Scheme: scheme,
+			Seed: uint64(*flagSeed), Relax: 4, MaxWidth: 48, Parallel: true,
+		})
+		check(err)
+		lo, hi, tr := summarize(res.Density)
+		fmt.Printf("real-shift expansion: %d poles × %d ranks each, %v\n",
+			len(poles), *flagProcs, res.Elapsed.Round(1e6))
+		fmt.Printf("density estimate: min %.4f max %.4f trace %.3f\n", lo, hi, tr)
+		for l, st := range res.Stats {
+			fmt.Printf("  pole %2d (σ=%6.2f): max %.3f MB sent/rank, %v\n",
+				l, st.Pole.Shift, st.MaxSentMB, st.Elapsed.Round(1e6))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "pexsi: unknown mode %q\n", *flagMode)
+		os.Exit(2)
+	}
+}
+
+func summarize(xs []float64) (lo, hi, sum float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+		sum += x
+	}
+	return lo, hi, sum
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pexsi:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// Asymmetric selected inversion: the extension §V of the paper lists as
+// work in progress, implemented here. For a structurally symmetric matrix
+// with asymmetric values, Û_{K,I} ≠ L̂_{I,K}ᵀ, so the upper triangle of the
+// selected inverse needs its own restricted collectives: row broadcasts of
+// Û and column reductions mirroring the lower triangle's column broadcasts
+// and row reductions. The library selects the path automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"pselinv"
+)
+
+func main() {
+	// A convection-diffusion-like operator: symmetric diffusion stencil
+	// plus an asymmetric convection perturbation.
+	m := pselinv.Grid2D(12, 12, 3).Asymmetrize(17, 0.7)
+	fmt.Printf("matrix %s: n=%d nnz=%d symmetric=%v\n",
+		m.Name(), m.N(), m.NNZ(), m.IsSymmetric())
+
+	sys, err := pselinv.NewSystem(m, pselinv.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("communication path: symmetric=%v\n", sys.Symmetric())
+
+	seq, err := sys.SelInv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := sys.ParallelSelInv(16, pselinv.ShiftedBinaryTree, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The inverse of an asymmetric matrix is asymmetric: compare a
+	// selected pair across the diagonal.
+	v01, _ := par.Entry(0, 1)
+	v10, _ := par.Entry(1, 0)
+	fmt.Printf("(A⁻¹)[0,1] = %.6f, (A⁻¹)[1,0] = %.6f (differ: %v)\n",
+		v01, v10, math.Abs(v01-v10) > 1e-12)
+
+	// Parallel matches sequential entry for entry.
+	worst := 0.0
+	for i := 0; i < m.N(); i++ {
+		sv, _ := seq.Entry(i, i)
+		pv, _ := par.Entry(i, i)
+		worst = math.Max(worst, math.Abs(sv-pv))
+	}
+	fmt.Printf("max |diag(par) - diag(seq)| = %.3g\n", worst)
+	if worst > 1e-9 {
+		log.Fatal("parallel result deviates")
+	}
+	fmt.Printf("general path volume: max %.3f MB sent per rank\n", par.MaxSentMB())
+	fmt.Println("asymmetric parallel selected inversion verified")
+}

@@ -1,0 +1,3 @@
+module pselinv
+
+go 1.22

@@ -1,0 +1,126 @@
+package blockmat
+
+import (
+	"testing"
+
+	"pselinv/internal/dense"
+	"pselinv/internal/etree"
+	"pselinv/internal/ordering"
+	"pselinv/internal/sparse"
+)
+
+func testPartition(n int, starts []int) *etree.Partition {
+	return etree.FromStarts(starts, n)
+}
+
+func TestFromCSCRoundTrip(t *testing.T) {
+	g := sparse.Grid2D(5, 4, 1)
+	an := etree.Analyze(g.A, ordering.Identity(g.A.N), etree.Options{})
+	m := FromCSC(an.BP.Part, an.A)
+	if d := m.ToDense().MaxAbsDiff(an.A.ToDense()); d != 0 {
+		t.Fatalf("round trip differs by %g", d)
+	}
+}
+
+func TestAtMatchesCSC(t *testing.T) {
+	g := sparse.RandomSym(20, 3, 2)
+	an := etree.Analyze(g.A, ordering.Identity(g.A.N), etree.Options{MaxWidth: 4})
+	m := FromCSC(an.BP.Part, an.A)
+	for i := 0; i < an.A.N; i++ {
+		for j := 0; j < an.A.N; j++ {
+			if m.At(i, j) != an.A.At(i, j) {
+				// Block zero-padding means m.At can return 0 where CSC has
+				// no entry; the other direction must match exactly.
+				if an.A.At(i, j) != 0 {
+					t.Fatalf("At(%d,%d) = %g, want %g", i, j, m.At(i, j), an.A.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSetValidatesDims(t *testing.T) {
+	p := testPartition(5, []int{0, 2, 5})
+	m := New(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong dims")
+		}
+	}()
+	m.Set(0, 1, dense.NewMatrix(3, 3)) // should be 2x3
+}
+
+func TestEnsureZeroIdempotent(t *testing.T) {
+	p := testPartition(5, []int{0, 2, 5})
+	m := New(p)
+	b1 := m.EnsureZero(1, 0)
+	b1.Set(0, 0, 42)
+	b2 := m.EnsureZero(1, 0)
+	if b2.At(0, 0) != 42 {
+		t.Fatal("EnsureZero replaced an existing block")
+	}
+	if m.NumBlocks() != 1 {
+		t.Fatalf("NumBlocks = %d", m.NumBlocks())
+	}
+}
+
+func TestMustGetPanicsOnMissing(t *testing.T) {
+	p := testPartition(4, []int{0, 4})
+	m := New(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.MustGet(0, 0)
+}
+
+func TestKeysSorted(t *testing.T) {
+	p := testPartition(6, []int{0, 2, 4, 6})
+	m := New(p)
+	m.EnsureZero(2, 1)
+	m.EnsureZero(0, 0)
+	m.EnsureZero(1, 1)
+	m.EnsureZero(2, 0)
+	ks := m.Keys()
+	want := []Key{{0, 0}, {2, 0}, {1, 1}, {2, 1}}
+	if len(ks) != len(want) {
+		t.Fatalf("got %v", ks)
+	}
+	for i := range ks {
+		if ks[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", ks, want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := testPartition(4, []int{0, 2, 4})
+	m := New(p)
+	m.EnsureZero(0, 0).Set(0, 0, 1)
+	c := m.Clone()
+	c.MustGet(0, 0).Set(0, 0, 99)
+	if m.MustGet(0, 0).At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	p := testPartition(4, []int{0, 2, 4})
+	m := New(p)
+	m.EnsureZero(1, 0)
+	m.Delete(1, 0)
+	if _, ok := m.Get(1, 0); ok {
+		t.Fatal("block still present after Delete")
+	}
+	m.Delete(1, 0) // deleting absent block is a no-op
+}
+
+func TestBytes(t *testing.T) {
+	p := testPartition(5, []int{0, 2, 5})
+	m := New(p)
+	m.EnsureZero(1, 0) // 3x2 block = 6 floats = 48 bytes
+	if m.Bytes() != 48 {
+		t.Fatalf("Bytes = %d, want 48", m.Bytes())
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"pselinv/internal/etree"
+	"pselinv/internal/ordering"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/sparse"
+)
+
+func testPattern(t *testing.T) *etree.BlockPattern {
+	t.Helper()
+	g := sparse.Grid2D(8, 8, 1)
+	perm := ordering.Compute(ordering.NestedDissection, g.A, g.Geom)
+	an := etree.Analyze(g.A.Permute(perm), perm, etree.Options{Relax: 2, MaxWidth: 8})
+	return an.BP
+}
+
+func TestPlanCoversEverySupernode(t *testing.T) {
+	bp := testPattern(t)
+	grid := procgrid.New(3, 4)
+	p := NewPlan(bp, grid, ShiftedBinaryTree, 42)
+	if len(p.Snodes) != bp.NumSnodes() {
+		t.Fatalf("plan has %d supernodes, want %d", len(p.Snodes), bp.NumSnodes())
+	}
+	for k, sp := range p.Snodes {
+		if sp.K != k {
+			t.Fatalf("supernode plan %d mislabeled %d", k, sp.K)
+		}
+		if len(sp.C) == 0 {
+			if sp.DiagBcast != nil || sp.DiagReduce != nil || len(sp.ColBcasts) > 0 {
+				t.Fatalf("leafless supernode %d has collectives", k)
+			}
+			continue
+		}
+		if sp.DiagBcast == nil || sp.DiagReduce == nil {
+			t.Fatalf("supernode %d missing diagonal collectives", k)
+		}
+		if len(sp.ColBcasts) != len(sp.C) || len(sp.RowReduces) != len(sp.C) ||
+			len(sp.Cross) != len(sp.C) || len(sp.SymmSends) != len(sp.C) {
+			t.Fatalf("supernode %d op counts inconsistent with |C|=%d", k, len(sp.C))
+		}
+	}
+}
+
+func TestPlanRootsAndParticipants(t *testing.T) {
+	bp := testPattern(t)
+	grid := procgrid.New(3, 4)
+	p := NewPlan(bp, grid, BinaryTree, 1)
+	for _, sp := range p.Snodes {
+		k := sp.K
+		if sp.DiagBcast != nil {
+			if sp.DiagBcast.Tree.Root != grid.OwnerOfBlock(k, k) {
+				t.Fatalf("K=%d: DiagBcast root wrong", k)
+			}
+			// All participants in processor column of block column K.
+			for _, r := range sp.DiagBcast.Tree.Participants() {
+				_, col := grid.Coords(r)
+				if col != grid.ProcColOfBlock(k) {
+					t.Fatalf("K=%d: DiagBcast participant %d outside column group", k, r)
+				}
+			}
+		}
+		for x, i := range sp.C {
+			cb := sp.ColBcasts[x]
+			if cb.Blk != i || cb.Tree.Root != grid.OwnerOfBlock(k, i) {
+				t.Fatalf("K=%d I=%d: ColBcast root/blk wrong", k, i)
+			}
+			for _, r := range cb.Tree.Participants() {
+				_, col := grid.Coords(r)
+				if col != grid.ProcColOfBlock(i) {
+					t.Fatalf("K=%d I=%d: ColBcast participant %d outside column %d",
+						k, i, r, grid.ProcColOfBlock(i))
+				}
+			}
+			rr := sp.RowReduces[x]
+			j := sp.C[x]
+			if rr.Blk != j || rr.Tree.Root != grid.OwnerOfBlock(j, k) {
+				t.Fatalf("K=%d J=%d: RowReduce root/blk wrong", k, j)
+			}
+			for _, r := range rr.Tree.Participants() {
+				row, _ := grid.Coords(r)
+				if row != grid.ProcRowOfBlock(j) {
+					t.Fatalf("K=%d J=%d: RowReduce participant %d outside row group", k, j, r)
+				}
+			}
+			if sp.Cross[x].Src != grid.OwnerOfBlock(i, k) || sp.Cross[x].Dst != grid.OwnerOfBlock(k, i) {
+				t.Fatalf("K=%d I=%d: cross send endpoints wrong", k, i)
+			}
+			if sp.SymmSends[x].Src != grid.OwnerOfBlock(j, k) || sp.SymmSends[x].Dst != grid.OwnerOfBlock(k, j) {
+				t.Fatalf("K=%d J=%d: symm send endpoints wrong", k, j)
+			}
+		}
+	}
+}
+
+func TestPlanBytesPositive(t *testing.T) {
+	bp := testPattern(t)
+	p := NewPlan(bp, procgrid.New(2, 3), FlatTree, 9)
+	for _, sp := range p.Snodes {
+		for _, cb := range sp.ColBcasts {
+			if cb.Bytes <= 0 {
+				t.Fatalf("K=%d: non-positive ColBcast bytes", sp.K)
+			}
+		}
+		for _, po := range sp.Cross {
+			if po.Bytes <= 0 {
+				t.Fatalf("K=%d: non-positive cross bytes", sp.K)
+			}
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	bp := testPattern(t)
+	grid := procgrid.New(4, 4)
+	a := NewPlan(bp, grid, ShiftedBinaryTree, 77)
+	b := NewPlan(bp, grid, ShiftedBinaryTree, 77)
+	for k := range a.Snodes {
+		sa, sb := a.Snodes[k], b.Snodes[k]
+		if len(sa.ColBcasts) != len(sb.ColBcasts) {
+			t.Fatal("plans differ")
+		}
+		for x := range sa.ColBcasts {
+			ta, tb := sa.ColBcasts[x].Tree, sb.ColBcasts[x].Tree
+			for _, r := range ta.Participants() {
+				ca, cb := ta.Children(r), tb.Children(r)
+				if len(ca) != len(cb) {
+					t.Fatalf("plan trees differ at K=%d", k)
+				}
+				for i := range ca {
+					if ca[i] != cb[i] {
+						t.Fatalf("plan trees differ at K=%d", k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPlanManyCollectives(t *testing.T) {
+	// The motivation of §III: far more collectives (and distinct groups)
+	// than MPI communicator capacity would allow to pre-create.
+	bp := testPattern(t)
+	p := NewPlan(bp, procgrid.New(4, 4), ShiftedBinaryTree, 1)
+	if p.TotalCollectives() < bp.NumSnodes() {
+		t.Fatalf("suspiciously few collectives: %d", p.TotalCollectives())
+	}
+	if p.DistinctGroups() < 2 {
+		t.Fatalf("expected multiple distinct groups, got %d", p.DistinctGroups())
+	}
+}
+
+func TestOpKeyUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for _, kind := range []OpKind{OpDiagBcast, OpCrossSend, OpColBcast, OpRowReduce, OpDiagReduce, OpSymmSend} {
+		for k := 0; k < 50; k++ {
+			for blk := 0; blk < 50; blk++ {
+				key := OpKey(kind, k, blk)
+				if seen[key] {
+					t.Fatalf("duplicate op key for %v k=%d blk=%d", kind, k, blk)
+				}
+				seen[key] = true
+			}
+		}
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for _, k := range []OpKind{OpDiagBcast, OpCrossSend, OpColBcast, OpRowReduce, OpDiagReduce, OpSymmSend} {
+		if k.String() == "" {
+			t.Fatal("empty op kind name")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+// Analytic per-rank communication volumes. The traffic of a PSelInv run is
+// fully determined by the plan — every tree edge carries exactly one block
+// payload — so the per-rank sent/received byte vectors can be computed
+// without executing anything. The engine's measured counters match these
+// exactly (cross-validated in internal/pselinv's tests), which makes this
+// the cheap way to evaluate load balance at grids far larger than the
+// numeric path can run (e.g. the paper's literal 46×46 audikw_1 grid).
+
+// PerRankSent returns bytes sent by each rank for one operation kind
+// (self-sends excluded, as in the engine's accounting).
+func (p *Plan) PerRankSent(kind OpKind) []int64 {
+	out := make([]int64, p.Grid.Size())
+	p.accumulate(kind, out, true)
+	return out
+}
+
+// PerRankRecv returns bytes received by each rank for one operation kind.
+func (p *Plan) PerRankRecv(kind OpKind) []int64 {
+	out := make([]int64, p.Grid.Size())
+	p.accumulate(kind, out, false)
+	return out
+}
+
+// PerRankTotalSent sums sent bytes over all operation kinds.
+func (p *Plan) PerRankTotalSent() []int64 {
+	out := make([]int64, p.Grid.Size())
+	for _, kind := range []OpKind{OpDiagBcast, OpCrossSend, OpColBcast, OpRowReduce,
+		OpDiagReduce, OpSymmSend, OpDiagBcastRow, OpCrossSendU, OpRowBcast, OpColReduce} {
+		p.accumulate(kind, out, true)
+	}
+	return out
+}
+
+// accumulate adds the per-rank byte counts of one kind into out.
+func (p *Plan) accumulate(kind OpKind, out []int64, sent bool) {
+	coll := func(op *CollOp) {
+		// Broadcast: every non-root participant receives one payload from
+		// its parent; reduction trees carry the same edge set upward, so
+		// byte counts per edge are identical — only the direction flips.
+		reduces := op.Kind == OpRowReduce || op.Kind == OpDiagReduce || op.Kind == OpColReduce
+		for _, r := range op.Tree.Participants() {
+			if r == op.Tree.Root {
+				continue
+			}
+			parent := op.Tree.Parent(r)
+			// Edge parent->r (broadcast) or r->parent (reduce).
+			src, dst := parent, r
+			if reduces {
+				src, dst = r, parent
+			}
+			if sent {
+				out[src] += op.Bytes
+			} else {
+				out[dst] += op.Bytes
+			}
+		}
+	}
+	point := func(op *PointOp) {
+		if op.Src == op.Dst {
+			return
+		}
+		if sent {
+			out[op.Src] += op.Bytes
+		} else {
+			out[op.Dst] += op.Bytes
+		}
+	}
+	for _, sp := range p.Snodes {
+		switch kind {
+		case OpDiagBcast:
+			if sp.DiagBcast != nil {
+				coll(sp.DiagBcast)
+			}
+		case OpCrossSend:
+			for i := range sp.Cross {
+				point(&sp.Cross[i])
+			}
+		case OpColBcast:
+			for i := range sp.ColBcasts {
+				coll(&sp.ColBcasts[i])
+			}
+		case OpRowReduce:
+			for i := range sp.RowReduces {
+				coll(&sp.RowReduces[i])
+			}
+		case OpDiagReduce:
+			if sp.DiagReduce != nil {
+				coll(sp.DiagReduce)
+			}
+		case OpSymmSend:
+			for i := range sp.SymmSends {
+				point(&sp.SymmSends[i])
+			}
+		case OpDiagBcastRow:
+			if sp.DiagBcastRow != nil {
+				coll(sp.DiagBcastRow)
+			}
+		case OpCrossSendU:
+			for i := range sp.CrossU {
+				point(&sp.CrossU[i])
+			}
+		case OpRowBcast:
+			for i := range sp.RowBcasts {
+				coll(&sp.RowBcasts[i])
+			}
+		case OpColReduce:
+			for i := range sp.ColReduces {
+				coll(&sp.ColReduces[i])
+			}
+		}
+	}
+}

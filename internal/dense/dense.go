@@ -1,0 +1,579 @@
+// Package dense provides the small dense linear-algebra kernels used by the
+// supernodal factorization and selected-inversion code: column-major
+// matrices, GEMM with transpose options, triangular solves (TRSM),
+// unpivoted and partially pivoted LU, triangular and general inversion.
+//
+// Matrices are stored column-major to match the block layout used by the
+// supernodal storage in internal/blockmat: entry (i, j) of an m×n matrix
+// lives at Data[i+j*m].
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense column-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, column-major
+}
+
+// NewMatrix returns a zero-initialized Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRowMajor builds a Matrix from a row-major [][]float64.
+func FromRowMajor(rows [][]float64) *Matrix {
+	m := len(rows)
+	n := 0
+	if m > 0 {
+		n = len(rows[0])
+	}
+	a := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		if len(rows[i]) != n {
+			panic("dense: ragged rows in FromRowMajor")
+		}
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rows[i][j])
+		}
+	}
+	return a
+}
+
+// At returns entry (i, j).
+func (a *Matrix) At(i, j int) float64 { return a.Data[i+j*a.Rows] }
+
+// Set assigns entry (i, j).
+func (a *Matrix) Set(i, j int, v float64) { a.Data[i+j*a.Rows] = v }
+
+// Add adds v to entry (i, j).
+func (a *Matrix) Add(i, j int, v float64) { a.Data[i+j*a.Rows] += v }
+
+// Clone returns a deep copy of a.
+func (a *Matrix) Clone() *Matrix {
+	b := NewMatrix(a.Rows, a.Cols)
+	copy(b.Data, a.Data)
+	return b
+}
+
+// Zero sets every entry to 0.
+func (a *Matrix) Zero() {
+	for i := range a.Data {
+		a.Data[i] = 0
+	}
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	return a
+}
+
+// Transpose returns aᵀ as a new matrix.
+func (a *Matrix) Transpose() *Matrix {
+	t := NewMatrix(a.Cols, a.Rows)
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			t.Set(j, i, a.At(i, j))
+		}
+	}
+	return t
+}
+
+// Equal reports whether a and b have identical shape and entries within tol.
+func (a *Matrix) Equal(b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns max |a_ij - b_ij|; panics on shape mismatch.
+func (a *Matrix) MaxAbsDiff(b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("dense: shape mismatch in MaxAbsDiff")
+	}
+	d := 0.0
+	for i := range a.Data {
+		if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Norm1 returns the maximum absolute column sum.
+func (a *Matrix) Norm1() float64 {
+	best := 0.0
+	for j := 0; j < a.Cols; j++ {
+		s := 0.0
+		for i := 0; i < a.Rows; i++ {
+			s += math.Abs(a.At(i, j))
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// NormInf returns the maximum absolute row sum.
+func (a *Matrix) NormInf() float64 { return a.Transpose().Norm1() }
+
+// MaxAbs returns max |a_ij|, or 0 for an empty matrix.
+func (a *Matrix) MaxAbs() float64 {
+	d := 0.0
+	for i := range a.Data {
+		if v := math.Abs(a.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Scale multiplies every entry by s in place.
+func (a *Matrix) Scale(s float64) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// AddScaled performs a += s*b in place; panics on shape mismatch.
+func (a *Matrix) AddScaled(s float64, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("dense: shape mismatch in AddScaled")
+	}
+	for i := range a.Data {
+		a.Data[i] += s * b.Data[i]
+	}
+}
+
+// Trans selects an operand orientation for Gemm.
+type Trans bool
+
+const (
+	// NoTrans uses the operand as stored.
+	NoTrans Trans = false
+	// DoTrans uses the transpose of the operand.
+	DoTrans Trans = true
+)
+
+// Gemm computes c = alpha*op(a)*op(b) + beta*c where op is identity or
+// transpose per ta, tb. Shapes must conform; c must be preallocated.
+func Gemm(ta, tb Trans, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	am, ak := a.Rows, a.Cols
+	if ta == DoTrans {
+		am, ak = ak, am
+	}
+	bk, bn := b.Rows, b.Cols
+	if tb == DoTrans {
+		bk, bn = bn, bk
+	}
+	if ak != bk || c.Rows != am || c.Cols != bn {
+		panic(fmt.Sprintf("dense: Gemm shape mismatch op(a)=%dx%d op(b)=%dx%d c=%dx%d",
+			am, ak, bk, bn, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	// Four loop orders specialized for cache-friendly column-major access.
+	switch {
+	case ta == NoTrans && tb == NoTrans:
+		for j := 0; j < bn; j++ {
+			cj := c.Data[j*c.Rows : (j+1)*c.Rows]
+			for p := 0; p < ak; p++ {
+				bpj := alpha * b.Data[p+j*b.Rows]
+				if bpj == 0 {
+					continue
+				}
+				ap := a.Data[p*a.Rows : (p+1)*a.Rows]
+				for i := 0; i < am; i++ {
+					cj[i] += bpj * ap[i]
+				}
+			}
+		}
+	case ta == DoTrans && tb == NoTrans:
+		for j := 0; j < bn; j++ {
+			bj := b.Data[j*b.Rows : (j+1)*b.Rows]
+			cj := c.Data[j*c.Rows : (j+1)*c.Rows]
+			for i := 0; i < am; i++ {
+				ai := a.Data[i*a.Rows : (i+1)*a.Rows] // column i of a == row i of aᵀ
+				s := 0.0
+				for p := 0; p < ak; p++ {
+					s += ai[p] * bj[p]
+				}
+				cj[i] += alpha * s
+			}
+		}
+	case ta == NoTrans && tb == DoTrans:
+		for p := 0; p < ak; p++ {
+			ap := a.Data[p*a.Rows : (p+1)*a.Rows]
+			for j := 0; j < bn; j++ {
+				bjp := alpha * b.Data[j+p*b.Rows]
+				if bjp == 0 {
+					continue
+				}
+				cj := c.Data[j*c.Rows : (j+1)*c.Rows]
+				for i := 0; i < am; i++ {
+					cj[i] += bjp * ap[i]
+				}
+			}
+		}
+	default: // DoTrans, DoTrans
+		for j := 0; j < bn; j++ {
+			cj := c.Data[j*c.Rows : (j+1)*c.Rows]
+			for i := 0; i < am; i++ {
+				ai := a.Data[i*a.Rows : (i+1)*a.Rows]
+				s := 0.0
+				for p := 0; p < ak; p++ {
+					s += ai[p] * b.Data[j+p*b.Rows]
+				}
+				cj[i] += alpha * s
+			}
+		}
+	}
+}
+
+// Mul returns op(a)*op(b) as a fresh matrix.
+func Mul(ta, tb Trans, a, b *Matrix) *Matrix {
+	am := a.Rows
+	if ta == DoTrans {
+		am = a.Cols
+	}
+	bn := b.Cols
+	if tb == DoTrans {
+		bn = b.Rows
+	}
+	c := NewMatrix(am, bn)
+	Gemm(ta, tb, 1, a, b, 0, c)
+	return c
+}
+
+// Side selects which side a triangular operand appears on in Trsm.
+type Side int
+
+const (
+	// Left solves op(T)*X = B.
+	Left Side = iota
+	// Right solves X*op(T) = B.
+	Right
+)
+
+// UpLo selects the triangle of a triangular operand.
+type UpLo int
+
+const (
+	// Lower means T is lower triangular.
+	Lower UpLo = iota
+	// Upper means T is upper triangular.
+	Upper
+)
+
+// Diag tells Trsm whether the triangular matrix has an implicit unit diagonal.
+type Diag int
+
+const (
+	// NonUnit uses the stored diagonal.
+	NonUnit Diag = iota
+	// Unit assumes a unit diagonal regardless of stored values.
+	Unit
+)
+
+// Trsm solves a triangular system in place, overwriting b with the solution X:
+//
+//	side == Left:  op(t) * X = b
+//	side == Right: X * op(t) = b
+//
+// t must be square and its relevant dimension must match b.
+func Trsm(side Side, uplo UpLo, tt Trans, diag Diag, t, b *Matrix) {
+	n := t.Rows
+	if t.Cols != n {
+		panic("dense: Trsm triangular operand not square")
+	}
+	if side == Left && b.Rows != n || side == Right && b.Cols != n {
+		panic("dense: Trsm shape mismatch")
+	}
+	// Effective triangle after transposition.
+	effLower := (uplo == Lower) != (tt == DoTrans)
+	at := func(i, j int) float64 {
+		if tt == DoTrans {
+			return t.At(j, i)
+		}
+		return t.At(i, j)
+	}
+	if side == Left {
+		// Solve op(t) X = b column by column.
+		for j := 0; j < b.Cols; j++ {
+			x := b.Data[j*b.Rows : (j+1)*b.Rows]
+			if effLower {
+				for i := 0; i < n; i++ {
+					s := x[i]
+					for k := 0; k < i; k++ {
+						s -= at(i, k) * x[k]
+					}
+					if diag == NonUnit {
+						s /= at(i, i)
+					}
+					x[i] = s
+				}
+			} else {
+				for i := n - 1; i >= 0; i-- {
+					s := x[i]
+					for k := i + 1; k < n; k++ {
+						s -= at(i, k) * x[k]
+					}
+					if diag == NonUnit {
+						s /= at(i, i)
+					}
+					x[i] = s
+				}
+			}
+		}
+		return
+	}
+	// side == Right: X op(t) = b, solve row by row of X. Equivalent to
+	// op(t)ᵀ Xᵀ = bᵀ; iterate over columns of op(t).
+	m := b.Rows
+	if effLower {
+		// X[:,j] determined from highest j downward: b_j = sum_{k>=j} X_k t_kj.
+		for j := n - 1; j >= 0; j-- {
+			xj := b.Data[j*m : (j+1)*m]
+			for k := j + 1; k < n; k++ {
+				tkj := at(k, j)
+				if tkj == 0 {
+					continue
+				}
+				xk := b.Data[k*m : (k+1)*m]
+				for i := 0; i < m; i++ {
+					xj[i] -= tkj * xk[i]
+				}
+			}
+			if diag == NonUnit {
+				d := at(j, j)
+				for i := 0; i < m; i++ {
+					xj[i] /= d
+				}
+			}
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			xj := b.Data[j*m : (j+1)*m]
+			for k := 0; k < j; k++ {
+				tkj := at(k, j)
+				if tkj == 0 {
+					continue
+				}
+				xk := b.Data[k*m : (k+1)*m]
+				for i := 0; i < m; i++ {
+					xj[i] -= tkj * xk[i]
+				}
+			}
+			if diag == NonUnit {
+				d := at(j, j)
+				for i := 0; i < m; i++ {
+					xj[i] /= d
+				}
+			}
+		}
+	}
+}
+
+// LU factors a in place without pivoting: on return the strict lower
+// triangle holds L (unit diagonal implicit) and the upper triangle holds U.
+// Returns an error when a zero (or denormal-tiny) pivot is met; callers feed
+// diagonally dominant matrices so this indicates a caller bug.
+func LU(a *Matrix) error {
+	n := a.Rows
+	if a.Cols != n {
+		panic("dense: LU of non-square matrix")
+	}
+	for k := 0; k < n; k++ {
+		p := a.At(k, k)
+		if math.Abs(p) < 1e-300 {
+			return fmt.Errorf("dense: zero pivot at %d", k)
+		}
+		for i := k + 1; i < n; i++ {
+			a.Set(i, k, a.At(i, k)/p)
+		}
+		for j := k + 1; j < n; j++ {
+			akj := a.At(k, j)
+			if akj == 0 {
+				continue
+			}
+			col := a.Data[j*n : (j+1)*n]
+			lcol := a.Data[k*n : (k+1)*n]
+			for i := k + 1; i < n; i++ {
+				col[i] -= lcol[i] * akj
+			}
+		}
+	}
+	return nil
+}
+
+// LUPartialPivot factors a in place with partial (row) pivoting and returns
+// the pivot permutation: row i of the factored matrix corresponds to row
+// perm[i] of the input. Returns an error on exact singularity.
+func LUPartialPivot(a *Matrix) ([]int, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("dense: LU of non-square matrix")
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pick pivot row.
+		best, bi := math.Abs(a.At(k, k)), k
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a.At(i, k)); v > best {
+				best, bi = v, i
+			}
+		}
+		if best < 1e-300 {
+			return nil, fmt.Errorf("dense: singular matrix at column %d", k)
+		}
+		if bi != k {
+			perm[k], perm[bi] = perm[bi], perm[k]
+			for j := 0; j < n; j++ {
+				v := a.At(k, j)
+				a.Set(k, j, a.At(bi, j))
+				a.Set(bi, j, v)
+			}
+		}
+		p := a.At(k, k)
+		for i := k + 1; i < n; i++ {
+			a.Set(i, k, a.At(i, k)/p)
+		}
+		for j := k + 1; j < n; j++ {
+			akj := a.At(k, j)
+			if akj == 0 {
+				continue
+			}
+			col := a.Data[j*n : (j+1)*n]
+			lcol := a.Data[k*n : (k+1)*n]
+			for i := k + 1; i < n; i++ {
+				col[i] -= lcol[i] * akj
+			}
+		}
+	}
+	return perm, nil
+}
+
+// TriInverse returns the inverse of the triangular matrix t (with the given
+// triangle and diagonal convention) as a fresh matrix.
+func TriInverse(uplo UpLo, diag Diag, t *Matrix) *Matrix {
+	n := t.Rows
+	if t.Cols != n {
+		panic("dense: TriInverse of non-square matrix")
+	}
+	inv := Eye(n)
+	Trsm(Left, uplo, NoTrans, diag, t, inv)
+	return inv
+}
+
+// Inverse returns a⁻¹ computed via partially pivoted LU. The input is not
+// modified.
+func Inverse(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("dense: Inverse of non-square matrix")
+	}
+	f := a.Clone()
+	perm, err := LUPartialPivot(f)
+	if err != nil {
+		return nil, err
+	}
+	// Solve A X = I, i.e. L U X = P I.
+	x := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		// Column j of P*I has a 1 at the position where perm[i] == j.
+		for i := 0; i < n; i++ {
+			if perm[i] == j {
+				x.Set(i, j, 1)
+			}
+		}
+	}
+	Trsm(Left, Lower, NoTrans, Unit, f, x)
+	Trsm(Left, Upper, NoTrans, NonUnit, f, x)
+	return x, nil
+}
+
+// SplitLU unpacks an in-place LU factorization into explicit unit-lower L
+// and upper U factors.
+func SplitLU(f *Matrix) (l, u *Matrix) {
+	n := f.Rows
+	l = Eye(n)
+	u = NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i > j {
+				l.Set(i, j, f.At(i, j))
+			} else {
+				u.Set(i, j, f.At(i, j))
+			}
+		}
+	}
+	return l, u
+}
+
+// IsSymmetric reports whether a is symmetric within tol.
+func (a *Matrix) IsSymmetric(tol float64) bool {
+	if a.Rows != a.Cols {
+		return false
+	}
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < j; i++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (a *Matrix) String() string {
+	s := fmt.Sprintf("%dx%d[", a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < a.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", a.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+// GemmFlops returns the floating-point operation count of a GEMM with the
+// given inner dimensions, used by the timing simulator cost model.
+func GemmFlops(m, n, k int) int64 { return 2 * int64(m) * int64(n) * int64(k) }
+
+// TrsmFlops returns the flop count of a triangular solve with an n×n
+// triangle and m right-hand sides.
+func TrsmFlops(n, m int) int64 { return int64(n) * int64(n) * int64(m) }

@@ -1,0 +1,390 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, m, n int) *Matrix {
+	a := NewMatrix(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+// randDiagDom returns a random diagonally dominant n×n matrix (always
+// invertible, LU-stable without pivoting).
+func randDiagDom(rng *rand.Rand, n int) *Matrix {
+	a := randMat(rng, n, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += math.Abs(a.At(i, j))
+		}
+		a.Set(i, i, s+1)
+	}
+	return a
+}
+
+func naiveMul(ta, tb Trans, a, b *Matrix) *Matrix {
+	opA, opB := a, b
+	if ta == DoTrans {
+		opA = a.Transpose()
+	}
+	if tb == DoTrans {
+		opB = b.Transpose()
+	}
+	c := NewMatrix(opA.Rows, opB.Cols)
+	for i := 0; i < opA.Rows; i++ {
+		for j := 0; j < opB.Cols; j++ {
+			s := 0.0
+			for k := 0; k < opA.Cols; k++ {
+				s += opA.At(i, k) * opB.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	a := NewMatrix(3, 4)
+	a.Set(2, 3, 7.5)
+	if a.At(2, 3) != 7.5 {
+		t.Fatalf("At(2,3) = %v, want 7.5", a.At(2, 3))
+	}
+	if a.Data[2+3*3] != 7.5 {
+		t.Fatalf("column-major layout broken")
+	}
+}
+
+func TestFromRowMajor(t *testing.T) {
+	a := FromRowMajor([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if a.Rows != 3 || a.Cols != 2 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	if a.At(1, 0) != 3 || a.At(2, 1) != 6 {
+		t.Fatalf("entries wrong: %v", a)
+	}
+}
+
+func TestGemmAllTransposeCombos(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ ta, tb Trans }{
+		{NoTrans, NoTrans}, {DoTrans, NoTrans}, {NoTrans, DoTrans}, {DoTrans, DoTrans},
+	} {
+		m, n, k := 5, 7, 4
+		var a, b *Matrix
+		if tc.ta == NoTrans {
+			a = randMat(rng, m, k)
+		} else {
+			a = randMat(rng, k, m)
+		}
+		if tc.tb == NoTrans {
+			b = randMat(rng, k, n)
+		} else {
+			b = randMat(rng, n, k)
+		}
+		got := Mul(tc.ta, tc.tb, a, b)
+		want := naiveMul(tc.ta, tc.tb, a, b)
+		if d := got.MaxAbsDiff(want); d > 1e-12 {
+			t.Errorf("ta=%v tb=%v: max diff %g", tc.ta, tc.tb, d)
+		}
+	}
+}
+
+func TestGemmAlphaBeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 4, 3)
+	b := randMat(rng, 3, 5)
+	c := randMat(rng, 4, 5)
+	c0 := c.Clone()
+	Gemm(NoTrans, NoTrans, 2.5, a, b, -1.5, c)
+	want := naiveMul(NoTrans, NoTrans, a, b)
+	for i := range want.Data {
+		want.Data[i] = 2.5*want.Data[i] - 1.5*c0.Data[i]
+	}
+	if d := c.MaxAbsDiff(want); d > 1e-12 {
+		t.Fatalf("alpha/beta gemm wrong: %g", d)
+	}
+}
+
+func TestGemmShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	Gemm(NoTrans, NoTrans, 1, NewMatrix(2, 3), NewMatrix(4, 5), 0, NewMatrix(2, 5))
+}
+
+func TestTrsmAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 6, 4
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []UpLo{Lower, Upper} {
+			for _, tt := range []Trans{NoTrans, DoTrans} {
+				for _, dg := range []Diag{NonUnit, Unit} {
+					// Build a well-conditioned triangular matrix.
+					tri := NewMatrix(n, n)
+					for j := 0; j < n; j++ {
+						for i := 0; i < n; i++ {
+							inTri := (uplo == Lower && i > j) || (uplo == Upper && i < j)
+							if inTri {
+								tri.Set(i, j, rng.NormFloat64()*0.3)
+							}
+						}
+						tri.Set(j, j, 2+rng.Float64())
+					}
+					var b *Matrix
+					if side == Left {
+						b = randMat(rng, n, m)
+					} else {
+						b = randMat(rng, m, n)
+					}
+					x := b.Clone()
+					Trsm(side, uplo, tt, dg, tri, x)
+					// Reconstruct op(t) with the diag convention applied.
+					opT := tri.Clone()
+					if dg == Unit {
+						for i := 0; i < n; i++ {
+							opT.Set(i, i, 1)
+						}
+					}
+					if tt == DoTrans {
+						opT = opT.Transpose()
+					}
+					var back *Matrix
+					if side == Left {
+						back = Mul(NoTrans, NoTrans, opT, x)
+					} else {
+						back = Mul(NoTrans, NoTrans, x, opT)
+					}
+					if d := back.MaxAbsDiff(b); d > 1e-9 {
+						t.Errorf("side=%v uplo=%v trans=%v diag=%v: residual %g",
+							side, uplo, tt, dg, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLUReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for n := 1; n <= 12; n++ {
+		a := randDiagDom(rng, n)
+		f := a.Clone()
+		if err := LU(f); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		l, u := SplitLU(f)
+		if d := Mul(NoTrans, NoTrans, l, u).MaxAbsDiff(a); d > 1e-9*a.MaxAbs() {
+			t.Errorf("n=%d: |LU-A| = %g", n, d)
+		}
+	}
+}
+
+func TestLUZeroPivot(t *testing.T) {
+	a := FromRowMajor([][]float64{{0, 1}, {1, 0}})
+	if err := LU(a); err == nil {
+		t.Fatal("expected zero-pivot error")
+	}
+}
+
+func TestLUPartialPivot(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 1; n <= 10; n++ {
+		a := randMat(rng, n, n)
+		f := a.Clone()
+		perm, err := LUPartialPivot(f)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		l, u := SplitLU(f)
+		lu := Mul(NoTrans, NoTrans, l, u)
+		// lu row i should equal a row perm[i].
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(lu.At(i, j)-a.At(perm[i], j)) > 1e-9 {
+					t.Fatalf("n=%d: PA != LU at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestLUPartialPivotSingular(t *testing.T) {
+	a := FromRowMajor([][]float64{{1, 2}, {2, 4}})
+	if _, err := LUPartialPivot(a); err == nil {
+		t.Fatal("expected singularity error")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for n := 1; n <= 15; n++ {
+		a := randDiagDom(rng, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := Mul(NoTrans, NoTrans, a, inv).MaxAbsDiff(Eye(n)); d > 1e-9 {
+			t.Errorf("n=%d: |A*inv(A)-I| = %g", n, d)
+		}
+	}
+}
+
+func TestTriInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 8
+	for _, uplo := range []UpLo{Lower, Upper} {
+		for _, dg := range []Diag{NonUnit, Unit} {
+			tri := NewMatrix(n, n)
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					if (uplo == Lower && i > j) || (uplo == Upper && i < j) {
+						tri.Set(i, j, rng.NormFloat64()*0.3)
+					}
+				}
+				tri.Set(j, j, 1.5+rng.Float64())
+			}
+			inv := TriInverse(uplo, dg, tri)
+			eff := tri.Clone()
+			if dg == Unit {
+				for i := 0; i < n; i++ {
+					eff.Set(i, i, 1)
+				}
+			}
+			if d := Mul(NoTrans, NoTrans, eff, inv).MaxAbsDiff(Eye(n)); d > 1e-9 {
+				t.Errorf("uplo=%v diag=%v: residual %g", uplo, dg, d)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMat(rng, 5, 9)
+	if d := a.Transpose().Transpose().MaxAbsDiff(a); d != 0 {
+		t.Fatalf("(Aᵀ)ᵀ != A: %g", d)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	a := FromRowMajor([][]float64{{1, 2}, {2, 3}})
+	if !a.IsSymmetric(0) {
+		t.Fatal("symmetric matrix reported asymmetric")
+	}
+	a.Set(0, 1, 2.5)
+	if a.IsSymmetric(1e-9) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+	if NewMatrix(2, 3).IsSymmetric(0) {
+		t.Fatal("non-square matrix reported symmetric")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := FromRowMajor([][]float64{{1, -2}, {-3, 4}})
+	if a.Norm1() != 6 {
+		t.Fatalf("Norm1 = %v, want 6", a.Norm1())
+	}
+	if a.NormInf() != 7 {
+		t.Fatalf("NormInf = %v, want 7", a.NormInf())
+	}
+	if a.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", a.MaxAbs())
+	}
+}
+
+// Property: Gemm is linear in its first operand.
+func TestQuickGemmLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64, alpha float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 1e6 {
+			alpha = r.NormFloat64()
+		}
+		a1 := randMat(r, 4, 3)
+		a2 := randMat(r, 4, 3)
+		b := randMat(r, 3, 5)
+		sum := a1.Clone()
+		sum.AddScaled(alpha, a2)
+		left := Mul(NoTrans, NoTrans, sum, b)
+		right := Mul(NoTrans, NoTrans, a1, b)
+		r2 := Mul(NoTrans, NoTrans, a2, b)
+		right.AddScaled(alpha, r2)
+		return left.MaxAbsDiff(right) < 1e-8*(1+math.Abs(alpha))
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A*B)ᵀ == Bᵀ*Aᵀ.
+func TestQuickGemmTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randMat(r, 3, 4)
+		b := randMat(r, 4, 6)
+		lhs := Mul(NoTrans, NoTrans, a, b).Transpose()
+		rhs := Mul(DoTrans, DoTrans, b, a)
+		return lhs.MaxAbsDiff(rhs) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inverse of a random diagonally dominant matrix is a true inverse.
+func TestQuickInverseResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(r.Int31n(10))
+		a := randDiagDom(r, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return Mul(NoTrans, NoTrans, inv, a).MaxAbsDiff(Eye(n)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if GemmFlops(2, 3, 4) != 48 {
+		t.Fatalf("GemmFlops wrong: %d", GemmFlops(2, 3, 4))
+	}
+	if TrsmFlops(3, 5) != 45 {
+		t.Fatalf("TrsmFlops wrong: %d", TrsmFlops(3, 5))
+	}
+}
+
+func BenchmarkGemm64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, 64, 64)
+	c := randMat(rng, 64, 64)
+	out := NewMatrix(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Gemm(NoTrans, NoTrans, 1, a, c, 0, out)
+	}
+}
+
+func BenchmarkTrsm64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tri := randDiagDom(rng, 64)
+	rhs := randMat(rng, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := rhs.Clone()
+		Trsm(Left, Lower, NoTrans, NonUnit, tri, x)
+	}
+}

@@ -1,0 +1,388 @@
+// Package etree performs the symbolic analysis phase of the solver:
+// elimination tree construction (Liu's algorithm), tree postordering,
+// scalar symbolic factorization (column patterns and counts), fundamental
+// supernode detection with relaxed amalgamation, and the supernodal block
+// pattern of L consumed by the numeric factorization and by both selected
+// inversion implementations.
+package etree
+
+import (
+	"fmt"
+	"sort"
+
+	"pselinv/internal/sparse"
+)
+
+// Parents computes the elimination tree of a structurally symmetric matrix
+// using Liu's algorithm with path compression. parent[j] == -1 marks a root.
+func Parents(a *sparse.CSC) []int {
+	n := a.N
+	parent := make([]int, n)
+	ancestor := make([]int, n)
+	for j := 0; j < n; j++ {
+		parent[j] = -1
+		ancestor[j] = -1
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			if i >= j {
+				continue
+			}
+			// Walk from i up to the root of its current subtree, compressing.
+			for r := i; r != -1 && r != j; {
+				next := ancestor[r]
+				ancestor[r] = j
+				if next == -1 {
+					parent[r] = j
+				}
+				r = next
+			}
+		}
+	}
+	return parent
+}
+
+// Postorder returns a permutation old->new that relabels vertices in a
+// postorder traversal of the forest. Children are visited in ascending
+// order for determinism.
+func Postorder(parent []int) []int {
+	n := len(parent)
+	children := make([][]int, n)
+	roots := []int{}
+	for v := 0; v < n; v++ {
+		p := parent[v]
+		if p < 0 {
+			roots = append(roots, v)
+		} else {
+			children[p] = append(children[p], v)
+		}
+	}
+	perm := make([]int, n)
+	next := 0
+	// Iterative DFS to avoid deep recursion on path graphs.
+	type frame struct{ v, childIdx int }
+	for _, r := range roots {
+		stack := []frame{{r, 0}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.childIdx < len(children[f.v]) {
+				c := children[f.v][f.childIdx]
+				f.childIdx++
+				stack = append(stack, frame{c, 0})
+				continue
+			}
+			perm[f.v] = next
+			next++
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if next != n {
+		panic("etree: postorder did not reach all vertices (cycle in parent array?)")
+	}
+	return perm
+}
+
+// RelabelParents rewrites a parent array under a vertex permutation
+// old->new.
+func RelabelParents(parent, perm []int) []int {
+	out := make([]int, len(parent))
+	for v, p := range parent {
+		if p < 0 {
+			out[perm[v]] = -1
+		} else {
+			out[perm[v]] = perm[p]
+		}
+	}
+	return out
+}
+
+// ColPatterns performs a scalar symbolic factorization and returns, for
+// each column j, the sorted row indices (>= j, including the diagonal) of
+// L's pattern, using struct(L(:,j)) = struct(A(j:,j)) ∪ ⋃_{parent(c)==j}
+// (struct(L(:,c)) \ {c}).
+func ColPatterns(a *sparse.CSC, parent []int) [][]int {
+	n := a.N
+	pat := make([][]int, n)
+	children := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if p := parent[v]; p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		rows := []int{j}
+		mark[j] = j
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			if i := a.RowIdx[k]; i > j && mark[i] != j {
+				mark[i] = j
+				rows = append(rows, i)
+			}
+		}
+		for _, c := range children[j] {
+			for _, i := range pat[c] {
+				if i > j && mark[i] != j {
+					mark[i] = j
+					rows = append(rows, i)
+				}
+			}
+		}
+		sort.Ints(rows)
+		pat[j] = rows
+	}
+	return pat
+}
+
+// ColCounts returns nnz(L(:,j)) including the diagonal for each column.
+func ColCounts(pat [][]int) []int {
+	c := make([]int, len(pat))
+	for j, rows := range pat {
+		c[j] = len(rows)
+	}
+	return c
+}
+
+// Partition is a supernode partition of the columns 0..n-1 into contiguous
+// ranges.
+type Partition struct {
+	Start   []int // len NumSnodes+1; supernode K spans columns [Start[K], Start[K+1])
+	SnodeOf []int // column -> supernode index
+}
+
+// NumSnodes returns the number of supernodes.
+func (p *Partition) NumSnodes() int { return len(p.Start) - 1 }
+
+// Width returns the number of columns in supernode k.
+func (p *Partition) Width(k int) int { return p.Start[k+1] - p.Start[k] }
+
+// Cols returns the half-open column range of supernode k.
+func (p *Partition) Cols(k int) (lo, hi int) { return p.Start[k], p.Start[k+1] }
+
+// FromStarts builds a Partition from supernode start columns (which must
+// begin at 0, be strictly increasing, and end at n).
+func FromStarts(starts []int, n int) *Partition {
+	if len(starts) == 0 || starts[0] != 0 || starts[len(starts)-1] != n {
+		panic("etree: invalid supernode starts")
+	}
+	p := &Partition{Start: starts, SnodeOf: make([]int, n)}
+	for k := 0; k+1 < len(starts); k++ {
+		if starts[k+1] <= starts[k] {
+			panic("etree: empty supernode")
+		}
+		for j := starts[k]; j < starts[k+1]; j++ {
+			p.SnodeOf[j] = k
+		}
+	}
+	return p
+}
+
+// Supernodes detects fundamental supernodes (column j+1 merges with j when
+// parent(j) == j+1 and count(j+1) == count(j)-1), with two practical
+// extensions: relax allows up to that many rows of artificial fill per
+// merged column (relaxed amalgamation), and maxWidth caps supernode width
+// (0 means unlimited). The matrix must be postordered.
+func Supernodes(parent, colCount []int, relax, maxWidth int) *Partition {
+	n := len(parent)
+	starts := []int{0}
+	width := 1
+	for j := 1; j < n; j++ {
+		fundamental := parent[j-1] == j && colCount[j] >= colCount[j-1]-1-relax && colCount[j] <= colCount[j-1]-1+relax
+		if colCount[j] == colCount[j-1]-1 && parent[j-1] == j {
+			fundamental = true
+		}
+		if fundamental && (maxWidth <= 0 || width < maxWidth) {
+			width++
+			continue
+		}
+		starts = append(starts, j)
+		width = 1
+	}
+	starts = append(starts, n)
+	return FromStarts(starts, n)
+}
+
+// BlockPattern holds the supernodal block structure of L (equivalently of
+// the selected inverse), closed under right-looking elimination so that for
+// every supernode K and I, J ∈ C(K) the block (max(I,J), min(I,J)) is
+// present — the invariant the selected inversion algorithms rely on.
+type BlockPattern struct {
+	Part *Partition
+	// RowsOf[K] lists, sorted ascending, the block rows I >= K with block
+	// (I, K) structurally nonzero (the diagonal block K is always first).
+	RowsOf [][]int
+	// SnParent is the supernodal elimination tree: the first off-diagonal
+	// block row, or -1 for roots.
+	SnParent []int
+}
+
+// NumSnodes returns the number of supernodes.
+func (bp *BlockPattern) NumSnodes() int { return bp.Part.NumSnodes() }
+
+// HasBlock reports whether block (i, k), i >= k, is in the pattern.
+// O(log |RowsOf[k]|).
+func (bp *BlockPattern) HasBlock(i, k int) bool {
+	rows := bp.RowsOf[k]
+	p := sort.SearchInts(rows, i)
+	return p < len(rows) && rows[p] == i
+}
+
+// Struct returns the off-diagonal block rows of supernode k: the set C(K)
+// of the paper's Algorithm 1.
+func (bp *BlockPattern) Struct(k int) []int { return bp.RowsOf[k][1:] }
+
+// NNZBlocks returns the total number of stored lower-triangular blocks
+// (including diagonal blocks).
+func (bp *BlockPattern) NNZBlocks() int {
+	t := 0
+	for _, r := range bp.RowsOf {
+		t += len(r)
+	}
+	return t
+}
+
+// FactorFlops estimates the flop count of a right-looking block LU on this
+// pattern (diagonal factorizations, panel solves, Schur updates) — used by
+// the timing simulator's factorization reference when no numeric
+// factorization is available.
+func (bp *BlockPattern) FactorFlops() int64 {
+	var flops int64
+	for k := 0; k < bp.NumSnodes(); k++ {
+		w := int64(bp.Part.Width(k))
+		flops += 2 * w * w * w / 3
+		c := bp.Struct(k)
+		var below int64
+		for _, i := range c {
+			wi := int64(bp.Part.Width(i))
+			below += wi
+			flops += 2 * w * w * wi // two triangular solves
+		}
+		flops += 2 * below * below * w // Schur update
+	}
+	return flops
+}
+
+// NNZScalars returns the scalar nonzero count of the lower block pattern.
+func (bp *BlockPattern) NNZScalars() int64 {
+	var t int64
+	for k, rows := range bp.RowsOf {
+		w := int64(bp.Part.Width(k))
+		for _, i := range rows {
+			t += w * int64(bp.Part.Width(i))
+		}
+	}
+	return t
+}
+
+// NewBlockPattern computes the closed block pattern by symbolic
+// right-looking block elimination of the (postordered, permuted) matrix a
+// under the given supernode partition.
+func NewBlockPattern(a *sparse.CSC, part *Partition) *BlockPattern {
+	ns := part.NumSnodes()
+	sets := make([]map[int]bool, ns)
+	for k := range sets {
+		sets[k] = map[int]bool{k: true}
+	}
+	for j := 0; j < a.N; j++ {
+		kj := part.SnodeOf[j]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			ki := part.SnodeOf[a.RowIdx[p]]
+			if ki > kj {
+				sets[kj][ki] = true
+			} else if ki < kj {
+				sets[ki][kj] = true // structural symmetry: record in lower triangle
+			}
+		}
+	}
+	// Right-looking block elimination: eliminating K couples every pair of
+	// its below-diagonal block rows.
+	for k := 0; k < ns; k++ {
+		c := make([]int, 0, len(sets[k])-1)
+		for i := range sets[k] {
+			if i > k {
+				c = append(c, i)
+			}
+		}
+		sort.Ints(c)
+		for x := 0; x < len(c); x++ {
+			for y := x + 1; y < len(c); y++ {
+				sets[c[x]][c[y]] = true
+			}
+		}
+	}
+	bp := &BlockPattern{Part: part, RowsOf: make([][]int, ns), SnParent: make([]int, ns)}
+	for k := 0; k < ns; k++ {
+		rows := make([]int, 0, len(sets[k]))
+		for i := range sets[k] {
+			rows = append(rows, i)
+		}
+		sort.Ints(rows)
+		bp.RowsOf[k] = rows
+		if len(rows) > 1 {
+			bp.SnParent[k] = rows[1]
+		} else {
+			bp.SnParent[k] = -1
+		}
+	}
+	return bp
+}
+
+// CheckClosure verifies the selected-inversion invariant: for every K and
+// every pair I <= J in Struct(K), block (J, I) is present. Returns an error
+// naming the first violation. Used by tests and as a cheap sanity check.
+func (bp *BlockPattern) CheckClosure() error {
+	for k := 0; k < bp.NumSnodes(); k++ {
+		c := bp.Struct(k)
+		for x := 0; x < len(c); x++ {
+			for y := x; y < len(c); y++ {
+				if !bp.HasBlock(c[y], c[x]) {
+					return fmt.Errorf("etree: closure violated: K=%d needs block (%d,%d)", k, c[y], c[x])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Analysis bundles the outcome of the full symbolic phase.
+type Analysis struct {
+	// PermTotal maps original indices to final indices (fill ordering
+	// composed with postorder).
+	PermTotal []int
+	// A is the matrix permuted by PermTotal.
+	A *sparse.CSC
+	// Parent is the scalar elimination tree of A.
+	Parent []int
+	// ColCount is nnz(L(:,j)) per column of A.
+	ColCount []int
+	// BP is the supernodal block pattern of L.
+	BP *BlockPattern
+}
+
+// Options controls Analyze.
+type Options struct {
+	Relax    int // relaxed amalgamation slack rows (0 = fundamental only)
+	MaxWidth int // supernode width cap, 0 = unlimited
+}
+
+// Analyze runs the symbolic phase on a matrix that has already been
+// permuted by a fill-reducing ordering: elimination tree, postorder
+// relabeling, symbolic factorization, supernode detection, block pattern.
+// fillPerm is the ordering already applied (recorded so PermTotal maps
+// truly-original indices); pass the identity when a is in original order.
+func Analyze(a *sparse.CSC, fillPerm []int, opt Options) *Analysis {
+	parent := Parents(a)
+	post := Postorder(parent)
+	ap := a.Permute(post)
+	parent = Parents(ap)
+	pat := ColPatterns(ap, parent)
+	counts := ColCounts(pat)
+	part := Supernodes(parent, counts, opt.Relax, opt.MaxWidth)
+	bp := NewBlockPattern(ap, part)
+	total := make([]int, len(fillPerm))
+	for orig, mid := range fillPerm {
+		total[orig] = post[mid]
+	}
+	return &Analysis{PermTotal: total, A: ap, Parent: parent, ColCount: counts, BP: bp}
+}

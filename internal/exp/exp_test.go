@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"pselinv/internal/core"
+	"pselinv/internal/netsim"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/sparse"
+)
+
+func TestMeasureVolumesSmall(t *testing.T) {
+	p, err := Prepare(sparse.Grid2D(10, 10, 1), 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := MeasureVolumes(p, procgrid.New(4, 4), core.Schemes(), 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("got %d measurements", len(ms))
+	}
+	for _, m := range ms {
+		if len(m.ColBcastSent) != 16 || len(m.RowReduceRecv) != 16 {
+			t.Fatalf("%v: wrong vector lengths", m.Scheme)
+		}
+		if m.ColBcastSummary().Max <= 0 {
+			t.Fatalf("%v: no Col-Bcast traffic", m.Scheme)
+		}
+		if m.RowReduceSummary().Max <= 0 {
+			t.Fatalf("%v: no Row-Reduce traffic", m.Scheme)
+		}
+	}
+}
+
+func TestMeasureScalingShapes(t *testing.T) {
+	p, err := Prepare(sparse.Grid2D(10, 10, 2), 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := MeasureScaling(p, []int{4, 16}, core.Schemes(), []uint64{1, 2, 3}, netsim.DefaultParams())
+	if len(pts) != 6 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, pt := range pts {
+		if len(pt.Times) != 3 || pt.Mean <= 0 {
+			t.Fatalf("bad point %+v", pt)
+		}
+		if pt.Compute < 0 || pt.Comm < 0 {
+			t.Fatalf("negative breakdown %+v", pt)
+		}
+	}
+}
+
+func TestSelInvFlopsPositive(t *testing.T) {
+	p, err := Prepare(sparse.Grid2D(8, 8, 3), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SelInvFlops(p) <= 0 {
+		t.Fatal("no flops counted")
+	}
+}
+
+func TestPrepareFailsOnSingular(t *testing.T) {
+	ts := []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 1},
+		{Row: 1, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1},
+	}
+	g := &sparse.Generated{A: sparse.FromTriplets(2, ts), Name: "singular"}
+	if _, err := Prepare(g, 0, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestScalingStandins(t *testing.T) {
+	for _, fn := range []func(int64) (*sparse.Generated, int, int){
+		ScalingPNFStandin, ScalingAudikwStandin,
+	} {
+		g, relax, mw := fn(1)
+		if relax <= 0 || mw <= 0 {
+			t.Fatalf("%s: degenerate analysis options", g.Name)
+		}
+		if g.A.N < 10000 {
+			t.Fatalf("%s: scaling stand-in too small (n=%d)", g.Name, g.A.N)
+		}
+		if !g.A.IsSymmetric(0) {
+			t.Fatalf("%s: not symmetric", g.Name)
+		}
+	}
+}
+
+func TestScaledEdisonParams(t *testing.T) {
+	p := ScaledEdisonParams()
+	d := netsim.DefaultParams()
+	if p.PortBW >= d.PortBW || p.NodeBW >= d.NodeBW {
+		t.Fatal("scaled params must reduce endpoint bandwidths")
+	}
+	if p.FlopRate >= d.FlopRate {
+		t.Fatal("scaled params must reduce the flop rate")
+	}
+}

@@ -1,0 +1,998 @@
+// Package netsim is a discrete-event timing simulator for PSelInv runs.
+// It executes the same communication plan as the goroutine engine
+// (internal/pselinv) — identical trees, messages, dependencies, and
+// computation tasks — but instead of moving real data it advances a
+// virtual clock under a LogGP-style cost model with a hierarchical,
+// inhomogeneous network:
+//
+//   - one CPU per rank (compute tasks serialize; higher supernodes first,
+//     matching the engine's descending traversal),
+//   - one injection ("send") and one ejection ("recv") port per rank,
+//     drained strictly FIFO the way a NIC is — this is what makes a
+//     Flat-Tree root a serial bottleneck,
+//   - per-node shared up/down links (CoresPerNode ranks funnel through
+//     them): concentrated communication roles — a Flat-Tree root row, the
+//     striped internal nodes of a plain Binary-Tree — become the
+//     "instantaneous hot spots" of §III,
+//   - inter-node cost grows with node distance and carries seeded
+//     per-node-pair jitter, reproducing the placement-induced run-to-run
+//     variability of Figure 8.
+//
+// The simulator substitutes for the paper's 12,100-core Cray XC30: absolute
+// seconds are a model, but critical-path structure, port contention and
+// hot spots — the quantities the tree schemes change — are simulated
+// faithfully from the real plan.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pselinv/internal/core"
+	"pselinv/internal/dense"
+)
+
+// Params is the network and processor cost model.
+type Params struct {
+	FlopRate     float64 // effective flop/s per rank for the block kernels
+	CoresPerNode int     // ranks per physical node
+	SendOverhead float64 // seconds of injection-port occupancy per message
+	RecvOverhead float64 // seconds of ejection-port occupancy per message
+	PortBW       float64 // injection/ejection bandwidth per rank, bytes/s
+	// NodeBW is the bandwidth of a node's shared up-link and down-link.
+	// All CoresPerNode ranks of a node funnel their inter-node traffic
+	// through these two resources.
+	NodeBW       float64
+	IntraBW      float64 // intra-node transfer bandwidth, bytes/s
+	InterBW      float64 // inter-node wire bandwidth, bytes/s
+	IntraLatency float64 // seconds
+	InterLatency float64 // base inter-node latency, seconds
+	HopLatency   float64 // extra latency per log2(node distance), seconds
+	Jitter       float64 // relative inhomogeneity of inter-node links
+	Seed         uint64  // placement seed: vary per run for error bars
+	// ShareQuantum, when positive, makes rank ports serve concurrent
+	// messages processor-sharing style in round-robin quanta of this many
+	// bytes, the way a NIC's DMA engine interleaves outstanding transfers.
+	// A Flat-Tree root's batch of p−1 sends then all complete near the end
+	// of the batch — every delivery costs ≈ (p−1)·b/BW — which is exactly
+	// the serialization §III attributes to the centralized scheme. Zero
+	// keeps strict FIFO (store-and-forward per message).
+	ShareQuantum int64
+}
+
+// DefaultParams approximates a Cray XC30 (Edison) node: 24 cores, ~µs
+// latencies, GB/s-scale bandwidths, and a third of link performance lost to
+// placement in the worst case.
+func DefaultParams() Params {
+	return Params{
+		FlopRate:     5e9,
+		CoresPerNode: 24,
+		SendOverhead: 0.7e-6,
+		RecvOverhead: 0.5e-6,
+		PortBW:       4e9,
+		NodeBW:       6e9,
+		IntraBW:      8e9,
+		InterBW:      2.5e9,
+		IntraLatency: 0.4e-6,
+		InterLatency: 1.8e-6,
+		HopLatency:   0.15e-6,
+		Jitter:       0.35,
+		Seed:         1,
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitHash maps (seed, a, b) to [0, 1) deterministically and symmetrically.
+func unitHash(seed uint64, a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	h := splitmix64(seed ^ splitmix64(uint64(a)<<32|uint64(uint32(b))))
+	return float64(h>>11) / float64(1<<53)
+}
+
+func (p *Params) node(rank int) int { return rank / p.CoresPerNode }
+
+// latency returns the one-way wire latency between two ranks.
+func (p *Params) latency(src, dst int) float64 {
+	na, nb := p.node(src), p.node(dst)
+	if na == nb {
+		return p.IntraLatency
+	}
+	d := na - nb
+	if d < 0 {
+		d = -d
+	}
+	l := p.InterLatency + p.HopLatency*math.Log2(float64(1+d))
+	return l * (1 + p.Jitter*unitHash(p.Seed, na, nb))
+}
+
+// linkBW returns the wire transfer bandwidth between two ranks.
+func (p *Params) linkBW(src, dst int) float64 {
+	na, nb := p.node(src), p.node(dst)
+	if na == nb {
+		return p.IntraBW
+	}
+	return p.InterBW / (1 + p.Jitter*unitHash(p.Seed^0xdead, na, nb))
+}
+
+// nodeLinkBW is a node link's effective bandwidth under placement jitter.
+func (p *Params) nodeLinkBW(nodeID int) float64 {
+	return p.NodeBW / (1 + p.Jitter*unitHash(p.Seed^0xbeef, nodeID, nodeID))
+}
+
+// --- DAG ---------------------------------------------------------------
+
+type nodeKind uint8
+
+const (
+	kVirtual nodeKind = iota
+	kCompute
+	kMsg
+)
+
+type node struct {
+	kind  nodeKind
+	rank  int32 // compute: executor; msg: source
+	dst   int32 // msg destination
+	flops int64
+	bytes int64
+	prio  int32
+	deps  int32
+	outs  []int32
+}
+
+type builder struct {
+	nodes []node
+}
+
+func (b *builder) add(n node) int32 {
+	b.nodes = append(b.nodes, n)
+	return int32(len(b.nodes) - 1)
+}
+
+func (b *builder) virtual(prio int32) int32 {
+	return b.add(node{kind: kVirtual, prio: prio})
+}
+
+func (b *builder) compute(rank int, flops int64, prio int32) int32 {
+	return b.add(node{kind: kCompute, rank: int32(rank), flops: flops, prio: prio})
+}
+
+func (b *builder) msg(src, dst int, bytes int64, prio int32) int32 {
+	return b.add(node{kind: kMsg, rank: int32(src), dst: int32(dst), bytes: bytes, prio: prio})
+}
+
+// edge adds dependency from -> to (to waits for from).
+func (b *builder) edge(from, to int32) {
+	b.nodes[from].outs = append(b.nodes[from].outs, to)
+	b.nodes[to].deps++
+}
+
+// deliveries records, for one broadcast tree, the DAG node after which the
+// payload is present at each participant (aligned with the sorted
+// participant list).
+type deliveries struct {
+	ranks []int // sorted
+	nodes []int32
+}
+
+func newDeliveries(parts []int) *deliveries {
+	return &deliveries{ranks: parts, nodes: make([]int32, len(parts))}
+}
+
+func (d *deliveries) set(rank int, id int32) {
+	i := sort.SearchInts(d.ranks, rank)
+	if i == len(d.ranks) || d.ranks[i] != rank {
+		panic(fmt.Sprintf("netsim: rank %d not a participant", rank))
+	}
+	d.nodes[i] = id
+}
+
+func (d *deliveries) get(rank int) int32 {
+	i := sort.SearchInts(d.ranks, rank)
+	if i == len(d.ranks) || d.ranks[i] != rank {
+		panic(fmt.Sprintf("netsim: rank %d not a participant", rank))
+	}
+	return d.nodes[i]
+}
+
+// buildDAG mirrors internal/pselinv's two passes over the plan.
+func buildDAG(plan *core.Plan) *builder {
+	b := &builder{}
+	part := plan.BP.Part
+	grid := plan.Grid
+	w := func(k int) int64 { return int64(part.Width(k)) }
+
+	barrier := b.virtual(1 << 30)
+	fin := map[int64]int32{}
+	finOf := func(i, j int) int32 {
+		key := int64(i)<<32 | int64(uint32(j))
+		if id, ok := fin[key]; ok {
+			return id
+		}
+		id := b.virtual(int32(min(i, j)))
+		fin[key] = id
+		return id
+	}
+
+	for _, sp := range plan.Snodes {
+		k := sp.K
+		prio := int32(k)
+		diagOwner := grid.OwnerOfBlock(k, k)
+		if len(sp.C) == 0 {
+			t := b.compute(diagOwner, 2*w(k)*w(k)*w(k), prio)
+			b.edge(barrier, t)
+			b.edge(t, finOf(k, k))
+			continue
+		}
+		// ---- Pass 1: diagonal broadcast then TRSMs; all feed the barrier.
+		tr := sp.DiagBcast.Tree
+		avail := newDeliveries(tr.Participants())
+		var walk func(rank int, readyAfter int32)
+		walk = func(rank int, readyAfter int32) {
+			for _, c := range tr.Children(rank) {
+				m := b.msg(rank, c, sp.DiagBcast.Bytes, prio)
+				if readyAfter >= 0 {
+					b.edge(readyAfter, m)
+				}
+				avail.set(c, m)
+				b.edge(m, barrier)
+				walk(c, m)
+			}
+		}
+		avail.set(tr.Root, -1)
+		walk(tr.Root, -1)
+		for _, i := range sp.C {
+			o := grid.OwnerOfBlock(i, k)
+			t := b.compute(o, dense.TrsmFlops(part.Width(k), part.Width(i)), prio)
+			if dep := avail.get(o); dep >= 0 {
+				b.edge(dep, t)
+			}
+			b.edge(t, barrier)
+		}
+		// Asymmetric path, pass 1: the diagonal factor also travels along
+		// processor row K, followed by the Û TRSMs.
+		if !plan.Symmetric {
+			rt := sp.DiagBcastRow.Tree
+			ravail := newDeliveries(rt.Participants())
+			var rwalk func(rank int, readyAfter int32)
+			rwalk = func(rank int, readyAfter int32) {
+				for _, c := range rt.Children(rank) {
+					m := b.msg(rank, c, sp.DiagBcastRow.Bytes, prio)
+					if readyAfter >= 0 {
+						b.edge(readyAfter, m)
+					}
+					ravail.set(c, m)
+					b.edge(m, barrier)
+					rwalk(c, m)
+				}
+			}
+			ravail.set(rt.Root, -1)
+			rwalk(rt.Root, -1)
+			for _, i := range sp.C {
+				o := grid.OwnerOfBlock(k, i)
+				t := b.compute(o, dense.TrsmFlops(part.Width(k), part.Width(i)), prio)
+				if dep := ravail.get(o); dep >= 0 {
+					b.edge(dep, t)
+				}
+				b.edge(t, barrier)
+			}
+		}
+
+		// ---- Pass 2.
+		// Per Col-Bcast delivery points: bcast[x].get(rank) = node after
+		// which L̂_{I,K} (I = sp.C[x]) is present at rank.
+		bcast := make([]*deliveries, len(sp.C))
+		for x := range sp.C {
+			po := &sp.Cross[x]
+			var uhatReady int32
+			if po.Src == po.Dst {
+				uhatReady = b.virtual(prio)
+				b.edge(barrier, uhatReady)
+			} else {
+				m := b.msg(po.Src, po.Dst, po.Bytes, prio)
+				b.edge(barrier, m)
+				uhatReady = m
+			}
+			cb := &sp.ColBcasts[x]
+			d := newDeliveries(cb.Tree.Participants())
+			d.set(po.Dst, uhatReady)
+			bcast[x] = d
+			var walk2 func(rank int, readyAfter int32)
+			walk2 = func(rank int, readyAfter int32) {
+				for _, c := range cb.Tree.Children(rank) {
+					m := b.msg(rank, c, cb.Bytes, prio)
+					b.edge(readyAfter, m)
+					d.set(c, m)
+					walk2(c, m)
+				}
+			}
+			walk2(cb.Tree.Root, uhatReady)
+		}
+		// Reduce completion nodes per participant.
+		rdone := make([]*deliveries, len(sp.C))
+		for x := range sp.C {
+			rt := sp.RowReduces[x].Tree
+			d := newDeliveries(rt.Participants())
+			for i, r := range d.ranks {
+				_ = r
+				d.nodes[i] = b.virtual(prio)
+			}
+			rdone[x] = d
+		}
+		// GEMM tasks.
+		for xi, i := range sp.C {
+			for xj, j := range sp.C {
+				owner := grid.OwnerOfBlock(j, i)
+				g := b.compute(owner, dense.GemmFlops(part.Width(j), part.Width(k), part.Width(i)), prio)
+				b.edge(bcast[xi].get(owner), g)
+				b.edge(finOf(j, i), g)
+				b.edge(g, rdone[xj].get(owner))
+			}
+		}
+		dt := sp.DiagReduce.Tree
+		ddone := newDeliveries(dt.Participants())
+		for i := range ddone.nodes {
+			ddone.nodes[i] = b.virtual(prio)
+		}
+		// Asymmetric path, pass 2: Û cross sends, row broadcasts, upper
+		// GEMMs and column reductions.
+		var bcastU []*deliveries
+		var crossUArr []int32
+		if !plan.Symmetric {
+			bcastU = make([]*deliveries, len(sp.C))
+			crossUArr = make([]int32, len(sp.C))
+			for x := range sp.C {
+				po := &sp.CrossU[x]
+				var ready int32
+				if po.Src == po.Dst {
+					ready = b.virtual(prio)
+					b.edge(barrier, ready)
+				} else {
+					m := b.msg(po.Src, po.Dst, po.Bytes, prio)
+					b.edge(barrier, m)
+					ready = m
+				}
+				crossUArr[x] = ready
+				rb := &sp.RowBcasts[x]
+				d := newDeliveries(rb.Tree.Participants())
+				d.set(po.Dst, ready)
+				bcastU[x] = d
+				var walk3 func(rank int, readyAfter int32)
+				walk3 = func(rank int, readyAfter int32) {
+					for _, c := range rb.Tree.Children(rank) {
+						m := b.msg(rank, c, rb.Bytes, prio)
+						b.edge(readyAfter, m)
+						d.set(c, m)
+						walk3(c, m)
+					}
+				}
+				walk3(rb.Tree.Root, ready)
+			}
+			cdone := make([]*deliveries, len(sp.C))
+			for x := range sp.C {
+				ct := sp.ColReduces[x].Tree
+				d := newDeliveries(ct.Participants())
+				for i := range d.nodes {
+					d.nodes[i] = b.virtual(prio)
+				}
+				cdone[x] = d
+			}
+			for xi, i := range sp.C {
+				for xj, j := range sp.C {
+					owner := grid.OwnerOfBlock(i, j)
+					g := b.compute(owner, dense.GemmFlops(part.Width(k), part.Width(j), part.Width(i)), prio)
+					b.edge(bcastU[xi].get(owner), g)
+					b.edge(finOf(i, j), g)
+					b.edge(g, cdone[xj].get(owner))
+				}
+			}
+			for x, j := range sp.C {
+				ct := sp.ColReduces[x].Tree
+				for _, part2 := range ct.Participants() {
+					if part2 == ct.Root {
+						continue
+					}
+					m := b.msg(part2, ct.Parent(part2), sp.ColReduces[x].Bytes, prio)
+					b.edge(cdone[x].get(part2), m)
+					b.edge(m, cdone[x].get(ct.Parent(part2)))
+				}
+				b.edge(cdone[x].get(ct.Root), finOf(k, j))
+			}
+		}
+		// Row-reduce message flow and root completion.
+		for x, j := range sp.C {
+			rt := sp.RowReduces[x].Tree
+			for _, part2 := range rt.Participants() {
+				if part2 == rt.Root {
+					continue
+				}
+				m := b.msg(part2, rt.Parent(part2), sp.RowReduces[x].Bytes, prio)
+				b.edge(rdone[x].get(part2), m)
+				b.edge(m, rdone[x].get(rt.Parent(part2)))
+			}
+			root := rt.Root
+			fjk := finOf(j, k)
+			b.edge(rdone[x].get(root), fjk)
+			if plan.Symmetric {
+				// Mirror send to the upper triangle.
+				so := &sp.SymmSends[x]
+				if so.Src == so.Dst {
+					b.edge(fjk, finOf(k, j))
+				} else {
+					m := b.msg(so.Src, so.Dst, so.Bytes, prio)
+					b.edge(fjk, m)
+					b.edge(m, finOf(k, j))
+				}
+			}
+			// Diagonal contribution Û_{K,J}·A⁻¹_{J,K} at the row-reduce
+			// root (for the symmetric path Û is the locally held L̂ᵀ; for
+			// the general path it must also wait for the Û cross-send).
+			t := b.compute(root, dense.GemmFlops(part.Width(k), part.Width(k), part.Width(j)), prio)
+			b.edge(fjk, t)
+			if !plan.Symmetric {
+				b.edge(crossUArr[x], t)
+			}
+			b.edge(t, ddone.get(root))
+		}
+		// Diag-reduce message flow and final diagonal block.
+		for _, part2 := range dt.Participants() {
+			if part2 == dt.Root {
+				continue
+			}
+			m := b.msg(part2, dt.Parent(part2), sp.DiagReduce.Bytes, prio)
+			b.edge(ddone.get(part2), m)
+			b.edge(m, ddone.get(dt.Parent(part2)))
+		}
+		inv := b.compute(dt.Root, 2*w(k)*w(k)*w(k), prio)
+		b.edge(ddone.get(dt.Root), inv)
+		b.edge(inv, finOf(k, k))
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- Event-driven execution ---------------------------------------------
+
+// Result reports the simulated run.
+type Result struct {
+	Makespan float64 // seconds
+	// ComputeTime is per-rank CPU-busy seconds; CommTime is the remainder
+	// of the makespan (waiting in or for communication), the same
+	// attribution a profiler of a communication library produces.
+	ComputeTime []float64
+	SendBusy    []float64
+	RecvBusy    []float64
+	MsgCount    int64
+	BytesMoved  int64
+}
+
+// MeanCompute averages per-rank compute-busy time over busy ranks.
+func (r *Result) MeanCompute() float64 {
+	var s float64
+	n := 0
+	for _, c := range r.ComputeTime {
+		if c > 0 {
+			s += c
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// CommTime reports the communication/wait share of the makespan for the
+// mean busy rank.
+func (r *Result) CommTime() float64 {
+	c := r.Makespan - r.MeanCompute()
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// DAG is a reusable task graph built from a plan. Building is the
+// expensive part; SimulateDAG can replay it under many network parameter
+// sets (e.g. placement seeds) without rebuilding.
+type DAG struct {
+	P        int
+	nodes    []node
+	initDeps []int32
+}
+
+// BuildDAG constructs the task graph of a plan once.
+func BuildDAG(plan *core.Plan) *DAG {
+	b := buildDAG(plan)
+	d := &DAG{P: plan.Grid.Size(), nodes: b.nodes, initDeps: make([]int32, len(b.nodes))}
+	for i := range b.nodes {
+		d.initDeps[i] = b.nodes[i].deps
+	}
+	return d
+}
+
+// Simulate runs the plan through the cost model and returns timing results.
+func Simulate(plan *core.Plan, params Params) *Result {
+	return SimulateDAG(BuildDAG(plan), params)
+}
+
+// event kinds.
+const (
+	evCPUDone uint8 = iota
+	evSendDone
+	evNodeUpDone
+	evEnqueueNodeDown
+	evNodeDownDone
+	evEnqueueRecv
+	evRecvDone
+)
+
+type event struct {
+	t    float64
+	seq  int64
+	kind uint8
+	res  int32 // rank or node index, depending on kind
+	id   int32 // DAG node
+}
+
+// eventHeap is a hand-rolled binary min-heap of events ordered by (t, seq),
+// avoiding container/heap interface boxing on the hot path.
+type eventHeap struct{ a []event }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.a[i].t != h.a[j].t {
+		return h.a[i].t < h.a[j].t
+	}
+	return h.a[i].seq < h.a[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.less(p, i) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a = h.a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && h.less(r, l) {
+			c = r
+		}
+		if h.less(i, c) {
+			break
+		}
+		h.a[i], h.a[c] = h.a[c], h.a[i]
+		i = c
+	}
+	return top
+}
+
+// prioItem is a queue entry. CPUs schedule by (priority desc, seq asc): the
+// engine works on the highest supernode first, like the real code's
+// descending traversal. Network ports and node links are strictly FIFO
+// (prio left 0): a NIC drains its queue in posting order — it has no idea
+// which message is on the global critical path, which is precisely why a
+// Flat-Tree root's long send batch blocks everything behind it (§III).
+type prioItem struct {
+	prio int32
+	seq  int64
+	id   int32
+}
+
+// itemHeap is a hand-rolled binary min-heap ordered by (prio desc, seq asc).
+type itemHeap struct{ a []prioItem }
+
+func (h *itemHeap) len() int { return len(h.a) }
+
+func (h *itemHeap) less(i, j int) bool {
+	if h.a[i].prio != h.a[j].prio {
+		return h.a[i].prio > h.a[j].prio
+	}
+	return h.a[i].seq < h.a[j].seq
+}
+
+func (h *itemHeap) push(e prioItem) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.less(p, i) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *itemHeap) pop() prioItem {
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a = h.a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && h.less(r, l) {
+			c = r
+		}
+		if h.less(i, c) {
+			break
+		}
+		h.a[i], h.a[c] = h.a[c], h.a[i]
+		i = c
+	}
+	return top
+}
+
+type resource struct {
+	busy  bool
+	queue itemHeap
+}
+
+type sim struct {
+	params Params
+	nodes  []node
+	deps   []int32
+	events eventHeap
+	seq    int64
+	now    float64
+
+	cpu      []resource
+	send     []resource
+	recv     []resource
+	nodeUp   []resource
+	nodeDown []resource
+
+	// Remaining bytes of in-progress port transfers under ShareQuantum
+	// round-robin (indexed by DAG node; 0 = not yet started).
+	remSend []int64
+	remRecv []int64
+
+	res Result
+
+	// Critical-path tracing (enabled by SimulateDAGTraced): per DAG node,
+	// the time it became ready, the time it completed, and the predecessor
+	// whose completion made it ready last.
+	trace    bool
+	readyAt  []float64
+	doneAt   []float64
+	critPred []int32
+	lastDone int32
+}
+
+// CritStep is one hop of the critical path reported by SimulateDAGTraced.
+type CritStep struct {
+	Kind    string // "compute", "msg", "virtual"
+	Rank    int    // executor / source
+	Dst     int    // msg destination
+	Bytes   int64
+	Flops   int64
+	ReadyAt float64 // when dependencies were satisfied
+	DoneAt  float64 // when the node completed
+}
+
+// SimulateDAGTraced is SimulateDAG plus critical-path extraction: it walks
+// back from the last-finishing node through each node's last-satisfied
+// dependency, yielding the chain that determined the makespan. Diagnostic
+// tool for understanding what a scheme's time is made of.
+func SimulateDAGTraced(dag *DAG, params Params) (*Result, []CritStep) {
+	s := newSim(dag, params)
+	s.trace = true
+	s.readyAt = make([]float64, len(dag.nodes))
+	s.doneAt = make([]float64, len(dag.nodes))
+	s.critPred = make([]int32, len(dag.nodes))
+	for i := range s.critPred {
+		s.critPred[i] = -1
+	}
+	s.lastDone = -1
+	res := s.run()
+	var path []CritStep
+	for id := s.lastDone; id >= 0; id = s.critPred[id] {
+		n := &s.nodes[id]
+		kind := "virtual"
+		switch n.kind {
+		case kCompute:
+			kind = "compute"
+		case kMsg:
+			kind = "msg"
+		}
+		path = append(path, CritStep{
+			Kind: kind, Rank: int(n.rank), Dst: int(n.dst),
+			Bytes: n.bytes, Flops: n.flops,
+			ReadyAt: s.readyAt[id], DoneAt: s.doneAt[id],
+		})
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return res, path
+}
+
+func newSim(dag *DAG, params Params) *sim {
+	p := dag.P
+	numNodes := (p + params.CoresPerNode - 1) / params.CoresPerNode
+	s := &sim{
+		params:   params,
+		nodes:    dag.nodes,
+		deps:     append([]int32(nil), dag.initDeps...),
+		cpu:      make([]resource, p),
+		send:     make([]resource, p),
+		recv:     make([]resource, p),
+		nodeUp:   make([]resource, numNodes),
+		nodeDown: make([]resource, numNodes),
+	}
+	s.res.ComputeTime = make([]float64, p)
+	s.res.SendBusy = make([]float64, p)
+	s.res.RecvBusy = make([]float64, p)
+	if params.ShareQuantum > 0 {
+		s.remSend = make([]int64, len(dag.nodes))
+		s.remRecv = make([]int64, len(dag.nodes))
+	}
+	return s
+}
+
+func (s *sim) run() *Result {
+	// Snapshot the initially ready set BEFORE seeding any of it: ready()
+	// can complete virtual nodes immediately, cascading dependency counts
+	// of later nodes to zero mid-scan, which must not re-ready them (they
+	// are readied exactly once by the cascade itself).
+	var initial []int32
+	for id := range s.nodes {
+		if s.deps[id] == 0 {
+			initial = append(initial, int32(id))
+		}
+	}
+	for _, id := range initial {
+		s.ready(id, 0)
+	}
+	for len(s.events.a) > 0 {
+		ev := s.events.pop()
+		s.now = ev.t
+		s.handle(ev)
+	}
+	s.res.Makespan = s.now
+	for id := range s.nodes {
+		if s.deps[id] > 0 {
+			panic(fmt.Sprintf("netsim: node %d never became ready (deadlocked DAG)", id))
+		}
+	}
+	return &s.res
+}
+
+// SimulateDAG replays a prebuilt task graph under the given parameters.
+func SimulateDAG(dag *DAG, params Params) *Result {
+	return newSim(dag, params).run()
+}
+
+func (s *sim) at(t float64, kind uint8, res, id int32) {
+	s.seq++
+	s.events.push(event{t: t, seq: s.seq, kind: kind, res: res, id: id})
+}
+
+func (s *sim) nextSeq() int64 { s.seq++; return s.seq }
+
+// ready is called when all dependencies of a DAG node are satisfied.
+func (s *sim) ready(id int32, t float64) {
+	n := &s.nodes[id]
+	switch n.kind {
+	case kVirtual:
+		s.complete(id, t)
+	case kCompute:
+		s.cpu[n.rank].queue.push(prioItem{prio: n.prio, seq: s.nextSeq(), id: id})
+		s.tryCPU(n.rank, t)
+	case kMsg:
+		if n.rank == n.dst {
+			s.complete(id, t) // local hand-off: no network cost
+			return
+		}
+		s.send[n.rank].queue.push(prioItem{seq: s.nextSeq(), id: id})
+		s.trySend(n.rank, t)
+	}
+}
+
+func (s *sim) complete(id int32, t float64) {
+	if s.trace {
+		s.doneAt[id] = t
+		if s.lastDone < 0 || t >= s.doneAt[s.lastDone] {
+			s.lastDone = id
+		}
+	}
+	for _, out := range s.nodes[id].outs {
+		s.deps[out]--
+		if s.deps[out] == 0 {
+			if s.trace {
+				s.readyAt[out] = t
+				s.critPred[out] = id
+			}
+			s.ready(out, t)
+		} else if s.deps[out] < 0 {
+			panic(fmt.Sprintf("netsim: dependency underflow: node %d (kind %d rank %d) -> out %d (kind %d rank %d dst %d), total nodes %d",
+				id, s.nodes[id].kind, s.nodes[id].rank, out, s.nodes[out].kind, s.nodes[out].rank, s.nodes[out].dst, len(s.nodes)))
+		}
+	}
+}
+
+func (s *sim) tryCPU(rank int32, t float64) {
+	r := &s.cpu[rank]
+	if r.busy || r.queue.len() == 0 {
+		return
+	}
+	it := r.queue.pop()
+	dur := float64(s.nodes[it.id].flops) / s.params.FlopRate
+	r.busy = true
+	s.res.ComputeTime[rank] += dur
+	s.at(t+dur, evCPUDone, rank, it.id)
+}
+
+func (s *sim) trySend(rank int32, t float64) {
+	r := &s.send[rank]
+	if r.busy || r.queue.len() == 0 {
+		return
+	}
+	it := r.queue.pop()
+	n := &s.nodes[it.id]
+	var inject float64
+	if q := s.params.ShareQuantum; q > 0 {
+		rem := s.remSend[it.id]
+		if rem == 0 {
+			rem = n.bytes
+			inject += s.params.SendOverhead
+			s.res.MsgCount++
+			s.res.BytesMoved += n.bytes
+		}
+		chunk := rem
+		if chunk > q {
+			chunk = q
+		}
+		s.remSend[it.id] = rem - chunk
+		inject += float64(chunk) / s.params.PortBW
+	} else {
+		inject = s.params.SendOverhead + float64(n.bytes)/s.params.PortBW
+		s.res.MsgCount++
+		s.res.BytesMoved += n.bytes
+	}
+	r.busy = true
+	s.res.SendBusy[rank] += inject
+	s.at(t+inject, evSendDone, rank, it.id)
+}
+
+func (s *sim) tryNodeUp(nodeID int32, t float64) {
+	r := &s.nodeUp[nodeID]
+	if r.busy || r.queue.len() == 0 {
+		return
+	}
+	it := r.queue.pop()
+	occ := float64(s.nodes[it.id].bytes) / s.params.nodeLinkBW(int(nodeID))
+	r.busy = true
+	s.at(t+occ, evNodeUpDone, nodeID, it.id)
+}
+
+func (s *sim) tryNodeDown(nodeID int32, t float64) {
+	r := &s.nodeDown[nodeID]
+	if r.busy || r.queue.len() == 0 {
+		return
+	}
+	it := r.queue.pop()
+	occ := float64(s.nodes[it.id].bytes) / s.params.nodeLinkBW(int(nodeID))
+	r.busy = true
+	s.at(t+occ, evNodeDownDone, nodeID, it.id)
+}
+
+func (s *sim) tryRecv(rank int32, t float64) {
+	r := &s.recv[rank]
+	if r.busy || r.queue.len() == 0 {
+		return
+	}
+	it := r.queue.pop()
+	var eject float64
+	if q := s.params.ShareQuantum; q > 0 {
+		rem := s.remRecv[it.id]
+		if rem == 0 {
+			rem = s.nodes[it.id].bytes
+			eject += s.params.RecvOverhead
+		}
+		chunk := rem
+		if chunk > q {
+			chunk = q
+		}
+		s.remRecv[it.id] = rem - chunk
+		eject += float64(chunk) / s.params.PortBW
+	} else {
+		eject = s.params.RecvOverhead + float64(s.nodes[it.id].bytes)/s.params.PortBW
+	}
+	r.busy = true
+	s.res.RecvBusy[rank] += eject
+	s.at(t+eject, evRecvDone, rank, it.id)
+}
+
+func (s *sim) handle(ev event) {
+	t := ev.t
+	switch ev.kind {
+	case evCPUDone:
+		s.cpu[ev.res].busy = false
+		s.complete(ev.id, t)
+		s.tryCPU(ev.res, t)
+	case evSendDone:
+		s.send[ev.res].busy = false
+		if s.params.ShareQuantum > 0 && s.remSend[ev.id] > 0 {
+			// Round-robin: park the unfinished transfer at the queue tail.
+			s.send[ev.res].queue.push(prioItem{seq: s.nextSeq(), id: ev.id})
+			s.trySend(ev.res, t)
+			return
+		}
+		s.trySend(ev.res, t)
+		n := &s.nodes[ev.id]
+		src, dst := int(n.rank), int(n.dst)
+		if s.params.node(src) == s.params.node(dst) {
+			// Intra-node: a memory copy, no shared NIC involved.
+			arrive := t + s.params.IntraLatency + float64(n.bytes)/s.params.IntraBW
+			s.at(arrive, evEnqueueRecv, n.dst, ev.id)
+			return
+		}
+		up := int32(s.params.node(src))
+		s.nodeUp[up].queue.push(prioItem{seq: s.nextSeq(), id: ev.id})
+		s.tryNodeUp(up, t)
+	case evNodeUpDone:
+		s.nodeUp[ev.res].busy = false
+		s.tryNodeUp(ev.res, t)
+		n := &s.nodes[ev.id]
+		src, dst := int(n.rank), int(n.dst)
+		arrive := t + s.params.latency(src, dst) + float64(n.bytes)/s.params.linkBW(src, dst)
+		s.at(arrive, evEnqueueNodeDown, int32(s.params.node(dst)), ev.id)
+	case evEnqueueNodeDown:
+		s.nodeDown[ev.res].queue.push(prioItem{seq: s.nextSeq(), id: ev.id})
+		s.tryNodeDown(ev.res, t)
+	case evNodeDownDone:
+		s.nodeDown[ev.res].busy = false
+		s.tryNodeDown(ev.res, t)
+		s.at(t, evEnqueueRecv, s.nodes[ev.id].dst, ev.id)
+	case evEnqueueRecv:
+		s.recv[ev.res].queue.push(prioItem{seq: s.nextSeq(), id: ev.id})
+		s.tryRecv(ev.res, t)
+	case evRecvDone:
+		s.recv[ev.res].busy = false
+		if s.params.ShareQuantum > 0 && s.remRecv[ev.id] > 0 {
+			s.recv[ev.res].queue.push(prioItem{seq: s.nextSeq(), id: ev.id})
+			s.tryRecv(ev.res, t)
+			return
+		}
+		s.complete(ev.id, t)
+		s.tryRecv(ev.res, t)
+	}
+}

@@ -1,0 +1,254 @@
+package netsim
+
+import (
+	"testing"
+
+	"pselinv/internal/core"
+	"pselinv/internal/etree"
+	"pselinv/internal/ordering"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/sparse"
+)
+
+// densePattern builds an artificial fully dense block pattern with m+1
+// supernodes of width w: every collective then spans as many ranks as the
+// grid allows, which maximizes the flat-vs-binary contrast.
+func densePattern(m, w int) *etree.BlockPattern {
+	starts := make([]int, m+2)
+	for i := range starts {
+		starts[i] = i * w
+	}
+	part := etree.FromStarts(starts, (m+1)*w)
+	bp := &etree.BlockPattern{Part: part, RowsOf: make([][]int, m+1), SnParent: make([]int, m+1)}
+	for k := 0; k <= m; k++ {
+		rows := []int{}
+		for i := k; i <= m; i++ {
+			rows = append(rows, i)
+		}
+		bp.RowsOf[k] = rows
+		if k < m {
+			bp.SnParent[k] = k + 1
+		} else {
+			bp.SnParent[k] = -1
+		}
+	}
+	return bp
+}
+
+func realPattern(t testing.TB) *etree.BlockPattern {
+	t.Helper()
+	g := sparse.Grid2D(12, 12, 1)
+	perm := ordering.Compute(ordering.NestedDissection, g.A, g.Geom)
+	an := etree.Analyze(g.A.Permute(perm), perm, etree.Options{Relax: 2, MaxWidth: 8})
+	return an.BP
+}
+
+func TestSimulateCompletesAndPositive(t *testing.T) {
+	bp := realPattern(t)
+	for _, scheme := range core.Schemes() {
+		plan := core.NewPlan(bp, procgrid.New(4, 4), scheme, 1)
+		res := Simulate(plan, DefaultParams())
+		if res.Makespan <= 0 {
+			t.Fatalf("%v: non-positive makespan", scheme)
+		}
+		if res.MsgCount <= 0 || res.BytesMoved <= 0 {
+			t.Fatalf("%v: no traffic simulated", scheme)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	bp := realPattern(t)
+	plan := core.NewPlan(bp, procgrid.New(4, 4), core.ShiftedBinaryTree, 3)
+	p := DefaultParams()
+	a := Simulate(plan, p).Makespan
+	b := Simulate(plan, p).Makespan
+	if a != b {
+		t.Fatalf("non-deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestSimulateSeedJitterChangesTime(t *testing.T) {
+	bp := realPattern(t)
+	plan := core.NewPlan(bp, procgrid.New(6, 6), core.FlatTree, 1)
+	p := DefaultParams()
+	p.CoresPerNode = 4 // several nodes even at 36 ranks
+	seen := map[float64]bool{}
+	for seed := uint64(1); seed <= 5; seed++ {
+		p.Seed = seed
+		seen[Simulate(plan, p).Makespan] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("placement jitter had no effect: %v", seen)
+	}
+}
+
+func TestFlatRootSerializationHurts(t *testing.T) {
+	// Dense block pattern on a tall grid: every Col-Bcast spans up to 48
+	// ranks. The flat root injects p-1 messages serially; the binary tree
+	// pipelines in log p — the central claim of §III.
+	bp := densePattern(47, 8)
+	grid := procgrid.New(48, 1)
+	p := DefaultParams()
+	p.CoresPerNode = 8
+	flat := Simulate(core.NewPlan(bp, grid, core.FlatTree, 1), p).Makespan
+	shifted := Simulate(core.NewPlan(bp, grid, core.ShiftedBinaryTree, 1), p).Makespan
+	if shifted >= flat {
+		t.Fatalf("shifted (%g s) not faster than flat (%g s) on wide collectives", shifted, flat)
+	}
+}
+
+func TestShiftedBeatsPlainBinaryUnderConcurrency(t *testing.T) {
+	// With many concurrent broadcasts over the same group, the plain
+	// binary tree loads the same internal ranks every time (§III); the
+	// shifted variant spreads forwarding. Expect shifted <= binary with
+	// some tolerance.
+	bp := densePattern(63, 8)
+	grid := procgrid.New(32, 2)
+	p := DefaultParams()
+	p.CoresPerNode = 8
+	binary := Simulate(core.NewPlan(bp, grid, core.BinaryTree, 1), p).Makespan
+	shifted := Simulate(core.NewPlan(bp, grid, core.ShiftedBinaryTree, 1), p).Makespan
+	if shifted > binary*1.1 {
+		t.Fatalf("shifted (%g) materially slower than plain binary (%g)", shifted, binary)
+	}
+}
+
+func TestMoreRanksHelpWhenComputeBound(t *testing.T) {
+	bp := realPattern(t)
+	p := DefaultParams()
+	p.FlopRate = 2e7 // force compute-dominated execution
+	t4 := Simulate(core.NewPlan(bp, procgrid.New(2, 2), core.ShiftedBinaryTree, 1), p).Makespan
+	t16 := Simulate(core.NewPlan(bp, procgrid.New(4, 4), core.ShiftedBinaryTree, 1), p).Makespan
+	if t16 >= t4 {
+		t.Fatalf("no strong scaling when compute bound: P=4 %g, P=16 %g", t4, t16)
+	}
+}
+
+func TestComputeTimeIndependentOfNetwork(t *testing.T) {
+	// Total CPU-busy time is a property of the workload, not the network.
+	bp := realPattern(t)
+	p1 := DefaultParams()
+	p2 := DefaultParams()
+	p2.InterBW /= 10
+	p2.InterLatency *= 10
+	sum := func(res *Result) float64 {
+		s := 0.0
+		for _, c := range res.ComputeTime {
+			s += c
+		}
+		return s
+	}
+	plan := core.NewPlan(bp, procgrid.New(3, 3), core.BinaryTree, 1)
+	a := sum(Simulate(plan, p1))
+	b := sum(Simulate(plan, p2))
+	if a != b {
+		t.Fatalf("compute time changed with network params: %g vs %g", a, b)
+	}
+	if a <= 0 {
+		t.Fatal("no compute time recorded")
+	}
+}
+
+func TestSlowerNetworkSlowerRun(t *testing.T) {
+	bp := realPattern(t)
+	plan := core.NewPlan(bp, procgrid.New(4, 4), core.ShiftedBinaryTree, 1)
+	fast := DefaultParams()
+	slow := DefaultParams()
+	slow.InterBW /= 20
+	slow.PortBW /= 20
+	slow.InterLatency *= 20
+	if Simulate(plan, slow).Makespan <= Simulate(plan, fast).Makespan {
+		t.Fatal("slower network did not increase makespan")
+	}
+}
+
+func TestCommTimeBreakdown(t *testing.T) {
+	bp := realPattern(t)
+	plan := core.NewPlan(bp, procgrid.New(4, 4), core.FlatTree, 1)
+	res := Simulate(plan, DefaultParams())
+	if res.MeanCompute() <= 0 {
+		t.Fatal("mean compute not positive")
+	}
+	if res.CommTime() < 0 || res.MeanCompute()+res.CommTime() > res.Makespan*1.0001 {
+		t.Fatalf("breakdown inconsistent: comp %g comm %g makespan %g",
+			res.MeanCompute(), res.CommTime(), res.Makespan)
+	}
+}
+
+func TestSingleRankNoTraffic(t *testing.T) {
+	bp := realPattern(t)
+	plan := core.NewPlan(bp, procgrid.New(1, 1), core.ShiftedBinaryTree, 1)
+	res := Simulate(plan, DefaultParams())
+	if res.MsgCount != 0 {
+		t.Fatalf("single rank sent %d messages", res.MsgCount)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no work simulated")
+	}
+}
+
+func TestFactorizationReference(t *testing.T) {
+	p := DefaultParams()
+	t1 := FactorizationReference(1e12, 500, 64, p)
+	t2 := FactorizationReference(1e12, 500, 1024, p)
+	if t2 >= t1 {
+		t.Fatalf("factorization reference does not scale: P=64 %g, P=1024 %g", t1, t2)
+	}
+	if t1 <= 0 {
+		t.Fatal("non-positive reference time")
+	}
+}
+
+func TestRunSeeds(t *testing.T) {
+	calls := []uint64{}
+	times := RunSeeds(func(seed uint64) float64 {
+		calls = append(calls, seed)
+		return float64(seed) * 2
+	}, []uint64{3, 5, 9})
+	if len(times) != 3 || times[0] != 6 || times[2] != 18 {
+		t.Fatalf("RunSeeds wrong: %v (calls %v)", times, calls)
+	}
+}
+
+func BenchmarkSimulateGrid12P64(b *testing.B) {
+	bp := realPattern(b)
+	plan := core.NewPlan(bp, procgrid.New(8, 8), core.ShiftedBinaryTree, 1)
+	p := DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(plan, p)
+	}
+}
+
+func TestSimulateSingleSupernodeMatrix(t *testing.T) {
+	// Regression: a DAG whose barrier has no incoming edges (every
+	// supernode is a leaf) used to double-ready cascaded nodes during the
+	// initial scan, causing a dependency underflow.
+	part := etree.FromStarts([]int{0, 5}, 5)
+	bp := &etree.BlockPattern{Part: part, RowsOf: [][]int{{0}}, SnParent: []int{-1}}
+	for _, grid := range []*procgrid.Grid{procgrid.New(1, 1), procgrid.New(4, 4)} {
+		plan := core.NewPlan(bp, grid, core.ShiftedBinaryTree, 1)
+		res := Simulate(plan, DefaultParams())
+		if res.Makespan <= 0 {
+			t.Fatalf("grid %v: degenerate makespan", grid)
+		}
+	}
+}
+
+func TestSimulateAllLeavesMatrix(t *testing.T) {
+	// Several independent leaf supernodes (block-diagonal matrix).
+	starts := []int{0, 3, 6, 9, 12}
+	part := etree.FromStarts(starts, 12)
+	bp := &etree.BlockPattern{Part: part,
+		RowsOf: [][]int{{0}, {1}, {2}, {3}}, SnParent: []int{-1, -1, -1, -1}}
+	plan := core.NewPlan(bp, procgrid.New(2, 3), core.FlatTree, 1)
+	res := Simulate(plan, DefaultParams())
+	if res.MsgCount != 0 {
+		t.Fatalf("leaf-only plan sent %d messages", res.MsgCount)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no compute simulated")
+	}
+}

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"testing"
+
+	"pselinv/internal/core"
+	"pselinv/internal/procgrid"
+)
+
+func TestShareQuantumPreservesTotalBytes(t *testing.T) {
+	bp := realPattern(t)
+	plan := core.NewPlan(bp, procgrid.New(4, 4), core.FlatTree, 1)
+	dag := BuildDAG(plan)
+	fifo := DefaultParams()
+	fair := DefaultParams()
+	fair.ShareQuantum = 2048
+	a := SimulateDAG(dag, fifo)
+	b := SimulateDAG(dag, fair)
+	if a.BytesMoved != b.BytesMoved || a.MsgCount != b.MsgCount {
+		t.Fatalf("quantum sharing changed traffic accounting: %d/%d vs %d/%d",
+			a.BytesMoved, a.MsgCount, b.BytesMoved, b.MsgCount)
+	}
+	if b.Makespan <= 0 {
+		t.Fatal("degenerate makespan under quantum sharing")
+	}
+}
+
+func TestShareQuantumDelaysBatchedDeliveries(t *testing.T) {
+	// On the dense pattern a flat root sends a long batch; under fair
+	// round-robin injection every delivery completes near the end of the
+	// batch, so the makespan cannot be smaller than under FIFO.
+	bp := densePattern(31, 8)
+	grid := procgrid.New(32, 1)
+	p := DefaultParams()
+	p.CoresPerNode = 8
+	plan := core.NewPlan(bp, grid, core.FlatTree, 1)
+	dag := BuildDAG(plan)
+	fifo := SimulateDAG(dag, p).Makespan
+	p.ShareQuantum = 1024
+	fair := SimulateDAG(dag, p).Makespan
+	if fair < fifo*0.99 {
+		t.Fatalf("fair sharing made the flat batch faster: %g vs %g", fair, fifo)
+	}
+}
+
+func TestShareQuantumDeterministic(t *testing.T) {
+	bp := realPattern(t)
+	plan := core.NewPlan(bp, procgrid.New(3, 3), core.ShiftedBinaryTree, 2)
+	dag := BuildDAG(plan)
+	p := DefaultParams()
+	p.ShareQuantum = 4096
+	if SimulateDAG(dag, p).Makespan != SimulateDAG(dag, p).Makespan {
+		t.Fatal("quantum simulation not deterministic")
+	}
+}
+
+func TestScaledRegimeShiftedBeatsFlatAtScale(t *testing.T) {
+	// The calibrated scaling regime (see internal/exp): on a pattern with
+	// wide collectives and a congested endpoint network, the shifted
+	// binary tree must beat the flat tree at scale — the paper's headline.
+	bp := densePattern(63, 16)
+	grid := procgrid.New(64, 2)
+	p := DefaultParams()
+	p.PortBW = 1e9
+	p.NodeBW = 1e9
+	p.CoresPerNode = 8
+	flat := Simulate(core.NewPlan(bp, grid, core.FlatTree, 1), p).Makespan
+	shifted := Simulate(core.NewPlan(bp, grid, core.ShiftedBinaryTree, 1), p).Makespan
+	if shifted >= flat {
+		t.Fatalf("shifted (%g) not faster than flat (%g) in the calibrated regime", shifted, flat)
+	}
+}

@@ -1,0 +1,29 @@
+package netsim
+
+import "math"
+
+// RunSeeds simulates the same plan under several placement seeds and
+// returns the makespans — the paper's 6-runs-per-point methodology for
+// Figure 8's error bars (run-to-run variation stems from placement and
+// network inhomogeneity, which the seed controls).
+func RunSeeds(simulate func(seed uint64) float64, seeds []uint64) []float64 {
+	out := make([]float64, len(seeds))
+	for i, s := range seeds {
+		out[i] = simulate(s)
+	}
+	return out
+}
+
+// FactorizationReference models the SuperLU_DIST factorization wall time
+// used as the reference line in Figure 8: perfectly parallel flops at 70%
+// efficiency plus a per-supernode panel-broadcast latency term that grows
+// with log P. It is a model, not a simulation — the paper likewise treats
+// factorization as an external preprocessing step.
+func FactorizationReference(factorFlops int64, numSupernodes, p int, params Params) float64 {
+	if p <= 0 {
+		panic("netsim: non-positive processor count")
+	}
+	compute := float64(factorFlops) / (0.7 * params.FlopRate * float64(p))
+	comm := float64(numSupernodes) * math.Log2(float64(p)+1) * 6 * params.InterLatency
+	return compute + comm
+}

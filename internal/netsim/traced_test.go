@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"testing"
+
+	"pselinv/internal/core"
+	"pselinv/internal/procgrid"
+)
+
+func TestTracedMatchesUntraced(t *testing.T) {
+	bp := realPattern(t)
+	plan := core.NewPlan(bp, procgrid.New(4, 4), core.ShiftedBinaryTree, 1)
+	dag := BuildDAG(plan)
+	p := DefaultParams()
+	plain := SimulateDAG(dag, p)
+	traced, path := SimulateDAGTraced(dag, p)
+	if plain.Makespan != traced.Makespan {
+		t.Fatalf("tracing changed the makespan: %g vs %g", plain.Makespan, traced.Makespan)
+	}
+	if len(path) == 0 {
+		t.Fatal("empty critical path")
+	}
+	// The path must be chronological and end at the makespan.
+	last := path[len(path)-1]
+	if last.DoneAt != traced.Makespan {
+		t.Fatalf("critical path ends at %g, makespan %g", last.DoneAt, traced.Makespan)
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].DoneAt < path[i-1].DoneAt {
+			t.Fatalf("critical path not chronological at step %d", i)
+		}
+	}
+}
+
+func TestTracedPathHasRealSteps(t *testing.T) {
+	bp := realPattern(t)
+	plan := core.NewPlan(bp, procgrid.New(3, 3), core.FlatTree, 1)
+	_, path := SimulateDAGTraced(BuildDAG(plan), DefaultParams())
+	var msgs, comps int
+	for _, st := range path {
+		switch st.Kind {
+		case "msg":
+			msgs++
+		case "compute":
+			comps++
+		}
+	}
+	if comps == 0 {
+		t.Fatal("critical path contains no compute steps")
+	}
+	if msgs == 0 {
+		t.Fatal("critical path contains no messages on a 3x3 grid")
+	}
+}

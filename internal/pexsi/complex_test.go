@@ -1,0 +1,143 @@
+package pexsi
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"pselinv/internal/sparse"
+	"pselinv/internal/zdense"
+)
+
+func TestMatsubaraPoles(t *testing.T) {
+	beta, mu := 4.0, 0.5
+	poles := MatsubaraPoles(6, beta, mu)
+	for l, p := range poles {
+		if real(p.Z) != mu {
+			t.Fatalf("pole %d: Re(z) = %g, want %g", l, real(p.Z), mu)
+		}
+		want := float64(2*l+1) * math.Pi / beta
+		if math.Abs(imag(p.Z)-want) > 1e-12 {
+			t.Fatalf("pole %d: Im(z) = %g, want %g", l, imag(p.Z), want)
+		}
+		if real(p.Weight) != -2/beta || imag(p.Weight) != 0 {
+			t.Fatalf("pole %d: weight %v", l, p.Weight)
+		}
+	}
+}
+
+func TestMatsubaraPolesPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MatsubaraPoles(0, 1, 0) },
+		func() { MatsubaraPoles(3, -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// denseTruncatedFermi computes the same truncated expansion densely.
+func denseTruncatedFermi(t *testing.T, a *sparse.CSC, poles []ComplexPole) []float64 {
+	t.Helper()
+	n := a.N
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.5
+	}
+	for _, p := range poles {
+		d := zdense.NewMatrix(n, n)
+		for j := 0; j < n; j++ {
+			for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+				d.Set(a.RowIdx[k], j, complex(a.Val[k], 0))
+			}
+		}
+		for i := 0; i < n; i++ {
+			d.Add(i, i, -p.Z)
+		}
+		inv, err := zdense.Inverse(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			out[i] += real(p.Weight * inv.At(i, i))
+		}
+	}
+	return out
+}
+
+func TestRunComplexMatchesDense(t *testing.T) {
+	h := sparse.Grid2D(5, 5, 3)
+	poles := MatsubaraPoles(5, 2.0, 10.0)
+	res, err := RunComplex(h, ComplexConfig{Poles: poles, Relax: 2, MaxWidth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := denseTruncatedFermi(t, h.A, poles)
+	for i := range want {
+		if math.Abs(res.Density[i]-want[i]) > 1e-8 {
+			t.Fatalf("density[%d] = %g, want %g", i, res.Density[i], want[i])
+		}
+	}
+	if len(res.LogDets) != 5 {
+		t.Fatalf("logdets: %d", len(res.LogDets))
+	}
+	for l, ld := range res.LogDets {
+		if cmplx.IsNaN(ld) {
+			t.Fatalf("pole %d: NaN logdet", l)
+		}
+	}
+}
+
+func TestRunComplexParallelDeterministic(t *testing.T) {
+	h := sparse.Banded(18, 2, 5)
+	poles := MatsubaraPoles(4, 3.0, 2.0)
+	seq, err := RunComplex(h, ComplexConfig{Poles: poles, MaxWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunComplex(h, ComplexConfig{Poles: poles, MaxWidth: 4, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Density {
+		if seq.Density[i] != par.Density[i] {
+			t.Fatal("parallel pole evaluation changed the density")
+		}
+	}
+}
+
+func TestRunComplexConvergesTowardFermi(t *testing.T) {
+	// With μ far above the spectrum, f(H) → I (all states occupied), so
+	// the truncated density diag should approach 1 as poles are added.
+	h := sparse.Banded(10, 1, 2)
+	// Spectrum of the generated matrix is positive and bounded; place μ
+	// well above it.
+	mu := 100.0
+	errAt := func(count int) float64 {
+		res, err := RunComplex(h, ComplexConfig{Poles: MatsubaraPoles(count, 0.5, mu), MaxWidth: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for _, v := range res.Density {
+			worst = math.Max(worst, math.Abs(v-1))
+		}
+		return worst
+	}
+	few, many := errAt(4), errAt(64)
+	if many >= few {
+		t.Fatalf("adding poles did not converge: %g -> %g", few, many)
+	}
+}
+
+func TestRunComplexNoPoles(t *testing.T) {
+	if _, err := RunComplex(sparse.Banded(5, 1, 1), ComplexConfig{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

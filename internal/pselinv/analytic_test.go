@@ -1,0 +1,110 @@
+package pselinv
+
+import (
+	"testing"
+
+	"pselinv/internal/core"
+	"pselinv/internal/etree"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/simmpi"
+	"pselinv/internal/sparse"
+)
+
+// TestAnalyticPerRankVolumesMatchEngine validates the analytic volume
+// model rank-by-rank against the executed engine, for both the symmetric
+// and general paths: the plan IS the traffic.
+func TestAnalyticPerRankVolumesMatchEngine(t *testing.T) {
+	g := sparse.Grid2D(8, 8, 4)
+	an, lu, _ := prep(t, g, etree.Options{Relax: 2, MaxWidth: 8})
+	grid := procgrid.New(4, 4)
+	for _, symmetric := range []bool{true, false} {
+		plan := core.NewPlanFull(an.BP, grid, core.ShiftedBinaryTree, 13,
+			core.DefaultHybridThreshold, symmetric)
+		res, err := NewEngine(plan, lu).Run(testTimeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for kind, class := range classOf {
+			wantSent := plan.PerRankSent(kind)
+			wantRecv := plan.PerRankRecv(kind)
+			if kind == core.OpDiagBcast {
+				// The engine accounts the pass-1 row broadcast (general
+				// path) under the same class as the column broadcast.
+				rowSent := plan.PerRankSent(core.OpDiagBcastRow)
+				rowRecv := plan.PerRankRecv(core.OpDiagBcastRow)
+				for r := range wantSent {
+					wantSent[r] += rowSent[r]
+					wantRecv[r] += rowRecv[r]
+				}
+			}
+			if kind == core.OpCrossSend {
+				// Likewise Û cross-sends share ClassCrossSend.
+				uSent := plan.PerRankSent(core.OpCrossSendU)
+				uRecv := plan.PerRankRecv(core.OpCrossSendU)
+				for r := range wantSent {
+					wantSent[r] += uSent[r]
+					wantRecv[r] += uRecv[r]
+				}
+			}
+			for r := 0; r < res.World.P; r++ {
+				if got := res.World.SentBytes(r, class); got != wantSent[r] {
+					t.Fatalf("sym=%v kind %v rank %d: sent %d, analytic %d",
+						symmetric, kind, r, got, wantSent[r])
+				}
+				if got := res.World.RecvBytes(r, class); got != wantRecv[r] {
+					t.Fatalf("sym=%v kind %v rank %d: recv %d, analytic %d",
+						symmetric, kind, r, got, wantRecv[r])
+				}
+			}
+		}
+		// Asymmetric-only classes on the general path.
+		if !symmetric {
+			for kind, class := range map[core.OpKind]simmpi.Class{
+				core.OpRowBcast:  simmpi.ClassRowBcast,
+				core.OpColReduce: simmpi.ClassColReduce,
+			} {
+				want := plan.PerRankSent(kind)
+				for r := 0; r < res.World.P; r++ {
+					if got := res.World.SentBytes(r, class); got != want[r] {
+						t.Fatalf("kind %v rank %d: sent %d, analytic %d", kind, r, got, want[r])
+					}
+				}
+			}
+		}
+		// Total sent: engine's all-class counter vs analytic sum.
+		total := plan.PerRankTotalSent()
+		for r := 0; r < res.World.P; r++ {
+			if got := res.World.TotalSent(r); got != total[r] {
+				t.Fatalf("sym=%v rank %d: total sent %d, analytic %d", symmetric, r, got, total[r])
+			}
+		}
+	}
+}
+
+func TestAnalyticVolumesLargeGridRuns(t *testing.T) {
+	// The analytic model must handle the paper's literal 46×46 grid
+	// cheaply (no engine, no numerics).
+	g := sparse.Grid2D(12, 12, 1)
+	perm := orderingIdentity(g.A.N)
+	an := etree.Analyze(g.A, perm, etree.Options{Relax: 2, MaxWidth: 8})
+	plan := core.NewPlan(an.BP, procgrid.New(46, 46), core.ShiftedBinaryTree, 1)
+	sent := plan.PerRankSent(core.OpColBcast)
+	if len(sent) != 46*46 {
+		t.Fatalf("vector length %d", len(sent))
+	}
+	var total int64
+	for _, v := range sent {
+		total += v
+	}
+	if total != plan.ExpectedBytes(core.OpColBcast) {
+		t.Fatalf("per-rank sum %d != expected total %d", total, plan.ExpectedBytes(core.OpColBcast))
+	}
+}
+
+func orderingIdentity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

@@ -1,0 +1,202 @@
+package pselinv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pselinv/internal/core"
+	"pselinv/internal/dense"
+	"pselinv/internal/etree"
+	"pselinv/internal/factor"
+	"pselinv/internal/ordering"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/selinv"
+	"pselinv/internal/simmpi"
+	"pselinv/internal/sparse"
+)
+
+// prepAsym builds the pipeline for an asymmetric-valued matrix.
+func prepAsym(t testing.TB, g *sparse.Generated, opt etree.Options) (*etree.Analysis, *factor.LU, *selinv.Result) {
+	t.Helper()
+	perm := ordering.Compute(ordering.NestedDissection, g.A, g.Geom)
+	an := etree.Analyze(g.A.Permute(perm), perm, opt)
+	lu, err := factor.Factorize(an.A, an.BP)
+	if err != nil {
+		t.Fatalf("%s: %v", g.Name, err)
+	}
+	return an, lu, selinv.SelInv(lu)
+}
+
+func runAsymAndCompare(t testing.TB, an *etree.Analysis, lu *factor.LU, ref *selinv.Result,
+	grid *procgrid.Grid, scheme core.Scheme, seed uint64) *RunResult {
+	t.Helper()
+	plan := core.NewPlanAsym(an.BP, grid, scheme, seed)
+	res, err := NewEngine(plan, lu).Run(testTimeout)
+	if err != nil {
+		t.Fatalf("asym grid %v scheme %v: %v", grid, scheme, err)
+	}
+	refKeys := ref.Ainv.Keys()
+	gotKeys := res.Ainv.Keys()
+	if len(refKeys) != len(gotKeys) {
+		t.Fatalf("asym grid %v scheme %v: %d blocks, want %d", grid, scheme, len(gotKeys), len(refKeys))
+	}
+	for _, key := range refKeys {
+		want := ref.Ainv.MustGet(key.I, key.J)
+		got, ok := res.Ainv.Get(key.I, key.J)
+		if !ok {
+			t.Fatalf("asym grid %v scheme %v: block (%d,%d) missing", grid, scheme, key.I, key.J)
+		}
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("asym grid %v scheme %v: block (%d,%d) differs by %g", grid, scheme, key.I, key.J, d)
+		}
+	}
+	return res
+}
+
+func TestAsymmetricMatchesSequentialAcrossGrids(t *testing.T) {
+	g := sparse.Asymmetrize(sparse.Grid2D(7, 7, 3), 11, 0.6)
+	an, lu, ref := prepAsym(t, g, etree.Options{Relax: 2, MaxWidth: 8})
+	for _, dims := range [][2]int{{1, 1}, {2, 2}, {3, 4}, {4, 3}, {5, 5}} {
+		runAsymAndCompare(t, an, lu, ref, procgrid.New(dims[0], dims[1]), core.ShiftedBinaryTree, 1)
+	}
+}
+
+func TestAsymmetricAllSchemes(t *testing.T) {
+	g := sparse.RandomAsym(45, 4, 9)
+	an, lu, ref := prepAsym(t, g, etree.Options{MaxWidth: 6})
+	grid := procgrid.New(3, 3)
+	for _, scheme := range []core.Scheme{
+		core.FlatTree, core.BinaryTree, core.ShiftedBinaryTree, core.RandomPermTree, core.Hybrid,
+	} {
+		runAsymAndCompare(t, an, lu, ref, grid, scheme, 5)
+	}
+}
+
+func TestAsymmetricSequentialMatchesDense(t *testing.T) {
+	// Ground truth: the sequential Algorithm 1 itself must be exact on
+	// asymmetric values (it never assumed symmetry).
+	g := sparse.RandomAsym(30, 3, 21)
+	an, _, ref := prepAsym(t, g, etree.Options{MaxWidth: 5})
+	want, err := dense.Inverse(an.A.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := an.BP.Part
+	for _, key := range ref.Ainv.Keys() {
+		b := ref.Ainv.MustGet(key.I, key.J)
+		r0, c0 := part.Start[key.I], part.Start[key.J]
+		for c := 0; c < b.Cols; c++ {
+			for r := 0; r < b.Rows; r++ {
+				if d := b.At(r, c) - want.At(r0+r, c0+c); d > 1e-8 || d < -1e-8 {
+					t.Fatalf("sequential asym selinv wrong at block (%d,%d)", key.I, key.J)
+				}
+			}
+		}
+	}
+}
+
+func TestAsymmetricUpperNotMirror(t *testing.T) {
+	// Sanity: for an asymmetric matrix, A⁻¹ is NOT symmetric — the upper
+	// blocks must differ from the transposed lower ones, proving the
+	// engine computes them independently rather than mirroring.
+	g := sparse.RandomAsym(40, 4, 31)
+	an, lu, ref := prepAsym(t, g, etree.Options{MaxWidth: 6})
+	res := runAsymAndCompare(t, an, lu, ref, procgrid.New(2, 3), core.BinaryTree, 2)
+	asymFound := false
+	for _, key := range res.Ainv.Keys() {
+		if key.I <= key.J {
+			continue
+		}
+		lower := res.Ainv.MustGet(key.I, key.J)
+		if upper, ok := res.Ainv.Get(key.J, key.I); ok {
+			if upper.MaxAbsDiff(lower.Transpose()) > 1e-6 {
+				asymFound = true
+				break
+			}
+		}
+	}
+	if !asymFound {
+		t.Fatal("inverse looks symmetric; asymmetric path not exercised")
+	}
+}
+
+func TestAsymmetricVolumesMatchPlan(t *testing.T) {
+	g := sparse.Asymmetrize(sparse.Grid2D(8, 7, 5), 3, 0.5)
+	an, lu, _ := prepAsym(t, g, etree.Options{Relax: 1, MaxWidth: 6})
+	grid := procgrid.New(4, 3)
+	plan := core.NewPlanAsym(an.BP, grid, core.ShiftedBinaryTree, 7)
+	res, err := NewEngine(plan, lu).Run(testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-validate measured volumes against the analytic plan for the
+	// asymmetric-only classes too.
+	checks := map[core.OpKind]simmpi.Class{
+		core.OpColBcast:  simmpi.ClassColBcast,
+		core.OpRowBcast:  simmpi.ClassRowBcast,
+		core.OpRowReduce: simmpi.ClassRowReduce,
+		core.OpColReduce: simmpi.ClassColReduce,
+	}
+	for kind, class := range checks {
+		want := plan.ExpectedBytes(kind)
+		var got int64
+		for r := 0; r < res.World.P; r++ {
+			got += res.World.SentBytes(r, class)
+		}
+		if got != want {
+			t.Errorf("class %v: sent %d bytes, plan predicts %d", class, got, want)
+		}
+		if want == 0 {
+			t.Errorf("class %v: plan predicts no traffic at all", class)
+		}
+	}
+	// Symmetric-only traffic must be absent.
+	for r := 0; r < res.World.P; r++ {
+		if res.World.SentBytes(r, simmpi.ClassSymmSend) != 0 {
+			t.Fatal("asymmetric run produced SymmSend traffic")
+		}
+	}
+}
+
+func TestAsymmetricPlanOnSymmetricValuesStillCorrect(t *testing.T) {
+	// The general path must also be valid for symmetric values (it just
+	// communicates more).
+	g := sparse.Grid2D(6, 6, 8)
+	an, lu, ref := prepAsym(t, g, etree.Options{MaxWidth: 5})
+	runAsymAndCompare(t, an, lu, ref, procgrid.New(3, 3), core.ShiftedBinaryTree, 3)
+}
+
+// Property: asymmetric parallel == sequential over random matrices, grids,
+// schemes.
+func TestQuickAsymmetricParallel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := sparse.RandomAsym(15+rng.Intn(25), 2+rng.Intn(3), seed)
+		perm := ordering.Compute(ordering.MinimumDegree, g.A, nil)
+		an := etree.Analyze(g.A.Permute(perm), perm,
+			etree.Options{Relax: rng.Intn(2), MaxWidth: 1 + rng.Intn(6)})
+		lu, err := factor.Factorize(an.A, an.BP)
+		if err != nil {
+			return false
+		}
+		ref := selinv.SelInv(lu)
+		grid := procgrid.New(1+rng.Intn(4), 1+rng.Intn(4))
+		scheme := []core.Scheme{core.FlatTree, core.BinaryTree, core.ShiftedBinaryTree}[rng.Intn(3)]
+		plan := core.NewPlanAsym(an.BP, grid, scheme, rng.Uint64())
+		res, err := NewEngine(plan, lu).Run(testTimeout)
+		if err != nil {
+			return false
+		}
+		for _, key := range ref.Ainv.Keys() {
+			got, ok := res.Ainv.Get(key.I, key.J)
+			if !ok || got.MaxAbsDiff(ref.Ainv.MustGet(key.I, key.J)) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

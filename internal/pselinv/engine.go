@@ -1,0 +1,722 @@
+// Package pselinv is the distributed-memory parallel selected inversion
+// engine: the paper's PSelInv algorithm running over the simulated
+// message-passing world of internal/simmpi, with restricted collectives
+// organized by the tree schemes of internal/core.
+//
+// The engine is fully asynchronous within each pass, exactly as §II-B
+// describes: there are no barriers between supernodes; synchronization is
+// imposed only through data dependencies. Each rank runs an event loop
+// that receives messages in whatever order they arrive, forwards broadcast
+// data to its tree children, accumulates reduction contributions, executes
+// local GEMMs the moment their operands (a broadcast L̂ block and a
+// finalized A⁻¹ block) are available, and finalizes blocks it owns.
+// Supernodes on disjoint critical paths of the elimination tree therefore
+// proceed concurrently and pipeline.
+package pselinv
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pselinv/internal/blockmat"
+	"pselinv/internal/core"
+	"pselinv/internal/dense"
+	"pselinv/internal/factor"
+	"pselinv/internal/simmpi"
+	"pselinv/internal/trace"
+)
+
+// blockKey identifies a block (I, J) in per-rank maps.
+type blockKey struct{ I, J int }
+
+// gemmDesc is one local matrix product A⁻¹_{J,I}·L̂_{I,K} assigned to a rank.
+type gemmDesc struct{ K, I, J int }
+
+// rankProgram is the immutable per-rank role description derived centrally
+// from the communication plan (so that setup cost is proportional to the
+// plan size, not plan size × ranks).
+type rankProgram struct {
+	expect1 int // messages this rank receives in pass 1
+	expect2 int // messages this rank receives in pass 2
+
+	diagRoots []int         // supernodes whose diagonal block this rank owns (C non-empty)
+	trsmByK   map[int][]int // K -> block rows I of owned L blocks to normalize
+	crossSrcs []blockKey    // (I, K): owned L̂ blocks to cross-send at pass-2 start
+	leafDiags []int         // supernodes with empty C whose diagonal this rank owns
+
+	tasks   []gemmDesc
+	byKI    map[blockKey][]int // (K, I) -> task indices waiting on that broadcast
+	byBlock map[blockKey][]int // (J, I) -> task indices waiting on that A⁻¹ block
+
+	rowLocal  map[blockKey]int // (K, J) -> local GEMM contributions to Row-Reduce
+	diagLocal map[int]int      // K -> local contributions to Diag-Reduce
+
+	// Asymmetric (general) path only:
+	trsmUByK   map[int][]int      // K -> block cols I of owned U blocks to normalize
+	crossUSrcs []blockKey         // (K, I): owned Û blocks to cross-send at pass-2 start
+	tasksU     []gemmDesc         // Û_{K,I}·A⁻¹_{I,J} products owned by this rank
+	byKIU      map[blockKey][]int // (K, I) -> U-task indices waiting on that row broadcast
+	byBlockU   map[blockKey][]int // (I, J) -> U-task indices waiting on that A⁻¹ block
+	colLocal   map[blockKey]int   // (K, J) -> local U-GEMM contributions to Col-Reduce
+}
+
+// Engine executes parallel selected inversion for one (plan, factorization)
+// pair. It is safe to Run multiple times; each run gets fresh state.
+type Engine struct {
+	Plan     *core.Plan
+	LU       *factor.LU
+	programs []*rankProgram
+	// Trace, when non-nil, records a per-rank execution timeline of the
+	// run (see internal/trace); set it before calling Run.
+	Trace *trace.Recorder
+}
+
+// NewEngine derives the per-rank programs from the plan.
+func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
+	p := plan.Grid.Size()
+	progs := make([]*rankProgram, p)
+	for r := range progs {
+		progs[r] = &rankProgram{
+			trsmByK:   map[int][]int{},
+			byKI:      map[blockKey][]int{},
+			byBlock:   map[blockKey][]int{},
+			rowLocal:  map[blockKey]int{},
+			diagLocal: map[int]int{},
+			trsmUByK:  map[int][]int{},
+			byKIU:     map[blockKey][]int{},
+			byBlockU:  map[blockKey][]int{},
+			colLocal:  map[blockKey]int{},
+		}
+	}
+	grid := plan.Grid
+	for _, sp := range plan.Snodes {
+		k := sp.K
+		diagOwner := grid.OwnerOfBlock(k, k)
+		if len(sp.C) == 0 {
+			progs[diagOwner].leafDiags = append(progs[diagOwner].leafDiags, k)
+			continue
+		}
+		progs[diagOwner].diagRoots = append(progs[diagOwner].diagRoots, k)
+		// Pass 1: diagonal broadcast receives and local TRSMs.
+		for _, part := range sp.DiagBcast.Tree.Participants() {
+			if part != sp.DiagBcast.Tree.Root {
+				progs[part].expect1++
+			}
+		}
+		for _, i := range sp.C {
+			o := grid.OwnerOfBlock(i, k)
+			progs[o].trsmByK[k] = append(progs[o].trsmByK[k], i)
+		}
+		// Pass 2 point ops.
+		for x := range sp.Cross {
+			po := &sp.Cross[x]
+			progs[po.Src].crossSrcs = append(progs[po.Src].crossSrcs, blockKey{po.Blk, k})
+			progs[po.Dst].expect2++
+		}
+		for x := range sp.SymmSends {
+			progs[sp.SymmSends[x].Dst].expect2++
+		}
+		// Broadcast trees: every non-root participant receives one message.
+		for x := range sp.ColBcasts {
+			tr := sp.ColBcasts[x].Tree
+			for _, part := range tr.Participants() {
+				if part != tr.Root {
+					progs[part].expect2++
+				}
+			}
+		}
+		// Reduce trees: every node receives one message per child.
+		for x := range sp.RowReduces {
+			tr := sp.RowReduces[x].Tree
+			for _, part := range tr.Participants() {
+				progs[part].expect2 += len(tr.Children(part))
+			}
+		}
+		tr := sp.DiagReduce.Tree
+		for _, part := range tr.Participants() {
+			progs[part].expect2 += len(tr.Children(part))
+		}
+		// GEMM tasks and local reduce contribution counts.
+		for _, i := range sp.C {
+			for _, j := range sp.C {
+				owner := grid.OwnerOfBlock(j, i)
+				pr := progs[owner]
+				ti := len(pr.tasks)
+				pr.tasks = append(pr.tasks, gemmDesc{K: k, I: i, J: j})
+				pr.byKI[blockKey{k, i}] = append(pr.byKI[blockKey{k, i}], ti)
+				pr.byBlock[blockKey{j, i}] = append(pr.byBlock[blockKey{j, i}], ti)
+				pr.rowLocal[blockKey{k, j}]++
+			}
+		}
+		for _, j := range sp.C {
+			pr := progs[grid.OwnerOfBlock(j, k)]
+			pr.diagLocal[k]++
+		}
+		if !plan.Symmetric {
+			// Pass 1: row broadcast of the diagonal factor and Û TRSMs.
+			for _, part := range sp.DiagBcastRow.Tree.Participants() {
+				if part != sp.DiagBcastRow.Tree.Root {
+					progs[part].expect1++
+				}
+			}
+			for _, i := range sp.C {
+				o := grid.OwnerOfBlock(k, i)
+				progs[o].trsmUByK[k] = append(progs[o].trsmUByK[k], i)
+			}
+			// Pass 2: Û cross sends, row broadcasts, column reduces.
+			for x := range sp.CrossU {
+				po := &sp.CrossU[x]
+				progs[po.Src].crossUSrcs = append(progs[po.Src].crossUSrcs, blockKey{k, po.Blk})
+				progs[po.Dst].expect2++
+			}
+			for x := range sp.RowBcasts {
+				tr := sp.RowBcasts[x].Tree
+				for _, part := range tr.Participants() {
+					if part != tr.Root {
+						progs[part].expect2++
+					}
+				}
+			}
+			for x := range sp.ColReduces {
+				tr := sp.ColReduces[x].Tree
+				for _, part := range tr.Participants() {
+					progs[part].expect2 += len(tr.Children(part))
+				}
+			}
+			for _, i := range sp.C {
+				for _, j := range sp.C {
+					owner := grid.OwnerOfBlock(i, j)
+					pr := progs[owner]
+					ti := len(pr.tasksU)
+					pr.tasksU = append(pr.tasksU, gemmDesc{K: k, I: i, J: j})
+					pr.byKIU[blockKey{k, i}] = append(pr.byKIU[blockKey{k, i}], ti)
+					pr.byBlockU[blockKey{i, j}] = append(pr.byBlockU[blockKey{i, j}], ti)
+					pr.colLocal[blockKey{k, j}]++
+				}
+			}
+		}
+	}
+	return &Engine{Plan: plan, LU: lu, programs: progs}
+}
+
+// RunResult carries the outcome of a distributed run.
+type RunResult struct {
+	// Ainv is the selected inverse gathered from all ranks.
+	Ainv *blockmat.BlockMatrix
+	// World retains the per-rank, per-class communication volume counters.
+	World *simmpi.World
+	// Elapsed is the wall-clock duration of the parallel section.
+	Elapsed time.Duration
+}
+
+// Run executes the two passes on a fresh world and gathers the result.
+func (e *Engine) Run(timeout time.Duration) (*RunResult, error) {
+	world := simmpi.NewWorld(e.Plan.Grid.Size())
+	states := make([]*rankState, world.P)
+	start := time.Now()
+	err := world.Run(timeout, func(r *simmpi.Rank) {
+		st := newRankState(e, r)
+		states[r.ID] = st
+		st.runPass1()
+		r.Barrier()
+		st.runPass2()
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		world.Close()
+		return nil, err
+	}
+	if cerr := world.CheckConservation(); cerr != nil {
+		return nil, cerr
+	}
+	gathered := blockmat.New(e.Plan.BP.Part)
+	for _, st := range states {
+		for key, m := range st.ainv {
+			gathered.Set(key.I, key.J, m)
+		}
+	}
+	return &RunResult{Ainv: gathered, World: world, Elapsed: elapsed}, nil
+}
+
+// redState tracks one in-flight reduction at one rank.
+type redState struct {
+	sum          *dense.Matrix
+	localPending int
+	childPending int
+	done         bool
+}
+
+// rankState is the mutable per-rank runtime state.
+type rankState struct {
+	e    *Engine
+	r    *simmpi.Rank
+	prog *rankProgram
+
+	lhat     map[blockKey]*dense.Matrix // owned L̂ blocks (pass 1 output)
+	diagFact map[int]*dense.Matrix      // packed diagonal factors (owned or received)
+	ainv     map[blockKey]*dense.Matrix // finalized owned A⁻¹ blocks
+	bcastL   map[blockKey]*dense.Matrix // (K, I) -> L̂_{I,K} received via Col-Bcast
+	taskDone []bool
+	rowRed   map[blockKey]*redState // (K, J)
+	diagRed  map[int]*redState
+
+	// Asymmetric path state:
+	uhat      map[blockKey]*dense.Matrix // owned Û blocks, keyed (K, I)
+	bcastU    map[blockKey]*dense.Matrix // (K, I) -> Û_{K,I} received via Row-Bcast
+	taskUDone []bool
+	colRed    map[blockKey]*redState // (K, J)
+	diagTDone map[blockKey]bool      // (K, J) diagonal contributions already applied
+}
+
+func newRankState(e *Engine, r *simmpi.Rank) *rankState {
+	return &rankState{
+		e: e, r: r, prog: e.programs[r.ID],
+		lhat:      map[blockKey]*dense.Matrix{},
+		diagFact:  map[int]*dense.Matrix{},
+		ainv:      map[blockKey]*dense.Matrix{},
+		bcastL:    map[blockKey]*dense.Matrix{},
+		taskDone:  make([]bool, len(e.programs[r.ID].tasks)),
+		rowRed:    map[blockKey]*redState{},
+		diagRed:   map[int]*redState{},
+		uhat:      map[blockKey]*dense.Matrix{},
+		bcastU:    map[blockKey]*dense.Matrix{},
+		taskUDone: make([]bool, len(e.programs[r.ID].tasksU)),
+		colRed:    map[blockKey]*redState{},
+		diagTDone: map[blockKey]bool{},
+	}
+}
+
+func (st *rankState) width(k int) int { return st.e.Plan.BP.Part.Width(k) }
+
+func matFromData(rows, cols int, data []float64) *dense.Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("pselinv: payload %d does not match %dx%d block", len(data), rows, cols))
+	}
+	return &dense.Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// --- Pass 1: diagonal broadcast + TRSM normalization -----------------------
+
+func (st *rankState) runPass1() {
+	me := st.r.ID
+	for _, k := range st.prog.diagRoots {
+		dk := st.e.LU.Diag[k]
+		st.diagFact[k] = dk
+		sp := st.e.Plan.Snodes[k]
+		for _, c := range sp.DiagBcast.Tree.Children(me) {
+			st.r.Send(c, sp.DiagBcast.Key(), simmpi.ClassDiagBcast, dk.Data)
+		}
+		st.doTrsms(k)
+		if !st.e.Plan.Symmetric {
+			for _, c := range sp.DiagBcastRow.Tree.Children(me) {
+				st.r.Send(c, sp.DiagBcastRow.Key(), simmpi.ClassDiagBcast, dk.Data)
+			}
+			st.doTrsmsU(k)
+		}
+	}
+	for got := 0; got < st.prog.expect1; got++ {
+		msg, ok := st.r.Recv()
+		if !ok {
+			panic("pselinv: world closed during pass 1")
+		}
+		kind, k, _ := decodeKey(msg.Tag)
+		w := st.width(k)
+		dk := matFromData(w, w, msg.Data)
+		st.diagFact[k] = dk
+		sp := st.e.Plan.Snodes[k]
+		switch kind {
+		case core.OpDiagBcast:
+			for _, c := range sp.DiagBcast.Tree.Children(me) {
+				st.r.Send(c, sp.DiagBcast.Key(), simmpi.ClassDiagBcast, dk.Data)
+			}
+			st.doTrsms(k)
+		case core.OpDiagBcastRow:
+			for _, c := range sp.DiagBcastRow.Tree.Children(me) {
+				st.r.Send(c, sp.DiagBcastRow.Key(), simmpi.ClassDiagBcast, dk.Data)
+			}
+			st.doTrsmsU(k)
+		default:
+			panic(fmt.Sprintf("pselinv: unexpected %v message in pass 1", kind))
+		}
+	}
+}
+
+// doTrsms normalizes every owned L block in column k:
+// L̂_{I,K} = L_{I,K} L_KK⁻¹ (right solve against the unit lower factor).
+func (st *rankState) doTrsms(k int) {
+	dk := st.diagFact[k]
+	for _, i := range st.prog.trsmByK[k] {
+		lb, ok := st.e.LU.LBlock(i, k)
+		if !ok {
+			panic(fmt.Sprintf("pselinv: plan references missing L block (%d,%d)", i, k))
+		}
+		end := st.e.Trace.Span(st.r.ID, "trsm", k)
+		x := lb.Clone()
+		dense.Trsm(dense.Right, dense.Lower, dense.NoTrans, dense.Unit, dk, x)
+		st.lhat[blockKey{i, k}] = x
+		end()
+	}
+}
+
+// doTrsmsU normalizes every owned U block in row k (asymmetric path):
+// Û_{K,I} = U_KK⁻¹ U_{K,I} (left solve against the upper factor).
+func (st *rankState) doTrsmsU(k int) {
+	dk := st.diagFact[k]
+	for _, i := range st.prog.trsmUByK[k] {
+		ub, ok := st.e.LU.UBlock(k, i)
+		if !ok {
+			panic(fmt.Sprintf("pselinv: plan references missing U block (%d,%d)", k, i))
+		}
+		end := st.e.Trace.Span(st.r.ID, "trsm-u", k)
+		x := ub.Clone()
+		dense.Trsm(dense.Left, dense.Upper, dense.NoTrans, dense.NonUnit, dk, x)
+		st.uhat[blockKey{k, i}] = x
+		end()
+	}
+}
+
+// --- Pass 2: asynchronous selected inversion -------------------------------
+
+func (st *rankState) runPass2() {
+	// Initial local actions: leaf diagonals and cross-sends of ready L̂.
+	for _, k := range st.prog.leafDiags {
+		end := st.e.Trace.Span(st.r.ID, "diag-inverse", k)
+		inv := st.e.LU.DiagInverse(k)
+		end()
+		st.finalize(blockKey{k, k}, inv)
+	}
+	for _, bk := range st.prog.crossSrcs {
+		i, k := bk.I, bk.J
+		dst := st.e.Plan.Grid.OwnerOfBlock(k, i)
+		st.r.Send(dst, core.OpKey(core.OpCrossSend, k, i), simmpi.ClassCrossSend,
+			st.lhat[blockKey{i, k}].Data)
+	}
+	for _, bk := range st.prog.crossUSrcs {
+		k, i := bk.I, bk.J
+		dst := st.e.Plan.Grid.OwnerOfBlock(i, k)
+		st.r.Send(dst, core.OpKey(core.OpCrossSendU, k, i), simmpi.ClassCrossSend,
+			st.uhat[blockKey{k, i}].Data)
+	}
+	for got := 0; got < st.prog.expect2; got++ {
+		msg, ok := st.r.Recv()
+		if !ok {
+			panic("pselinv: world closed during pass 2")
+		}
+		st.handle(msg)
+	}
+}
+
+func decodeKey(tag uint64) (kind core.OpKind, k, blk int) {
+	return core.OpKind(tag >> 48), int((tag >> 24) & 0xffffff), int(tag & 0xffffff)
+}
+
+// cIndex locates blk within the sorted C of a supernode plan.
+func cIndex(c []int, blk int) int {
+	x := sort.SearchInts(c, blk)
+	if x == len(c) || c[x] != blk {
+		panic(fmt.Sprintf("pselinv: block %d not in structure %v", blk, c))
+	}
+	return x
+}
+
+func (st *rankState) handle(msg simmpi.Message) {
+	kind, k, blk := decodeKey(msg.Tag)
+	sp := st.e.Plan.Snodes[k]
+	me := st.r.ID
+	switch kind {
+	case core.OpCrossSend:
+		// I'm the owner of (K, I): the broadcast root. Store L̂_{I,K} and
+		// start the Col-Bcast down processor column I.
+		i := blk
+		lh := matFromData(st.width(i), st.width(k), msg.Data)
+		cb := &sp.ColBcasts[cIndex(sp.C, i)]
+		for _, c := range cb.Tree.Children(me) {
+			st.r.Send(c, cb.Key(), simmpi.ClassColBcast, lh.Data)
+		}
+		st.bcastArrived(k, i, lh)
+	case core.OpColBcast:
+		i := blk
+		lh := matFromData(st.width(i), st.width(k), msg.Data)
+		cb := &sp.ColBcasts[cIndex(sp.C, i)]
+		for _, c := range cb.Tree.Children(me) {
+			st.r.Send(c, cb.Key(), simmpi.ClassColBcast, lh.Data)
+		}
+		st.bcastArrived(k, i, lh)
+	case core.OpRowReduce:
+		j := blk
+		red := st.getRowRed(k, j)
+		red.sum.AddScaled(1, matFromData(st.width(j), st.width(k), msg.Data))
+		red.childPending--
+		st.maybeCompleteRow(k, j, red)
+	case core.OpDiagReduce:
+		red := st.getDiagRed(k)
+		red.sum.AddScaled(1, matFromData(st.width(k), st.width(k), msg.Data))
+		red.childPending--
+		st.maybeCompleteDiag(k, red)
+	case core.OpSymmSend:
+		// Finalized A⁻¹_{J,K} arrives at the owner of (K, J); mirror it.
+		j := blk
+		low := matFromData(st.width(j), st.width(k), msg.Data)
+		st.finalize(blockKey{k, j}, low.Transpose())
+	case core.OpCrossSendU:
+		// I'm the owner of (I, K): the row-broadcast root. Store Û_{K,I},
+		// start the Row-Bcast, and — since I'm also the Row-Reduce root
+		// for block (I,K) — check whether the diagonal contribution for
+		// this block can now fire.
+		i := blk
+		uh := matFromData(st.width(k), st.width(i), msg.Data)
+		rb := &sp.RowBcasts[cIndex(sp.C, i)]
+		for _, c := range rb.Tree.Children(me) {
+			st.r.Send(c, rb.Key(), simmpi.ClassRowBcast, uh.Data)
+		}
+		st.bcastUArrived(k, i, uh)
+		st.tryDiagContribAsym(k, i)
+	case core.OpRowBcast:
+		i := blk
+		uh := matFromData(st.width(k), st.width(i), msg.Data)
+		rb := &sp.RowBcasts[cIndex(sp.C, i)]
+		for _, c := range rb.Tree.Children(me) {
+			st.r.Send(c, rb.Key(), simmpi.ClassRowBcast, uh.Data)
+		}
+		st.bcastUArrived(k, i, uh)
+	case core.OpColReduce:
+		j := blk
+		red := st.getColRed(k, j)
+		red.sum.AddScaled(1, matFromData(st.width(k), st.width(j), msg.Data))
+		red.childPending--
+		st.maybeCompleteCol(k, j, red)
+	default:
+		panic(fmt.Sprintf("pselinv: unexpected %v message in pass 2", kind))
+	}
+}
+
+// bcastUArrived records Û_{K,I} and fires any upper GEMM whose A⁻¹ operand
+// is already final.
+func (st *rankState) bcastUArrived(k, i int, uh *dense.Matrix) {
+	st.bcastU[blockKey{k, i}] = uh
+	for _, ti := range st.prog.byKIU[blockKey{k, i}] {
+		st.tryRunU(ti)
+	}
+}
+
+// tryRunU executes upper GEMM task ti (Û_{K,I}·A⁻¹_{I,J}) when both
+// operands are available, accumulating into the Col-Reduce sum for (K,J).
+func (st *rankState) tryRunU(ti int) {
+	if st.taskUDone[ti] {
+		return
+	}
+	t := st.prog.tasksU[ti]
+	uh, ok := st.bcastU[blockKey{t.K, t.I}]
+	if !ok {
+		return
+	}
+	av, ok := st.ainv[blockKey{t.I, t.J}]
+	if !ok {
+		return
+	}
+	st.taskUDone[ti] = true
+	red := st.getColRed(t.K, t.J)
+	end := st.e.Trace.Span(st.r.ID, "gemm-u", t.K)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uh, av, 1, red.sum)
+	end()
+	red.localPending--
+	st.maybeCompleteCol(t.K, t.J, red)
+}
+
+func (st *rankState) getColRed(k, j int) *redState {
+	key := blockKey{k, j}
+	if red, ok := st.colRed[key]; ok {
+		return red
+	}
+	sp := st.e.Plan.Snodes[k]
+	tr := sp.ColReduces[cIndex(sp.C, j)].Tree
+	red := &redState{
+		sum:          dense.NewMatrix(st.width(k), st.width(j)),
+		localPending: st.prog.colLocal[key],
+		childPending: len(tr.Children(st.r.ID)),
+	}
+	st.colRed[key] = red
+	return red
+}
+
+// maybeCompleteCol sends a finished upper partial sum up the reduce tree,
+// or — at the root, the owner of (K,J) — finalizes A⁻¹_{K,J} = −Σ.
+func (st *rankState) maybeCompleteCol(k, j int, red *redState) {
+	if red.done || red.localPending > 0 || red.childPending > 0 {
+		return
+	}
+	red.done = true
+	sp := st.e.Plan.Snodes[k]
+	op := &sp.ColReduces[cIndex(sp.C, j)]
+	me := st.r.ID
+	if me != op.Tree.Root {
+		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassColReduce, red.sum.Data)
+		return
+	}
+	m := red.sum
+	m.Scale(-1)
+	st.finalize(blockKey{k, j}, m)
+}
+
+// tryDiagContribAsym fires the diagonal contribution Û_{K,J}·A⁻¹_{J,K} at
+// the owner of (J,K) once both operands exist. Two asynchronous events can
+// complete the pair — the Û cross-send arrival and the local Row-Reduce
+// finalization — so both handlers call in here.
+func (st *rankState) tryDiagContribAsym(k, j int) {
+	key := blockKey{k, j}
+	if st.diagTDone[key] {
+		return
+	}
+	uh, ok := st.bcastU[key]
+	if !ok {
+		return
+	}
+	av, ok := st.ainv[blockKey{j, k}]
+	if !ok {
+		return
+	}
+	st.diagTDone[key] = true
+	red := st.getDiagRed(k)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uh, av, 1, red.sum)
+	red.localPending--
+	st.maybeCompleteDiag(k, red)
+}
+
+// bcastArrived records L̂_{I,K} and fires any GEMM whose A⁻¹ operand is
+// already final.
+func (st *rankState) bcastArrived(k, i int, lh *dense.Matrix) {
+	st.bcastL[blockKey{k, i}] = lh
+	for _, ti := range st.prog.byKI[blockKey{k, i}] {
+		st.tryRun(ti)
+	}
+}
+
+// finalize records an owned A⁻¹ block and fires any GEMM waiting on it.
+func (st *rankState) finalize(key blockKey, m *dense.Matrix) {
+	if _, dup := st.ainv[key]; dup {
+		panic(fmt.Sprintf("pselinv: block (%d,%d) finalized twice", key.I, key.J))
+	}
+	st.ainv[key] = m
+	for _, ti := range st.prog.byBlock[key] {
+		st.tryRun(ti)
+	}
+	for _, ti := range st.prog.byBlockU[key] {
+		st.tryRunU(ti)
+	}
+}
+
+// tryRun executes GEMM task ti when both operands are available.
+func (st *rankState) tryRun(ti int) {
+	if st.taskDone[ti] {
+		return
+	}
+	t := st.prog.tasks[ti]
+	lh, ok := st.bcastL[blockKey{t.K, t.I}]
+	if !ok {
+		return
+	}
+	av, ok := st.ainv[blockKey{t.J, t.I}]
+	if !ok {
+		return
+	}
+	st.taskDone[ti] = true
+	red := st.getRowRed(t.K, t.J)
+	end := st.e.Trace.Span(st.r.ID, "gemm", t.K)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, av, lh, 1, red.sum)
+	end()
+	red.localPending--
+	st.maybeCompleteRow(t.K, t.J, red)
+}
+
+func (st *rankState) getRowRed(k, j int) *redState {
+	key := blockKey{k, j}
+	if red, ok := st.rowRed[key]; ok {
+		return red
+	}
+	sp := st.e.Plan.Snodes[k]
+	tr := sp.RowReduces[cIndex(sp.C, j)].Tree
+	red := &redState{
+		sum:          dense.NewMatrix(st.width(j), st.width(k)),
+		localPending: st.prog.rowLocal[key],
+		childPending: len(tr.Children(st.r.ID)),
+	}
+	st.rowRed[key] = red
+	return red
+}
+
+func (st *rankState) getDiagRed(k int) *redState {
+	if red, ok := st.diagRed[k]; ok {
+		return red
+	}
+	tr := st.e.Plan.Snodes[k].DiagReduce.Tree
+	red := &redState{
+		sum:          dense.NewMatrix(st.width(k), st.width(k)),
+		localPending: st.prog.diagLocal[k],
+		childPending: len(tr.Children(st.r.ID)),
+	}
+	st.diagRed[k] = red
+	return red
+}
+
+// maybeCompleteRow sends a finished partial sum up the reduce tree, or — at
+// the root — finalizes A⁻¹_{J,K} and triggers the mirror send and the
+// diagonal contribution.
+func (st *rankState) maybeCompleteRow(k, j int, red *redState) {
+	if red.done || red.localPending > 0 || red.childPending > 0 {
+		return
+	}
+	red.done = true
+	sp := st.e.Plan.Snodes[k]
+	op := &sp.RowReduces[cIndex(sp.C, j)]
+	me := st.r.ID
+	if me != op.Tree.Root {
+		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassRowReduce, red.sum.Data)
+		return
+	}
+	// Root: A⁻¹_{J,K} = −(accumulated sum).
+	m := red.sum
+	m.Scale(-1)
+	st.finalize(blockKey{j, k}, m)
+	if !st.e.Plan.Symmetric {
+		// General path: the upper triangle is computed by its own
+		// reductions; the diagonal contribution needs the broadcast Û,
+		// which may not have arrived yet.
+		st.tryDiagContribAsym(k, j)
+		return
+	}
+	// Symmetric path: mirror to the upper triangle.
+	dst := st.e.Plan.Grid.OwnerOfBlock(k, j)
+	st.r.Send(dst, core.OpKey(core.OpSymmSend, k, j), simmpi.ClassSymmSend, m.Data)
+	// Local contribution to the diagonal update:
+	// L̂_{J,K}ᵀ · A⁻¹_{J,K} = Û_{K,J} · A⁻¹_{J,K}, accumulated into the
+	// Diag-Reduce sum.
+	lhjk, ok := st.lhat[blockKey{j, k}]
+	if !ok {
+		panic(fmt.Sprintf("pselinv: row-reduce root %d lacks L̂(%d,%d)", me, j, k))
+	}
+	dred := st.getDiagRed(k)
+	dense.Gemm(dense.DoTrans, dense.NoTrans, 1, lhjk, m, 1, dred.sum)
+	dred.localPending--
+	st.maybeCompleteDiag(k, dred)
+}
+
+// maybeCompleteDiag sends a finished diagonal partial sum up the tree, or —
+// at the root — finalizes A⁻¹_{K,K} = U_KK⁻¹L_KK⁻¹ − Σ.
+func (st *rankState) maybeCompleteDiag(k int, red *redState) {
+	if red.done || red.localPending > 0 || red.childPending > 0 {
+		return
+	}
+	red.done = true
+	op := st.e.Plan.Snodes[k].DiagReduce
+	me := st.r.ID
+	if me != op.Tree.Root {
+		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassDiagReduce, red.sum.Data)
+		return
+	}
+	end := st.e.Trace.Span(st.r.ID, "diag-inverse", k)
+	diag := st.e.LU.DiagInverse(k)
+	diag.AddScaled(-1, red.sum)
+	end()
+	st.finalize(blockKey{k, k}, diag)
+}

@@ -1,0 +1,190 @@
+package simmpi
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPingPong(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(5*time.Second, func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 42, ClassOther, []float64{1, 2, 3})
+			msg, ok := r.Recv()
+			if !ok || msg.Tag != 43 || msg.Src != 1 {
+				t.Errorf("rank 0 got %+v ok=%v", msg, ok)
+			}
+		} else {
+			msg, ok := r.Recv()
+			if !ok || msg.Tag != 42 || len(msg.Data) != 3 {
+				t.Errorf("rank 1 got %+v ok=%v", msg, ok)
+			}
+			r.Send(0, 43, ClassOther, []float64{9})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.SentBytes(0, ClassOther) != 24 {
+		t.Fatalf("rank 0 sent %d bytes, want 24", w.SentBytes(0, ClassOther))
+	}
+	if w.RecvBytes(0, ClassOther) != 8 {
+		t.Fatalf("rank 0 received %d bytes, want 8", w.RecvBytes(0, ClassOther))
+	}
+	if err := w.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSendNotCounted(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(5*time.Second, func(r *Rank) {
+		r.Send(0, 7, ClassColBcast, []float64{1, 2})
+		msg, ok := r.Recv()
+		if !ok || msg.Tag != 7 {
+			t.Errorf("self message lost")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.SentBytes(0, ClassColBcast) != 0 || w.RecvBytes(0, ClassColBcast) != 0 {
+		t.Fatal("self-send counted in volume")
+	}
+}
+
+func TestManyToOneOrderPreservedPerSender(t *testing.T) {
+	const n = 64
+	w := NewWorld(2)
+	err := w.Run(10*time.Second, func(r *Rank) {
+		if r.ID == 0 {
+			for i := 0; i < n; i++ {
+				r.Send(1, uint64(i), ClassOther, []float64{float64(i)})
+			}
+		} else {
+			last := -1
+			for i := 0; i < n; i++ {
+				msg, ok := r.Recv()
+				if !ok {
+					t.Error("mailbox closed early")
+					return
+				}
+				if int(msg.Tag) <= last {
+					t.Errorf("FIFO violated: %d after %d", msg.Tag, last)
+				}
+				last = int(msg.Tag)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(5*time.Second, func(r *Rank) {
+		if r.ID == 0 {
+			if _, ok := r.TryRecv(); ok {
+				t.Error("TryRecv returned a phantom message")
+			}
+			r.Send(1, 1, ClassOther, nil)
+		} else {
+			for {
+				if msg, ok := r.TryRecv(); ok {
+					if msg.Tag != 1 {
+						t.Errorf("wrong tag %d", msg.Tag)
+					}
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const p = 8
+	w := NewWorld(p)
+	var phase int32
+	err := w.Run(10*time.Second, func(r *Rank) {
+		atomic.AddInt32(&phase, 1)
+		r.Barrier()
+		if got := atomic.LoadInt32(&phase); got != p {
+			t.Errorf("rank %d passed barrier with phase %d", r.ID, got)
+		}
+		r.Barrier()
+		atomic.AddInt32(&phase, 1)
+		r.Barrier()
+		if got := atomic.LoadInt32(&phase); got != 2*p {
+			t.Errorf("rank %d: second phase %d", r.ID, got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(100*time.Millisecond, func(r *Rank) {
+		if r.ID == 0 {
+			r.Recv() // blocks forever: nobody sends
+		}
+	})
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	w.Close() // release the stuck goroutine
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	_ = w.Run(5*time.Second, func(r *Rank) {
+		if r.ID == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestVolumeVector(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(5*time.Second, func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 1, ClassRowReduce, make([]float64, 4))
+			r.Send(2, 2, ClassRowReduce, make([]float64, 2))
+		} else {
+			if _, ok := r.Recv(); !ok {
+				t.Error("recv failed")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := w.VolumeVector(ClassRowReduce, true)
+	if sent[0] != 48 || sent[1] != 0 || sent[2] != 0 {
+		t.Fatalf("sent vector %v", sent)
+	}
+	recv := w.VolumeVector(ClassRowReduce, false)
+	if recv[1] != 32 || recv[2] != 16 {
+		t.Fatalf("recv vector %v", recv)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for _, c := range Classes() {
+		if c.String() == "" {
+			t.Fatalf("class %d has empty name", int(c))
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Geometry records the regular-grid structure of a generated matrix, when
+// one exists; the geometric nested-dissection ordering consumes it.
+type Geometry struct {
+	NX, NY, NZ  int // grid extents (NZ == 1 for 2D)
+	DofsPerNode int // unknowns bundled per grid node
+}
+
+// Nodes returns the number of grid nodes.
+func (g *Geometry) Nodes() int { return g.NX * g.NY * g.NZ }
+
+// NodeIndex maps grid coordinates to a node id.
+func (g *Geometry) NodeIndex(x, y, z int) int {
+	return (z*g.NY+y)*g.NX + x
+}
+
+// Generated bundles a synthetic matrix with its provenance.
+type Generated struct {
+	A    *CSC
+	Name string
+	Geom *Geometry // nil when the matrix has no grid structure
+}
+
+// symmetricRandomize perturbs off-diagonal values symmetrically with
+// magnitude scale, then restores diagonal dominance. Keeping values
+// symmetric is required by the symmetric selected-inversion path.
+func symmetricRandomize(a *CSC, rng *rand.Rand, scale float64) {
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			if i < j { // visit each off-diagonal pair once (upper entry i<j)
+				v := -1 - scale*rng.Float64()
+				setEntry(a, i, j, v)
+				setEntry(a, j, i, v)
+			}
+		}
+	}
+	a.MakeDiagonallyDominant(1)
+}
+
+func setEntry(a *CSC, i, j int, v float64) {
+	lo, hi := a.ColPtr[j], a.ColPtr[j+1]
+	for k := lo; k < hi; k++ {
+		if a.RowIdx[k] == i {
+			a.Val[k] = v
+			return
+		}
+	}
+	panic(fmt.Sprintf("sparse: setEntry (%d,%d) not in pattern", i, j))
+}
+
+// stencilMatrix assembles a grid matrix: every node carries dofs unknowns;
+// two nodes within Chebyshev distance radius of each other are coupled by a
+// fully dense dofs×dofs block. radius 1 with dofs 1 gives the classical
+// 5-point (2D) / 7-point (3D) Laplacian when diag==false neighbors are
+// face-adjacent; we use the box stencil for radius>1 to emulate the denser
+// coupling of DG discretizations.
+func stencilMatrix(name string, nx, ny, nz, dofs, radius int, faceOnly bool, seed int64) *Generated {
+	g := &Geometry{NX: nx, NY: ny, NZ: nz, DofsPerNode: dofs}
+	n := g.Nodes() * dofs
+	var ts []Triplet
+	couple := func(a, b int) {
+		for p := 0; p < dofs; p++ {
+			for q := 0; q < dofs; q++ {
+				ts = append(ts, Triplet{Row: a*dofs + p, Col: b*dofs + q, Val: -1})
+			}
+		}
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				me := g.NodeIndex(x, y, z)
+				// Diagonal block (including the node's own dense dof block).
+				couple(me, me)
+				for dz := -radius; dz <= radius; dz++ {
+					for dy := -radius; dy <= radius; dy++ {
+						for dx := -radius; dx <= radius; dx++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							if faceOnly && abs(dx)+abs(dy)+abs(dz) != 1 {
+								continue
+							}
+							X, Y, Z := x+dx, y+dy, z+dz
+							if X < 0 || X >= nx || Y < 0 || Y >= ny || Z < 0 || Z >= nz {
+								continue
+							}
+							couple(me, g.NodeIndex(X, Y, Z))
+						}
+					}
+				}
+			}
+		}
+	}
+	a := FromTriplets(n, ts)
+	// Make the diagonal entries distinct from couplings before randomizing.
+	a.MakeDiagonallyDominant(1)
+	symmetricRandomize(a, rand.New(rand.NewSource(seed)), 0.5)
+	return &Generated{A: a, Name: name, Geom: g}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Grid2D returns the 5-point Laplacian on an nx×ny grid with randomized
+// symmetric values.
+func Grid2D(nx, ny int, seed int64) *Generated {
+	return stencilMatrix(fmt.Sprintf("grid2d_%dx%d", nx, ny), nx, ny, 1, 1, 1, true, seed)
+}
+
+// Grid3D returns the 7-point Laplacian on an nx×ny×nz grid.
+func Grid3D(nx, ny, nz int, seed int64) *Generated {
+	return stencilMatrix(fmt.Sprintf("grid3d_%dx%dx%d", nx, ny, nz), nx, ny, nz, 1, 1, true, seed)
+}
+
+// DG2D emulates a 2D discontinuous-Galerkin Hamiltonian: each element
+// carries dofs unknowns, with dense coupling to the 8 surrounding elements.
+// This mimics the "relatively dense" character of DG_PNF14000 /
+// DG_Graphene: few elements, heavy blocks, 2D fill.
+func DG2D(nx, ny, dofs int, seed int64) *Generated {
+	return stencilMatrix(fmt.Sprintf("dg2d_%dx%d_b%d", nx, ny, dofs), nx, ny, 1, dofs, 1, false, seed)
+}
+
+// DG2DRadius is DG2D with an explicit coupling radius: every element
+// couples densely to all elements within Chebyshev distance radius,
+// emulating the wide adaptive-local-basis coupling that makes the paper's
+// DG matrices dense (DG_PNF14000 carries 0.2% nonzeros — thousands per
+// row).
+func DG2DRadius(nx, ny, dofs, radius int, seed int64) *Generated {
+	return stencilMatrix(fmt.Sprintf("dg2d_%dx%d_b%d_r%d", nx, ny, dofs, radius),
+		nx, ny, 1, dofs, radius, false, seed)
+}
+
+// FE3D emulates a 3D finite-element matrix (audikw_1 / Flan_1565
+// character): 3D grid, dofs unknowns per node, 27-point box coupling.
+func FE3D(nx, ny, nz, dofs int, seed int64) *Generated {
+	return stencilMatrix(fmt.Sprintf("fe3d_%dx%dx%d_b%d", nx, ny, nz, dofs), nx, ny, nz, dofs, 1, false, seed)
+}
+
+// Banded returns a symmetric banded matrix with half-bandwidth bw.
+func Banded(n, bw int, seed int64) *Generated {
+	var ts []Triplet
+	for j := 0; j < n; j++ {
+		for i := j; i <= j+bw && i < n; i++ {
+			ts = append(ts, Triplet{Row: i, Col: j, Val: -1})
+			if i != j {
+				ts = append(ts, Triplet{Row: j, Col: i, Val: -1})
+			}
+		}
+	}
+	a := FromTriplets(n, ts)
+	a.MakeDiagonallyDominant(1)
+	symmetricRandomize(a, rand.New(rand.NewSource(seed)), 0.5)
+	return &Generated{A: a, Name: fmt.Sprintf("banded_%d_bw%d", n, bw)}
+}
+
+// RandomSym returns a random structurally symmetric matrix with about
+// avgDeg off-diagonal entries per row plus a full diagonal, diagonally
+// dominant.
+func RandomSym(n, avgDeg int, seed int64) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[[2]int]bool)
+	var ts []Triplet
+	for j := 0; j < n; j++ {
+		ts = append(ts, Triplet{Row: j, Col: j, Val: 1})
+	}
+	target := n * avgDeg / 2
+	for c := 0; c < target; c++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i < j {
+			i, j = j, i
+		}
+		key := [2]int{i, j}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		v := -1 - rng.Float64()
+		ts = append(ts, Triplet{Row: i, Col: j, Val: v}, Triplet{Row: j, Col: i, Val: v})
+	}
+	a := FromTriplets(n, ts)
+	a.MakeDiagonallyDominant(1)
+	return &Generated{A: a, Name: fmt.Sprintf("randsym_%d_d%d", n, avgDeg)}
+}
+
+// Asymmetrize perturbs the off-diagonal values of g independently on the
+// two sides of the diagonal — the pattern stays structurally symmetric but
+// A ≠ Aᵀ in values — and restores doubly (row and column) dominant
+// diagonals for unpivoted LU stability. It exercises the general
+// selected-inversion path (the asymmetric extension the paper lists as
+// work in progress).
+func Asymmetrize(g *Generated, seed int64, eps float64) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	a := g.A
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			if a.RowIdx[k] != j {
+				a.Val[k] *= 1 + eps*(rng.Float64()-0.5)
+			}
+		}
+	}
+	a.MakeDoublyDominant(1)
+	g.Name = g.Name + "_asym"
+	return g
+}
+
+// RandomAsym returns a random structurally symmetric matrix with
+// asymmetric values.
+func RandomAsym(n, avgDeg int, seed int64) *Generated {
+	return Asymmetrize(RandomSym(n, avgDeg, seed), seed+1, 0.8)
+}
+
+// Standins returns the laptop-scale stand-in suite for the paper's test
+// matrices, in the order of Table II. Each stand-in keeps the dimensional
+// character (2D-dense DG vs 3D FE) of its counterpart while being small
+// enough to factor and selected-invert in seconds. EXPERIMENTS.md records
+// the scale factors.
+func Standins(seed int64) []*Generated {
+	gs := []*Generated{
+		renamed(DG2DRadius(24, 24, 6, 2, seed+1), "DG_Graphene_32768_standin"), // large 2D DG
+		renamed(DG2DRadius(20, 20, 6, 2, seed+2), "DG_PNF14000_standin"),       // 2D DG, dense
+		renamed(DG2DRadius(12, 12, 5, 2, seed+3), "DG_Water_12888_standin"),    // small DG
+		renamed(DG2DRadius(16, 16, 5, 2, seed+4), "LU_C_BN_C_4by2_standin"),    // mid 2D DG
+		renamed(FE3D(14, 14, 14, 3, seed+5), "audikw_1_standin"),               // 3D FE, 3 dofs
+		renamed(Grid3D(20, 20, 20, seed+6), "Flan_1565_standin"),               // 3D, sparser
+	}
+	return gs
+}
+
+// AudikwStandin returns the stand-in used for the audikw_1-based
+// communication-volume experiments (Table I, Figs 4–7).
+func AudikwStandin(seed int64) *Generated {
+	return renamed(FE3D(14, 14, 14, 3, seed), "audikw_1_standin")
+}
+
+// PNFStandin returns the stand-in for DG_PNF14000 used in the scaling
+// experiments (Figs 8, 9).
+func PNFStandin(seed int64) *Generated {
+	return renamed(DG2DRadius(20, 20, 6, 2, seed), "DG_PNF14000_standin")
+}
+
+func renamed(g *Generated, name string) *Generated {
+	g.Name = name
+	return g
+}

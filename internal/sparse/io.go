@@ -1,0 +1,85 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMatrixMarket writes a in MatrixMarket coordinate general format
+// (1-based indices), the interchange format of the University of Florida
+// collection the paper draws its matrices from.
+func WriteMatrixMarket(w io.Writer, a *CSC) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n",
+		a.N, a.N, a.NNZ()); err != nil {
+		return err
+	}
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", a.RowIdx[k]+1, j+1, a.Val[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a coordinate real general/symmetric MatrixMarket
+// stream. For the symmetric qualifier, the missing triangle is mirrored.
+func ReadMatrixMarket(r io.Reader) (*CSC, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	}
+	symmetric := len(header) >= 5 && header[4] == "symmetric"
+	// Skip comments.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	var m, n, nnz int
+	if _, err := fmt.Sscan(sizeLine, &m, &n, &nnz); err != nil {
+		return nil, fmt.Errorf("sparse: bad size line %q: %v", sizeLine, err)
+	}
+	if m != n {
+		return nil, fmt.Errorf("sparse: only square matrices supported, got %dx%d", m, n)
+	}
+	ts := make([]Triplet, 0, nnz)
+	for len(ts) < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var i, j int
+		var v float64
+		if _, err := fmt.Sscan(line, &i, &j, &v); err != nil {
+			return nil, fmt.Errorf("sparse: bad entry line %q: %v", line, err)
+		}
+		if i < 1 || i > n || j < 1 || j > n {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range", i, j)
+		}
+		ts = append(ts, Triplet{Row: i - 1, Col: j - 1, Val: v})
+		if symmetric && i != j {
+			ts = append(ts, Triplet{Row: j - 1, Col: i - 1, Val: v})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(ts) < nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, len(ts))
+	}
+	return FromTriplets(n, ts), nil
+}

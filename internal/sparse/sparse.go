@@ -1,0 +1,299 @@
+// Package sparse provides compressed sparse column (CSC) matrices, pattern
+// utilities, and the synthetic matrix generators used as stand-ins for the
+// paper's test matrices (audikw_1, DG_PNF14000, ...).
+//
+// All matrices in this repository are structurally symmetric; the selected
+// inversion pipeline additionally assumes symmetric values, which every
+// generator in this package guarantees.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pselinv/internal/dense"
+)
+
+// CSC is a sparse matrix in compressed sparse column form with sorted row
+// indices within each column.
+type CSC struct {
+	N      int       // matrix dimension (square)
+	ColPtr []int     // len N+1
+	RowIdx []int     // len nnz, sorted within each column
+	Val    []float64 // len nnz
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSC) NNZ() int { return len(a.RowIdx) }
+
+// Triplet is a single (row, col, value) entry used during assembly.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// FromTriplets assembles an n×n CSC matrix from triplets, summing
+// duplicates. Panics on out-of-range indices.
+func FromTriplets(n int, ts []Triplet) *CSC {
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= n || t.Col < 0 || t.Col >= n {
+			panic(fmt.Sprintf("sparse: triplet (%d,%d) out of range n=%d", t.Row, t.Col, n))
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Col != ts[j].Col {
+			return ts[i].Col < ts[j].Col
+		}
+		return ts[i].Row < ts[j].Row
+	})
+	a := &CSC{N: n, ColPtr: make([]int, n+1)}
+	for k := 0; k < len(ts); {
+		j := ts[k].Col
+		r := ts[k].Row
+		v := ts[k].Val
+		k++
+		for k < len(ts) && ts[k].Col == j && ts[k].Row == r {
+			v += ts[k].Val
+			k++
+		}
+		a.RowIdx = append(a.RowIdx, r)
+		a.Val = append(a.Val, v)
+		a.ColPtr[j+1]++
+	}
+	for j := 0; j < n; j++ {
+		a.ColPtr[j+1] += a.ColPtr[j]
+	}
+	return a
+}
+
+// At returns entry (i, j), 0 when not stored. O(log column nnz).
+func (a *CSC) At(i, j int) float64 {
+	lo, hi := a.ColPtr[j], a.ColPtr[j+1]
+	k := lo + sort.SearchInts(a.RowIdx[lo:hi], i)
+	if k < hi && a.RowIdx[k] == i {
+		return a.Val[k]
+	}
+	return 0
+}
+
+// Clone returns a deep copy.
+func (a *CSC) Clone() *CSC {
+	b := &CSC{
+		N:      a.N,
+		ColPtr: append([]int(nil), a.ColPtr...),
+		RowIdx: append([]int(nil), a.RowIdx...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	return b
+}
+
+// ToDense expands the matrix into a dense.Matrix (small matrices only).
+func (a *CSC) ToDense() *dense.Matrix {
+	d := dense.NewMatrix(a.N, a.N)
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			d.Set(a.RowIdx[k], j, a.Val[k])
+		}
+	}
+	return d
+}
+
+// IsStructurallySymmetric reports whether the pattern of a equals the
+// pattern of aᵀ.
+func (a *CSC) IsStructurallySymmetric() bool {
+	t := a.Transpose()
+	if len(t.RowIdx) != len(a.RowIdx) {
+		return false
+	}
+	for i := range a.RowIdx {
+		if a.RowIdx[i] != t.RowIdx[i] {
+			return false
+		}
+	}
+	for j := 0; j <= a.N; j++ {
+		if a.ColPtr[j] != t.ColPtr[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSymmetric reports whether values are symmetric within tol.
+func (a *CSC) IsSymmetric(tol float64) bool {
+	t := a.Transpose()
+	if !a.IsStructurallySymmetric() {
+		return false
+	}
+	for i := range a.Val {
+		if math.Abs(a.Val[i]-t.Val[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Transpose returns aᵀ.
+func (a *CSC) Transpose() *CSC {
+	n := a.N
+	t := &CSC{N: n, ColPtr: make([]int, n+1),
+		RowIdx: make([]int, a.NNZ()), Val: make([]float64, a.NNZ())}
+	for _, r := range a.RowIdx {
+		t.ColPtr[r+1]++
+	}
+	for j := 0; j < n; j++ {
+		t.ColPtr[j+1] += t.ColPtr[j]
+	}
+	next := append([]int(nil), t.ColPtr...)
+	for j := 0; j < n; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			t.RowIdx[next[i]] = j
+			t.Val[next[i]] = a.Val[k]
+			next[i]++
+		}
+	}
+	return t
+}
+
+// Permute returns P A Pᵀ where perm maps old index -> new index, i.e. entry
+// (i, j) of a moves to (perm[i], perm[j]).
+func (a *CSC) Permute(perm []int) *CSC {
+	if len(perm) != a.N {
+		panic("sparse: permutation length mismatch")
+	}
+	ts := make([]Triplet, 0, a.NNZ())
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			ts = append(ts, Triplet{Row: perm[a.RowIdx[k]], Col: perm[j], Val: a.Val[k]})
+		}
+	}
+	return FromTriplets(a.N, ts)
+}
+
+// MulVec computes y = A*x.
+func (a *CSC) MulVec(x []float64) []float64 {
+	if len(x) != a.N {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	y := make([]float64, a.N)
+	for j := 0; j < a.N; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			y[a.RowIdx[k]] += a.Val[k] * xj
+		}
+	}
+	return y
+}
+
+// MakeDiagonallyDominant adds to each diagonal entry so that every row is
+// strictly diagonally dominant (guaranteeing unpivoted LU stability). The
+// pattern must already include the diagonal.
+func (a *CSC) MakeDiagonallyDominant(margin float64) {
+	rowSum := make([]float64, a.N)
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			if i != j {
+				rowSum[i] += math.Abs(a.Val[k])
+			}
+		}
+	}
+	for j := 0; j < a.N; j++ {
+		found := false
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			if a.RowIdx[k] == j {
+				a.Val[k] = rowSum[j] + margin
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("sparse: missing diagonal at column %d", j))
+		}
+	}
+}
+
+// AddDiagonal returns a copy of a with sigma added to every diagonal
+// entry (the pattern must include the full diagonal). Pole expansion uses
+// it to form the shifted matrices A + σₗI.
+func (a *CSC) AddDiagonal(sigma float64) *CSC {
+	b := a.Clone()
+	for j := 0; j < b.N; j++ {
+		found := false
+		for k := b.ColPtr[j]; k < b.ColPtr[j+1]; k++ {
+			if b.RowIdx[k] == j {
+				b.Val[k] += sigma
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("sparse: missing diagonal at column %d", j))
+		}
+	}
+	return b
+}
+
+// MakeDoublyDominant adds to each diagonal entry so that it strictly
+// dominates both its row and its column off-diagonal absolute sums —
+// sufficient for unpivoted LU stability of matrices with asymmetric
+// values. The pattern must include the diagonal.
+func (a *CSC) MakeDoublyDominant(margin float64) {
+	rowSum := make([]float64, a.N)
+	colSum := make([]float64, a.N)
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			if i != j {
+				rowSum[i] += math.Abs(a.Val[k])
+				colSum[j] += math.Abs(a.Val[k])
+			}
+		}
+	}
+	for j := 0; j < a.N; j++ {
+		found := false
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			if a.RowIdx[k] == j {
+				d := rowSum[j]
+				if colSum[j] > d {
+					d = colSum[j]
+				}
+				a.Val[k] = d + margin
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("sparse: missing diagonal at column %d", j))
+		}
+	}
+}
+
+// Adjacency returns the symmetric adjacency lists of the pattern of a
+// (excluding the diagonal). The pattern must be structurally symmetric.
+func (a *CSC) Adjacency() [][]int {
+	adj := make([][]int, a.N)
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			if i != j {
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	return adj
+}
+
+// Density returns nnz / n².
+func (a *CSC) Density() float64 {
+	return float64(a.NNZ()) / (float64(a.N) * float64(a.N))
+}
+
+// String summarizes the matrix.
+func (a *CSC) String() string {
+	return fmt.Sprintf("CSC{n=%d nnz=%d density=%.3g%%}", a.N, a.NNZ(), 100*a.Density())
+}

@@ -1,0 +1,309 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pselinv/internal/dense"
+)
+
+func TestFromTripletsSumsDuplicates(t *testing.T) {
+	a := FromTriplets(3, []Triplet{
+		{0, 0, 1}, {0, 0, 2}, {2, 1, 3}, {1, 2, 4},
+	})
+	if a.At(0, 0) != 3 {
+		t.Fatalf("duplicate not summed: %v", a.At(0, 0))
+	}
+	if a.At(2, 1) != 3 || a.At(1, 2) != 4 || a.At(1, 1) != 0 {
+		t.Fatalf("entries wrong")
+	}
+	if a.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", a.NNZ())
+	}
+}
+
+func TestFromTripletsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromTriplets(2, []Triplet{{2, 0, 1}})
+}
+
+func TestRowIndicesSorted(t *testing.T) {
+	g := Grid2D(5, 4, 1)
+	a := g.A
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j] + 1; k < a.ColPtr[j+1]; k++ {
+			if a.RowIdx[k-1] >= a.RowIdx[k] {
+				t.Fatalf("column %d not sorted", j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	g := RandomSym(30, 4, 7)
+	a := g.A
+	tt := a.Transpose().Transpose()
+	if !a.ToDense().Equal(tt.ToDense(), 0) {
+		t.Fatal("transpose not an involution")
+	}
+}
+
+func TestGeneratorsSymmetric(t *testing.T) {
+	for _, g := range []*Generated{
+		Grid2D(6, 5, 1), Grid3D(4, 3, 3, 2), DG2D(4, 4, 3, 3),
+		FE3D(3, 3, 3, 2, 4), Banded(20, 3, 5), RandomSym(40, 5, 6),
+	} {
+		if !g.A.IsStructurallySymmetric() {
+			t.Errorf("%s: pattern not symmetric", g.Name)
+		}
+		if !g.A.IsSymmetric(0) {
+			t.Errorf("%s: values not symmetric", g.Name)
+		}
+	}
+}
+
+func TestGeneratorsDiagonallyDominant(t *testing.T) {
+	for _, g := range []*Generated{Grid2D(6, 6, 2), DG2D(3, 3, 4, 2), RandomSym(50, 6, 3)} {
+		a := g.A
+		d := a.ToDense()
+		for i := 0; i < a.N; i++ {
+			off := 0.0
+			for j := 0; j < a.N; j++ {
+				if i != j {
+					off += math.Abs(d.At(i, j))
+				}
+			}
+			if d.At(i, i) <= off {
+				t.Fatalf("%s: row %d not diagonally dominant (%g <= %g)", g.Name, i, d.At(i, i), off)
+			}
+		}
+	}
+}
+
+func TestGrid2DStructure(t *testing.T) {
+	g := Grid2D(3, 3, 1)
+	a := g.A
+	if a.N != 9 {
+		t.Fatalf("n = %d", a.N)
+	}
+	// Interior node 4 (center) couples to 4 neighbors + itself.
+	cnt := a.ColPtr[5] - a.ColPtr[4]
+	if cnt != 5 {
+		t.Fatalf("center column nnz = %d, want 5", cnt)
+	}
+	// Corner node 0 couples to 2 neighbors + itself.
+	if c := a.ColPtr[1] - a.ColPtr[0]; c != 3 {
+		t.Fatalf("corner column nnz = %d, want 3", c)
+	}
+}
+
+func TestDG2DBlockDensity(t *testing.T) {
+	b := 3
+	g := DG2D(2, 2, b, 1)
+	a := g.A
+	if a.N != 4*b {
+		t.Fatalf("n = %d", a.N)
+	}
+	// All four elements are mutually adjacent in a 2x2 grid with box
+	// stencil, so the matrix is fully dense in blocks.
+	if a.NNZ() != a.N*a.N {
+		t.Fatalf("expected dense block coupling: nnz=%d n²=%d", a.NNZ(), a.N*a.N)
+	}
+}
+
+func TestPermute(t *testing.T) {
+	g := RandomSym(12, 3, 9)
+	a := g.A
+	perm := rand.New(rand.NewSource(1)).Perm(a.N)
+	p := a.Permute(perm)
+	ad, pd := a.ToDense(), p.ToDense()
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if ad.At(i, j) != pd.At(perm[i], perm[j]) {
+				t.Fatalf("permute wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	g := Grid2D(4, 5, 3)
+	a := g.A
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := a.MulVec(x)
+	d := a.ToDense()
+	for i := 0; i < a.N; i++ {
+		s := 0.0
+		for j := 0; j < a.N; j++ {
+			s += d.At(i, j) * x[j]
+		}
+		if math.Abs(s-y[i]) > 1e-10 {
+			t.Fatalf("MulVec mismatch at %d", i)
+		}
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	g := Grid3D(3, 3, 2, 1)
+	adj := g.A.Adjacency()
+	for u, nbrs := range adj {
+		for _, v := range nbrs {
+			found := false
+			for _, w := range adj[v] {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency asymmetric: %d->%d", u, v)
+			}
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := RandomSym(25, 4, 11)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g.A); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.A.ToDense().Equal(b.ToDense(), 0) {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func TestMatrixMarketSymmetricRead(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 1.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != -1 || a.At(1, 0) != -1 {
+		t.Fatal("symmetric mirror missing")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n1 2 3 4",
+		"%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 5",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 5\n",
+	} {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestStandinsCharacter(t *testing.T) {
+	gs := Standins(1)
+	if len(gs) != 6 {
+		t.Fatalf("want 6 stand-ins, got %d", len(gs))
+	}
+	names := map[string]bool{}
+	for _, g := range gs {
+		names[g.Name] = true
+		if !g.A.IsSymmetric(0) {
+			t.Errorf("%s not symmetric", g.Name)
+		}
+		if g.A.N < 500 {
+			t.Errorf("%s too small (n=%d) to be interesting", g.Name, g.A.N)
+		}
+	}
+	if !names["audikw_1_standin"] || !names["DG_PNF14000_standin"] {
+		t.Fatal("expected named stand-ins missing")
+	}
+	// The DG (2D dense) stand-in must be denser than the 3D FE stand-in,
+	// matching the paper's density contrast between DG_PNF14000 and audikw_1.
+	var dg, fe *Generated
+	for _, g := range gs {
+		switch g.Name {
+		case "DG_PNF14000_standin":
+			dg = g
+		case "Flan_1565_standin":
+			fe = g
+		}
+	}
+	if dg.A.Density() <= fe.A.Density() {
+		t.Errorf("DG stand-in (%.4g) should be denser than 3D grid stand-in (%.4g)",
+			dg.A.Density(), fe.A.Density())
+	}
+}
+
+// Property: Permute preserves symmetry.
+func TestQuickPermutePreservesSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := RandomSym(10+int(r.Int31n(20)), 3, seed)
+		perm := r.Perm(g.A.N)
+		return g.A.Permute(perm).IsSymmetric(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose preserves At lookups mirrored.
+func TestQuickTransposeAt(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := RandomSym(15, 4, seed)
+		tt := g.A.Transpose()
+		for c := 0; c < 20; c++ {
+			i, j := r.Intn(g.A.N), r.Intn(g.A.N)
+			if g.A.At(i, j) != tt.At(j, i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToDenseMatchesAt(t *testing.T) {
+	g := Banded(15, 2, 1)
+	d := g.A.ToDense()
+	want := dense.NewMatrix(g.A.N, g.A.N)
+	for i := 0; i < g.A.N; i++ {
+		for j := 0; j < g.A.N; j++ {
+			want.Set(i, j, g.A.At(i, j))
+		}
+	}
+	if !d.Equal(want, 0) {
+		t.Fatal("ToDense inconsistent with At")
+	}
+}
+
+func BenchmarkGenerateAudikwStandin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		AudikwStandin(int64(i))
+	}
+}

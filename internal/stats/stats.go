@@ -1,0 +1,193 @@
+// Package stats turns per-rank communication-volume vectors into the
+// artifacts the paper reports: min/max/median/std summaries (Tables I, II),
+// volume-distribution histograms (Figure 4), and Pr×Pc heat maps rendered
+// as ASCII and CSV (Figures 5–7).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MB converts a byte count to megabytes (10^6 bytes, as in the paper's
+// tables).
+func MB(bytes int64) float64 { return float64(bytes) / 1e6 }
+
+// BytesToMB converts a per-rank byte vector to MB.
+func BytesToMB(bs []int64) []float64 {
+	out := make([]float64, len(bs))
+	for i, b := range bs {
+		out[i] = MB(b)
+	}
+	return out
+}
+
+// Summary holds the statistics the paper tabulates per communication class.
+type Summary struct {
+	N                           int
+	Min, Max, Median, Mean, Std float64
+}
+
+// Summarize computes a Summary of xs. Std is the population standard
+// deviation. Panics on empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		s.Mean += x
+	}
+	s.Mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := x - s.Mean
+		v += d * d
+	}
+	s.Std = math.Sqrt(v / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	m := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[m]
+	} else {
+		s.Median = (sorted[m-1] + sorted[m]) / 2
+	}
+	return s
+}
+
+// Row formats the summary as a table row matching the paper's column order
+// (Min, Max, Median, Std. Dev.).
+func (s Summary) Row() string {
+	return fmt.Sprintf("%10.4f %10.4f %10.4f %10.4f", s.Min, s.Max, s.Median, s.Std)
+}
+
+// Histogram is a fixed-width-bin histogram.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram bins xs into `bins` equal-width bins spanning [min, max].
+func NewHistogram(xs []float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: non-positive bin count")
+	}
+	s := Summarize(xs)
+	h := &Histogram{Lo: s.Min, Hi: s.Max, Counts: make([]int, bins)}
+	span := s.Max - s.Min
+	for _, x := range xs {
+		var b int
+		if span > 0 {
+			b = int(float64(bins) * (x - s.Min) / span)
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// BinCenter returns the midpoint of bin b.
+func (h *Histogram) BinCenter(b int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(b)+0.5)*w
+}
+
+// Render draws the histogram as horizontal ASCII bars of at most width
+// characters.
+func (h *Histogram) Render(width int) string {
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*width/maxC)
+		fmt.Fprintf(&b, "%10.3f | %-*s %d\n", h.BinCenter(i), width, bar, c)
+	}
+	return b.String()
+}
+
+// HeatMap is a Pr×Pc grid of values (row-major), one cell per rank.
+type HeatMap struct {
+	Pr, Pc int
+	V      []float64
+}
+
+// NewHeatMap lays out per-rank values (row-major rank order) on a Pr×Pc
+// grid.
+func NewHeatMap(pr, pc int, v []float64) *HeatMap {
+	if len(v) != pr*pc {
+		panic(fmt.Sprintf("stats: %d values for a %dx%d heat map", len(v), pr, pc))
+	}
+	return &HeatMap{Pr: pr, Pc: pc, V: v}
+}
+
+// At returns the value at grid cell (row, col).
+func (h *HeatMap) At(row, col int) float64 { return h.V[row*h.Pc+col] }
+
+// shades orders ASCII glyphs from cold to hot.
+var shades = []byte(" .:-=+*#%@")
+
+// Render draws the heat map with one shaded glyph per rank, plus a scale
+// legend. Shared color range callers can impose via RenderScaled.
+func (h *HeatMap) Render() string {
+	s := Summarize(h.V)
+	return h.RenderScaled(s.Min, s.Max)
+}
+
+// RenderScaled draws with an explicit [lo, hi] scale so that two heat maps
+// can share a colorbar, as Figures 5(a)/5(c) of the paper do.
+func (h *HeatMap) RenderScaled(lo, hi float64) string {
+	var b strings.Builder
+	span := hi - lo
+	for r := 0; r < h.Pr; r++ {
+		for c := 0; c < h.Pc; c++ {
+			x := h.At(r, c)
+			var idx int
+			if span > 0 {
+				idx = int(float64(len(shades)-1) * (x - lo) / span)
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "scale: '%c'=%.3f .. '%c'=%.3f\n", shades[0], lo, shades[len(shades)-1], hi)
+	return b.String()
+}
+
+// CSV emits the heat map as comma-separated rows for external plotting.
+func (h *HeatMap) CSV() string {
+	var b strings.Builder
+	for r := 0; r < h.Pr; r++ {
+		for c := 0; c < h.Pc; c++ {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%.6g", h.At(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("std = %g, want sqrt(2)", s.Std)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Fatalf("median = %g, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Std != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestMB(t *testing.T) {
+	if MB(2_500_000) != 2.5 {
+		t.Fatalf("MB wrong: %g", MB(2_500_000))
+	}
+	v := BytesToMB([]int64{1_000_000, 0})
+	if v[0] != 1 || v[1] != 0 {
+		t.Fatalf("BytesToMB wrong: %v", v)
+	}
+}
+
+func TestHistogramCountsSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h := NewHistogram(xs, 20)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram loses samples: %d != %d", total, len(xs))
+	}
+}
+
+func TestHistogramConstantInput(t *testing.T) {
+	h := NewHistogram([]float64{3, 3, 3}, 5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("constant input mishandled: %v", h.Counts)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]float64{0, 0, 1, 2, 2, 2}, 3)
+	out := h.Render(30)
+	if !strings.Contains(out, "#") || strings.Count(out, "\n") != 3 {
+		t.Fatalf("render output unexpected:\n%s", out)
+	}
+}
+
+func TestHeatMapLayout(t *testing.T) {
+	h := NewHeatMap(2, 3, []float64{0, 1, 2, 3, 4, 5})
+	if h.At(0, 2) != 2 || h.At(1, 0) != 3 {
+		t.Fatal("row-major layout broken")
+	}
+}
+
+func TestHeatMapRenderDimensions(t *testing.T) {
+	h := NewHeatMap(3, 4, make([]float64, 12))
+	out := h.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 3 rows + scale line
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, l := range lines[:3] {
+		if len(l) != 4 {
+			t.Fatalf("row %q has wrong width", l)
+		}
+	}
+}
+
+func TestHeatMapScaledSharedRange(t *testing.T) {
+	a := NewHeatMap(1, 2, []float64{0, 10})
+	hot := a.RenderScaled(0, 10)
+	colder := a.RenderScaled(0, 100)
+	if hot == colder {
+		t.Fatal("scale had no effect")
+	}
+	if hot[1] != '@' {
+		t.Fatalf("max value should render hottest, got %q", hot[1])
+	}
+}
+
+func TestHeatMapCSV(t *testing.T) {
+	h := NewHeatMap(2, 2, []float64{1, 2, 3, 4})
+	want := "1,2\n3,4\n"
+	if h.CSV() != want {
+		t.Fatalf("CSV = %q, want %q", h.CSV(), want)
+	}
+}
+
+func TestHeatMapSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHeatMap(2, 2, make([]float64, 3))
+}
+
+// Property: Min <= Median <= Max and Std >= 0.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+r.Intn(100))
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Std >= 0 &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryRow(t *testing.T) {
+	row := Summarize([]float64{1, 2, 3}).Row()
+	if !strings.Contains(row, "1.0000") || !strings.Contains(row, "3.0000") {
+		t.Fatalf("row format unexpected: %q", row)
+	}
+}

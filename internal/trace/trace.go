@@ -1,0 +1,157 @@
+// Package trace records per-rank execution timelines of the distributed
+// engine — which rank computed or communicated what, when, for which
+// supernode — and renders them as a utilization summary or as a Chrome
+// trace-event JSON file (load in chrome://tracing or Perfetto). It is the
+// profiling facility used to study pipelining behaviour: the paper's
+// asynchronous formulation lives or dies by how well supernodes overlap.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one completed span on a rank's timeline.
+type Event struct {
+	Rank      int
+	Kind      string // e.g. "trsm", "gemm", "diag-inverse", "fwd-bcast"
+	Supernode int
+	Start     time.Duration // since recorder creation
+	End       time.Duration
+}
+
+// Dur returns the span length.
+func (e Event) Dur() time.Duration { return e.End - e.Start }
+
+// Recorder collects events from concurrently running ranks. A nil
+// *Recorder is valid and records nothing, so instrumentation can stay in
+// place unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// NewRecorder returns a recorder whose clock starts now.
+func NewRecorder() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// Span starts a span and returns the function that ends it. Usage:
+//
+//	defer rec.Span(rank, "gemm", k)()
+func (r *Recorder) Span(rank int, kind string, supernode int) func() {
+	if r == nil {
+		return func() {}
+	}
+	s := time.Since(r.start)
+	return func() {
+		e := time.Since(r.start)
+		r.mu.Lock()
+		r.events = append(r.events, Event{Rank: rank, Kind: kind, Supernode: supernode, Start: s, End: e})
+		r.mu.Unlock()
+	}
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Summary aggregates the timeline per rank and per kind.
+type Summary struct {
+	Ranks      int
+	Wall       time.Duration // last event end
+	BusyByRank map[int]time.Duration
+	ByKind     map[string]time.Duration
+	Count      map[string]int
+}
+
+// Summarize computes utilization statistics from the recorded events.
+func (r *Recorder) Summarize() Summary {
+	s := Summary{
+		BusyByRank: map[int]time.Duration{},
+		ByKind:     map[string]time.Duration{},
+		Count:      map[string]int{},
+	}
+	ranks := map[int]bool{}
+	for _, e := range r.Events() {
+		ranks[e.Rank] = true
+		s.BusyByRank[e.Rank] += e.Dur()
+		s.ByKind[e.Kind] += e.Dur()
+		s.Count[e.Kind]++
+		if e.End > s.Wall {
+			s.Wall = e.End
+		}
+	}
+	s.Ranks = len(ranks)
+	return s
+}
+
+// String renders the summary as a compact report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d ranks, wall %v\n", s.Ranks, s.Wall.Round(time.Microsecond))
+	kinds := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-14s %6d spans %12v total\n", k, s.Count[k], s.ByKind[k].Round(time.Microsecond))
+	}
+	if s.Ranks > 0 && s.Wall > 0 {
+		var busy time.Duration
+		for _, d := range s.BusyByRank {
+			busy += d
+		}
+		util := float64(busy) / (float64(s.Wall) * float64(s.Ranks))
+		fmt.Fprintf(&b, "  mean utilization %.1f%%\n", 100*util)
+	}
+	return b.String()
+}
+
+// chromeEvent is the Chrome trace-event "complete" (ph=X) record.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the timeline in the Chrome trace-event JSON-array
+// format: one row per rank (tid), spans named by kind and supernode.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	evs := r.Events()
+	out := make([]chromeEvent, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, chromeEvent{
+			Name: fmt.Sprintf("%s K=%d", e.Kind, e.Supernode),
+			Cat:  e.Kind,
+			Ph:   "X",
+			TS:   float64(e.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(e.Dur().Nanoseconds()) / 1e3,
+			PID:  0,
+			TID:  e.Rank,
+			Args: map[string]string{"supernode": fmt.Sprint(e.Supernode)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

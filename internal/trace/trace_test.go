@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	end := r.Span(0, "gemm", 1)
+	end()
+	if r.Events() != nil {
+		t.Fatal("nil recorder produced events")
+	}
+}
+
+func TestSpanRecordsEvent(t *testing.T) {
+	r := NewRecorder()
+	end := r.Span(3, "trsm", 7)
+	time.Sleep(time.Millisecond)
+	end()
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	e := evs[0]
+	if e.Rank != 3 || e.Kind != "trsm" || e.Supernode != 7 {
+		t.Fatalf("event fields wrong: %+v", e)
+	}
+	if e.Dur() <= 0 {
+		t.Fatal("non-positive duration")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for rank := 0; rank < 16; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Span(rank, "gemm", i)()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if len(r.Events()) != 16*50 {
+		t.Fatalf("lost events: %d", len(r.Events()))
+	}
+}
+
+func TestEventsSortedByStart(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 20; i++ {
+		r.Span(0, "x", i)()
+	}
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatal("events not sorted by start")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder()
+	r.Span(0, "gemm", 1)()
+	r.Span(1, "trsm", 2)()
+	r.Span(1, "gemm", 3)()
+	s := r.Summarize()
+	if s.Ranks != 2 {
+		t.Fatalf("Ranks = %d", s.Ranks)
+	}
+	if s.Count["gemm"] != 2 || s.Count["trsm"] != 1 {
+		t.Fatalf("counts wrong: %v", s.Count)
+	}
+	out := s.String()
+	if !strings.Contains(out, "gemm") || !strings.Contains(out, "utilization") {
+		t.Fatalf("summary rendering unexpected:\n%s", out)
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	r := NewRecorder()
+	r.Span(0, "gemm", 4)()
+	r.Span(2, "reduce", 5)()
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("got %d records", len(parsed))
+	}
+	if parsed[0]["ph"] != "X" {
+		t.Fatalf("wrong phase: %v", parsed[0]["ph"])
+	}
+}

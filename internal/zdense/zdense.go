@@ -1,0 +1,360 @@
+// Package zdense provides complex128 dense kernels mirroring
+// internal/dense: column-major matrices, GEMM, triangular solves, LU and
+// inversion. They power the complex-shift selected inversion
+// (internal/zselinv) used for true pole expansion, where the shifted
+// systems H − zₗI have complex poles zₗ off the real axis.
+package zdense
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix is a dense column-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewMatrix returns a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("zdense: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns entry (i, j).
+func (a *Matrix) At(i, j int) complex128 { return a.Data[i+j*a.Rows] }
+
+// Set assigns entry (i, j).
+func (a *Matrix) Set(i, j int, v complex128) { a.Data[i+j*a.Rows] = v }
+
+// Add adds v to entry (i, j).
+func (a *Matrix) Add(i, j int, v complex128) { a.Data[i+j*a.Rows] += v }
+
+// Clone returns a deep copy.
+func (a *Matrix) Clone() *Matrix {
+	b := NewMatrix(a.Rows, a.Cols)
+	copy(b.Data, a.Data)
+	return b
+}
+
+// Eye returns the n×n identity.
+func Eye(n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	return a
+}
+
+// Zero clears the matrix.
+func (a *Matrix) Zero() {
+	for i := range a.Data {
+		a.Data[i] = 0
+	}
+}
+
+// Scale multiplies every entry by s.
+func (a *Matrix) Scale(s complex128) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// AddScaled performs a += s*b.
+func (a *Matrix) AddScaled(s complex128, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("zdense: shape mismatch in AddScaled")
+	}
+	for i := range a.Data {
+		a.Data[i] += s * b.Data[i]
+	}
+}
+
+// MaxAbsDiff returns max |a_ij − b_ij|.
+func (a *Matrix) MaxAbsDiff(b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("zdense: shape mismatch in MaxAbsDiff")
+	}
+	d := 0.0
+	for i := range a.Data {
+		if v := cmplx.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// MaxAbs returns max |a_ij|.
+func (a *Matrix) MaxAbs() float64 {
+	d := 0.0
+	for i := range a.Data {
+		if v := cmplx.Abs(a.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Gemm computes c = alpha*a*b + beta*c (no transposes; the selected
+// inversion passes operate on explicitly stored blocks).
+func Gemm(alpha complex128, a, b *Matrix, beta complex128, c *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("zdense: Gemm shape mismatch %dx%d %dx%d %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	for j := 0; j < b.Cols; j++ {
+		cj := c.Data[j*c.Rows : (j+1)*c.Rows]
+		for p := 0; p < a.Cols; p++ {
+			bpj := alpha * b.Data[p+j*b.Rows]
+			if bpj == 0 {
+				continue
+			}
+			ap := a.Data[p*a.Rows : (p+1)*a.Rows]
+			for i := 0; i < a.Rows; i++ {
+				cj[i] += bpj * ap[i]
+			}
+		}
+	}
+}
+
+// Mul returns a*b.
+func Mul(a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	Gemm(1, a, b, 0, c)
+	return c
+}
+
+// Side and UpLo mirror internal/dense.
+type Side int
+
+// Sides.
+const (
+	Left Side = iota
+	Right
+)
+
+// UpLo selects the triangle.
+type UpLo int
+
+// Triangles.
+const (
+	Lower UpLo = iota
+	Upper
+)
+
+// Diag selects the diagonal convention.
+type Diag int
+
+// Diagonal conventions.
+const (
+	NonUnit Diag = iota
+	Unit
+)
+
+// Trsm solves op-free triangular systems in place (b overwritten):
+// Left: t*X = b; Right: X*t = b.
+func Trsm(side Side, uplo UpLo, diag Diag, t, b *Matrix) {
+	n := t.Rows
+	if t.Cols != n {
+		panic("zdense: Trsm triangular operand not square")
+	}
+	if side == Left && b.Rows != n || side == Right && b.Cols != n {
+		panic("zdense: Trsm shape mismatch")
+	}
+	if side == Left {
+		for j := 0; j < b.Cols; j++ {
+			x := b.Data[j*b.Rows : (j+1)*b.Rows]
+			if uplo == Lower {
+				for i := 0; i < n; i++ {
+					s := x[i]
+					for k := 0; k < i; k++ {
+						s -= t.At(i, k) * x[k]
+					}
+					if diag == NonUnit {
+						s /= t.At(i, i)
+					}
+					x[i] = s
+				}
+			} else {
+				for i := n - 1; i >= 0; i-- {
+					s := x[i]
+					for k := i + 1; k < n; k++ {
+						s -= t.At(i, k) * x[k]
+					}
+					if diag == NonUnit {
+						s /= t.At(i, i)
+					}
+					x[i] = s
+				}
+			}
+		}
+		return
+	}
+	m := b.Rows
+	if uplo == Lower {
+		for j := n - 1; j >= 0; j-- {
+			xj := b.Data[j*m : (j+1)*m]
+			for k := j + 1; k < n; k++ {
+				tkj := t.At(k, j)
+				if tkj == 0 {
+					continue
+				}
+				xk := b.Data[k*m : (k+1)*m]
+				for i := 0; i < m; i++ {
+					xj[i] -= tkj * xk[i]
+				}
+			}
+			if diag == NonUnit {
+				d := t.At(j, j)
+				for i := 0; i < m; i++ {
+					xj[i] /= d
+				}
+			}
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			xj := b.Data[j*m : (j+1)*m]
+			for k := 0; k < j; k++ {
+				tkj := t.At(k, j)
+				if tkj == 0 {
+					continue
+				}
+				xk := b.Data[k*m : (k+1)*m]
+				for i := 0; i < m; i++ {
+					xj[i] -= tkj * xk[i]
+				}
+			}
+			if diag == NonUnit {
+				d := t.At(j, j)
+				for i := 0; i < m; i++ {
+					xj[i] /= d
+				}
+			}
+		}
+	}
+}
+
+// LU factors a in place without pivoting (unit-lower L, upper U packed).
+// The complex-shifted matrices of pole expansion, A − zI with Im(z) ≠ 0
+// and A real diagonally dominant, are safely nonsingular.
+func LU(a *Matrix) error {
+	n := a.Rows
+	if a.Cols != n {
+		panic("zdense: LU of non-square matrix")
+	}
+	for k := 0; k < n; k++ {
+		p := a.At(k, k)
+		if cmplx.Abs(p) < 1e-300 {
+			return fmt.Errorf("zdense: zero pivot at %d", k)
+		}
+		for i := k + 1; i < n; i++ {
+			a.Set(i, k, a.At(i, k)/p)
+		}
+		for j := k + 1; j < n; j++ {
+			akj := a.At(k, j)
+			if akj == 0 {
+				continue
+			}
+			col := a.Data[j*n : (j+1)*n]
+			lcol := a.Data[k*n : (k+1)*n]
+			for i := k + 1; i < n; i++ {
+				col[i] -= lcol[i] * akj
+			}
+		}
+	}
+	return nil
+}
+
+// LUPartialPivot factors a in place with row pivoting and returns the
+// permutation (row i of the factored matrix is row perm[i] of the input).
+func LUPartialPivot(a *Matrix) ([]int, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("zdense: LU of non-square matrix")
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		best, bi := cmplx.Abs(a.At(k, k)), k
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(a.At(i, k)); v > best {
+				best, bi = v, i
+			}
+		}
+		if best < 1e-300 {
+			return nil, fmt.Errorf("zdense: singular matrix at column %d", k)
+		}
+		if bi != k {
+			perm[k], perm[bi] = perm[bi], perm[k]
+			for j := 0; j < n; j++ {
+				v := a.At(k, j)
+				a.Set(k, j, a.At(bi, j))
+				a.Set(bi, j, v)
+			}
+		}
+		p := a.At(k, k)
+		for i := k + 1; i < n; i++ {
+			a.Set(i, k, a.At(i, k)/p)
+		}
+		for j := k + 1; j < n; j++ {
+			akj := a.At(k, j)
+			if akj == 0 {
+				continue
+			}
+			col := a.Data[j*n : (j+1)*n]
+			lcol := a.Data[k*n : (k+1)*n]
+			for i := k + 1; i < n; i++ {
+				col[i] -= lcol[i] * akj
+			}
+		}
+	}
+	return perm, nil
+}
+
+// Inverse returns a⁻¹ via pivoted LU; the input is not modified.
+func Inverse(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	f := a.Clone()
+	perm, err := LUPartialPivot(f)
+	if err != nil {
+		return nil, err
+	}
+	x := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if perm[i] == j {
+				x.Set(i, j, 1)
+			}
+		}
+	}
+	Trsm(Left, Lower, Unit, f, x)
+	Trsm(Left, Upper, NonUnit, f, x)
+	return x, nil
+}
+
+// IsFinite reports whether every entry is finite.
+func (a *Matrix) IsFinite() bool {
+	for _, v := range a.Data {
+		if math.IsNaN(real(v)) || math.IsNaN(imag(v)) ||
+			math.IsInf(real(v), 0) || math.IsInf(imag(v), 0) {
+			return false
+		}
+	}
+	return true
+}

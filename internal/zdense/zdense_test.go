@@ -1,0 +1,176 @@
+package zdense
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, m, n int) *Matrix {
+	a := NewMatrix(m, n)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return a
+}
+
+func randShifted(rng *rand.Rand, n int) *Matrix {
+	// Random + strong imaginary diagonal shift: safely nonsingular and
+	// stable for unpivoted LU — the pole-expansion regime.
+	a := randMat(rng, n, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += cmplx.Abs(a.At(i, j))
+		}
+		a.Set(i, i, a.At(i, i)+complex(s+1, s+1))
+	}
+	return a
+}
+
+func TestGemmAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, 4, 3)
+	b := randMat(rng, 3, 5)
+	got := Mul(a, b)
+	want := NewMatrix(4, 5)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			var s complex128
+			for k := 0; k < 3; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Fatalf("gemm diff %g", d)
+	}
+}
+
+func TestGemmAlphaBeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 3, 3)
+	b := randMat(rng, 3, 3)
+	c := randMat(rng, 3, 3)
+	c0 := c.Clone()
+	alpha, beta := complex(0.5, 1.5), complex(-1, 0.25)
+	Gemm(alpha, a, b, beta, c)
+	want := Mul(a, b)
+	want.Scale(alpha)
+	c0.Scale(beta)
+	want.AddScaled(1, c0)
+	if d := c.MaxAbsDiff(want); d > 1e-12 {
+		t.Fatalf("alpha/beta gemm diff %g", d)
+	}
+}
+
+func TestTrsmAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 6, 4
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []UpLo{Lower, Upper} {
+			for _, dg := range []Diag{NonUnit, Unit} {
+				tri := NewMatrix(n, n)
+				for j := 0; j < n; j++ {
+					for i := 0; i < n; i++ {
+						if (uplo == Lower && i > j) || (uplo == Upper && i < j) {
+							tri.Set(i, j, complex(rng.NormFloat64()*0.3, rng.NormFloat64()*0.3))
+						}
+					}
+					tri.Set(j, j, complex(2+rng.Float64(), 1))
+				}
+				var b *Matrix
+				if side == Left {
+					b = randMat(rng, n, m)
+				} else {
+					b = randMat(rng, m, n)
+				}
+				x := b.Clone()
+				Trsm(side, uplo, dg, tri, x)
+				eff := tri.Clone()
+				if dg == Unit {
+					for i := 0; i < n; i++ {
+						eff.Set(i, i, 1)
+					}
+				}
+				var back *Matrix
+				if side == Left {
+					back = Mul(eff, x)
+				} else {
+					back = Mul(x, eff)
+				}
+				if d := back.MaxAbsDiff(b); d > 1e-9 {
+					t.Errorf("side=%v uplo=%v diag=%v residual %g", side, uplo, dg, d)
+				}
+			}
+		}
+	}
+}
+
+func TestLUAndInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for n := 1; n <= 12; n++ {
+		a := randShifted(rng, n)
+		f := a.Clone()
+		if err := LU(f); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := Mul(a, inv).MaxAbsDiff(Eye(n)); d > 1e-9 {
+			t.Fatalf("n=%d: |A·A⁻¹ − I| = %g", n, d)
+		}
+	}
+}
+
+func TestLUZeroPivot(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	if err := LU(a); err == nil {
+		t.Fatal("expected zero-pivot error")
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Inverse(a); err == nil {
+		t.Fatal("expected singularity error")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	if !a.IsFinite() {
+		t.Fatal("zero matrix not finite")
+	}
+	a.Set(0, 0, cmplx.Inf())
+	if a.IsFinite() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+// Property: inversion residual on random shifted complex matrices.
+func TestQuickInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randShifted(rng, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return Mul(inv, a).MaxAbsDiff(Eye(n)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package zselinv
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"pselinv/internal/etree"
+	"pselinv/internal/ordering"
+	"pselinv/internal/sparse"
+	"pselinv/internal/zdense"
+)
+
+func analyze(g *sparse.Generated, opt etree.Options) *etree.Analysis {
+	perm := ordering.Compute(ordering.NestedDissection, g.A, g.Geom)
+	return etree.Analyze(g.A.Permute(perm), perm, opt)
+}
+
+// denseShiftedInverse builds (A − zI)⁻¹ densely as the reference.
+func denseShiftedInverse(t *testing.T, an *etree.Analysis, z complex128) *zdense.Matrix {
+	t.Helper()
+	n := an.A.N
+	d := zdense.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for k := an.A.ColPtr[j]; k < an.A.ColPtr[j+1]; k++ {
+			d.Set(an.A.RowIdx[k], j, complex(an.A.Val[k], 0))
+		}
+	}
+	for i := 0; i < n; i++ {
+		d.Add(i, i, -z)
+	}
+	inv, err := zdense.Inverse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inv
+}
+
+func checkAgainstDense(t *testing.T, an *etree.Analysis, z complex128, tol float64) {
+	t.Helper()
+	res, err := SelInvShifted(an, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := denseShiftedInverse(t, an, z)
+	part := an.BP.Part
+	for key, b := range res.Ainv {
+		r0, c0 := part.Start[key.I], part.Start[key.J]
+		for c := 0; c < b.Cols; c++ {
+			for r := 0; r < b.Rows; r++ {
+				if d := cmplx.Abs(b.At(r, c) - want.At(r0+r, c0+c)); d > tol {
+					t.Fatalf("z=%v block (%d,%d): diff %g", z, key.I, key.J, d)
+				}
+			}
+		}
+	}
+}
+
+func TestComplexSelInvMatchesDense(t *testing.T) {
+	an := analyze(sparse.Grid2D(6, 6, 3), etree.Options{Relax: 2, MaxWidth: 8})
+	for _, z := range []complex128{
+		complex(0, 1), complex(2, 3), complex(-1, 0.5), complex(0.5, -2),
+	} {
+		checkAgainstDense(t, an, z, 1e-8)
+	}
+}
+
+func TestComplexSelInvVariousMatrices(t *testing.T) {
+	for _, g := range []*sparse.Generated{
+		sparse.Banded(15, 2, 1),
+		sparse.RandomSym(30, 4, 2),
+		sparse.DG2D(3, 3, 3, 5),
+		sparse.RandomAsym(25, 3, 9),
+	} {
+		an := analyze(g, etree.Options{MaxWidth: 6})
+		checkAgainstDense(t, an, complex(1, 2), 1e-8)
+	}
+}
+
+func TestComplexEntryLookup(t *testing.T) {
+	an := analyze(sparse.Banded(10, 1, 4), etree.Options{MaxWidth: 2})
+	z := complex(0, 1.5)
+	res, err := SelInvShifted(an, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := denseShiftedInverse(t, an, z)
+	for i := 0; i < an.A.N; i++ {
+		v, ok := res.Entry(i, i)
+		if !ok {
+			t.Fatalf("diagonal entry %d missing", i)
+		}
+		if cmplx.Abs(v-want.At(i, i)) > 1e-9 {
+			t.Fatalf("entry %d: %v want %v", i, v, want.At(i, i))
+		}
+	}
+}
+
+func TestComplexLogDet(t *testing.T) {
+	// Compare |det| via pivoted dense LU: real parts of LogDet must agree
+	// (the imaginary part is branch-dependent through the pivot product).
+	an := analyze(sparse.Grid2D(4, 4, 7), etree.Options{MaxWidth: 4})
+	z := complex(0.5, 1)
+	res, err := SelInvShifted(an, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := an.A.N
+	d := zdense.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for k := an.A.ColPtr[j]; k < an.A.ColPtr[j+1]; k++ {
+			d.Set(an.A.RowIdx[k], j, complex(an.A.Val[k], 0))
+		}
+	}
+	for i := 0; i < n; i++ {
+		d.Add(i, i, -z)
+	}
+	if _, err := zdense.LUPartialPivot(d); err != nil {
+		t.Fatal(err)
+	}
+	wantRe := 0.0
+	for i := 0; i < n; i++ {
+		wantRe += real(cmplx.Log(d.At(i, i)))
+	}
+	got := res.LogDet()
+	if diff := real(got) - wantRe; diff > 1e-8 || diff < -1e-8 {
+		t.Fatalf("Re(LogDet) = %g, want %g", real(got), wantRe)
+	}
+}
+
+func TestComplexSelInvSymmetryOfInverse(t *testing.T) {
+	// A symmetric (complex-shifted symmetric) matrix has a symmetric
+	// inverse: (A−zI)⁻¹ᵀ = (A−zI)⁻¹ for symmetric A.
+	an := analyze(sparse.Grid2D(5, 5, 2), etree.Options{MaxWidth: 5})
+	res, err := SelInvShifted(an, complex(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, b := range res.Ainv {
+		mirror, ok := res.Block(key.J, key.I)
+		if !ok {
+			t.Fatalf("mirror of (%d,%d) missing", key.I, key.J)
+		}
+		for c := 0; c < b.Cols; c++ {
+			for r := 0; r < b.Rows; r++ {
+				if cmplx.Abs(b.At(r, c)-mirror.At(c, r)) > 1e-9 {
+					t.Fatalf("inverse not symmetric at block (%d,%d)", key.I, key.J)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkComplexSelInvGrid8(b *testing.B) {
+	an := analyze(sparse.Grid2D(8, 8, 1), etree.Options{Relax: 2, MaxWidth: 8})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelInvShifted(an, complex(0.5, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,496 @@
+// Package pselinv is a Go reproduction of the parallel selected inversion
+// system of Jacquelin, Yang, Lin and Wichmann, "Enhancing Scalability and
+// Load Balancing of Parallel Selected Inversion via Tree-Based
+// Asynchronous Communication" (IPDPS 2016).
+//
+// Given a sparse symmetric matrix A, selected inversion computes the
+// entries {(A⁻¹)ᵢⱼ : Aᵢⱼ ≠ 0} — the quantity needed by pole expansion
+// (PEXSI) electronic-structure calculations — without forming the full
+// inverse. The package provides:
+//
+//   - synthetic matrix generators standing in for the paper's test set,
+//   - fill-reducing orderings, supernodal symbolic analysis and a block
+//     LU factorization,
+//   - a sequential selected inversion (Algorithm 1 of the paper),
+//   - a distributed-memory parallel selected inversion running on a
+//     simulated MPI world of goroutine ranks, with restricted collective
+//     communication organized as Flat, Binary or Shifted Binary trees
+//     (the paper's contribution), and per-rank communication-volume
+//     accounting,
+//   - a discrete-event network simulator reproducing the paper's
+//     strong-scaling experiments on laptop hardware.
+//
+// Quickstart:
+//
+//	m := pselinv.Grid2D(16, 16, 1)
+//	sys, _ := pselinv.NewSystem(m, pselinv.Options{})
+//	inv, _ := sys.SelInv()
+//	d, _ := inv.Entry(0, 0) // (A⁻¹)₀₀
+//
+//	par, _ := sys.ParallelSelInv(64, pselinv.ShiftedBinaryTree, 1)
+//	fmt.Println(par.MaxSentMB()) // communication balance
+package pselinv
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pselinv/internal/blockmat"
+	"pselinv/internal/core"
+	"pselinv/internal/etree"
+	"pselinv/internal/factor"
+	"pselinv/internal/netsim"
+	"pselinv/internal/ordering"
+	"pselinv/internal/pexsi"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/pselinv"
+	"pselinv/internal/selinv"
+	"pselinv/internal/simmpi"
+	"pselinv/internal/sparse"
+	"pselinv/internal/trace"
+)
+
+// Matrix is a sparse symmetric matrix accepted by the solver pipeline.
+type Matrix struct {
+	gen *sparse.Generated
+}
+
+// N returns the matrix dimension.
+func (m *Matrix) N() int { return m.gen.A.N }
+
+// NNZ returns the stored nonzero count.
+func (m *Matrix) NNZ() int { return m.gen.A.NNZ() }
+
+// Name returns the matrix's descriptive name.
+func (m *Matrix) Name() string { return m.gen.Name }
+
+// Grid2D returns the 5-point Laplacian on an nx×ny grid with randomized
+// symmetric values (diagonally dominant).
+func Grid2D(nx, ny int, seed int64) *Matrix {
+	return &Matrix{gen: sparse.Grid2D(nx, ny, seed)}
+}
+
+// Grid3D returns the 7-point Laplacian on an nx×ny×nz grid.
+func Grid3D(nx, ny, nz int, seed int64) *Matrix {
+	return &Matrix{gen: sparse.Grid3D(nx, ny, nz, seed)}
+}
+
+// DG2D emulates a 2D discontinuous-Galerkin Hamiltonian (the character of
+// the paper's DG_PNF14000): dofs unknowns per element, dense coupling to
+// the 8 surrounding elements.
+func DG2D(nx, ny, dofs int, seed int64) *Matrix {
+	return &Matrix{gen: sparse.DG2D(nx, ny, dofs, seed)}
+}
+
+// FE3D emulates a 3D finite-element matrix (the character of audikw_1).
+func FE3D(nx, ny, nz, dofs int, seed int64) *Matrix {
+	return &Matrix{gen: sparse.FE3D(nx, ny, nz, dofs, seed)}
+}
+
+// Banded returns a symmetric banded matrix with half-bandwidth bw.
+func Banded(n, bw int, seed int64) *Matrix {
+	return &Matrix{gen: sparse.Banded(n, bw, seed)}
+}
+
+// RandomSym returns a random structurally symmetric diagonally dominant
+// matrix with about avgDeg off-diagonals per row.
+func RandomSym(n, avgDeg int, seed int64) *Matrix {
+	return &Matrix{gen: sparse.RandomSym(n, avgDeg, seed)}
+}
+
+// RandomAsym returns a random structurally symmetric matrix with
+// asymmetric values, exercising the general selected-inversion path.
+func RandomAsym(n, avgDeg int, seed int64) *Matrix {
+	return &Matrix{gen: sparse.RandomAsym(n, avgDeg, seed)}
+}
+
+// Asymmetrize perturbs the off-diagonal values asymmetrically (pattern
+// unchanged, A ≠ Aᵀ) and restores diagonal dominance; the solver then uses
+// the general communication pattern automatically.
+func (m *Matrix) Asymmetrize(seed int64, eps float64) *Matrix {
+	m.gen = sparse.Asymmetrize(m.gen, seed, eps)
+	return m
+}
+
+// IsSymmetric reports whether the matrix has symmetric values.
+func (m *Matrix) IsSymmetric() bool { return m.gen.A.IsSymmetric(0) }
+
+// FromMatrixMarket reads a coordinate MatrixMarket stream. The matrix must
+// be structurally symmetric; values may be asymmetric (the general
+// communication path is used automatically in that case).
+func FromMatrixMarket(r io.Reader, name string) (*Matrix, error) {
+	a, err := sparse.ReadMatrixMarket(r)
+	if err != nil {
+		return nil, err
+	}
+	if !a.IsStructurallySymmetric() {
+		return nil, fmt.Errorf("pselinv: %s: matrix pattern is not structurally symmetric", name)
+	}
+	return &Matrix{gen: &sparse.Generated{A: a, Name: name}}, nil
+}
+
+// WriteMatrixMarket writes the matrix in MatrixMarket coordinate format.
+func (m *Matrix) WriteMatrixMarket(w io.Writer) error {
+	return sparse.WriteMatrixMarket(w, m.gen.A)
+}
+
+// OrderingMethod selects the fill-reducing ordering.
+type OrderingMethod = ordering.Method
+
+// Fill-reducing orderings.
+const (
+	OrderNatural          = ordering.Natural
+	OrderRCM              = ordering.RCM
+	OrderNestedDissection = ordering.NestedDissection
+	OrderMinimumDegree    = ordering.MinimumDegree
+)
+
+// Scheme selects the restricted-collective tree construction (§III of the
+// paper).
+type Scheme = core.Scheme
+
+// Tree schemes.
+const (
+	// FlatTree is the centralized scheme of PSelInv v0.7.3.
+	FlatTree = core.FlatTree
+	// BinaryTree is the recursive-halving binary tree.
+	BinaryTree = core.BinaryTree
+	// ShiftedBinaryTree is the paper's randomized circular-shift heuristic.
+	ShiftedBinaryTree = core.ShiftedBinaryTree
+	// RandomPermTree fully permutes participants (ablation; rejected by
+	// the paper for destroying locality).
+	RandomPermTree = core.RandomPermTree
+	// Hybrid is flat below a size threshold and shifted above (§IV-B).
+	Hybrid = core.Hybrid
+)
+
+// Options configures the analysis phase.
+type Options struct {
+	// Ordering defaults to nested dissection.
+	Ordering OrderingMethod
+	// Relax is the supernode amalgamation slack (rows of tolerated
+	// artificial fill); 0 uses a practical default.
+	Relax int
+	// MaxWidth caps supernode width; 0 uses a practical default.
+	MaxWidth int
+	// Timeout bounds each parallel run; 0 means 5 minutes.
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Relax == 0 {
+		o.Relax = 4
+	}
+	if o.MaxWidth == 0 {
+		o.MaxWidth = 48
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 5 * time.Minute
+	}
+	return o
+}
+
+// System is an analyzed and factorized problem, ready for selected
+// inversion (sequential, parallel or simulated).
+type System struct {
+	m         *Matrix
+	opt       Options
+	an        *etree.Analysis
+	lu        *factor.LU
+	symmetric bool
+}
+
+// NewSystem orders, analyzes and factorizes the matrix. Symmetry of the
+// values is detected automatically and selects the communication pattern
+// of the distributed phase (the paper's symmetric path, or the general
+// path with explicit upper-triangle broadcasts and reductions).
+func NewSystem(m *Matrix, opt Options) (*System, error) {
+	opt = opt.withDefaults()
+	if !m.gen.A.IsStructurallySymmetric() {
+		return nil, fmt.Errorf("pselinv: %s: pattern must be structurally symmetric", m.Name())
+	}
+	perm := ordering.Compute(opt.Ordering, m.gen.A, m.gen.Geom)
+	an := etree.Analyze(m.gen.A.Permute(perm), perm,
+		etree.Options{Relax: opt.Relax, MaxWidth: opt.MaxWidth})
+	lu, err := factor.Factorize(an.A, an.BP)
+	if err != nil {
+		return nil, fmt.Errorf("pselinv: factorization of %s failed: %w", m.Name(), err)
+	}
+	return &System{m: m, opt: opt, an: an, lu: lu, symmetric: m.gen.A.IsSymmetric(1e-14)}, nil
+}
+
+// Symmetric reports whether the system uses the symmetric-value fast path.
+func (s *System) Symmetric() bool { return s.symmetric }
+
+// LogAbsDet returns log|det A|, a free byproduct of the factorization that
+// PEXSI uses for chemical-potential bisection.
+func (s *System) LogAbsDet() float64 { return s.lu.LogAbsDet() }
+
+// NumSupernodes returns the supernode count of the analysis.
+func (s *System) NumSupernodes() int { return s.an.BP.NumSnodes() }
+
+// FactorNNZ returns the scalar nonzero count of the block pattern of L
+// (the nnz_LU the paper reports per matrix, halved for symmetry).
+func (s *System) FactorNNZ() int64 { return s.an.BP.NNZScalars() }
+
+// Inverse provides access to the selected elements of A⁻¹ in the
+// matrix's original index space.
+type Inverse struct {
+	an   *etree.Analysis
+	ainv *blockmat.BlockMatrix
+}
+
+// Entry returns (A⁻¹)ᵢⱼ for original indices, with ok reporting whether
+// the entry is part of the computed selected set.
+func (inv *Inverse) Entry(i, j int) (v float64, ok bool) {
+	n := len(inv.an.PermTotal)
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return 0, false
+	}
+	pi, pj := inv.an.PermTotal[i], inv.an.PermTotal[j]
+	part := inv.an.BP.Part
+	bi, bj := part.SnodeOf[pi], part.SnodeOf[pj]
+	b, present := inv.ainv.Get(bi, bj)
+	if !present {
+		return 0, false
+	}
+	return b.At(pi-part.Start[bi], pj-part.Start[bj]), true
+}
+
+// Diagonal returns diag(A⁻¹) in the original ordering — the quantity PEXSI
+// consumes.
+func (inv *Inverse) Diagonal() []float64 {
+	n := len(inv.an.PermTotal)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v, ok := inv.Entry(i, i)
+		if !ok {
+			panic(fmt.Sprintf("pselinv: diagonal entry %d missing from selected inverse", i))
+		}
+		d[i] = v
+	}
+	return d
+}
+
+// SelInv computes the selected inverse sequentially (the reference
+// Algorithm 1).
+func (s *System) SelInv() (*Inverse, error) {
+	res := selinv.SelInv(s.lu)
+	return &Inverse{an: s.an, ainv: res.Ainv}, nil
+}
+
+// ParallelResult is the outcome of a distributed run: the inverse plus the
+// per-rank communication-volume measurements the paper's evaluation is
+// built on.
+type ParallelResult struct {
+	*Inverse
+	world *simmpi.World
+	grid  *procgrid.Grid
+	// Elapsed is the wall-clock time of the parallel section.
+	Elapsed time.Duration
+}
+
+// Procs returns the number of simulated ranks.
+func (r *ParallelResult) Procs() int { return r.world.P }
+
+// GridDims returns the Pr×Pc processor grid shape.
+func (r *ParallelResult) GridDims() (pr, pc int) { return r.grid.Pr, r.grid.Pc }
+
+// ColBcastSentMB returns the per-rank volume (MB) sent during Col-Bcast —
+// the metric of Table I and Figures 4–6.
+func (r *ParallelResult) ColBcastSentMB() []float64 {
+	return toMB(r.world.VolumeVector(simmpi.ClassColBcast, true))
+}
+
+// RowReduceRecvMB returns the per-rank volume (MB) received during
+// Row-Reduce — the metric of Table II and Figure 7.
+func (r *ParallelResult) RowReduceRecvMB() []float64 {
+	return toMB(r.world.VolumeVector(simmpi.ClassRowReduce, false))
+}
+
+// TotalSentMB returns the per-rank total sent volume in MB.
+func (r *ParallelResult) TotalSentMB() []float64 {
+	out := make([]float64, r.world.P)
+	for i := range out {
+		out[i] = float64(r.world.TotalSent(i)) / 1e6
+	}
+	return out
+}
+
+// MaxSentMB returns the largest per-rank sent volume — the load-balance
+// headline number.
+func (r *ParallelResult) MaxSentMB() float64 {
+	m := 0.0
+	for _, v := range r.TotalSentMB() {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func toMB(bs []int64) []float64 {
+	out := make([]float64, len(bs))
+	for i, b := range bs {
+		out[i] = float64(b) / 1e6
+	}
+	return out
+}
+
+// ParallelSelInv runs the distributed engine on procs simulated ranks
+// (arranged on the most square grid) with the given tree scheme and shift
+// seed. The result is bit-identical to SelInv up to floating-point
+// summation order.
+func (s *System) ParallelSelInv(procs int, scheme Scheme, seed uint64) (*ParallelResult, error) {
+	g := procgrid.Squarish(procs)
+	return s.ParallelSelInvOnGrid(g.Pr, g.Pc, scheme, seed)
+}
+
+// ParallelSelInvOnGrid is ParallelSelInv with an explicit Pr×Pc grid.
+func (s *System) ParallelSelInvOnGrid(pr, pc int, scheme Scheme, seed uint64) (*ParallelResult, error) {
+	res, _, err := s.parallelRun(pr, pc, scheme, seed, nil)
+	return res, err
+}
+
+// TraceReport gives access to the per-rank execution timeline of a traced
+// parallel run.
+type TraceReport struct {
+	rec *trace.Recorder
+}
+
+// Summary renders per-kind span counts, totals and mean rank utilization.
+func (t *TraceReport) Summary() string { return t.rec.Summarize().String() }
+
+// WriteChromeTrace emits the timeline in Chrome trace-event JSON (open in
+// chrome://tracing or Perfetto).
+func (t *TraceReport) WriteChromeTrace(w io.Writer) error { return t.rec.WriteChromeTrace(w) }
+
+// ParallelSelInvTraced is ParallelSelInv with timeline recording: it
+// additionally returns the execution trace of the run.
+func (s *System) ParallelSelInvTraced(procs int, scheme Scheme, seed uint64) (*ParallelResult, *TraceReport, error) {
+	g := procgrid.Squarish(procs)
+	rec := trace.NewRecorder()
+	res, _, err := s.parallelRun(g.Pr, g.Pc, scheme, seed, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &TraceReport{rec: rec}, nil
+}
+
+func (s *System) parallelRun(pr, pc int, scheme Scheme, seed uint64, rec *trace.Recorder) (*ParallelResult, *trace.Recorder, error) {
+	grid := procgrid.New(pr, pc)
+	plan := core.NewPlanFull(s.an.BP, grid, scheme, seed, core.DefaultHybridThreshold, s.symmetric)
+	eng := pselinv.NewEngine(plan, s.lu)
+	eng.Trace = rec
+	res, err := eng.Run(s.opt.Timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &ParallelResult{
+		Inverse: &Inverse{an: s.an, ainv: res.Ainv},
+		world:   res.World,
+		grid:    grid,
+		Elapsed: res.Elapsed,
+	}, rec, nil
+}
+
+// SimParams is the cost model of the timing simulator; the zero value
+// selects Cray-XC30-like defaults.
+type SimParams struct {
+	// Seed controls placement/network inhomogeneity; vary across runs for
+	// error bars.
+	Seed uint64
+	// CoresPerNode is the ranks-per-node packing (default 24, as Edison).
+	CoresPerNode int
+	// FlopRate is the effective per-rank compute rate, flop/s.
+	FlopRate float64
+}
+
+// TimingResult is the outcome of a simulated run.
+type TimingResult struct {
+	// Seconds is the simulated makespan.
+	Seconds float64
+	// ComputeSeconds is the mean per-rank CPU-busy time.
+	ComputeSeconds float64
+	// CommSeconds is the remainder (communication and waiting).
+	CommSeconds float64
+	// Messages and Bytes summarize the simulated traffic.
+	Messages int64
+	Bytes    int64
+}
+
+// Pole is one pole-expansion term: diag((A + Shift·I)⁻¹) scaled by Weight.
+type Pole = pexsi.Pole
+
+// FermiPoles returns a real-shift pole set emulating the structure of a
+// Fermi–Dirac rational approximation (geometric shifts, decaying weights,
+// normalized).
+func FermiPoles(count int, minShift, ratio float64) []Pole {
+	return pexsi.FermiPoles(count, minShift, ratio)
+}
+
+// PoleExpansionDensity runs the PEXSI-style workload that motivates the
+// paper: one parallel selected inversion per pole, each on its own
+// simulated processor group (executed concurrently), accumulating the
+// density estimate Σ wₗ diag((A+σₗI)⁻¹) in the matrix's original ordering.
+func PoleExpansionDensity(m *Matrix, poles []Pole, procsPerPole int, scheme Scheme, seed uint64) ([]float64, error) {
+	res, err := pexsi.Run(m.gen, pexsi.Config{
+		Poles:        poles,
+		ProcsPerPole: procsPerPole,
+		Scheme:       scheme,
+		Seed:         seed,
+		Relax:        4,
+		MaxWidth:     48,
+		Parallel:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Density, nil
+}
+
+// FermiOperatorDensity evaluates diag f(A) for the Fermi–Dirac function
+// f(ε) = 1/(1+e^{β(ε−μ)}) by a truncated Matsubara pole expansion with
+// numPoles complex poles, each evaluated with the complex-shift selected
+// inversion (poles run concurrently). This is the true form of the PEXSI
+// workload; see PoleExpansionDensity for the real-shift emulation run on
+// the distributed engine.
+func FermiOperatorDensity(m *Matrix, beta, mu float64, numPoles int) ([]float64, error) {
+	res, err := pexsi.RunComplex(m.gen, pexsi.ComplexConfig{
+		Poles:    pexsi.MatsubaraPoles(numPoles, beta, mu),
+		Relax:    4,
+		MaxWidth: 48,
+		Parallel: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Density, nil
+}
+
+// SimulateTiming predicts the wall-clock behaviour of a run on procs ranks
+// under the network cost model — the substitute for the paper's Edison
+// measurements (Figures 8 and 9).
+func (s *System) SimulateTiming(procs int, scheme Scheme, sp SimParams) *TimingResult {
+	params := netsim.DefaultParams()
+	if sp.Seed != 0 {
+		params.Seed = sp.Seed
+	}
+	if sp.CoresPerNode > 0 {
+		params.CoresPerNode = sp.CoresPerNode
+	}
+	if sp.FlopRate > 0 {
+		params.FlopRate = sp.FlopRate
+	}
+	grid := procgrid.Squarish(procs)
+	plan := core.NewPlanFull(s.an.BP, grid, scheme, 1, core.DefaultHybridThreshold, s.symmetric)
+	res := netsim.Simulate(plan, params)
+	return &TimingResult{
+		Seconds:        res.Makespan,
+		ComputeSeconds: res.MeanCompute(),
+		CommSeconds:    res.CommTime(),
+		Messages:       res.MsgCount,
+		Bytes:          res.BytesMoved,
+	}
+}

@@ -1,0 +1,340 @@
+package pselinv
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pselinv/internal/dense"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	m := Grid2D(8, 8, 1)
+	sys, err := NewSystem(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := sys.SelInv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inv.Diagonal()
+	if len(d) != m.N() {
+		t.Fatalf("diagonal length %d, want %d", len(d), m.N())
+	}
+	for i, v := range d {
+		if v <= 0 {
+			// A is symmetric diagonally dominant with positive diagonal =>
+			// positive definite => positive diagonal inverse entries.
+			t.Fatalf("diag[%d] = %g, want > 0", i, v)
+		}
+	}
+}
+
+func TestEntryMatchesDenseInverse(t *testing.T) {
+	m := RandomSym(30, 4, 2)
+	sys, err := NewSystem(m, Options{Ordering: OrderMinimumDegree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := sys.SelInv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense inverse in the ORIGINAL ordering.
+	want, err := dense.Inverse(m.gen.A.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.gen.A
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			got, ok := inv.Entry(i, j)
+			if !ok {
+				t.Fatalf("selected entry (%d,%d) missing", i, j)
+			}
+			if math.Abs(got-want.At(i, j)) > 1e-8 {
+				t.Fatalf("entry (%d,%d): got %g want %g", i, j, got, want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestEntryOutOfRangeAndOutsidePattern(t *testing.T) {
+	m := Banded(12, 1, 3)
+	sys, err := NewSystem(m, Options{Ordering: OrderNatural, MaxWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, _ := sys.SelInv()
+	if _, ok := inv.Entry(-1, 0); ok {
+		t.Fatal("negative index accepted")
+	}
+	if _, ok := inv.Entry(0, 99); ok {
+		t.Fatal("out-of-range index accepted")
+	}
+	// Entry (0, 11) of a tridiagonal system is far outside the selected
+	// pattern under the natural ordering.
+	if _, ok := inv.Entry(0, 11); ok {
+		t.Fatal("entry far outside the pattern reported as selected")
+	}
+}
+
+func TestParallelMatchesSequentialPublicAPI(t *testing.T) {
+	m := Grid2D(7, 6, 4)
+	sys, err := NewSystem(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := sys.SelInv()
+	for _, scheme := range []Scheme{FlatTree, BinaryTree, ShiftedBinaryTree, Hybrid} {
+		par, err := sys.ParallelSelInv(12, scheme, 5)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if par.Procs() != 12 {
+			t.Fatalf("Procs = %d", par.Procs())
+		}
+		a := m.gen.A
+		for j := 0; j < a.N; j++ {
+			for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+				i := a.RowIdx[k]
+				sv, _ := seq.Entry(i, j)
+				pv, ok := par.Entry(i, j)
+				if !ok || math.Abs(sv-pv) > 1e-9 {
+					t.Fatalf("%v: entry (%d,%d) parallel %g vs sequential %g", scheme, i, j, pv, sv)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelVolumesExposed(t *testing.T) {
+	m := Grid2D(9, 9, 8)
+	sys, err := NewSystem(m, Options{MaxWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sys.ParallelSelInvOnGrid(4, 4, ShiftedBinaryTree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr, pc := par.GridDims(); pr != 4 || pc != 4 {
+		t.Fatalf("grid %dx%d", pr, pc)
+	}
+	cb := par.ColBcastSentMB()
+	rr := par.RowReduceRecvMB()
+	if len(cb) != 16 || len(rr) != 16 {
+		t.Fatal("volume vectors sized wrong")
+	}
+	sum := 0.0
+	for _, v := range cb {
+		sum += v
+	}
+	if sum <= 0 {
+		t.Fatal("no Col-Bcast volume")
+	}
+	if par.MaxSentMB() <= 0 {
+		t.Fatal("MaxSentMB not positive")
+	}
+}
+
+func TestSimulateTiming(t *testing.T) {
+	m := Grid2D(10, 10, 1)
+	sys, err := NewSystem(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sys.SimulateTiming(64, ShiftedBinaryTree, SimParams{Seed: 2})
+	if tr.Seconds <= 0 || tr.Messages <= 0 || tr.Bytes <= 0 {
+		t.Fatalf("timing result degenerate: %+v", tr)
+	}
+	if tr.ComputeSeconds <= 0 || tr.CommSeconds < 0 {
+		t.Fatalf("breakdown degenerate: %+v", tr)
+	}
+}
+
+func TestMatrixMarketRoundTripPublicAPI(t *testing.T) {
+	m := RandomSym(20, 3, 7)
+	var buf bytes.Buffer
+	if err := m.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FromMatrixMarket(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.N() != m.N() || m2.NNZ() != m.NNZ() {
+		t.Fatal("round trip changed the matrix")
+	}
+	if m2.Name() != "roundtrip" {
+		t.Fatal("name not set")
+	}
+}
+
+func TestFromMatrixMarketRejectsStructurallyAsymmetric(t *testing.T) {
+	// Entry (2,1) has no structural mirror (1,2): rejected.
+	in := "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 2\n2 1 -1\n2 2 2\n"
+	if _, err := FromMatrixMarket(bytes.NewReader([]byte(in)), "bad"); err == nil {
+		t.Fatal("structurally asymmetric matrix accepted")
+	}
+}
+
+func TestFromMatrixMarketAcceptsValueAsymmetric(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n2 2 4\n1 1 4\n2 1 -1\n1 2 -2\n2 2 5\n"
+	m, err := FromMatrixMarket(bytes.NewReader([]byte(in)), "asym")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsSymmetric() {
+		t.Fatal("value-asymmetric matrix reported symmetric")
+	}
+}
+
+func TestAsymmetricPublicAPI(t *testing.T) {
+	m := RandomAsym(40, 4, 3)
+	sys, err := NewSystem(m, Options{Ordering: OrderMinimumDegree, MaxWidth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Symmetric() {
+		t.Fatal("asymmetric matrix classified as symmetric")
+	}
+	seq, err := sys.SelInv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sys.ParallelSelInv(9, ShiftedBinaryTree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.gen.A
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			sv, ok1 := seq.Entry(i, j)
+			pv, ok2 := par.Entry(i, j)
+			if !ok1 || !ok2 || math.Abs(sv-pv) > 1e-9 {
+				t.Fatalf("asym entry (%d,%d): seq %v/%v par %v/%v", i, j, sv, ok1, pv, ok2)
+			}
+		}
+	}
+	// Verify against the dense inverse in the original ordering.
+	want, err := dense.Inverse(a.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			pv, _ := par.Entry(i, j)
+			if math.Abs(pv-want.At(i, j)) > 1e-8 {
+				t.Fatalf("asym entry (%d,%d) wrong vs dense inverse", i, j)
+			}
+		}
+	}
+}
+
+func TestAsymmetrizeRoundTrip(t *testing.T) {
+	m := Grid2D(6, 6, 1)
+	if !m.IsSymmetric() {
+		t.Fatal("generator should be symmetric")
+	}
+	m.Asymmetrize(5, 0.5)
+	if m.IsSymmetric() {
+		t.Fatal("Asymmetrize left values symmetric")
+	}
+	sys, err := NewSystem(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Symmetric() {
+		t.Fatal("system should use the general path")
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	m := Grid3D(4, 4, 4, 9)
+	sys, err := NewSystem(m, Options{Relax: 2, MaxWidth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumSupernodes() <= 0 {
+		t.Fatal("no supernodes")
+	}
+	if sys.FactorNNZ() < int64(m.NNZ()) {
+		t.Fatalf("factor nnz %d below matrix nnz %d", sys.FactorNNZ(), m.NNZ())
+	}
+}
+
+func TestPoleExpansionDensityPublicAPI(t *testing.T) {
+	m := Grid2D(5, 5, 6)
+	poles := FermiPoles(3, 1, 2)
+	d, err := PoleExpansionDensity(m, poles, 4, ShiftedBinaryTree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != m.N() {
+		t.Fatalf("density length %d", len(d))
+	}
+	// Reference via dense inversion of each shifted system.
+	want := make([]float64, m.N())
+	for _, p := range poles {
+		shifted := m.gen.A.AddDiagonal(p.Shift)
+		inv, err := dense.Inverse(shifted.ToDense())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			want[i] += p.Weight * inv.At(i, i)
+		}
+	}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-8 {
+			t.Fatalf("density[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+}
+
+func TestTracedRunPublicAPI(t *testing.T) {
+	m := Grid2D(8, 8, 2)
+	sys, err := NewSystem(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, rep, err := sys.ParallelSelInvTraced(9, ShiftedBinaryTree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Procs() != 9 {
+		t.Fatalf("procs %d", par.Procs())
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 10 {
+		t.Fatal("empty chrome trace")
+	}
+	if rep.Summary() == "" {
+		t.Fatal("empty trace summary")
+	}
+}
+
+func TestFermiOperatorDensityPublicAPI(t *testing.T) {
+	m := Grid2D(4, 4, 8)
+	// μ far above the (positive, bounded) spectrum: all states occupied.
+	d, err := FermiOperatorDensity(m, 0.5, 200, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != m.N() {
+		t.Fatalf("density length %d", len(d))
+	}
+	for i, v := range d {
+		if math.Abs(v-1) > 0.2 {
+			t.Fatalf("density[%d] = %g, want ≈1 for μ ≫ spec(A)", i, v)
+		}
+	}
+}
