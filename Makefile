@@ -1,0 +1,37 @@
+# Developer entry points. The repo is stdlib-only; everything runs with a
+# plain Go toolchain.
+
+GO ?= go
+
+.PHONY: all build test tier1 bench bench-gemm vet race clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# tier1 is the gate run by CI and before every merge: vet plus the race
+# detector over the packages with concurrency (the simulated-MPI substrate,
+# the parallel engine, and the worker-pool dense kernels).
+tier1: vet
+	$(GO) test -race ./internal/simmpi/... ./internal/pselinv/... ./internal/dense/...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The kernel throughput sweep recorded in BENCH_gemm.json.
+bench-gemm:
+	$(GO) test -run XXX -bench 'BenchmarkGemm$$|BenchmarkGemmNaive|BenchmarkTrsmBlocked' \
+		-benchtime 300ms ./internal/dense/
+
+bench:
+	$(GO) test -run XXX -bench 'EndToEnd' -benchtime 300x .
+
+clean:
+	$(GO) clean ./...

@@ -220,8 +220,10 @@ func BenchmarkEndToEndParallel16(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.ParallelSelInv(16, ShiftedBinaryTree, uint64(i)); err != nil {
+		res, err := sys.ParallelSelInv(16, ShiftedBinaryTree, uint64(i))
+		if err != nil {
 			b.Fatal(err)
 		}
+		res.Release()
 	}
 }

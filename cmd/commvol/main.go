@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"pselinv/internal/core"
+	"pselinv/internal/dense"
 	"pselinv/internal/exp"
 	"pselinv/internal/procgrid"
 	"pselinv/internal/sparse"
@@ -45,10 +46,12 @@ var (
 	flagCSV    = flag.Bool("csv", false, "emit heat maps as CSV instead of ASCII")
 	flagPr     = flag.Int("pr", 24, "main grid dimension (Pr = Pc)")
 	flag46     = flag.Bool("table1paper", false, "Table I on the paper's literal 46x46 grid via the analytic volume model (no engine run)")
+	flagWork   = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
 )
 
 func main() {
 	flag.Parse()
+	fmt.Printf("dense kernel workers: %d\n", dense.SetWorkers(*flagWork))
 	if *flagAll {
 		*flagTable1, *flagTable2 = true, true
 		*flagFig4, *flagFig5, *flagFig6, *flagFig7 = true, true, true, true

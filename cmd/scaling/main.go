@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"pselinv/internal/core"
+	"pselinv/internal/dense"
 	"pselinv/internal/exp"
 	"pselinv/internal/netsim"
 	"pselinv/internal/procgrid"
@@ -38,10 +39,12 @@ var (
 	flagAll    = flag.Bool("all", false, "run everything")
 	flagQuick  = flag.Bool("quick", false, "fewer processor counts and seeds")
 	flagSeeds  = flag.Int("seeds", 6, "placement seeds per point (paper: 6 runs)")
+	flagWork   = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
 )
 
 func main() {
 	flag.Parse()
+	fmt.Printf("dense kernel workers: %d\n", dense.SetWorkers(*flagWork))
 	if *flagAll {
 		*flagFig8, *flagFig9, *flagHybrid, *flagAsym = true, true, true, true
 	}

@@ -92,6 +92,13 @@ func (m *BlockMatrix) Keys() []Key {
 	return ks
 }
 
+// Range calls fn for every stored block in unspecified order.
+func (m *BlockMatrix) Range(fn func(Key, *dense.Matrix)) {
+	for k, b := range m.blocks {
+		fn(k, b)
+	}
+}
+
 // Clone returns a deep copy.
 func (m *BlockMatrix) Clone() *BlockMatrix {
 	c := New(m.Part)

@@ -81,12 +81,22 @@ func Eye(n int) *Matrix {
 // Transpose returns aᵀ as a new matrix.
 func (a *Matrix) Transpose() *Matrix {
 	t := NewMatrix(a.Cols, a.Rows)
+	a.TransposeInto(t)
+	return t
+}
+
+// TransposeInto writes aᵀ into t, which must be a.Cols×a.Rows; pair it with
+// GetMatrixUninit to transpose without allocating.
+func (a *Matrix) TransposeInto(t *Matrix) {
+	if t.Rows != a.Cols || t.Cols != a.Rows {
+		panic("dense: shape mismatch in TransposeInto")
+	}
 	for j := 0; j < a.Cols; j++ {
-		for i := 0; i < a.Rows; i++ {
-			t.Set(j, i, a.At(i, j))
+		col := a.Data[j*a.Rows : (j+1)*a.Rows]
+		for i, v := range col {
+			t.Data[j+i*t.Rows] = v
 		}
 	}
-	return t
 }
 
 // Equal reports whether a and b have identical shape and entries within tol.
@@ -131,8 +141,32 @@ func (a *Matrix) Norm1() float64 {
 	return best
 }
 
-// NormInf returns the maximum absolute row sum.
-func (a *Matrix) NormInf() float64 { return a.Transpose().Norm1() }
+// NormInf returns the maximum absolute row sum, accumulated in place
+// (no transposed copy): row sums build up column by column so the sweep
+// stays contiguous in the column-major data.
+func (a *Matrix) NormInf() float64 {
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
+	}
+	sums := GetBuf(a.Rows)
+	for i := range sums {
+		sums[i] = 0
+	}
+	for j := 0; j < a.Cols; j++ {
+		col := a.Data[j*a.Rows : (j+1)*a.Rows]
+		for i, v := range col {
+			sums[i] += math.Abs(v)
+		}
+	}
+	best := 0.0
+	for _, s := range sums {
+		if s > best {
+			best = s
+		}
+	}
+	PutBuf(sums)
+	return best
+}
 
 // MaxAbs returns max |a_ij|, or 0 for an empty matrix.
 func (a *Matrix) MaxAbs() float64 {
@@ -172,104 +206,6 @@ const (
 	DoTrans Trans = true
 )
 
-// Gemm computes c = alpha*op(a)*op(b) + beta*c where op is identity or
-// transpose per ta, tb. Shapes must conform; c must be preallocated.
-func Gemm(ta, tb Trans, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
-	am, ak := a.Rows, a.Cols
-	if ta == DoTrans {
-		am, ak = ak, am
-	}
-	bk, bn := b.Rows, b.Cols
-	if tb == DoTrans {
-		bk, bn = bn, bk
-	}
-	if ak != bk || c.Rows != am || c.Cols != bn {
-		panic(fmt.Sprintf("dense: Gemm shape mismatch op(a)=%dx%d op(b)=%dx%d c=%dx%d",
-			am, ak, bk, bn, c.Rows, c.Cols))
-	}
-	if beta != 1 {
-		if beta == 0 {
-			c.Zero()
-		} else {
-			c.Scale(beta)
-		}
-	}
-	if alpha == 0 {
-		return
-	}
-	// Four loop orders specialized for cache-friendly column-major access.
-	switch {
-	case ta == NoTrans && tb == NoTrans:
-		for j := 0; j < bn; j++ {
-			cj := c.Data[j*c.Rows : (j+1)*c.Rows]
-			for p := 0; p < ak; p++ {
-				bpj := alpha * b.Data[p+j*b.Rows]
-				if bpj == 0 {
-					continue
-				}
-				ap := a.Data[p*a.Rows : (p+1)*a.Rows]
-				for i := 0; i < am; i++ {
-					cj[i] += bpj * ap[i]
-				}
-			}
-		}
-	case ta == DoTrans && tb == NoTrans:
-		for j := 0; j < bn; j++ {
-			bj := b.Data[j*b.Rows : (j+1)*b.Rows]
-			cj := c.Data[j*c.Rows : (j+1)*c.Rows]
-			for i := 0; i < am; i++ {
-				ai := a.Data[i*a.Rows : (i+1)*a.Rows] // column i of a == row i of aᵀ
-				s := 0.0
-				for p := 0; p < ak; p++ {
-					s += ai[p] * bj[p]
-				}
-				cj[i] += alpha * s
-			}
-		}
-	case ta == NoTrans && tb == DoTrans:
-		for p := 0; p < ak; p++ {
-			ap := a.Data[p*a.Rows : (p+1)*a.Rows]
-			for j := 0; j < bn; j++ {
-				bjp := alpha * b.Data[j+p*b.Rows]
-				if bjp == 0 {
-					continue
-				}
-				cj := c.Data[j*c.Rows : (j+1)*c.Rows]
-				for i := 0; i < am; i++ {
-					cj[i] += bjp * ap[i]
-				}
-			}
-		}
-	default: // DoTrans, DoTrans
-		for j := 0; j < bn; j++ {
-			cj := c.Data[j*c.Rows : (j+1)*c.Rows]
-			for i := 0; i < am; i++ {
-				ai := a.Data[i*a.Rows : (i+1)*a.Rows]
-				s := 0.0
-				for p := 0; p < ak; p++ {
-					s += ai[p] * b.Data[j+p*b.Rows]
-				}
-				cj[i] += alpha * s
-			}
-		}
-	}
-}
-
-// Mul returns op(a)*op(b) as a fresh matrix.
-func Mul(ta, tb Trans, a, b *Matrix) *Matrix {
-	am := a.Rows
-	if ta == DoTrans {
-		am = a.Cols
-	}
-	bn := b.Cols
-	if tb == DoTrans {
-		bn = b.Rows
-	}
-	c := NewMatrix(am, bn)
-	Gemm(ta, tb, 1, a, b, 0, c)
-	return c
-}
-
 // Side selects which side a triangular operand appears on in Trsm.
 type Side int
 
@@ -299,105 +235,6 @@ const (
 	// Unit assumes a unit diagonal regardless of stored values.
 	Unit
 )
-
-// Trsm solves a triangular system in place, overwriting b with the solution X:
-//
-//	side == Left:  op(t) * X = b
-//	side == Right: X * op(t) = b
-//
-// t must be square and its relevant dimension must match b.
-func Trsm(side Side, uplo UpLo, tt Trans, diag Diag, t, b *Matrix) {
-	n := t.Rows
-	if t.Cols != n {
-		panic("dense: Trsm triangular operand not square")
-	}
-	if side == Left && b.Rows != n || side == Right && b.Cols != n {
-		panic("dense: Trsm shape mismatch")
-	}
-	// Effective triangle after transposition.
-	effLower := (uplo == Lower) != (tt == DoTrans)
-	at := func(i, j int) float64 {
-		if tt == DoTrans {
-			return t.At(j, i)
-		}
-		return t.At(i, j)
-	}
-	if side == Left {
-		// Solve op(t) X = b column by column.
-		for j := 0; j < b.Cols; j++ {
-			x := b.Data[j*b.Rows : (j+1)*b.Rows]
-			if effLower {
-				for i := 0; i < n; i++ {
-					s := x[i]
-					for k := 0; k < i; k++ {
-						s -= at(i, k) * x[k]
-					}
-					if diag == NonUnit {
-						s /= at(i, i)
-					}
-					x[i] = s
-				}
-			} else {
-				for i := n - 1; i >= 0; i-- {
-					s := x[i]
-					for k := i + 1; k < n; k++ {
-						s -= at(i, k) * x[k]
-					}
-					if diag == NonUnit {
-						s /= at(i, i)
-					}
-					x[i] = s
-				}
-			}
-		}
-		return
-	}
-	// side == Right: X op(t) = b, solve row by row of X. Equivalent to
-	// op(t)ᵀ Xᵀ = bᵀ; iterate over columns of op(t).
-	m := b.Rows
-	if effLower {
-		// X[:,j] determined from highest j downward: b_j = sum_{k>=j} X_k t_kj.
-		for j := n - 1; j >= 0; j-- {
-			xj := b.Data[j*m : (j+1)*m]
-			for k := j + 1; k < n; k++ {
-				tkj := at(k, j)
-				if tkj == 0 {
-					continue
-				}
-				xk := b.Data[k*m : (k+1)*m]
-				for i := 0; i < m; i++ {
-					xj[i] -= tkj * xk[i]
-				}
-			}
-			if diag == NonUnit {
-				d := at(j, j)
-				for i := 0; i < m; i++ {
-					xj[i] /= d
-				}
-			}
-		}
-	} else {
-		for j := 0; j < n; j++ {
-			xj := b.Data[j*m : (j+1)*m]
-			for k := 0; k < j; k++ {
-				tkj := at(k, j)
-				if tkj == 0 {
-					continue
-				}
-				xk := b.Data[k*m : (k+1)*m]
-				for i := 0; i < m; i++ {
-					xj[i] -= tkj * xk[i]
-				}
-			}
-			if diag == NonUnit {
-				d := at(j, j)
-				for i := 0; i < m; i++ {
-					xj[i] /= d
-				}
-			}
-		}
-	}
-}
 
 // LU factors a in place without pivoting: on return the strict lower
 // triangle holds L (unit diagonal implicit) and the upper triangle holds U.

@@ -1,0 +1,257 @@
+package dense
+
+import "fmt"
+
+// Cache-blocking parameters (in float64 elements). A kc×nc panel of packed
+// B streams from L3, an mc×kc panel of packed A sits in L2, and the kernel
+// walks mr-row / nr-column strips that live in L1. DESIGN.md discusses the
+// choices.
+const (
+	blockMC = 128
+	blockKC = 256
+	blockNC = 1024
+
+	// smallGemmFlops: below this (2·m·n·k) the packing overhead of the
+	// blocked path exceeds its benefit and the naive loops win; measured
+	// crossover on the reference machine is near an 8–10 wide product.
+	smallGemmFlops = 1 << 11
+
+	// parallelGemmFlops: below this a GEMM stays on the caller's
+	// goroutine, so small operations pay no dispatch overhead and the
+	// engine's P rank goroutines don't oversubscribe the machine.
+	parallelGemmFlops = 1 << 22
+
+	// minParallelCols is the smallest column stripe handed to a worker.
+	minParallelCols = 32
+)
+
+// view is a window into a column-major operand with an explicit leading
+// dimension and an optional transposition: element (i, j) of op(X) is
+// data[i+j*ld] when !t and data[j+i*ld] when t. The blocked kernels operate
+// on views so TRSM can address sub-blocks of the triangle without copying.
+type view struct {
+	data []float64
+	ld   int
+	r, c int // dims of op(X)
+	t    bool
+}
+
+func fullView(m *Matrix, tr Trans) view {
+	r, c := m.Rows, m.Cols
+	if tr == DoTrans {
+		r, c = c, r
+	}
+	return view{data: m.Data, ld: m.Rows, r: r, c: c, t: tr == DoTrans}
+}
+
+// cols restricts the view to columns [j0, j1) of op(X).
+func (v view) cols(j0, j1 int) view {
+	w := v
+	w.c = j1 - j0
+	if j0 == 0 {
+		return w
+	}
+	if v.t {
+		w.data = v.data[j0:]
+	} else {
+		w.data = v.data[j0*v.ld:]
+	}
+	return w
+}
+
+// rows restricts the view to rows [i0, i1) of op(X).
+func (v view) rows(i0, i1 int) view {
+	w := v
+	w.r = i1 - i0
+	if i0 == 0 {
+		return w
+	}
+	if v.t {
+		w.data = v.data[i0*v.ld:]
+	} else {
+		w.data = v.data[i0:]
+	}
+	return w
+}
+
+// Gemm computes c = alpha*op(a)*op(b) + beta*c where op is identity or
+// transpose per ta, tb. Shapes must conform; c must be preallocated.
+//
+// Large products run through the cache-blocked register-tiled kernel and,
+// above parallelGemmFlops, are split across the package worker pool (see
+// SetWorkers); small products use the naive reference loops directly.
+func Gemm(ta, tb Trans, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	am, ak := a.Rows, a.Cols
+	if ta == DoTrans {
+		am, ak = ak, am
+	}
+	bk, bn := b.Rows, b.Cols
+	if tb == DoTrans {
+		bk, bn = bn, bk
+	}
+	if ak != bk || c.Rows != am || c.Cols != bn {
+		panic(fmt.Sprintf("dense: Gemm shape mismatch op(a)=%dx%d op(b)=%dx%d c=%dx%d",
+			am, ak, bk, bn, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	if alpha == 0 || am == 0 || bn == 0 || ak == 0 {
+		return
+	}
+	flops := 2 * int64(am) * int64(bn) * int64(ak)
+	if flops <= smallGemmFlops {
+		gemmNaive(ta, tb, alpha, a, b, c)
+		return
+	}
+	av, bv := fullView(a, ta), fullView(b, tb)
+	cv := view{data: c.Data, ld: c.Rows, r: am, c: bn}
+	if flops < parallelGemmFlops {
+		gemmBlocked(alpha, av, bv, cv)
+		return
+	}
+	parallelRanges(bn, minParallelCols, func(j0, j1 int) {
+		gemmBlocked(alpha, av, bv.cols(j0, j1), cv.cols(j0, j1))
+	})
+}
+
+// gemmBlocked runs the three-level blocked loop nest over one C stripe:
+// cv += alpha*av*bv. Pack buffers come from the package arena, so the
+// steady state allocates nothing.
+func gemmBlocked(alpha float64, av, bv, cv view) {
+	m, n, k := av.r, bv.c, av.c
+	mcMax := min(blockMC, (m+mr-1)/mr*mr)
+	ncMax := min(blockNC, (n+nr-1)/nr*nr)
+	kcMax := min(blockKC, k)
+	apack := GetBuf(mcMax * kcMax)
+	bpack := GetBuf(ncMax * kcMax)
+	for jc := 0; jc < n; jc += blockNC {
+		nc := min(blockNC, n-jc)
+		for pc := 0; pc < k; pc += blockKC {
+			kc := min(blockKC, k-pc)
+			packB(bv, pc, kc, jc, nc, bpack)
+			for ic := 0; ic < m; ic += blockMC {
+				mc := min(blockMC, m-ic)
+				packA(av, ic, mc, pc, kc, apack)
+				for jr := 0; jr < nc; jr += nr {
+					nrr := min(nr, nc-jr)
+					bstrip := bpack[(jr/nr)*kc*nr:]
+					for ir := 0; ir < mc; ir += mr {
+						mrr := min(mr, mc-ir)
+						astrip := apack[(ir/mr)*kc*mr:]
+						if mrr == mr && nrr == nr {
+							microKernel(kc, alpha, astrip, bstrip,
+								cv.data[(ic+ir)+(jc+jr)*cv.ld:], cv.ld)
+							continue
+						}
+						// Edge tile: compute the full mr×nr tile into a
+						// scratch block (packed panels are zero-padded),
+						// then add only the in-range entries.
+						var tmp [mr * nr]float64
+						microKernel(kc, alpha, astrip, bstrip, tmp[:], mr)
+						for j := 0; j < nrr; j++ {
+							cj := cv.data[(ic+ir)+(jc+jr+j)*cv.ld:]
+							for i := 0; i < mrr; i++ {
+								cj[i] += tmp[j*mr+i]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	PutBuf(bpack)
+	PutBuf(apack)
+}
+
+// packA copies the mc×kc panel of op(A) starting at (i0, p0) into mr-row
+// strips: strip s holds rows [s*mr, s*mr+mr) k-major, dst[s*mr*kc + p*mr + r],
+// zero-padded past mc.
+func packA(v view, i0, mc, p0, kc int, dst []float64) {
+	for s := 0; s*mr < mc; s++ {
+		base := s * mr * kc
+		rows := min(mr, mc-s*mr)
+		if !v.t {
+			for p := 0; p < kc; p++ {
+				src := v.data[(i0+s*mr)+(p0+p)*v.ld:]
+				d := dst[base+p*mr : base+p*mr+mr : base+p*mr+mr]
+				for r := 0; r < rows; r++ {
+					d[r] = src[r]
+				}
+				for r := rows; r < mr; r++ {
+					d[r] = 0
+				}
+			}
+		} else {
+			// op(A)(i, p) = stored (p, i): stored column i0+s*mr+r is
+			// contiguous in p.
+			for r := 0; r < rows; r++ {
+				src := v.data[p0+(i0+s*mr+r)*v.ld:]
+				for p := 0; p < kc; p++ {
+					dst[base+p*mr+r] = src[p]
+				}
+			}
+			for r := rows; r < mr; r++ {
+				for p := 0; p < kc; p++ {
+					dst[base+p*mr+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB copies the kc×nc panel of op(B) starting at (p0, j0) into nr-column
+// strips: strip s holds columns [s*nr, s*nr+nr) k-major, dst[s*nr*kc + p*nr + c],
+// zero-padded past nc.
+func packB(v view, p0, kc, j0, nc int, dst []float64) {
+	for s := 0; s*nr < nc; s++ {
+		base := s * nr * kc
+		cols := min(nr, nc-s*nr)
+		if !v.t {
+			// op(B)(p, j) = stored (p, j): stored column j0+s*nr+c is
+			// contiguous in p.
+			for c := 0; c < cols; c++ {
+				src := v.data[p0+(j0+s*nr+c)*v.ld:]
+				for p := 0; p < kc; p++ {
+					dst[base+p*nr+c] = src[p]
+				}
+			}
+			for c := cols; c < nr; c++ {
+				for p := 0; p < kc; p++ {
+					dst[base+p*nr+c] = 0
+				}
+			}
+		} else {
+			// op(B)(p, j) = stored (j, p): row slice of stored column p0+p.
+			for p := 0; p < kc; p++ {
+				src := v.data[(j0+s*nr)+(p0+p)*v.ld:]
+				d := dst[base+p*nr : base+p*nr+nr : base+p*nr+nr]
+				for c := 0; c < cols; c++ {
+					d[c] = src[c]
+				}
+				for c := cols; c < nr; c++ {
+					d[c] = 0
+				}
+			}
+		}
+	}
+}
+
+// Mul returns op(a)*op(b) as a fresh matrix.
+func Mul(ta, tb Trans, a, b *Matrix) *Matrix {
+	am := a.Rows
+	if ta == DoTrans {
+		am = a.Cols
+	}
+	bn := b.Cols
+	if tb == DoTrans {
+		bn = b.Rows
+	}
+	c := NewMatrix(am, bn)
+	Gemm(ta, tb, 1, a, b, 0, c)
+	return c
+}

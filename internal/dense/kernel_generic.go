@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package dense
+
+// hasAsmKernel is false on architectures without an assembly micro-kernel;
+// the portable Go tile kernel is used instead.
+const hasAsmKernel = false
+
+func microKernel(kc int, alpha float64, a, b, c []float64, ldc int) {
+	microKernelGo(kc, alpha, a, b, c, ldc)
+}

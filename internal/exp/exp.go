@@ -99,6 +99,9 @@ func MeasureVolumes(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, see
 			total[r] = stats.MB(res.World.TotalSent(r))
 		}
 		m.TotalSent = total
+		// Only the volume counters are kept; recycle the inverse's blocks
+		// so the per-scheme runs reuse each other's storage.
+		res.Release()
 		out = append(out, m)
 	}
 	return out, nil

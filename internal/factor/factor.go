@@ -159,9 +159,24 @@ func (lu *LU) LogAbsDet() float64 {
 // DiagInverse returns (A_KK)⁻¹ = U_KK⁻¹ · L_KK⁻¹ computed from the packed
 // diagonal factor of supernode k.
 func (lu *LU) DiagInverse(k int) *dense.Matrix {
+	inv := dense.NewMatrix(lu.Diag[k].Rows, lu.Diag[k].Rows)
+	lu.DiagInverseTo(k, inv)
+	return inv
+}
+
+// DiagInverseTo computes (A_KK)⁻¹ into inv, overwriting its contents; inv
+// must already have the supernode's square shape. Pair it with the dense
+// arena (GetMatrixUninit) to compute diagonal inverses without allocating.
+func (lu *LU) DiagInverseTo(k int, inv *dense.Matrix) {
 	dk := lu.Diag[k]
-	inv := dense.Eye(dk.Rows)
+	if inv.Rows != dk.Rows || inv.Cols != dk.Rows {
+		panic(fmt.Sprintf("factor: DiagInverseTo target %dx%d, want %dx%d",
+			inv.Rows, inv.Cols, dk.Rows, dk.Rows))
+	}
+	inv.Zero()
+	for i := 0; i < dk.Rows; i++ {
+		inv.Set(i, i, 1)
+	}
 	dense.Trsm(dense.Left, dense.Lower, dense.NoTrans, dense.Unit, dk, inv)
 	dense.Trsm(dense.Left, dense.Upper, dense.NoTrans, dense.NonUnit, dk, inv)
-	return inv
 }

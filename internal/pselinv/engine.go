@@ -202,12 +202,24 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 
 // RunResult carries the outcome of a distributed run.
 type RunResult struct {
-	// Ainv is the selected inverse gathered from all ranks.
+	// Ainv is the selected inverse gathered from all ranks. Its blocks are
+	// arena-backed; call Release when they are no longer referenced so
+	// repeated runs recycle their storage.
 	Ainv *blockmat.BlockMatrix
 	// World retains the per-rank, per-class communication volume counters.
 	World *simmpi.World
 	// Elapsed is the wall-clock duration of the parallel section.
 	Elapsed time.Duration
+}
+
+// Release returns the gathered A⁻¹ blocks to the dense kernel arena. The
+// Ainv field (and any matrix obtained from it) must not be used afterwards.
+func (rr *RunResult) Release() {
+	if rr.Ainv == nil {
+		return
+	}
+	rr.Ainv.Range(func(_ blockmat.Key, b *dense.Matrix) { dense.PutMatrix(b) })
+	rr.Ainv = nil
 }
 
 // Run executes the two passes on a fresh world and gathers the result.
@@ -235,11 +247,15 @@ func (e *Engine) Run(timeout time.Duration) (*RunResult, error) {
 		for key, m := range st.ainv {
 			gathered.Set(key.I, key.J, m)
 		}
+		st.release()
 	}
 	return &RunResult{Ainv: gathered, World: world, Elapsed: elapsed}, nil
 }
 
-// redState tracks one in-flight reduction at one rank.
+// redState tracks one in-flight reduction at one rank. sum is arena-backed
+// and becomes nil at completion: ownership moves to the parent's mailbox
+// (non-root), to the finalized ainv block (row/col root), or back to the
+// arena (diag root).
 type redState struct {
 	sum          *dense.Matrix
 	localPending int
@@ -294,6 +310,33 @@ func matFromData(rows, cols int, data []float64) *dense.Matrix {
 		panic(fmt.Sprintf("pselinv: payload %d does not match %dx%d block", len(data), rows, cols))
 	}
 	return &dense.Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// addPayload accumulates a raw reduce payload into sum without wrapping it
+// in a matrix header.
+func addPayload(sum *dense.Matrix, data []float64) {
+	if len(data) != len(sum.Data) {
+		panic(fmt.Sprintf("pselinv: reduce payload %d does not match %dx%d sum",
+			len(data), sum.Rows, sum.Cols))
+	}
+	for i, v := range data {
+		sum.Data[i] += v
+	}
+}
+
+// release returns this rank's engine-owned scratch — the normalized L̂/Û
+// copies made in pass 1 — to the kernel arena. It must run only after every
+// rank has finished: broadcast maps on other ranks alias these buffers
+// zero-copy. bcastL/bcastU/diagFact are aliases (of a peer's L̂/Û or of the
+// factorization's diagonal blocks) and are deliberately not released;
+// finalized A⁻¹ blocks are owned by the RunResult.
+func (st *rankState) release() {
+	for _, m := range st.lhat {
+		dense.PutMatrix(m)
+	}
+	for _, m := range st.uhat {
+		dense.PutMatrix(m)
+	}
 }
 
 // --- Pass 1: diagonal broadcast + TRSM normalization -----------------------
@@ -352,7 +395,7 @@ func (st *rankState) doTrsms(k int) {
 			panic(fmt.Sprintf("pselinv: plan references missing L block (%d,%d)", i, k))
 		}
 		end := st.e.Trace.Span(st.r.ID, "trsm", k)
-		x := lb.Clone()
+		x := dense.GetMatrixCopy(lb)
 		dense.Trsm(dense.Right, dense.Lower, dense.NoTrans, dense.Unit, dk, x)
 		st.lhat[blockKey{i, k}] = x
 		end()
@@ -369,7 +412,7 @@ func (st *rankState) doTrsmsU(k int) {
 			panic(fmt.Sprintf("pselinv: plan references missing U block (%d,%d)", k, i))
 		}
 		end := st.e.Trace.Span(st.r.ID, "trsm-u", k)
-		x := ub.Clone()
+		x := dense.GetMatrixCopy(ub)
 		dense.Trsm(dense.Left, dense.Upper, dense.NoTrans, dense.NonUnit, dk, x)
 		st.uhat[blockKey{k, i}] = x
 		end()
@@ -382,7 +425,8 @@ func (st *rankState) runPass2() {
 	// Initial local actions: leaf diagonals and cross-sends of ready L̂.
 	for _, k := range st.prog.leafDiags {
 		end := st.e.Trace.Span(st.r.ID, "diag-inverse", k)
-		inv := st.e.LU.DiagInverse(k)
+		inv := dense.GetMatrixUninit(st.width(k), st.width(k))
+		st.e.LU.DiagInverseTo(k, inv)
 		end()
 		st.finalize(blockKey{k, k}, inv)
 	}
@@ -444,21 +488,28 @@ func (st *rankState) handle(msg simmpi.Message) {
 		}
 		st.bcastArrived(k, i, lh)
 	case core.OpRowReduce:
+		// A child's partial sum: accumulate it, then recycle the payload —
+		// reduce sends transfer ownership of their buffer to the receiver.
 		j := blk
 		red := st.getRowRed(k, j)
-		red.sum.AddScaled(1, matFromData(st.width(j), st.width(k), msg.Data))
+		addPayload(red.sum, msg.Data)
+		dense.PutBuf(msg.Data)
 		red.childPending--
 		st.maybeCompleteRow(k, j, red)
 	case core.OpDiagReduce:
 		red := st.getDiagRed(k)
-		red.sum.AddScaled(1, matFromData(st.width(k), st.width(k), msg.Data))
+		addPayload(red.sum, msg.Data)
+		dense.PutBuf(msg.Data)
 		red.childPending--
 		st.maybeCompleteDiag(k, red)
 	case core.OpSymmSend:
 		// Finalized A⁻¹_{J,K} arrives at the owner of (K, J); mirror it.
+		// The payload is the sender's finalized block (not ours to recycle).
 		j := blk
 		low := matFromData(st.width(j), st.width(k), msg.Data)
-		st.finalize(blockKey{k, j}, low.Transpose())
+		up := dense.GetMatrixUninit(low.Cols, low.Rows)
+		low.TransposeInto(up)
+		st.finalize(blockKey{k, j}, up)
 	case core.OpCrossSendU:
 		// I'm the owner of (I, K): the row-broadcast root. Store Û_{K,I},
 		// start the Row-Bcast, and — since I'm also the Row-Reduce root
@@ -483,7 +534,8 @@ func (st *rankState) handle(msg simmpi.Message) {
 	case core.OpColReduce:
 		j := blk
 		red := st.getColRed(k, j)
-		red.sum.AddScaled(1, matFromData(st.width(k), st.width(j), msg.Data))
+		addPayload(red.sum, msg.Data)
+		dense.PutBuf(msg.Data)
 		red.childPending--
 		st.maybeCompleteCol(k, j, red)
 	default:
@@ -532,7 +584,7 @@ func (st *rankState) getColRed(k, j int) *redState {
 	sp := st.e.Plan.Snodes[k]
 	tr := sp.ColReduces[cIndex(sp.C, j)].Tree
 	red := &redState{
-		sum:          dense.NewMatrix(st.width(k), st.width(j)),
+		sum:          dense.GetMatrix(st.width(k), st.width(j)),
 		localPending: st.prog.colLocal[key],
 		childPending: len(tr.Children(st.r.ID)),
 	}
@@ -551,10 +603,13 @@ func (st *rankState) maybeCompleteCol(k, j int, red *redState) {
 	op := &sp.ColReduces[cIndex(sp.C, j)]
 	me := st.r.ID
 	if me != op.Tree.Root {
+		// The buffer travels up the tree; the parent recycles it.
 		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassColReduce, red.sum.Data)
+		red.sum = nil
 		return
 	}
 	m := red.sum
+	red.sum = nil // ownership moves to ainv (released via RunResult.Release)
 	m.Scale(-1)
 	st.finalize(blockKey{k, j}, m)
 }
@@ -637,7 +692,7 @@ func (st *rankState) getRowRed(k, j int) *redState {
 	sp := st.e.Plan.Snodes[k]
 	tr := sp.RowReduces[cIndex(sp.C, j)].Tree
 	red := &redState{
-		sum:          dense.NewMatrix(st.width(j), st.width(k)),
+		sum:          dense.GetMatrix(st.width(j), st.width(k)),
 		localPending: st.prog.rowLocal[key],
 		childPending: len(tr.Children(st.r.ID)),
 	}
@@ -651,7 +706,7 @@ func (st *rankState) getDiagRed(k int) *redState {
 	}
 	tr := st.e.Plan.Snodes[k].DiagReduce.Tree
 	red := &redState{
-		sum:          dense.NewMatrix(st.width(k), st.width(k)),
+		sum:          dense.GetMatrix(st.width(k), st.width(k)),
 		localPending: st.prog.diagLocal[k],
 		childPending: len(tr.Children(st.r.ID)),
 	}
@@ -671,11 +726,14 @@ func (st *rankState) maybeCompleteRow(k, j int, red *redState) {
 	op := &sp.RowReduces[cIndex(sp.C, j)]
 	me := st.r.ID
 	if me != op.Tree.Root {
+		// The buffer travels up the tree; the parent recycles it.
 		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassRowReduce, red.sum.Data)
+		red.sum = nil
 		return
 	}
 	// Root: A⁻¹_{J,K} = −(accumulated sum).
 	m := red.sum
+	red.sum = nil // ownership moves to ainv (released via RunResult.Release)
 	m.Scale(-1)
 	st.finalize(blockKey{j, k}, m)
 	if !st.e.Plan.Symmetric {
@@ -711,12 +769,17 @@ func (st *rankState) maybeCompleteDiag(k int, red *redState) {
 	op := st.e.Plan.Snodes[k].DiagReduce
 	me := st.r.ID
 	if me != op.Tree.Root {
+		// The buffer travels up the tree; the parent recycles it.
 		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassDiagReduce, red.sum.Data)
+		red.sum = nil
 		return
 	}
 	end := st.e.Trace.Span(st.r.ID, "diag-inverse", k)
-	diag := st.e.LU.DiagInverse(k)
+	diag := dense.GetMatrixUninit(st.width(k), st.width(k))
+	st.e.LU.DiagInverseTo(k, diag)
 	diag.AddScaled(-1, red.sum)
 	end()
+	dense.PutMatrix(red.sum)
+	red.sum = nil
 	st.finalize(blockKey{k, k}, diag)
 }

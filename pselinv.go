@@ -38,6 +38,7 @@ import (
 
 	"pselinv/internal/blockmat"
 	"pselinv/internal/core"
+	"pselinv/internal/dense"
 	"pselinv/internal/etree"
 	"pselinv/internal/factor"
 	"pselinv/internal/netsim"
@@ -293,6 +294,18 @@ type ParallelResult struct {
 
 // Procs returns the number of simulated ranks.
 func (r *ParallelResult) Procs() int { return r.world.P }
+
+// Release returns the inverse's block storage to the dense kernel arena so
+// repeated runs recycle their matrices instead of churning the garbage
+// collector. The embedded Inverse must not be used afterwards; the
+// communication-volume accessors remain valid.
+func (r *ParallelResult) Release() {
+	if r.Inverse == nil || r.Inverse.ainv == nil {
+		return
+	}
+	r.Inverse.ainv.Range(func(_ blockmat.Key, b *dense.Matrix) { dense.PutMatrix(b) })
+	r.Inverse = nil
+}
 
 // GridDims returns the Pr×Pc processor grid shape.
 func (r *ParallelResult) GridDims() (pr, pc int) { return r.grid.Pr, r.grid.Pc }
