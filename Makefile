@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 bench bench-gemm vet race clean
+.PHONY: all build test tier1 bench bench-gemm vet race chaos fuzz-smoke clean
 
 all: build test
 
@@ -24,6 +24,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Seeded adversarial-scheduling sweep: every chaos seed must reproduce the
+# unperturbed result bit for bit. SEEDS widens the sweep (default 16).
+SEEDS ?= 16
+chaos:
+	$(GO) test -race -count=1 -run Chaos ./internal/pselinv/ -chaos-seeds $(SEEDS)
+
+# Short coverage-guided fuzz runs of the tree constructions (one target per
+# invocation, as the fuzz engine requires).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/core/ -fuzz FuzzBinaryTree -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -fuzz FuzzShiftedTree -fuzztime $(FUZZTIME)
 
 # The kernel throughput sweep recorded in BENCH_gemm.json.
 bench-gemm:

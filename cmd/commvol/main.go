@@ -25,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"pselinv/internal/chaos"
 	"pselinv/internal/core"
 	"pselinv/internal/dense"
 	"pselinv/internal/exp"
@@ -47,11 +48,24 @@ var (
 	flagPr     = flag.Int("pr", 24, "main grid dimension (Pr = Pc)")
 	flag46     = flag.Bool("table1paper", false, "Table I on the paper's literal 46x46 grid via the analytic volume model (no engine run)")
 	flagWork   = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
+	flagChaos  = flag.Uint64("chaos-seed", 0, "non-zero: run every engine measurement under the seeded chaos adversary (adversarial message reordering; volumes unchanged, numerics forced deterministic)")
 )
+
+// chaosCfg returns the adversary configuration selected by -chaos-seed
+// (nil when the flag is unset).
+func chaosCfg() *chaos.Config {
+	if *flagChaos == 0 {
+		return nil
+	}
+	return &chaos.Config{Seed: *flagChaos, DupDetect: true}
+}
 
 func main() {
 	flag.Parse()
 	fmt.Printf("dense kernel workers: %d\n", dense.SetWorkers(*flagWork))
+	if *flagChaos != 0 {
+		fmt.Printf("chaos adversary active (seed %d): message delivery adversarially reordered, deterministic reductions on\n", *flagChaos)
+	}
 	if *flagAll {
 		*flagTable1, *flagTable2 = true, true
 		*flagFig4, *flagFig5, *flagFig6, *flagFig7 = true, true, true, true
@@ -92,7 +106,7 @@ func main() {
 	}
 	if needMain {
 		var err error
-		mainMs, err = exp.MeasureVolumes(pipe, grid, core.Schemes(), uint64(*flagSeed), 20*time.Minute)
+		mainMs, err = exp.MeasureVolumesChaos(pipe, grid, core.Schemes(), uint64(*flagSeed), 20*time.Minute, chaosCfg())
 		check(err)
 	}
 
@@ -132,7 +146,7 @@ func main() {
 
 	if *flagFig6 {
 		fmt.Printf("== Figure 6: Col-Bcast Flat-Tree heat map on %v ==\n", smallGrid)
-		ms, err := exp.MeasureVolumes(pipe, smallGrid, []core.Scheme{core.FlatTree}, uint64(*flagSeed), 20*time.Minute)
+		ms, err := exp.MeasureVolumesChaos(pipe, smallGrid, []core.Scheme{core.FlatTree}, uint64(*flagSeed), 20*time.Minute, chaosCfg())
 		check(err)
 		s := ms[0].ColBcastSummary()
 		hm := stats.NewHeatMap(smallGrid.Pr, smallGrid.Pc, ms[0].ColBcastSent)
@@ -181,7 +195,7 @@ func main() {
 			p, err := exp.Prepare(g, exp.DefaultRelax, exp.DefaultMaxWidth)
 			check(err)
 			fmt.Printf("%s\n  n=%d nnz(A)=%d nnz(L+U)=%d\n", g.Name, g.A.N, g.A.NNZ(), 2*p.An.BP.NNZScalars())
-			ms, err := exp.MeasureVolumes(p, grid, core.Schemes(), uint64(*flagSeed), 20*time.Minute)
+			ms, err := exp.MeasureVolumesChaos(p, grid, core.Schemes(), uint64(*flagSeed), 20*time.Minute, chaosCfg())
 			check(err)
 			fmt.Printf("  %-22s %10s %10s %10s %10s\n", "Communication tree", "Min", "Max", "Median", "Std.dev")
 			for _, m := range ms {

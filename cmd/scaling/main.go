@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pselinv/internal/core"
 	"pselinv/internal/dense"
@@ -40,11 +41,21 @@ var (
 	flagQuick  = flag.Bool("quick", false, "fewer processor counts and seeds")
 	flagSeeds  = flag.Int("seeds", 6, "placement seeds per point (paper: 6 runs)")
 	flagWork   = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
+	flagChaos  = flag.Uint64("chaos-seed", 0, "non-zero: preflight the real engine under the seeded chaos adversary before simulating (the scaling sweeps themselves are timing-model replays with no live messages)")
 )
 
 func main() {
 	flag.Parse()
 	fmt.Printf("dense kernel workers: %d\n", dense.SetWorkers(*flagWork))
+	if *flagChaos != 0 {
+		fmt.Printf("chaos preflight (seed %d): running the engine under the adversary ... ", *flagChaos)
+		if err := exp.VerifyChaos(*flagChaos, 5*time.Minute); err != nil {
+			fmt.Println("FAILED")
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			os.Exit(1)
+		}
+		fmt.Println("ok (bit-identical to unperturbed run, bytes conserved)")
+	}
 	if *flagAll {
 		*flagFig8, *flagFig9, *flagHybrid, *flagAsym = true, true, true, true
 	}

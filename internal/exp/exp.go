@@ -7,9 +7,13 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"pselinv/internal/blockmat"
+	"pselinv/internal/chaos"
 	"pselinv/internal/core"
+	"pselinv/internal/dense"
 	"pselinv/internal/etree"
 	"pselinv/internal/factor"
 	"pselinv/internal/netsim"
@@ -80,13 +84,31 @@ func (m *VolumeMeasurement) RowReduceSummary() stats.Summary { return stats.Summ
 // identical across schemes (verified by the engine's tests); only the
 // message routing differs.
 func MeasureVolumes(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed uint64, timeout time.Duration) ([]*VolumeMeasurement, error) {
+	return MeasureVolumesChaos(p, grid, schemes, seed, timeout, nil)
+}
+
+// MeasureVolumesChaos is MeasureVolumes under an optional chaos adversary
+// (nil cc means unperturbed). The adversary reorders and skews message
+// delivery but neither adds nor removes traffic, so the measured volumes
+// stay meaningful; deterministic reductions are forced so the numerics are
+// bit-identical to an unperturbed run.
+func MeasureVolumesChaos(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed uint64, timeout time.Duration, cc *chaos.Config) ([]*VolumeMeasurement, error) {
 	out := make([]*VolumeMeasurement, 0, len(schemes))
 	for _, scheme := range schemes {
 		plan := core.NewPlan(p.An.BP, grid, scheme, seed)
 		eng := pselinv.NewEngine(plan, p.LU)
+		if cc != nil {
+			eng.Chaos = cc
+			eng.Deterministic = true
+		}
 		res, err := eng.Run(timeout)
 		if err != nil {
 			return nil, fmt.Errorf("exp: %v on %v: %w", scheme, grid, err)
+		}
+		if cc != nil {
+			if cerr := res.World.CheckConservation(); cerr != nil {
+				return nil, fmt.Errorf("exp: %v on %v: %w", scheme, grid, cerr)
+			}
 		}
 		m := &VolumeMeasurement{
 			Scheme:        scheme,
@@ -105,6 +127,62 @@ func MeasureVolumes(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, see
 		out = append(out, m)
 	}
 	return out, nil
+}
+
+// VerifyChaos is the chaos preflight of the cmd tools: it runs the real
+// engine on a small fixed problem twice — once unperturbed and once under
+// the seeded adversary — in deterministic mode, and fails unless the two
+// results agree bit for bit and both worlds conserve bytes. The scaling
+// experiments themselves go through the timing simulator (no live
+// messages), so this is how a -chaos-seed run establishes that the engine
+// the model stands in for survives that adversarial schedule.
+func VerifyChaos(chaosSeed uint64, timeout time.Duration) error {
+	p, err := Prepare(sparse.Grid2D(8, 8, 2), 2, 6)
+	if err != nil {
+		return err
+	}
+	grid := procgrid.New(4, 4)
+	run := func(cc *chaos.Config) (map[[2]int][]float64, error) {
+		plan := core.NewPlan(p.An.BP, grid, core.ShiftedBinaryTree, 1)
+		eng := pselinv.NewEngine(plan, p.LU)
+		eng.Deterministic = true
+		eng.Chaos = cc
+		res, err := eng.Run(timeout)
+		if err != nil {
+			return nil, err
+		}
+		if cerr := res.World.CheckConservation(); cerr != nil {
+			return nil, cerr
+		}
+		snap := map[[2]int][]float64{}
+		res.Ainv.Range(func(key blockmat.Key, b *dense.Matrix) {
+			snap[[2]int{key.I, key.J}] = append([]float64(nil), b.Data...)
+		})
+		res.Release()
+		return snap, nil
+	}
+	base, err := run(nil)
+	if err != nil {
+		return fmt.Errorf("exp: chaos preflight baseline: %w", err)
+	}
+	perturbed, err := run(&chaos.Config{Seed: chaosSeed, DupDetect: true})
+	if err != nil {
+		return fmt.Errorf("exp: chaos preflight seed %d: %w", chaosSeed, err)
+	}
+	if len(base) != len(perturbed) {
+		return fmt.Errorf("exp: chaos seed %d: %d blocks vs %d in baseline",
+			chaosSeed, len(perturbed), len(base))
+	}
+	for key, want := range base {
+		got := perturbed[key]
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				return fmt.Errorf("exp: chaos seed %d: block (%d,%d) entry %d differs from unperturbed run",
+					chaosSeed, key[0], key[1], i)
+			}
+		}
+	}
+	return nil
 }
 
 // ScalingPoint is one (matrix, P, scheme) strong-scaling measurement over

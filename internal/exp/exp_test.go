@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"pselinv/internal/chaos"
 	"pselinv/internal/core"
 	"pselinv/internal/netsim"
 	"pselinv/internal/procgrid"
@@ -32,6 +33,37 @@ func TestMeasureVolumesSmall(t *testing.T) {
 		if m.RowReduceSummary().Max <= 0 {
 			t.Fatalf("%v: no Row-Reduce traffic", m.Scheme)
 		}
+	}
+}
+
+// TestMeasureVolumesChaosMatchesUnperturbed: the adversary must not change
+// the measured volumes — same messages, different delivery order.
+func TestMeasureVolumesChaosMatchesUnperturbed(t *testing.T) {
+	p, err := Prepare(sparse.Grid2D(8, 8, 1), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := procgrid.New(3, 3)
+	base, err := MeasureVolumes(p, grid, []core.Scheme{core.ShiftedBinaryTree}, 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := MeasureVolumesChaos(p, grid, []core.Scheme{core.ShiftedBinaryTree}, 1,
+		time.Minute, &chaos.Config{Seed: 13, DupDetect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range base[0].ColBcastSent {
+		if base[0].ColBcastSent[r] != perturbed[0].ColBcastSent[r] ||
+			base[0].RowReduceRecv[r] != perturbed[0].RowReduceRecv[r] {
+			t.Fatalf("rank %d: adversary changed measured volumes", r)
+		}
+	}
+}
+
+func TestVerifyChaos(t *testing.T) {
+	if err := VerifyChaos(21, time.Minute); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -114,6 +114,12 @@ func (p *Params) latency(src, dst int) float64 {
 	return l * (1 + p.Jitter*unitHash(p.Seed, na, nb))
 }
 
+// Latency returns the one-way wire latency between two ranks in seconds,
+// including the per-link placement jitter. internal/chaos uses it to skew
+// adversarial message delays with the same inhomogeneity profile the
+// scaling experiments simulate.
+func (p *Params) Latency(src, dst int) float64 { return p.latency(src, dst) }
+
 // linkBW returns the wire transfer bandwidth between two ranks.
 func (p *Params) linkBW(src, dst int) float64 {
 	na, nb := p.node(src), p.node(dst)

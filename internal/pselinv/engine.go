@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"pselinv/internal/blockmat"
+	"pselinv/internal/chaos"
 	"pselinv/internal/core"
 	"pselinv/internal/dense"
 	"pselinv/internal/factor"
@@ -31,7 +32,9 @@ import (
 type blockKey struct{ I, J int }
 
 // gemmDesc is one local matrix product A⁻¹_{J,I}·L̂_{I,K} assigned to a rank.
-type gemmDesc struct{ K, I, J int }
+// Slot is the task's canonical position among the local contributions to
+// its reduction (plan enumeration order), used by deterministic mode.
+type gemmDesc struct{ K, I, J, Slot int }
 
 // rankProgram is the immutable per-rank role description derived centrally
 // from the communication plan (so that setup cost is proportional to the
@@ -51,6 +54,7 @@ type rankProgram struct {
 
 	rowLocal  map[blockKey]int // (K, J) -> local GEMM contributions to Row-Reduce
 	diagLocal map[int]int      // K -> local contributions to Diag-Reduce
+	diagSlot  map[blockKey]int // (K, J) -> canonical slot of that diag contribution
 
 	// Asymmetric (general) path only:
 	trsmUByK   map[int][]int      // K -> block cols I of owned U blocks to normalize
@@ -70,6 +74,17 @@ type Engine struct {
 	// Trace, when non-nil, records a per-rank execution timeline of the
 	// run (see internal/trace); set it before calling Run.
 	Trace *trace.Recorder
+	// Chaos, when non-nil, installs a seeded delivery adversary
+	// (internal/chaos) on each run's world.
+	Chaos *chaos.Config
+	// Deterministic makes the floating-point result independent of message
+	// delivery order: every reduction contribution accumulates into its own
+	// canonical slot and the slots are combined in a fixed order at
+	// completion, instead of summing in arrival order. Runs with the same
+	// inputs are then bit-exact regardless of scheduling — the property the
+	// chaos sweep compares against. Costs one scratch matrix per in-flight
+	// contribution instead of one per reduction.
+	Deterministic bool
 }
 
 // NewEngine derives the per-rank programs from the plan.
@@ -83,6 +98,7 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 			byBlock:   map[blockKey][]int{},
 			rowLocal:  map[blockKey]int{},
 			diagLocal: map[int]int{},
+			diagSlot:  map[blockKey]int{},
 			trsmUByK:  map[int][]int{},
 			byKIU:     map[blockKey][]int{},
 			byBlockU:  map[blockKey][]int{},
@@ -143,7 +159,7 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 				owner := grid.OwnerOfBlock(j, i)
 				pr := progs[owner]
 				ti := len(pr.tasks)
-				pr.tasks = append(pr.tasks, gemmDesc{K: k, I: i, J: j})
+				pr.tasks = append(pr.tasks, gemmDesc{K: k, I: i, J: j, Slot: pr.rowLocal[blockKey{k, j}]})
 				pr.byKI[blockKey{k, i}] = append(pr.byKI[blockKey{k, i}], ti)
 				pr.byBlock[blockKey{j, i}] = append(pr.byBlock[blockKey{j, i}], ti)
 				pr.rowLocal[blockKey{k, j}]++
@@ -151,6 +167,7 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 		}
 		for _, j := range sp.C {
 			pr := progs[grid.OwnerOfBlock(j, k)]
+			pr.diagSlot[blockKey{k, j}] = pr.diagLocal[k]
 			pr.diagLocal[k]++
 		}
 		if !plan.Symmetric {
@@ -189,7 +206,7 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 					owner := grid.OwnerOfBlock(i, j)
 					pr := progs[owner]
 					ti := len(pr.tasksU)
-					pr.tasksU = append(pr.tasksU, gemmDesc{K: k, I: i, J: j})
+					pr.tasksU = append(pr.tasksU, gemmDesc{K: k, I: i, J: j, Slot: pr.colLocal[blockKey{k, j}]})
 					pr.byKIU[blockKey{k, i}] = append(pr.byKIU[blockKey{k, i}], ti)
 					pr.byBlockU[blockKey{i, j}] = append(pr.byBlockU[blockKey{i, j}], ti)
 					pr.colLocal[blockKey{k, j}]++
@@ -223,8 +240,25 @@ func (rr *RunResult) Release() {
 }
 
 // Run executes the two passes on a fresh world and gathers the result.
+// With Chaos set, the world gets a seeded delivery adversary. On error the
+// world is closed; use RunWorld to snapshot a deadlocked world first.
 func (e *Engine) Run(timeout time.Duration) (*RunResult, error) {
 	world := simmpi.NewWorld(e.Plan.Grid.Size())
+	if e.Chaos != nil {
+		chaos.Install(*e.Chaos, world)
+	}
+	res, err := e.RunWorld(world, timeout)
+	if err != nil {
+		world.Close()
+	}
+	return res, err
+}
+
+// RunWorld executes the two passes on a caller-supplied world (with any
+// adversary already installed) and gathers the result. On error the world
+// is NOT closed, so the caller can take a chaos.Snapshot of the stuck ranks
+// and in-flight messages before closing it.
+func (e *Engine) RunWorld(world *simmpi.World, timeout time.Duration) (*RunResult, error) {
 	states := make([]*rankState, world.P)
 	start := time.Now()
 	err := world.Run(timeout, func(r *simmpi.Rank) {
@@ -236,7 +270,6 @@ func (e *Engine) Run(timeout time.Duration) (*RunResult, error) {
 	})
 	elapsed := time.Since(start)
 	if err != nil {
-		world.Close()
 		return nil, err
 	}
 	if cerr := world.CheckConservation(); cerr != nil {
@@ -256,11 +289,79 @@ func (e *Engine) Run(timeout time.Duration) (*RunResult, error) {
 // and becomes nil at completion: ownership moves to the parent's mailbox
 // (non-root), to the finalized ainv block (row/col root), or back to the
 // arena (diag root).
+//
+// In deterministic mode sum stays nil until completion: each contribution
+// lives in its own slot — local contributions first, in plan enumeration
+// order, then one slot per tree child, in child-list order — and
+// combineSlots folds them left-to-right, making the floating-point result
+// independent of arrival order.
 type redState struct {
 	sum          *dense.Matrix
+	slots        []*dense.Matrix // deterministic mode only
+	base         int             // number of local slots (children follow)
 	localPending int
 	childPending int
 	done         bool
+}
+
+// slotFor returns the matrix a local contribution with canonical slot si
+// accumulates into: the shared sum normally, a fresh zeroed slot matrix in
+// deterministic mode.
+func (st *rankState) slotFor(red *redState, si, rows, cols int) *dense.Matrix {
+	if !st.e.Deterministic {
+		return red.sum
+	}
+	if red.slots[si] != nil {
+		panic(fmt.Sprintf("pselinv: reduction slot %d filled twice", si))
+	}
+	m := dense.GetMatrix(rows, cols)
+	red.slots[si] = m
+	return m
+}
+
+// childArrived stores (deterministic) or accumulates (default) a child's
+// partial sum. Reduce payloads transfer buffer ownership to the receiver;
+// deterministic mode keeps the buffer as the slot and recycles it in
+// combineSlots, the default path recycles it immediately.
+func (st *rankState) childArrived(red *redState, tr *core.Tree, src int, rows, cols int, data []float64) {
+	if st.e.Deterministic {
+		ci := -1
+		for x, c := range tr.Children(st.r.ID) {
+			if c == src {
+				ci = x
+				break
+			}
+		}
+		if ci < 0 {
+			panic(fmt.Sprintf("pselinv: reduce message from %d, not a child of %d", src, st.r.ID))
+		}
+		si := red.base + ci
+		if red.slots[si] != nil {
+			panic(fmt.Sprintf("pselinv: child slot %d filled twice", si))
+		}
+		red.slots[si] = matFromData(rows, cols, data)
+	} else {
+		addPayload(red.sum, data)
+		dense.PutBuf(data)
+	}
+	red.childPending--
+}
+
+// combineSlots (deterministic mode) folds the slots left-to-right into a
+// fresh sum and recycles the slot buffers. No-op otherwise.
+func (st *rankState) combineSlots(red *redState, rows, cols int) {
+	if !st.e.Deterministic {
+		return
+	}
+	red.sum = dense.GetMatrix(rows, cols)
+	for si, m := range red.slots {
+		if m == nil {
+			panic(fmt.Sprintf("pselinv: reduction completed with empty slot %d", si))
+		}
+		addPayload(red.sum, m.Data)
+		dense.PutBuf(m.Data)
+	}
+	red.slots = nil
 }
 
 // rankState is the mutable per-rank runtime state.
@@ -452,7 +553,7 @@ func (st *rankState) runPass2() {
 }
 
 func decodeKey(tag uint64) (kind core.OpKind, k, blk int) {
-	return core.OpKind(tag >> 48), int((tag >> 24) & 0xffffff), int(tag & 0xffffff)
+	return core.DecodeOpKey(tag)
 }
 
 // cIndex locates blk within the sorted C of a supernode plan.
@@ -492,15 +593,12 @@ func (st *rankState) handle(msg simmpi.Message) {
 		// reduce sends transfer ownership of their buffer to the receiver.
 		j := blk
 		red := st.getRowRed(k, j)
-		addPayload(red.sum, msg.Data)
-		dense.PutBuf(msg.Data)
-		red.childPending--
+		tr := sp.RowReduces[cIndex(sp.C, j)].Tree
+		st.childArrived(red, tr, msg.Src, st.width(j), st.width(k), msg.Data)
 		st.maybeCompleteRow(k, j, red)
 	case core.OpDiagReduce:
 		red := st.getDiagRed(k)
-		addPayload(red.sum, msg.Data)
-		dense.PutBuf(msg.Data)
-		red.childPending--
+		st.childArrived(red, sp.DiagReduce.Tree, msg.Src, st.width(k), st.width(k), msg.Data)
 		st.maybeCompleteDiag(k, red)
 	case core.OpSymmSend:
 		// Finalized A⁻¹_{J,K} arrives at the owner of (K, J); mirror it.
@@ -534,9 +632,8 @@ func (st *rankState) handle(msg simmpi.Message) {
 	case core.OpColReduce:
 		j := blk
 		red := st.getColRed(k, j)
-		addPayload(red.sum, msg.Data)
-		dense.PutBuf(msg.Data)
-		red.childPending--
+		tr := sp.ColReduces[cIndex(sp.C, j)].Tree
+		st.childArrived(red, tr, msg.Src, st.width(k), st.width(j), msg.Data)
 		st.maybeCompleteCol(k, j, red)
 	default:
 		panic(fmt.Sprintf("pselinv: unexpected %v message in pass 2", kind))
@@ -570,10 +667,23 @@ func (st *rankState) tryRunU(ti int) {
 	st.taskUDone[ti] = true
 	red := st.getColRed(t.K, t.J)
 	end := st.e.Trace.Span(st.r.ID, "gemm-u", t.K)
-	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uh, av, 1, red.sum)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uh, av, 1,
+		st.slotFor(red, t.Slot, st.width(t.K), st.width(t.J)))
 	end()
 	red.localPending--
 	st.maybeCompleteCol(t.K, t.J, red)
+}
+
+// newRedState builds a reduction's tracking state: the shared sum in the
+// default mode, the empty canonical slot array in deterministic mode.
+func (st *rankState) newRedState(rows, cols, local, children int) *redState {
+	red := &redState{localPending: local, childPending: children, base: local}
+	if st.e.Deterministic {
+		red.slots = make([]*dense.Matrix, local+children)
+	} else {
+		red.sum = dense.GetMatrix(rows, cols)
+	}
+	return red
 }
 
 func (st *rankState) getColRed(k, j int) *redState {
@@ -583,11 +693,7 @@ func (st *rankState) getColRed(k, j int) *redState {
 	}
 	sp := st.e.Plan.Snodes[k]
 	tr := sp.ColReduces[cIndex(sp.C, j)].Tree
-	red := &redState{
-		sum:          dense.GetMatrix(st.width(k), st.width(j)),
-		localPending: st.prog.colLocal[key],
-		childPending: len(tr.Children(st.r.ID)),
-	}
+	red := st.newRedState(st.width(k), st.width(j), st.prog.colLocal[key], len(tr.Children(st.r.ID)))
 	st.colRed[key] = red
 	return red
 }
@@ -599,6 +705,7 @@ func (st *rankState) maybeCompleteCol(k, j int, red *redState) {
 		return
 	}
 	red.done = true
+	st.combineSlots(red, st.width(k), st.width(j))
 	sp := st.e.Plan.Snodes[k]
 	op := &sp.ColReduces[cIndex(sp.C, j)]
 	me := st.r.ID
@@ -633,7 +740,8 @@ func (st *rankState) tryDiagContribAsym(k, j int) {
 	}
 	st.diagTDone[key] = true
 	red := st.getDiagRed(k)
-	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uh, av, 1, red.sum)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uh, av, 1,
+		st.slotFor(red, st.prog.diagSlot[key], st.width(k), st.width(k)))
 	red.localPending--
 	st.maybeCompleteDiag(k, red)
 }
@@ -678,7 +786,8 @@ func (st *rankState) tryRun(ti int) {
 	st.taskDone[ti] = true
 	red := st.getRowRed(t.K, t.J)
 	end := st.e.Trace.Span(st.r.ID, "gemm", t.K)
-	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, av, lh, 1, red.sum)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, av, lh, 1,
+		st.slotFor(red, t.Slot, st.width(t.J), st.width(t.K)))
 	end()
 	red.localPending--
 	st.maybeCompleteRow(t.K, t.J, red)
@@ -691,11 +800,7 @@ func (st *rankState) getRowRed(k, j int) *redState {
 	}
 	sp := st.e.Plan.Snodes[k]
 	tr := sp.RowReduces[cIndex(sp.C, j)].Tree
-	red := &redState{
-		sum:          dense.GetMatrix(st.width(j), st.width(k)),
-		localPending: st.prog.rowLocal[key],
-		childPending: len(tr.Children(st.r.ID)),
-	}
+	red := st.newRedState(st.width(j), st.width(k), st.prog.rowLocal[key], len(tr.Children(st.r.ID)))
 	st.rowRed[key] = red
 	return red
 }
@@ -705,11 +810,7 @@ func (st *rankState) getDiagRed(k int) *redState {
 		return red
 	}
 	tr := st.e.Plan.Snodes[k].DiagReduce.Tree
-	red := &redState{
-		sum:          dense.GetMatrix(st.width(k), st.width(k)),
-		localPending: st.prog.diagLocal[k],
-		childPending: len(tr.Children(st.r.ID)),
-	}
+	red := st.newRedState(st.width(k), st.width(k), st.prog.diagLocal[k], len(tr.Children(st.r.ID)))
 	st.diagRed[k] = red
 	return red
 }
@@ -722,6 +823,7 @@ func (st *rankState) maybeCompleteRow(k, j int, red *redState) {
 		return
 	}
 	red.done = true
+	st.combineSlots(red, st.width(j), st.width(k))
 	sp := st.e.Plan.Snodes[k]
 	op := &sp.RowReduces[cIndex(sp.C, j)]
 	me := st.r.ID
@@ -754,7 +856,8 @@ func (st *rankState) maybeCompleteRow(k, j int, red *redState) {
 		panic(fmt.Sprintf("pselinv: row-reduce root %d lacks L̂(%d,%d)", me, j, k))
 	}
 	dred := st.getDiagRed(k)
-	dense.Gemm(dense.DoTrans, dense.NoTrans, 1, lhjk, m, 1, dred.sum)
+	dense.Gemm(dense.DoTrans, dense.NoTrans, 1, lhjk, m, 1,
+		st.slotFor(dred, st.prog.diagSlot[blockKey{k, j}], st.width(k), st.width(k)))
 	dred.localPending--
 	st.maybeCompleteDiag(k, dred)
 }
@@ -766,6 +869,7 @@ func (st *rankState) maybeCompleteDiag(k int, red *redState) {
 		return
 	}
 	red.done = true
+	st.combineSlots(red, st.width(k), st.width(k))
 	op := st.e.Plan.Snodes[k].DiagReduce
 	me := st.r.ID
 	if me != op.Tree.Root {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pselinv/internal/core"
+	"pselinv/internal/dense"
 	"pselinv/internal/etree"
 	"pselinv/internal/factor"
 	"pselinv/internal/ordering"
@@ -39,6 +40,9 @@ func runAndCompare(t testing.TB, an *etree.Analysis, lu *factor.LU, ref *selinv.
 	res, err := NewEngine(plan, lu).Run(testTimeout)
 	if err != nil {
 		t.Fatalf("grid %v scheme %v: %v", grid, scheme, err)
+	}
+	if cerr := res.World.CheckConservation(); cerr != nil {
+		t.Fatalf("grid %v scheme %v: %v", grid, scheme, cerr)
 	}
 	refKeys := ref.Ainv.Keys()
 	gotKeys := res.Ainv.Keys()
@@ -98,6 +102,31 @@ func TestParallelManySeeds(t *testing.T) {
 	grid := procgrid.New(4, 3)
 	for seed := uint64(0); seed < 8; seed++ {
 		runAndCompare(t, an, lu, ref, grid, core.ShiftedBinaryTree, seed)
+	}
+}
+
+// TestEngineBodyRunConserved drives the engine's rank body through the
+// simmpi.RunConserved helper, so the conservation property is asserted by
+// the test harness itself, independently of Engine.Run's internal check.
+func TestEngineBodyRunConserved(t *testing.T) {
+	g := sparse.Grid2D(6, 6, 4)
+	an, lu, _ := prep(t, g, etree.Options{Relax: 2, MaxWidth: 8})
+	plan := core.NewPlan(an.BP, procgrid.New(3, 3), core.ShiftedBinaryTree, 5)
+	eng := NewEngine(plan, lu)
+	w := simmpi.NewWorld(plan.Grid.Size())
+	states := make([]*rankState, w.P)
+	simmpi.RunConserved(t, w, testTimeout, func(r *simmpi.Rank) {
+		st := newRankState(eng, r)
+		states[r.ID] = st
+		st.runPass1()
+		r.Barrier()
+		st.runPass2()
+	})
+	for _, st := range states {
+		for _, m := range st.ainv {
+			dense.PutMatrix(m)
+		}
+		st.release()
 	}
 }
 

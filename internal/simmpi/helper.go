@@ -1,0 +1,25 @@
+package simmpi
+
+import "time"
+
+// TB is the subset of testing.TB the run helpers need; taking the
+// interface keeps the testing package out of non-test builds.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// RunConserved runs body on every rank like World.Run and then asserts the
+// byte-conservation property: per class, total bytes sent equals total
+// bytes received. Engine-level tests should use this instead of calling
+// Run directly — a forwarding bug that loses (or an adversary that drops)
+// a message shows up here even when the numeric result happens to survive.
+func RunConserved(tb TB, w *World, timeout time.Duration, body func(r *Rank)) {
+	tb.Helper()
+	if err := w.Run(timeout, body); err != nil {
+		tb.Fatalf("simmpi: run failed: %v", err)
+	}
+	if err := w.CheckConservation(); err != nil {
+		tb.Fatalf("simmpi: conservation violated: %v", err)
+	}
+}

@@ -156,6 +156,120 @@ func TestRunPanicPropagates(t *testing.T) {
 	})
 }
 
+func TestRunDrainsAllPanics(t *testing.T) {
+	w := NewWorld(4)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		pe, ok := p.(*PanicError)
+		if !ok {
+			t.Fatalf("panic value is %T, want *PanicError", p)
+		}
+		if len(pe.Panics) != 3 {
+			t.Fatalf("got %d panics, want 3: %v", len(pe.Panics), pe)
+		}
+		for i, rp := range pe.Panics {
+			wantRank := i + 1 // sorted by rank; rank 0 finishes cleanly
+			if rp.Rank != wantRank {
+				t.Errorf("panic %d from rank %d, want %d", i, rp.Rank, wantRank)
+			}
+			if len(rp.Stack) == 0 {
+				t.Errorf("panic from rank %d has no stack", rp.Rank)
+			}
+			if w.RankStateOf(rp.Rank) != StatePanicked {
+				t.Errorf("rank %d state %v, want panicked", rp.Rank, w.RankStateOf(rp.Rank))
+			}
+		}
+		if w.RankStateOf(0) != StateDone {
+			t.Errorf("rank 0 state %v, want done", w.RankStateOf(0))
+		}
+	}()
+	_ = w.Run(5*time.Second, func(r *Rank) {
+		if r.ID != 0 {
+			panic(r.ID)
+		}
+	})
+}
+
+func TestRunTimeoutSeparatesStuckFromPanicked(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(200*time.Millisecond, func(r *Rank) {
+		switch r.ID {
+		case 0:
+			r.Recv() // blocks forever: nobody sends to rank 0
+		case 1:
+			panic("early crash")
+		}
+	})
+	te, ok := err.(*TimeoutError)
+	if !ok {
+		t.Fatalf("error is %T (%v), want *TimeoutError", err, err)
+	}
+	if len(te.Stuck) != 1 || te.Stuck[0] != 0 {
+		t.Errorf("stuck ranks %v, want [0]", te.Stuck)
+	}
+	if len(te.Panics) != 1 || te.Panics[0].Rank != 1 {
+		t.Errorf("panicked ranks %+v, want rank 1", te.Panics)
+	}
+	if w.RankStateOf(0) != StateRecvWait {
+		t.Errorf("rank 0 state %v, want recv-wait", w.RankStateOf(0))
+	}
+	w.Close() // release the stuck goroutine
+}
+
+func TestPendingMessagesSnapshot(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(5*time.Second, func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 11, ClassColBcast, []float64{1})
+			r.Send(1, 12, ClassRowReduce, []float64{2, 3})
+		}
+		// Rank 1 never receives, so both messages stay queued.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend := w.PendingMessages(1)
+	if len(pend) != 2 || pend[0].Tag != 11 || pend[1].Tag != 12 {
+		t.Fatalf("pending snapshot %+v", pend)
+	}
+	if w.PendingMessages(0) != nil && len(w.PendingMessages(0)) != 0 {
+		t.Fatalf("rank 0 should have no pending messages")
+	}
+}
+
+func TestRunConservedHelper(t *testing.T) {
+	w := NewWorld(2)
+	RunConserved(t, w, 5*time.Second, func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 1, ClassOther, []float64{1, 2})
+		} else {
+			r.Recv()
+		}
+	})
+
+	// A lost message must trip the helper.
+	var failed bool
+	ftb := &fakeTB{onFatal: func() { failed = true }}
+	w2 := NewWorld(2)
+	RunConserved(ftb, w2, 5*time.Second, func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 1, ClassOther, []float64{1, 2})
+		}
+		// rank 1 never receives: sent bytes with no matching recv
+	})
+	if !failed {
+		t.Fatal("RunConserved did not report the conservation violation")
+	}
+}
+
+type fakeTB struct{ onFatal func() }
+
+func (f *fakeTB) Helper()               {}
+func (f *fakeTB) Fatalf(string, ...any) { f.onFatal() }
+
 func TestVolumeVector(t *testing.T) {
 	w := NewWorld(3)
 	err := w.Run(5*time.Second, func(r *Rank) {

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files in testdata/ from the current
+// renderer output: go test ./internal/stats -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s drifted from golden.\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// goldenVolumes is a deterministic stand-in for a per-rank volume vector:
+// a smooth row/column gradient plus seeded noise, so the heat map has
+// recognizable structure and every shade glyph appears.
+func goldenVolumes(pr, pc int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, pr*pc)
+	for r := 0; r < pr; r++ {
+		for c := 0; c < pc; c++ {
+			v[r*pc+c] = float64(r*pc+c)*1.5 + rng.Float64()
+		}
+	}
+	return v
+}
+
+func TestGoldenHeatMapRender(t *testing.T) {
+	h := NewHeatMap(6, 8, goldenVolumes(6, 8, 1))
+	checkGolden(t, "heatmap_render.golden", h.Render())
+}
+
+func TestGoldenHeatMapRenderScaled(t *testing.T) {
+	// Shared colorbar across two maps, as Figures 5(a)/5(c) pair them.
+	a := NewHeatMap(4, 4, goldenVolumes(4, 4, 2))
+	b := NewHeatMap(4, 4, goldenVolumes(4, 4, 3))
+	lo, hi := 0.0, 30.0
+	out := "map A\n" + a.RenderScaled(lo, hi) + "map B\n" + b.RenderScaled(lo, hi)
+	checkGolden(t, "heatmap_scaled.golden", out)
+}
+
+func TestGoldenHeatMapCSV(t *testing.T) {
+	h := NewHeatMap(3, 5, goldenVolumes(3, 5, 4))
+	checkGolden(t, "heatmap_csv.golden", h.CSV())
+}
+
+func TestGoldenHistogramRender(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	checkGolden(t, "histogram_render.golden", NewHistogram(xs, 12).Render(40))
+}
+
+func TestGoldenSummaryTable(t *testing.T) {
+	// A miniature of the paper's Table II: one Row per communication class.
+	rng := rand.New(rand.NewSource(6))
+	var b strings.Builder
+	b.WriteString("class            min        max     median        std\n")
+	for _, class := range []string{"Col-Bcast", "Row-Reduce", "Diag-Bcast"} {
+		xs := make([]float64, 64)
+		for i := range xs {
+			xs[i] = rng.Float64() * 12
+		}
+		b.WriteString(class + strings.Repeat(" ", 12-len(class)) + Summarize(xs).Row() + "\n")
+	}
+	checkGolden(t, "summary_table.golden", b.String())
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"pselinv/internal/blockmat"
+	"pselinv/internal/chaos"
 	"pselinv/internal/core"
 	"pselinv/internal/dense"
 	"pselinv/internal/etree"
@@ -177,6 +178,13 @@ type Options struct {
 	MaxWidth int
 	// Timeout bounds each parallel run; 0 means 5 minutes.
 	Timeout time.Duration
+	// ChaosSeed, when non-zero, installs the deterministic chaos adversary
+	// on every parallel run: per-link message delivery is adversarially
+	// reordered and skewed as a pure function of this seed, so a failing
+	// schedule reproduces exactly from the seed alone. Deterministic
+	// (canonical-order) reductions are forced so the result stays
+	// bit-identical to an unperturbed run.
+	ChaosSeed uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -396,6 +404,10 @@ func (s *System) parallelRun(pr, pc int, scheme Scheme, seed uint64, rec *trace.
 	plan := core.NewPlanFull(s.an.BP, grid, scheme, seed, core.DefaultHybridThreshold, s.symmetric)
 	eng := pselinv.NewEngine(plan, s.lu)
 	eng.Trace = rec
+	if s.opt.ChaosSeed != 0 {
+		eng.Chaos = &chaos.Config{Seed: s.opt.ChaosSeed}
+		eng.Deterministic = true
+	}
 	res, err := eng.Run(s.opt.Timeout)
 	if err != nil {
 		return nil, nil, err

@@ -110,6 +110,34 @@ func TestParallelMatchesSequentialPublicAPI(t *testing.T) {
 	}
 }
 
+// TestChaosSeedOptionPublicAPI checks the chaos wiring end to end through
+// the public API: a run under the seeded adversary must still match the
+// sequential reference (deterministic-reduction mode is forced, so the
+// numerics are schedule-independent).
+func TestChaosSeedOptionPublicAPI(t *testing.T) {
+	m := Grid2D(7, 6, 4)
+	sys, err := NewSystem(m, Options{ChaosSeed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := sys.SelInv()
+	par, err := sys.ParallelSelInv(9, ShiftedBinaryTree, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.gen.A
+	for j := 0; j < a.N; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			sv, _ := seq.Entry(i, j)
+			pv, ok := par.Entry(i, j)
+			if !ok || math.Abs(sv-pv) > 1e-9 {
+				t.Fatalf("entry (%d,%d) chaos %g vs sequential %g", i, j, pv, sv)
+			}
+		}
+	}
+}
+
 func TestParallelVolumesExposed(t *testing.T) {
 	m := Grid2D(9, 9, 8)
 	sys, err := NewSystem(m, Options{MaxWidth: 8})
