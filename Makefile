@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 bench bench-gemm vet race chaos fuzz-smoke clean
+.PHONY: all build test tier1 bench bench-gemm bench-baseline bench-gate \
+	serve loadtest selftest vet race chaos fuzz-smoke clean
 
 all: build test
 
@@ -14,7 +15,8 @@ build:
 # detector over the packages with concurrency (the simulated-MPI substrate,
 # the parallel engine, and the worker-pool dense kernels).
 tier1: vet
-	$(GO) test -race ./internal/simmpi/... ./internal/pselinv/... ./internal/dense/...
+	$(GO) test -race ./internal/simmpi/... ./internal/pselinv/... ./internal/dense/... \
+		./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +47,49 @@ bench-gemm:
 
 bench:
 	$(GO) test -run XXX -bench 'EndToEnd' -benchtime 300x .
+
+# ---- Bench-regression gate -------------------------------------------------
+# The CI gate re-runs a small, representative benchmark set (two GEMM
+# shapes plus the 16-rank end-to-end inversion) and compares it against the
+# committed baseline with cmd/benchgate (medians + Mann-Whitney U test).
+# A significant slowdown beyond BENCH_TOLERANCE fails CI.
+#
+# To update the baseline after an intentional perf change (or on new
+# runner hardware): run `make bench-baseline` on the machine class CI uses
+# (the bench-baseline job in ci.yml can do this via workflow_dispatch),
+# commit .github/bench-baseline.txt, and explain the change in the commit
+# message.
+BENCH_GATE_PATTERN = ^BenchmarkGemm$$/^(256x256x256|512x512x512)$$|^BenchmarkEndToEndParallel16$$
+BENCH_COUNT ?= 5
+BENCH_TOLERANCE ?= 0.25
+BENCH_OUT ?= /tmp/bench-new.txt
+
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -count=$(BENCH_COUNT) \
+		-benchtime 300ms ./internal/dense/ . | tee .github/bench-baseline.txt
+
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -count=$(BENCH_COUNT) \
+		-benchtime 300ms ./internal/dense/ . | tee $(BENCH_OUT)
+	$(GO) run ./cmd/benchgate -baseline .github/bench-baseline.txt \
+		-new $(BENCH_OUT) -tolerance $(BENCH_TOLERANCE)
+
+# ---- Persistent service ----------------------------------------------------
+ADDR ?= :8723
+URL ?= http://localhost:8723
+
+# Run the selected-inversion daemon (see README "Persistent service").
+serve:
+	$(GO) run ./cmd/pselinvd -addr $(ADDR)
+
+# Drive a running daemon (URL=...) through the cold/warm plan-cache
+# workload and enforce the 3x warm-speedup SLO.
+loadtest:
+	$(GO) run ./cmd/pselinvd -loadtest $(URL)
+
+# Same workload against an in-process server: no daemon needed.
+selftest:
+	$(GO) run ./cmd/pselinvd -selftest
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,81 @@
+// Command benchgate compares a fresh `go test -bench` run against a
+// committed baseline and fails (exit 1) on statistically significant
+// slowdowns beyond a tolerance. It is the CI bench-regression gate; see
+// .github/workflows/ci.yml for the invocation and the baseline
+// update/waiver flow, and `make bench-baseline` for regenerating the
+// baseline file.
+//
+//	benchgate -baseline .github/bench-baseline.txt -new /tmp/bench.txt -tolerance 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pselinv/internal/benchcmp"
+)
+
+var (
+	flagBaseline  = flag.String("baseline", ".github/bench-baseline.txt", "committed baseline bench output")
+	flagNew       = flag.String("new", "", "fresh bench output to compare (required)")
+	flagTolerance = flag.Float64("tolerance", 0.25, "fractional median slowdown forgiven (0.25 = 25%)")
+	flagAlpha     = flag.Float64("alpha", 0.05, "Mann-Whitney significance level")
+	flagStrict    = flag.Bool("strict", false, "also fail when a baseline benchmark is missing from the new run")
+)
+
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchcmp.ParseSet(f)
+}
+
+func main() {
+	flag.Parse()
+	if *flagNew == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+	oldSet, err := parseFile(*flagBaseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newSet, err := parseFile(*flagNew)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(oldSet) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline %s contains no benchmarks\n", *flagBaseline)
+		os.Exit(2)
+	}
+
+	results := benchcmp.Compare(oldSet, newSet, *flagTolerance, *flagAlpha)
+	fail := false
+	for _, r := range results {
+		fmt.Println(r)
+		switch r.Verdict {
+		case benchcmp.VerdictRegression:
+			fail = true
+		case benchcmp.VerdictMissing:
+			// A benchmark gone from the new run means the gate silently
+			// shrank; only -strict treats that as failure because name
+			// changes are routine during refactors.
+			if *flagStrict && r.NewN == 0 {
+				fail = true
+			}
+		}
+	}
+	if fail {
+		fmt.Fprintln(os.Stderr, "\nbenchgate: FAIL — significant slowdown beyond tolerance.")
+		fmt.Fprintln(os.Stderr, "If intentional (algorithm change, new baseline hardware), regenerate the")
+		fmt.Fprintln(os.Stderr, "baseline with `make bench-baseline` on the CI runner class and commit it,")
+		fmt.Fprintln(os.Stderr, "explaining the slowdown in the commit message.")
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchgate: OK")
+}

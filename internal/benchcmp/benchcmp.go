@@ -1,0 +1,283 @@
+// Package benchcmp compares two sets of `go test -bench` results with the
+// statistics benchstat uses: per-benchmark medians and the two-sided
+// Mann–Whitney U test. It exists because the CI bench gate must run with
+// the repository's own toolchain only — no installed benchstat — and the
+// gate needs a machine-readable verdict (regression / ok) rather than a
+// human table alone.
+//
+// A benchmark counts as a regression only when the slowdown is both
+// statistically significant (U-test p below alpha) and practically
+// significant (median slowdown beyond the tolerance). Requiring both keeps
+// the gate quiet on noisy runners while still catching real, reproducible
+// slowdowns; the tolerance absorbs machine-class differences between the
+// runner that produced the committed baseline and the runner re-running
+// it.
+package benchcmp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseSet reads `go test -bench` output and returns ns/op samples per
+// benchmark name. The trailing -N GOMAXPROCS suffix is stripped so runs
+// from machines with different core counts compare under one key; every
+// `-count` repetition contributes one sample.
+func ParseSet(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := stripProcSuffix(fields[0])
+		// fields: name iterations value unit [value unit ...]
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcmp: bad ns/op %q for %s", fields[i], name)
+			}
+			out[name] = append(out[name], v)
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+// stripProcSuffix removes a trailing "-N" (GOMAXPROCS) from a benchmark
+// name, but only when N is purely numeric — sub-benchmark labels with
+// dashes survive.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Verdict classifies one benchmark's comparison.
+type Verdict string
+
+const (
+	// VerdictSame: no statistically significant difference (or too few
+	// samples to tell).
+	VerdictSame Verdict = "~"
+	// VerdictFaster: significantly faster, beyond the tolerance.
+	VerdictFaster Verdict = "faster"
+	// VerdictSlower: significantly slower but within the tolerance.
+	VerdictSlower Verdict = "slower"
+	// VerdictRegression: significantly slower beyond the tolerance — the
+	// gate fails.
+	VerdictRegression Verdict = "REGRESSION"
+	// VerdictMissing: present in only one of the two sets.
+	VerdictMissing Verdict = "missing"
+)
+
+// Result is one benchmark's comparison.
+type Result struct {
+	Name                 string
+	OldMedian, NewMedian float64 // ns/op; 0 when missing on that side
+	OldN, NewN           int     // sample counts
+	Delta                float64 // (new-old)/old; +0.10 = 10% slower
+	P                    float64 // two-sided Mann–Whitney p-value (1 when missing)
+	Verdict              Verdict
+}
+
+func (r Result) String() string {
+	switch r.Verdict {
+	case VerdictMissing:
+		side := "baseline"
+		if r.NewN == 0 {
+			side = "new run"
+		}
+		return fmt.Sprintf("%-44s missing from %s", r.Name, side)
+	default:
+		return fmt.Sprintf("%-44s %12.0f → %12.0f ns/op  %+6.1f%%  (p=%.3f, n=%d+%d)  %s",
+			r.Name, r.OldMedian, r.NewMedian, 100*r.Delta, r.P, r.OldN, r.NewN, r.Verdict)
+	}
+}
+
+// Compare evaluates every benchmark appearing in either set. tolerance is
+// the fractional median slowdown the gate forgives (0.25 = 25%); alpha is
+// the significance level for the U test.
+func Compare(oldSet, newSet map[string][]float64, tolerance, alpha float64) []Result {
+	names := map[string]bool{}
+	for n := range oldSet {
+		names[n] = true
+	}
+	for n := range newSet {
+		names[n] = true
+	}
+	var out []Result
+	for name := range names {
+		a, b := oldSet[name], newSet[name]
+		r := Result{Name: name, OldN: len(a), NewN: len(b), P: 1}
+		if len(a) == 0 || len(b) == 0 {
+			r.Verdict = VerdictMissing
+			out = append(out, r)
+			continue
+		}
+		r.OldMedian = median(a)
+		r.NewMedian = median(b)
+		if r.OldMedian > 0 {
+			r.Delta = (r.NewMedian - r.OldMedian) / r.OldMedian
+		}
+		r.P = MannWhitneyP(a, b)
+		switch {
+		case r.P >= alpha:
+			r.Verdict = VerdictSame
+		case r.Delta > tolerance:
+			r.Verdict = VerdictRegression
+		case r.Delta > 0:
+			r.Verdict = VerdictSlower
+		case r.Delta < -tolerance:
+			r.Verdict = VerdictFaster
+		default:
+			r.Verdict = VerdictSame
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// MannWhitneyP returns the two-sided p-value of the Mann–Whitney U test
+// for samples a and b. Small pooled sizes (≤ maxExact) use the exact
+// permutation distribution of the rank sum (correct under ties, since the
+// observed midranks are permuted); larger sizes use the normal
+// approximation with tie correction and continuity correction.
+func MannWhitneyP(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 1
+	}
+	ranks, tieTerm := midranks(a, b)
+	// Rank sum of sample a; U = Ra - n(n+1)/2.
+	var ra float64
+	for i := 0; i < n; i++ {
+		ra += ranks[i]
+	}
+	u := ra - float64(n*(n+1))/2
+	mean := float64(n*m) / 2
+
+	const maxExact = 14
+	if n+m <= maxExact {
+		return exactP(ranks, n, math.Abs(u-mean))
+	}
+	nn, mm, tot := float64(n), float64(m), float64(n+m)
+	variance := nn * mm / 12 * (tot + 1 - tieTerm/(tot*(tot-1)))
+	if variance <= 0 {
+		return 1 // all values identical
+	}
+	// Continuity correction toward the mean.
+	z := (math.Abs(u-mean) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	p := math.Erfc(z / math.Sqrt2) // two-sided
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// midranks returns the pooled midranks (a's first, then b's) and the tie
+// correction term Σ(t³-t) over tie groups.
+func midranks(a, b []float64) ([]float64, float64) {
+	type entry struct {
+		v    float64
+		pos  int
+		rank float64
+	}
+	es := make([]entry, 0, len(a)+len(b))
+	for i, v := range a {
+		es = append(es, entry{v: v, pos: i})
+	}
+	for i, v := range b {
+		es = append(es, entry{v: v, pos: len(a) + i})
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].v < es[j].v })
+	var tieTerm float64
+	for i := 0; i < len(es); {
+		j := i
+		for j < len(es) && es[j].v == es[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			es[k].rank = mid
+		}
+		if t := float64(j - i); t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j
+	}
+	ranks := make([]float64, len(es))
+	for _, e := range es {
+		ranks[e.pos] = e.rank
+	}
+	return ranks, tieTerm
+}
+
+// exactP enumerates every size-n subset of the pooled midranks and counts
+// how often |U - mean| is at least the observed deviation. Permuting the
+// observed midranks is the exact conditional distribution under the null,
+// ties included.
+func exactP(ranks []float64, n int, devObs float64) float64 {
+	total := len(ranks)
+	m := total - n
+	mean := float64(n*m) / 2
+	base := float64(n*(n+1)) / 2
+	var count, all int
+	// Iterative subset enumeration via combination indices.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	const eps = 1e-9
+	for {
+		var ra float64
+		for _, i := range idx {
+			ra += ranks[i]
+		}
+		all++
+		if math.Abs(ra-base-mean) >= devObs-eps {
+			count++
+		}
+		// next combination
+		i := n - 1
+		for i >= 0 && idx[i] == total-n+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < n; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return float64(count) / float64(all)
+}

@@ -1,0 +1,155 @@
+package benchcmp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: pselinv/internal/dense
+cpu: SomeCPU @ 2.0GHz
+BenchmarkGemm/256x256x256-8          	     100	  11000000 ns/op	        3.050 GFLOP/s	     128 B/op	       2 allocs/op
+BenchmarkGemm/256x256x256-8          	     100	  11200000 ns/op	        3.000 GFLOP/s	     128 B/op	       2 allocs/op
+BenchmarkEndToEndParallel16-8        	      10	 101000000 ns/op
+BenchmarkEndToEndParallel16-8        	      10	  99000000 ns/op
+BenchmarkOdd-name-with-dash          	      10	   1000000 ns/op
+PASS
+ok  	pselinv/internal/dense	12.3s
+`
+
+func TestParseSet(t *testing.T) {
+	set, err := ParseSet(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set["BenchmarkGemm/256x256x256"]; len(got) != 2 || got[0] != 11000000 || got[1] != 11200000 {
+		t.Fatalf("Gemm samples %v", got)
+	}
+	if got := set["BenchmarkEndToEndParallel16"]; len(got) != 2 {
+		t.Fatalf("EndToEnd samples %v", got)
+	}
+	// Dashes in sub-benchmark labels survive; only the numeric -N suffix
+	// is stripped.
+	if _, ok := set["BenchmarkOdd-name-with-dash"]; !ok {
+		t.Fatalf("dash-bearing name mangled; keys: %v", keys(set))
+	}
+}
+
+func keys(m map[string][]float64) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func TestMannWhitneyExactSeparated(t *testing.T) {
+	// Complete separation with n=m=3: the exact two-sided p is 2/C(6,3) = 0.1.
+	p := MannWhitneyP([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if math.Abs(p-0.1) > 1e-12 {
+		t.Fatalf("p = %g, want 0.1", p)
+	}
+	// Direction must not matter.
+	if p2 := MannWhitneyP([]float64{4, 5, 6}, []float64{1, 2, 3}); math.Abs(p2-p) > 1e-12 {
+		t.Fatalf("asymmetric p: %g vs %g", p2, p)
+	}
+}
+
+func TestMannWhitneyExactSeparatedFive(t *testing.T) {
+	// n=m=5 complete separation: p = 2/C(10,5) = 2/252.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{6, 7, 8, 9, 10}
+	want := 2.0 / 252.0
+	if p := MannWhitneyP(a, b); math.Abs(p-want) > 1e-12 {
+		t.Fatalf("p = %g, want %g", p, want)
+	}
+}
+
+func TestMannWhitneyIdentical(t *testing.T) {
+	a := []float64{5, 5, 5, 5, 5}
+	if p := MannWhitneyP(a, a); p != 1 {
+		t.Fatalf("identical samples: p = %g, want 1", p)
+	}
+	// Interleaved samples from the same distribution: far from significant.
+	x := []float64{1, 3, 5, 7, 9}
+	y := []float64{2, 4, 6, 8, 10}
+	if p := MannWhitneyP(x, y); p < 0.5 {
+		t.Fatalf("interleaved samples: p = %g, want ≥ 0.5", p)
+	}
+}
+
+func TestMannWhitneyNormalApprox(t *testing.T) {
+	// Pooled size > 14 exercises the normal approximation. Clearly
+	// separated samples must be significant; identical must not.
+	var a, b, c []float64
+	for i := 0; i < 10; i++ {
+		a = append(a, float64(100+i))
+		b = append(b, float64(200+i))
+		c = append(c, float64(100+i))
+	}
+	if p := MannWhitneyP(a, b); p > 0.001 {
+		t.Fatalf("separated p = %g, want < 0.001", p)
+	}
+	if p := MannWhitneyP(a, c); p < 0.9 {
+		t.Fatalf("identical (all ties) p = %g, want ~1", p)
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	oldSet := map[string][]float64{
+		"Benchmark/stable":  {100, 101, 99, 100, 102},
+		"Benchmark/slower":  {100, 101, 99, 100, 102},
+		"Benchmark/regress": {100, 101, 99, 100, 102},
+		"Benchmark/faster":  {100, 101, 99, 100, 102},
+		"Benchmark/gone":    {100, 100, 100, 100, 100},
+	}
+	newSet := map[string][]float64{
+		"Benchmark/stable":  {101, 100, 100, 99, 101},
+		"Benchmark/slower":  {110, 111, 109, 110, 112}, // +10%: significant, inside 25% tolerance
+		"Benchmark/regress": {140, 141, 139, 140, 142}, // +40%: beyond tolerance
+		"Benchmark/faster":  {50, 51, 49, 50, 52},
+		"Benchmark/new":     {10, 10, 10, 10, 10},
+	}
+	rs := Compare(oldSet, newSet, 0.25, 0.05)
+	verdicts := map[string]Verdict{}
+	for _, r := range rs {
+		verdicts[r.Name] = r.Verdict
+	}
+	want := map[string]Verdict{
+		"Benchmark/stable":  VerdictSame,
+		"Benchmark/slower":  VerdictSlower,
+		"Benchmark/regress": VerdictRegression,
+		"Benchmark/faster":  VerdictFaster,
+		"Benchmark/gone":    VerdictMissing,
+		"Benchmark/new":     VerdictMissing,
+	}
+	for name, w := range want {
+		if verdicts[name] != w {
+			t.Errorf("%s: verdict %s, want %s", name, verdicts[name], w)
+		}
+	}
+	// Results are sorted by name for stable reports.
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].Name > rs[i].Name {
+			t.Fatalf("results unsorted: %s after %s", rs[i].Name, rs[i-1].Name)
+		}
+	}
+}
+
+func TestCompareDeltaAndMedians(t *testing.T) {
+	oldSet := map[string][]float64{"B": {100, 200, 300}}
+	newSet := map[string][]float64{"B": {400, 500, 600}}
+	rs := Compare(oldSet, newSet, 0.25, 0.05)
+	if len(rs) != 1 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	r := rs[0]
+	if r.OldMedian != 200 || r.NewMedian != 500 {
+		t.Fatalf("medians %g/%g", r.OldMedian, r.NewMedian)
+	}
+	if math.Abs(r.Delta-1.5) > 1e-12 {
+		t.Fatalf("delta %g, want 1.5", r.Delta)
+	}
+}

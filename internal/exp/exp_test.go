@@ -134,3 +134,31 @@ func TestScaledEdisonParams(t *testing.T) {
 		t.Fatal("scaled params must reduce the flop rate")
 	}
 }
+
+// TestRefactorizeReusesAnalysis: the numeric-only path against a cached
+// analysis must reproduce the full pipeline's factorization on a
+// same-pattern, different-valued matrix, and must reject pattern changes.
+func TestRefactorizeReusesAnalysis(t *testing.T) {
+	p, err := Prepare(sparse.Grid2D(10, 10, 1), 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen2 := sparse.Grid2D(10, 10, 42) // same stencil, different values
+	warm, err := Refactorize(p, gen2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.An != p.An {
+		t.Fatal("Refactorize did not share the symbolic analysis")
+	}
+	cold, err := Prepare(gen2, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := warm.LU.LogAbsDet(), cold.LU.LogAbsDet(); got != want {
+		t.Fatalf("warm LogAbsDet %g differs from cold %g", got, want)
+	}
+	if _, err := Refactorize(p, sparse.Grid2D(10, 11, 1)); err == nil {
+		t.Fatal("expected pattern-mismatch error")
+	}
+}

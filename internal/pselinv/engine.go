@@ -217,6 +217,18 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 	return &Engine{Plan: plan, LU: lu, programs: progs}
 }
 
+// Rebind returns a copy of the engine bound to a different numeric
+// factorization. The plan-derived per-rank programs — the expensive part of
+// NewEngine, proportional to the total task count — are shared with the
+// receiver; they are immutable during runs, so rebound engines may run
+// concurrently with each other and with the original. This is the warm path
+// of a plan cache: same sparsity pattern, new values. Trace, Chaos and
+// Deterministic are reset on the copy so per-run instrumentation never
+// leaks between requests.
+func (e *Engine) Rebind(lu *factor.LU) *Engine {
+	return &Engine{Plan: e.Plan, LU: lu, programs: e.programs}
+}
+
 // RunResult carries the outcome of a distributed run.
 type RunResult struct {
 	// Ainv is the selected inverse gathered from all ranks. Its blocks are

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"pselinv"
+)
+
+// CacheOutcome classifies one cache lookup.
+type CacheOutcome string
+
+const (
+	// CacheHit: the symbolic analysis was already resident.
+	CacheHit CacheOutcome = "hit"
+	// CacheMiss: this request built the analysis.
+	CacheMiss CacheOutcome = "miss"
+	// CacheCoalesced: another in-flight request was already building the
+	// same analysis; this one waited for it (single-flight).
+	CacheCoalesced CacheOutcome = "coalesced"
+)
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits, Misses, Coalesced, Evictions uint64
+	Entries                            int
+}
+
+// symCache is an LRU cache of symbolic analyses keyed by sparsity-pattern
+// fingerprint (plus analysis options, folded into the key by the caller).
+// Concurrent requests for an absent key are single-flighted: one builds,
+// the rest wait for its result. A failed build is not cached; every waiter
+// receives the builder's error.
+type symCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recent; values are *cacheEntry
+	items    map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, coalesced, evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	sym *pselinv.Symbolic
+}
+
+type flight struct {
+	done chan struct{}
+	sym  *pselinv.Symbolic
+	err  error
+}
+
+func newSymCache(capacity int) *symCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &symCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// getOrBuild returns the cached analysis for key, building it with build on
+// a miss. Exactly one concurrent caller per key runs build; the outcome
+// reports which path this caller took.
+func (c *symCache) getOrBuild(key string, build func() (*pselinv.Symbolic, error)) (*pselinv.Symbolic, CacheOutcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		sym := el.Value.(*cacheEntry).sym
+		c.mu.Unlock()
+		return sym, CacheHit, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.sym, CacheCoalesced, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.sym, fl.err = build()
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, sym: fl.sym})
+		for c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	return fl.sym, CacheMiss, fl.err
+}
+
+// stats snapshots the counters.
+func (c *symCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Coalesced: c.coalesced,
+		Evictions: c.evictions, Entries: c.ll.Len(),
+	}
+}

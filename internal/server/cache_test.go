@@ -1,0 +1,159 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pselinv"
+)
+
+func buildSym(t testing.TB, seed int64) func() (*pselinv.Symbolic, error) {
+	return func() (*pselinv.Symbolic, error) {
+		return pselinv.AnalyzePattern(pselinv.Grid2D(6, 6, seed), pselinv.Options{})
+	}
+}
+
+func TestCacheHitMissEviction(t *testing.T) {
+	c := newSymCache(2)
+	for i, want := range []CacheOutcome{CacheMiss, CacheHit, CacheMiss, CacheMiss} {
+		key := []string{"a", "a", "b", "c"}[i]
+		_, outcome, err := c.getOrBuild(key, buildSym(t, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outcome != want {
+			t.Fatalf("lookup %d (%s): outcome %s, want %s", i, key, outcome, want)
+		}
+	}
+	// Capacity 2 with a, b, c inserted: a (least recent) evicted.
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v: want 1 eviction, 2 entries", st)
+	}
+	if _, outcome, _ := c.getOrBuild("a", buildSym(t, 1)); outcome != CacheMiss {
+		t.Fatalf("evicted key returned %s, want miss", outcome)
+	}
+	if _, outcome, _ := c.getOrBuild("c", buildSym(t, 1)); outcome != CacheHit {
+		t.Fatalf("recent key returned %s, want hit", outcome)
+	}
+}
+
+func TestCacheLRUTouchOnHit(t *testing.T) {
+	c := newSymCache(2)
+	mustBuild := func(key string) { _, _, _ = c.getOrBuild(key, buildSym(t, 1)) }
+	mustBuild("a")
+	mustBuild("b")
+	mustBuild("a") // touch a: b is now least recent
+	mustBuild("c") // evicts b
+	if _, outcome, _ := c.getOrBuild("a", buildSym(t, 1)); outcome != CacheHit {
+		t.Fatal("touched entry was evicted")
+	}
+	if _, outcome, _ := c.getOrBuild("b", buildSym(t, 1)); outcome != CacheMiss {
+		t.Fatal("least-recent entry survived eviction")
+	}
+}
+
+func TestCacheBuildErrorNotCached(t *testing.T) {
+	c := newSymCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	failing := func() (*pselinv.Symbolic, error) { calls++; return nil, boom }
+	if _, _, err := c.getOrBuild("k", failing); !errors.Is(err, boom) {
+		t.Fatalf("err %v, want boom", err)
+	}
+	if _, outcome, err := c.getOrBuild("k", failing); !errors.Is(err, boom) || outcome != CacheMiss {
+		t.Fatalf("second lookup: outcome %s err %v; failed build must not be cached", outcome, err)
+	}
+	if calls != 2 {
+		t.Fatalf("build ran %d times, want 2", calls)
+	}
+	if st := c.stats(); st.Entries != 0 {
+		t.Fatalf("failed builds left %d entries resident", st.Entries)
+	}
+}
+
+// TestCacheSingleFlight: concurrent requests for one absent key run the
+// builder exactly once; everyone gets the same analysis.
+func TestCacheSingleFlight(t *testing.T) {
+	c := newSymCache(4)
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	build := func() (*pselinv.Symbolic, error) {
+		builds.Add(1)
+		<-gate // hold every joiner in the coalesced path
+		return pselinv.AnalyzePattern(pselinv.Grid2D(6, 6, 1), pselinv.Options{})
+	}
+	const goroutines = 16
+	syms := make([]*pselinv.Symbolic, goroutines)
+	outcomes := make([]CacheOutcome, goroutines)
+	var wg sync.WaitGroup
+	var launched sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		launched.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			launched.Done()
+			sym, outcome, err := c.getOrBuild("k", build)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			syms[i], outcomes[i] = sym, outcome
+		}(i)
+	}
+	launched.Wait()
+	close(gate)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("builder ran %d times, want 1", got)
+	}
+	var misses, coalesced, hits int
+	for i := range syms {
+		if syms[i] != syms[0] || syms[i] == nil {
+			t.Fatal("goroutines received different analyses")
+		}
+		switch outcomes[i] {
+		case CacheMiss:
+			misses++
+		case CacheCoalesced:
+			coalesced++
+		case CacheHit:
+			hits++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d misses, want exactly 1 (the builder)", misses)
+	}
+	if coalesced+hits != goroutines-1 {
+		t.Fatalf("coalesced=%d hits=%d, want %d combined", coalesced, hits, goroutines-1)
+	}
+}
+
+// TestCacheConcurrentDistinctKeys hammers the cache with overlapping keys
+// under the race detector.
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := newSymCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%5)
+				if _, _, err := c.getOrBuild(key, buildSym(t, int64(g))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.stats()
+	if st.Hits+st.Misses+st.Coalesced != 160 {
+		t.Fatalf("counter sum %d, want 160: %+v", st.Hits+st.Misses+st.Coalesced, st)
+	}
+}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// TestLoadTestPlanCacheEffectiveness is the acceptance check of the
+// serving layer: on a geometry-free pattern (general-graph nested
+// dissection dominating the cold path) warm same-pattern requests must be
+// at least 3x faster at the median than cold distinct-pattern requests,
+// with the hit/miss accounting visible on /metrics. Under the race
+// detector the phases are slowed by dissimilar factors, so only sanity is
+// asserted there; the nightly workflow and `pselinvd -selftest` run the
+// full SLO without instrumentation.
+func TestLoadTestPlanCacheEffectiveness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := LoadConfig{URL: ts.URL, ColdPatterns: 3, WarmRequests: 7, Trace: true}
+	if raceEnabled {
+		cfg.N, cfg.Deg = 400, 5
+	}
+	rep, err := RunLoadTest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+
+	if rep.Cold != 3 || rep.Warm != 7 {
+		t.Fatalf("request counts cold=%d warm=%d", rep.Cold, rep.Warm)
+	}
+	// Every cold request was a distinct pattern (miss); every warm request
+	// hit the cache.
+	if rep.Misses != 3 {
+		t.Fatalf("misses = %d, want 3", rep.Misses)
+	}
+	if rep.Hits != 7 {
+		t.Fatalf("hits = %d, want 7", rep.Hits)
+	}
+	if rep.TracePath == "" {
+		t.Fatal("traced warm request reported no trace path")
+	}
+	minRatio := 3.0
+	if raceEnabled {
+		minRatio = 1.2
+	}
+	if rep.Ratio < minRatio {
+		t.Fatalf("plan-cache speedup %.2fx below the %.1fx SLO (cold %v, warm %v)",
+			rep.Ratio, minRatio, rep.ColdMedian, rep.WarmMedian)
+	}
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// histBuckets are the latency histogram upper bounds in seconds,
+// log-spaced from 1 ms to 60 s; an implicit +Inf bucket follows.
+var histBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket latency histogram (Prometheus semantics:
+// cumulative buckets, sum, count).
+type histogram struct {
+	counts []uint64 // per bucket, non-cumulative; len(histBuckets)+1
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(histBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(histBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// quantile returns an estimate of the q-quantile (0<q<1) by linear
+// interpolation within the containing bucket — enough fidelity for the
+// load-test report; Prometheus consumers compute their own from buckets.
+func (h *histogram) quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.total)
+	var seen float64
+	lo := 0.0
+	for i, c := range h.counts {
+		hi := 60.0 * 2 // cap for the +Inf bucket
+		if i < len(histBuckets) {
+			hi = histBuckets[i]
+		}
+		if seen+float64(c) >= rank {
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - seen) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		seen += float64(c)
+		lo = hi
+	}
+	return lo
+}
+
+// metrics aggregates everything /metrics exposes. All methods are safe for
+// concurrent use.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	requests  map[string]uint64     // status label -> count
+	latencies map[string]*histogram // phase label -> histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:     time.Now(),
+		requests:  map[string]uint64{},
+		latencies: map[string]*histogram{},
+	}
+}
+
+func (m *metrics) countRequest(status string) {
+	m.mu.Lock()
+	m.requests[status]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observe(phase string, d time.Duration) {
+	m.mu.Lock()
+	h := m.latencies[phase]
+	if h == nil {
+		h = newHistogram()
+		m.latencies[phase] = h
+	}
+	h.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// phaseQuantile reports the q-quantile of one phase histogram in seconds
+// (NaN when unobserved).
+func (m *metrics) phaseQuantile(phase string, q float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.latencies[phase]
+	if h == nil {
+		return math.NaN()
+	}
+	return h.quantile(q)
+}
+
+// gauges are sampled at scrape time by the server.
+type gauges struct {
+	PoolInUse, PoolCapacity, QueueDepth, QueueCapacity int
+	TracesRetained                                     int
+}
+
+// write renders the Prometheus text exposition format (version 0.0.4).
+func (m *metrics) write(w io.Writer, cs CacheStats, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP pselinvd_uptime_seconds Time since server start.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "pselinvd_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP pselinvd_requests_total Requests by terminal status.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_requests_total counter\n")
+	statuses := make([]string, 0, len(m.requests))
+	for s := range m.requests {
+		statuses = append(statuses, s)
+	}
+	sort.Strings(statuses)
+	for _, s := range statuses {
+		fmt.Fprintf(w, "pselinvd_requests_total{status=%q} %d\n", s, m.requests[s])
+	}
+
+	fmt.Fprintf(w, "# HELP pselinvd_plan_cache_hits_total Symbolic-plan cache hits.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_plan_cache_hits_total counter\n")
+	fmt.Fprintf(w, "pselinvd_plan_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# HELP pselinvd_plan_cache_misses_total Symbolic-plan cache misses (builds).\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_plan_cache_misses_total counter\n")
+	fmt.Fprintf(w, "pselinvd_plan_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# HELP pselinvd_plan_cache_coalesced_total Lookups that waited on another request's in-flight build.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_plan_cache_coalesced_total counter\n")
+	fmt.Fprintf(w, "pselinvd_plan_cache_coalesced_total %d\n", cs.Coalesced)
+	fmt.Fprintf(w, "# HELP pselinvd_plan_cache_evictions_total LRU evictions.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_plan_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "pselinvd_plan_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "# HELP pselinvd_plan_cache_entries Resident cached analyses.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_plan_cache_entries gauge\n")
+	fmt.Fprintf(w, "pselinvd_plan_cache_entries %d\n", cs.Entries)
+
+	fmt.Fprintf(w, "# HELP pselinvd_pool_in_use Engine slots currently executing requests.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_pool_in_use gauge\n")
+	fmt.Fprintf(w, "pselinvd_pool_in_use %d\n", g.PoolInUse)
+	fmt.Fprintf(w, "# HELP pselinvd_pool_capacity Engine slot capacity.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_pool_capacity gauge\n")
+	fmt.Fprintf(w, "pselinvd_pool_capacity %d\n", g.PoolCapacity)
+	fmt.Fprintf(w, "# HELP pselinvd_queue_depth Requests waiting for a slot.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_queue_depth gauge\n")
+	fmt.Fprintf(w, "pselinvd_queue_depth %d\n", g.QueueDepth)
+	fmt.Fprintf(w, "# HELP pselinvd_queue_capacity Waiting-request capacity before 503.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_queue_capacity gauge\n")
+	fmt.Fprintf(w, "pselinvd_queue_capacity %d\n", g.QueueCapacity)
+	fmt.Fprintf(w, "# HELP pselinvd_traces_retained Per-request Chrome traces in the debug ring.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_traces_retained gauge\n")
+	fmt.Fprintf(w, "pselinvd_traces_retained %d\n", g.TracesRetained)
+
+	phases := make([]string, 0, len(m.latencies))
+	for p := range m.latencies {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	fmt.Fprintf(w, "# HELP pselinvd_request_seconds Request phase latency.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_request_seconds histogram\n")
+	for _, p := range phases {
+		h := m.latencies[p]
+		var cum uint64
+		for i, ub := range histBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "pselinvd_request_seconds_bucket{phase=%q,le=%q} %d\n", p, trimFloat(ub), cum)
+		}
+		cum += h.counts[len(histBuckets)]
+		fmt.Fprintf(w, "pselinvd_request_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", p, cum)
+		fmt.Fprintf(w, "pselinvd_request_seconds_sum{phase=%q} %g\n", p, h.sum)
+		fmt.Fprintf(w, "pselinvd_request_seconds_count{phase=%q} %d\n", p, h.total)
+	}
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

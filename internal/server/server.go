@@ -1,0 +1,596 @@
+// Package server is the serving layer over the selected-inversion
+// pipeline: a long-lived HTTP/JSON service for the PEXSI-shaped workload
+// where many requests share one sparsity pattern and differ only in
+// numeric values (pole shifts, SCF updates). The value-independent half of
+// each problem — ordering, supernodal symbolic analysis, communication
+// plans, per-rank engine programs — is cached per pattern fingerprint, so
+// warm requests pay only permute + numeric factorization + the parallel
+// sweep. A bounded engine pool applies backpressure (503 + Retry-After)
+// when saturated, and /metrics + /debug/trace expose cache effectiveness,
+// latency histograms and per-request Chrome traces.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pselinv"
+)
+
+// Config sizes the server. The zero value is usable: every field has a
+// production-minded default applied by New.
+type Config struct {
+	// Workers bounds concurrently executing inversion requests (engine
+	// slots). Default 2: each simulated run already fans out across the
+	// shared dense kernel pool, so a small number of concurrent engines
+	// saturates the machine.
+	Workers int
+	// MaxQueue bounds requests waiting for a slot; beyond it requests are
+	// rejected immediately with 503. Default 8.
+	MaxQueue int
+	// QueueWait bounds how long an admitted waiter may queue before being
+	// rejected with 503. Default 2s.
+	QueueWait time.Duration
+	// CacheSize bounds the symbolic-plan cache (patterns). Default 32.
+	CacheSize int
+	// TraceRing bounds retained per-request Chrome traces. Default 16.
+	TraceRing int
+	// MaxN and MaxProcs cap request size. Defaults 20000 and 256.
+	MaxN     int
+	MaxProcs int
+	// DefaultTimeout/MaxTimeout bound the per-request engine timeout.
+	// Defaults 60s / 5m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Relax/MaxWidth are the analysis options used for every request (kept
+	// server-wide so same-pattern requests share cache entries). Zero
+	// selects the pipeline defaults.
+	Relax    int
+	MaxWidth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 8
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 32
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 16
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 20000
+	}
+	if c.MaxProcs <= 0 {
+		c.MaxProcs = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the HTTP serving layer. Create with New, mount Handler.
+type Server struct {
+	cfg     Config
+	cache   *symCache
+	metrics *metrics
+	slots   chan struct{}
+	waiting atomic.Int64
+	reqID   atomic.Uint64
+	traces  *traceRing
+
+	// testSlowdown, when non-nil, runs while a slot is held — test hook to
+	// make saturation deterministic.
+	testSlowdown func()
+}
+
+// New builds a server from the config (zero value fine).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		cache:   newSymCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		slots:   make(chan struct{}, cfg.Workers),
+		traces:  newTraceRing(cfg.TraceRing),
+	}
+}
+
+// Handler returns the HTTP mux: POST /v1/selinv, GET /metrics,
+// GET /debug/trace/{id}, GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/selinv", s.handleSelInv)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/trace/", s.handleTrace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// CacheStats exposes the plan-cache counters (used by the load generator
+// and tests; /metrics carries the same numbers).
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// ErrSaturated is returned by admission control when the pool and queue
+// are full.
+var ErrSaturated = errors.New("server: all engine slots busy and queue full")
+
+// acquire implements admission control: immediate admission when a slot is
+// free; otherwise the request may wait in a bounded queue for a bounded
+// time; beyond either bound it is rejected so the caller can back off
+// (503 + Retry-After).
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		return ErrSaturated
+	}
+	defer s.waiting.Add(-1)
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		return ErrSaturated
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// MatrixSpec describes the request matrix: either a named generator with
+// its parameters, or inline MatrixMarket text. Generators are
+// deterministic in their parameters, so a spec is a compact way for
+// clients (and the load generator) to request same-pattern families.
+type MatrixSpec struct {
+	Kind string `json:"kind"` // grid2d|grid3d|dg2d|fe3d|banded|randomsym|randomasym|matrixmarket
+	NX   int    `json:"nx,omitempty"`
+	NY   int    `json:"ny,omitempty"`
+	NZ   int    `json:"nz,omitempty"`
+	Dofs int    `json:"dofs,omitempty"`
+	N    int    `json:"n,omitempty"`
+	Deg  int    `json:"deg,omitempty"`
+	BW   int    `json:"bw,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+	// Data is the MatrixMarket coordinate text (kind "matrixmarket").
+	Data string `json:"data,omitempty"`
+}
+
+// Request is the /v1/selinv request body.
+type Request struct {
+	Matrix MatrixSpec `json:"matrix"`
+	// Shift adds σ to the diagonal (the pole transformation A + σI);
+	// it never changes the pattern, so shifted families share cache
+	// entries.
+	Shift float64 `json:"shift,omitempty"`
+	// Procs is the simulated rank count (default 16).
+	Procs int `json:"procs,omitempty"`
+	// Scheme selects the collective tree: flat|binary|shifted|hybrid
+	// (default shifted).
+	Scheme string `json:"scheme,omitempty"`
+	// Ordering selects the fill-reducing ordering: nd|natural|rcm|mmd.
+	// The service default is nested dissection — the expensive ordering is
+	// exactly what the plan cache amortizes across a same-pattern family.
+	Ordering string `json:"ordering,omitempty"`
+	// Seed is the tree-shift seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Diagonal requests diag(A⁻¹) in the response (the PEXSI quantity).
+	Diagonal bool `json:"diagonal,omitempty"`
+	// Trace records a per-rank Chrome trace retrievable at the returned
+	// trace path.
+	Trace bool `json:"trace,omitempty"`
+	// TimeoutMS bounds the engine run (0 = server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Response is the /v1/selinv response body.
+type Response struct {
+	ID        string  `json:"id"`
+	N         int     `json:"n"`
+	NNZ       int     `json:"nnz"`
+	Snodes    int     `json:"snodes"`
+	Cache     string  `json:"cache"` // hit|miss|coalesced
+	Procs     int     `json:"procs"`
+	Scheme    string  `json:"scheme"`
+	Ordering  string  `json:"ordering"`
+	Symmetric bool    `json:"symmetric"`
+	LogAbsDet float64 `json:"logabsdet"`
+	// ElapsedMS breaks the request down by phase (analyze is ~0 on hits).
+	ElapsedMS map[string]float64 `json:"elapsed_ms"`
+	MaxSentMB float64            `json:"max_sent_mb"`
+	Diagonal  []float64          `json:"diagonal,omitempty"`
+	TracePath string             `json:"trace,omitempty"`
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// buildMatrix realizes a spec (plus shift) into a Matrix.
+func (s *Server) buildMatrix(spec MatrixSpec, shift float64) (*pselinv.Matrix, error) {
+	var m *pselinv.Matrix
+	var err error
+	switch strings.ToLower(spec.Kind) {
+	case "grid2d":
+		if spec.NX < 1 || spec.NY < 1 {
+			return nil, badRequest("grid2d requires nx, ny >= 1")
+		}
+		m = pselinv.Grid2D(spec.NX, spec.NY, spec.Seed)
+	case "grid3d":
+		if spec.NX < 1 || spec.NY < 1 || spec.NZ < 1 {
+			return nil, badRequest("grid3d requires nx, ny, nz >= 1")
+		}
+		m = pselinv.Grid3D(spec.NX, spec.NY, spec.NZ, spec.Seed)
+	case "dg2d":
+		if spec.NX < 1 || spec.NY < 1 || spec.Dofs < 1 {
+			return nil, badRequest("dg2d requires nx, ny, dofs >= 1")
+		}
+		m = pselinv.DG2D(spec.NX, spec.NY, spec.Dofs, spec.Seed)
+	case "fe3d":
+		if spec.NX < 1 || spec.NY < 1 || spec.NZ < 1 || spec.Dofs < 1 {
+			return nil, badRequest("fe3d requires nx, ny, nz, dofs >= 1")
+		}
+		m = pselinv.FE3D(spec.NX, spec.NY, spec.NZ, spec.Dofs, spec.Seed)
+	case "banded":
+		if spec.N < 1 || spec.BW < 1 {
+			return nil, badRequest("banded requires n, bw >= 1")
+		}
+		m = pselinv.Banded(spec.N, spec.BW, spec.Seed)
+	case "randomsym":
+		if spec.N < 1 || spec.Deg < 1 {
+			return nil, badRequest("randomsym requires n, deg >= 1")
+		}
+		m = pselinv.RandomSym(spec.N, spec.Deg, spec.Seed)
+	case "randomasym":
+		if spec.N < 1 || spec.Deg < 1 {
+			return nil, badRequest("randomasym requires n, deg >= 1")
+		}
+		m = pselinv.RandomAsym(spec.N, spec.Deg, spec.Seed)
+	case "matrixmarket":
+		if spec.Data == "" {
+			return nil, badRequest("matrixmarket requires data")
+		}
+		m, err = pselinv.FromMatrixMarket(strings.NewReader(spec.Data), "request-matrix")
+		if err != nil {
+			return nil, badRequest("matrixmarket: %v", err)
+		}
+	default:
+		return nil, badRequest("unknown matrix kind %q", spec.Kind)
+	}
+	if m.N() > s.cfg.MaxN {
+		return nil, badRequest("matrix dimension %d exceeds server limit %d", m.N(), s.cfg.MaxN)
+	}
+	if shift != 0 {
+		if m, err = m.Shifted(shift); err != nil {
+			return nil, badRequest("shift: %v", err)
+		}
+	}
+	return m, nil
+}
+
+func parseScheme(s string) (pselinv.Scheme, *httpError) {
+	switch strings.ToLower(s) {
+	case "", "shifted":
+		return pselinv.ShiftedBinaryTree, nil
+	case "flat":
+		return pselinv.FlatTree, nil
+	case "binary":
+		return pselinv.BinaryTree, nil
+	case "hybrid":
+		return pselinv.Hybrid, nil
+	}
+	return 0, badRequest("unknown scheme %q", s)
+}
+
+// parseOrdering maps the request field to an ordering method plus its
+// canonical name (part of the cache key). The zero value defaults to
+// nested dissection, not the library's natural ordering: a service exists
+// to serve repeated same-pattern requests, and the fill-reducing ordering
+// is both the dominant cold-path cost and the thing worth paying once.
+func parseOrdering(s string) (pselinv.OrderingMethod, string, *httpError) {
+	switch strings.ToLower(s) {
+	case "", "nd":
+		return pselinv.OrderNestedDissection, "nd", nil
+	case "natural":
+		return pselinv.OrderNatural, "natural", nil
+	case "rcm":
+		return pselinv.OrderRCM, "rcm", nil
+	case "mmd":
+		return pselinv.OrderMinimumDegree, "mmd", nil
+	}
+	return 0, "", badRequest("unknown ordering %q", s)
+}
+
+func (s *Server) handleSelInv(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		s.metrics.countRequest("bad_request")
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		s.metrics.countRequest("bad_request")
+		return
+	}
+	resp, herr := s.serve(r.Context(), &req)
+	if herr != nil {
+		if herr.status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+			s.metrics.countRequest("rejected")
+		} else if herr.status == http.StatusBadRequest {
+			s.metrics.countRequest("bad_request")
+		} else {
+			s.metrics.countRequest("error")
+		}
+		http.Error(w, herr.msg, herr.status)
+		return
+	}
+	s.metrics.countRequest("ok")
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Connection-level failure; nothing recoverable.
+		return
+	}
+}
+
+// serve runs one inversion request end to end.
+func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError) {
+	scheme, herr := parseScheme(req.Scheme)
+	if herr != nil {
+		return nil, herr
+	}
+	ordMethod, ordName, herr := parseOrdering(req.Ordering)
+	if herr != nil {
+		return nil, herr
+	}
+	procs := req.Procs
+	if procs == 0 {
+		procs = 16
+	}
+	if procs < 1 || procs > s.cfg.MaxProcs {
+		return nil, badRequest("procs %d outside [1, %d]", procs, s.cfg.MaxProcs)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	// Admission control guards the whole heavy section: matrix
+	// realization, analysis, factorization and the engine run.
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, ErrSaturated) {
+			return nil, &httpError{status: http.StatusServiceUnavailable, msg: "server saturated; retry later"}
+		}
+		return nil, &httpError{status: http.StatusRequestTimeout, msg: "client went away while queued"}
+	}
+	defer s.release()
+	if s.testSlowdown != nil {
+		s.testSlowdown()
+	}
+
+	t0 := time.Now()
+	m, merr := s.buildMatrix(req.Matrix, req.Shift)
+	if merr != nil {
+		var he *httpError
+		if errors.As(merr, &he) {
+			return nil, he
+		}
+		return nil, badRequest("%v", merr)
+	}
+
+	// Cache key: pattern fingerprint + the analysis options that change
+	// its symbolic outcome.
+	key := fmt.Sprintf("%s/%s/r%d/w%d", m.Fingerprint(), ordName, s.cfg.Relax, s.cfg.MaxWidth)
+	tCache := time.Now()
+	sym, outcome, berr := s.cache.getOrBuild(key, func() (*pselinv.Symbolic, error) {
+		return pselinv.AnalyzePattern(m, pselinv.Options{
+			Ordering: ordMethod,
+			Relax:    s.cfg.Relax,
+			MaxWidth: s.cfg.MaxWidth,
+		})
+	})
+	if berr != nil {
+		return nil, badRequest("analysis: %v", berr)
+	}
+	analyzeDur := time.Since(tCache)
+
+	tFac := time.Now()
+	sys, ferr := sym.Factorize(m)
+	if ferr != nil {
+		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: "factorization: " + ferr.Error()}
+	}
+	sys.SetTimeout(timeout)
+	facDur := time.Since(tFac)
+
+	tInv := time.Now()
+	var res *pselinv.ParallelResult
+	var tr *pselinv.TraceReport
+	var err error
+	if req.Trace {
+		res, tr, err = sys.ParallelSelInvTraced(procs, scheme, seed)
+	} else {
+		res, err = sys.ParallelSelInv(procs, scheme, seed)
+	}
+	if err != nil {
+		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: "inversion: " + err.Error()}
+	}
+	invDur := time.Since(tInv)
+	total := time.Since(t0)
+
+	id := fmt.Sprintf("r%06d", s.reqID.Add(1))
+	resp := &Response{
+		ID:        id,
+		N:         m.N(),
+		NNZ:       m.NNZ(),
+		Snodes:    sym.NumSupernodes(),
+		Cache:     string(outcome),
+		Procs:     res.Procs(),
+		Scheme:    strings.ToLower(schemeName(scheme)),
+		Ordering:  ordName,
+		Symmetric: sys.Symmetric(),
+		LogAbsDet: sys.LogAbsDet(),
+		MaxSentMB: res.MaxSentMB(),
+		ElapsedMS: map[string]float64{
+			"analyze":   analyzeDur.Seconds() * 1e3,
+			"factorize": facDur.Seconds() * 1e3,
+			"invert":    invDur.Seconds() * 1e3,
+			"total":     total.Seconds() * 1e3,
+		},
+	}
+	if req.Diagonal {
+		resp.Diagonal = res.Diagonal()
+	}
+	res.Release()
+	if tr != nil {
+		var b strings.Builder
+		if err := tr.WriteChromeTrace(&b); err == nil {
+			s.traces.put(id, []byte(b.String()))
+			resp.TracePath = "/debug/trace/" + id
+		}
+	}
+
+	s.metrics.observe("analyze", analyzeDur)
+	s.metrics.observe("factorize", facDur)
+	s.metrics.observe("invert", invDur)
+	s.metrics.observe("total", total)
+	switch outcome {
+	case CacheHit, CacheCoalesced:
+		s.metrics.observe("total_warm", total)
+	case CacheMiss:
+		s.metrics.observe("total_cold", total)
+	}
+	return resp, nil
+}
+
+func schemeName(s pselinv.Scheme) string {
+	switch s {
+	case pselinv.FlatTree:
+		return "flat"
+	case pselinv.BinaryTree:
+		return "binary"
+	case pselinv.ShiftedBinaryTree:
+		return "shifted"
+	case pselinv.Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("scheme-%d", int(s))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s.cache.stats(), gauges{
+		PoolInUse:      len(s.slots),
+		PoolCapacity:   s.cfg.Workers,
+		QueueDepth:     int(s.waiting.Load()),
+		QueueCapacity:  s.cfg.MaxQueue,
+		TracesRetained: s.traces.len(),
+	})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if id == "" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.traces.ids()); err != nil {
+			return
+		}
+		return
+	}
+	data, ok := s.traces.get(id)
+	if !ok {
+		http.Error(w, "no trace retained for "+id+" (request it with \"trace\": true; the ring keeps the most recent traces)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		return
+	}
+}
+
+// traceRing retains the Chrome traces of the most recent traced requests.
+type traceRing struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	data  map[string][]byte
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{cap: capacity, data: map[string][]byte{}}
+}
+
+func (t *traceRing) put(id string, b []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.data[id]; !exists {
+		t.order = append(t.order, id)
+		for len(t.order) > t.cap {
+			delete(t.data, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	t.data[id] = b
+}
+
+func (t *traceRing) get(id string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.data[id]
+	return b, ok
+}
+
+func (t *traceRing) ids() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
+
+func (t *traceRing) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.data)
+}

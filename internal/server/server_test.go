@@ -1,0 +1,395 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pselinv"
+)
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, req *Request) (*http.Response, *Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(url+"/v1/selinv", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return hr, nil
+	}
+	var resp Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return hr, &resp
+}
+
+func TestServeDiagonalMatchesSequential(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	req := &Request{
+		Matrix:   MatrixSpec{Kind: "grid2d", NX: 10, NY: 10, Seed: 3},
+		Procs:    9,
+		Diagonal: true,
+	}
+	hr, resp := postJSON(t, ts.URL, req)
+	if resp == nil {
+		t.Fatalf("status %d", hr.StatusCode)
+	}
+	if resp.Cache != "miss" {
+		t.Fatalf("first request cache %q, want miss", resp.Cache)
+	}
+	if resp.N != 100 || len(resp.Diagonal) != 100 {
+		t.Fatalf("n=%d len(diag)=%d", resp.N, len(resp.Diagonal))
+	}
+	// Reference: the same computation through the library, under the
+	// service's default nested-dissection ordering.
+	sys, err := pselinv.NewSystem(pselinv.Grid2D(10, 10, 3),
+		pselinv.Options{Ordering: pselinv.OrderNestedDissection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := sys.SelInv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inv.Diagonal()
+	for i := range want {
+		if math.Abs(resp.Diagonal[i]-want[i]) > 1e-9 {
+			t.Fatalf("diagonal[%d] = %g, want %g", i, resp.Diagonal[i], want[i])
+		}
+	}
+	if resp.LogAbsDet != sys.LogAbsDet() {
+		t.Fatalf("logabsdet %g, want %g", resp.LogAbsDet, sys.LogAbsDet())
+	}
+
+	// Same pattern, shifted values: must hit the cache and change values.
+	req2 := &Request{
+		Matrix:   MatrixSpec{Kind: "grid2d", NX: 10, NY: 10, Seed: 3},
+		Shift:    1.5,
+		Procs:    9,
+		Diagonal: true,
+	}
+	_, resp2 := postJSON(t, ts.URL, req2)
+	if resp2 == nil || resp2.Cache != "hit" {
+		t.Fatalf("shifted same-pattern request: %+v, want cache hit", resp2)
+	}
+	if resp2.Diagonal[0] == resp.Diagonal[0] {
+		t.Fatal("shift did not change the inverse")
+	}
+}
+
+func TestServeMatrixMarketRoundTrip(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	var mm strings.Builder
+	if err := pselinv.Grid2D(6, 6, 5).WriteMatrixMarket(&mm); err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{
+		Matrix:   MatrixSpec{Kind: "matrixmarket", Data: mm.String()},
+		Procs:    4,
+		Diagonal: true,
+	}
+	hr, resp := postJSON(t, ts.URL, req)
+	if resp == nil {
+		t.Fatalf("status %d", hr.StatusCode)
+	}
+	if len(resp.Diagonal) != 36 {
+		t.Fatalf("diagonal length %d", len(resp.Diagonal))
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	_, ts := testServer(t, Config{MaxN: 100, MaxProcs: 16})
+	cases := []Request{
+		{Matrix: MatrixSpec{Kind: "nope"}},
+		{Matrix: MatrixSpec{Kind: "grid2d"}},                                     // missing dims
+		{Matrix: MatrixSpec{Kind: "grid2d", NX: 50, NY: 50}},                     // exceeds MaxN
+		{Matrix: MatrixSpec{Kind: "grid2d", NX: 5, NY: 5}, Procs: 64},            // exceeds MaxProcs
+		{Matrix: MatrixSpec{Kind: "grid2d", NX: 5, NY: 5}, Scheme: "fibonacci"},  // unknown scheme
+		{Matrix: MatrixSpec{Kind: "grid2d", NX: 5, NY: 5}, Ordering: "random"},   // unknown ordering
+		{Matrix: MatrixSpec{Kind: "matrixmarket", Data: "%%MatrixMarket\njunk"}}, // parse error
+	}
+	for i, req := range cases {
+		hr, resp := postJSON(t, ts.URL, &req)
+		if resp != nil || hr.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400", i, hr.StatusCode)
+		}
+	}
+	// GET is rejected.
+	hr, err := http.Get(ts.URL + "/v1/selinv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", hr.StatusCode)
+	}
+}
+
+// TestBackpressure saturates a 1-slot, 1-queue server and verifies the
+// overflow requests are rejected with 503 + Retry-After while in-flight
+// work completes. The test hook makes occupancy deterministic.
+func TestBackpressure(t *testing.T) {
+	s := New(Config{Workers: 1, MaxQueue: 1, QueueWait: 5 * time.Second})
+	inSlot := make(chan struct{})
+	releaseSlot := make(chan struct{})
+	var hookOnce sync.Once
+	s.testSlowdown = func() {
+		hookOnce.Do(func() {
+			close(inSlot)
+			<-releaseSlot
+		})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := &Request{Matrix: MatrixSpec{Kind: "grid2d", NX: 6, NY: 6, Seed: 1}, Procs: 4}
+	body, _ := json.Marshal(req)
+
+	type result struct {
+		status int
+		retry  string
+	}
+	results := make(chan result, 8)
+	do := func() {
+		hr, err := http.Post(ts.URL+"/v1/selinv", "application/json", bytes.NewReader(body))
+		if err != nil {
+			results <- result{status: -1}
+			return
+		}
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+		results <- result{status: hr.StatusCode, retry: hr.Header.Get("Retry-After")}
+	}
+
+	go do() // occupies the slot, parks in the hook
+	<-inSlot
+
+	// Queue capacity is 1: of the next burst, one waits, the rest bounce.
+	const burst = 4
+	for i := 0; i < burst; i++ {
+		go do()
+	}
+	var rejected []result
+	for len(rejected) < burst-1 {
+		r := <-results
+		if r.status != http.StatusServiceUnavailable {
+			t.Fatalf("burst request got status %d, want 503 (rejected so far: %d)", r.status, len(rejected))
+		}
+		if r.retry == "" {
+			t.Fatal("503 without Retry-After header")
+		}
+		rejected = append(rejected, r)
+	}
+
+	// Unblock the slot: the parked request and the queued one both finish.
+	close(releaseSlot)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Fatalf("completing request got status %d, want 200", r.status)
+		}
+	}
+
+	// Metrics must reflect the rejections.
+	counters, err := ScrapeCounters(http.DefaultClient, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters["pselinvd_pool_capacity"] != 1 || counters["pselinvd_queue_capacity"] != 1 {
+		t.Fatalf("capacity gauges wrong: %v", counters)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{TraceRing: 2})
+	req := &Request{Matrix: MatrixSpec{Kind: "grid2d", NX: 8, NY: 8, Seed: 1}, Procs: 4, Trace: true}
+	hr, resp := postJSON(t, ts.URL, req)
+	if resp == nil {
+		t.Fatalf("status %d", hr.StatusCode)
+	}
+	if resp.TracePath == "" {
+		t.Fatal("traced request returned no trace path")
+	}
+	tr, err := http.Get(ts.URL + resp.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch status %d", tr.StatusCode)
+	}
+	var events []map[string]any
+	if err := json.NewDecoder(tr.Body).Decode(&events); err != nil {
+		t.Fatalf("trace is not a Chrome trace-event JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace has no events")
+	}
+	for _, key := range []string{"name", "ph", "ts", "dur", "tid"} {
+		if _, ok := events[0][key]; !ok {
+			t.Fatalf("trace event missing %q: %v", key, events[0])
+		}
+	}
+
+	// Unknown id 404s; the index lists retained ids.
+	nf, err := http.Get(ts.URL + "/debug/trace/r999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace status %d, want 404", nf.StatusCode)
+	}
+	idx, err := http.Get(ts.URL + "/debug/trace/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Body.Close()
+	var ids []string
+	if err := json.NewDecoder(idx.Body).Decode(&ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != resp.ID {
+		t.Fatalf("trace index %v, want [%s]", ids, resp.ID)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	r := newTraceRing(2)
+	r.put("a", []byte("1"))
+	r.put("b", []byte("2"))
+	r.put("c", []byte("3"))
+	if _, ok := r.get("a"); ok {
+		t.Fatal("oldest trace survived ring overflow")
+	}
+	if _, ok := r.get("c"); !ok {
+		t.Fatal("newest trace missing")
+	}
+	if r.len() != 2 {
+		t.Fatalf("ring holds %d traces, want 2", r.len())
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	// One miss, one hit.
+	req := &Request{Matrix: MatrixSpec{Kind: "grid2d", NX: 6, NY: 6, Seed: 2}, Procs: 4}
+	if hr, resp := postJSON(t, ts.URL, req); resp == nil {
+		t.Fatalf("status %d", hr.StatusCode)
+	}
+	if hr, resp := postJSON(t, ts.URL, req); resp == nil || resp.Cache != "hit" {
+		t.Fatalf("status %d resp %+v", hr.StatusCode, resp)
+	}
+	hr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	text, err := io.ReadAll(hr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"pselinvd_plan_cache_hits_total 1",
+		"pselinvd_plan_cache_misses_total 1",
+		"pselinvd_requests_total{status=\"ok\"} 2",
+		"pselinvd_request_seconds_bucket{phase=\"total\",le=\"+Inf\"} 2",
+		"pselinvd_request_seconds_count{phase=\"invert\"} 2",
+		"pselinvd_pool_capacity",
+		"pselinvd_queue_capacity",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 100; i++ {
+		h.observe(0.004) // bucket (0.0025, 0.005]
+	}
+	if q := h.quantile(0.5); q < 0.0025 || q > 0.005 {
+		t.Fatalf("median %g outside the observed bucket", q)
+	}
+	if !math.IsNaN(newHistogram().quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+// TestConcurrentMixedRequests drives several patterns concurrently under
+// the race detector: same-pattern requests coalesce or hit, distinct
+// patterns coexist, every response is numerically sane.
+func TestConcurrentMixedRequests(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 4, MaxQueue: 64, QueueWait: time.Minute})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 4; g++ {
+		for rep := 0; rep < 3; rep++ {
+			wg.Add(1)
+			go func(g, rep int) {
+				defer wg.Done()
+				req := &Request{
+					Matrix:   MatrixSpec{Kind: "grid2d", NX: 6 + g, NY: 6, Seed: 1},
+					Shift:    float64(rep),
+					Procs:    4,
+					Diagonal: true,
+				}
+				body, _ := json.Marshal(req)
+				hr, err := http.Post(ts.URL+"/v1/selinv", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer hr.Body.Close()
+				if hr.StatusCode != http.StatusOK {
+					msg, _ := io.ReadAll(hr.Body)
+					errs <- fmt.Errorf("status %d: %s", hr.StatusCode, msg)
+					return
+				}
+				var resp Response
+				if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+					errs <- err
+					return
+				}
+				if len(resp.Diagonal) != resp.N {
+					errs <- fmt.Errorf("diagonal length %d != n %d", len(resp.Diagonal), resp.N)
+				}
+			}(g, rep)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.CacheStats()
+	if st.Misses != 4 {
+		t.Fatalf("%d misses for 4 distinct patterns: %+v", st.Misses, st)
+	}
+	if st.Hits+st.Coalesced != 8 {
+		t.Fatalf("hits+coalesced = %d, want 8: %+v", st.Hits+st.Coalesced, st)
+	}
+}

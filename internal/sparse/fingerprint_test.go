@@ -1,0 +1,68 @@
+package sparse
+
+import "testing"
+
+func TestPatternFingerprintValueIndependent(t *testing.T) {
+	a := Grid2D(8, 8, 1).A
+	b := Grid2D(8, 8, 99).A // same stencil, different values
+	if a.PatternFingerprint() != b.PatternFingerprint() {
+		t.Fatal("fingerprint depends on values")
+	}
+	shifted, err := a.ShiftDiagonal(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.PatternFingerprint() != a.PatternFingerprint() {
+		t.Fatal("diagonal shift changed the fingerprint")
+	}
+}
+
+func TestPatternFingerprintDistinguishesPatterns(t *testing.T) {
+	fps := map[string]string{}
+	for name, a := range map[string]*CSC{
+		"grid2d-8x8":  Grid2D(8, 8, 1).A,
+		"grid2d-8x9":  Grid2D(8, 9, 1).A,
+		"grid3d-4":    Grid3D(4, 4, 4, 1).A,
+		"rand-64-4-1": RandomSym(64, 4, 1).A,
+		"rand-64-4-2": RandomSym(64, 4, 2).A, // different seed, different pattern
+		"banded":      Banded(64, 3, 1).A,
+	} {
+		fp := a.PatternFingerprint()
+		for other, ofp := range fps {
+			if ofp == fp {
+				t.Fatalf("%s and %s collide", name, other)
+			}
+		}
+		fps[name] = fp
+	}
+}
+
+func TestShiftDiagonalValues(t *testing.T) {
+	a := RandomSym(40, 4, 3).A
+	s, err := a.ShiftDiagonal(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			want := a.At(i, j)
+			if i == j {
+				want += 2.5
+			}
+			if got := s.At(i, j); got != want {
+				t.Fatalf("entry (%d,%d): got %g want %g", i, j, got, want)
+			}
+		}
+	}
+	// Original untouched.
+	if a.At(0, 0) == s.At(0, 0) {
+		t.Fatal("ShiftDiagonal mutated its receiver")
+	}
+}
+
+func TestShiftDiagonalMissingDiagonal(t *testing.T) {
+	a := FromTriplets(2, []Triplet{{0, 0, 1}, {0, 1, 1}, {1, 0, 1}})
+	if _, err := a.ShiftDiagonal(1); err == nil {
+		t.Fatal("expected error for structurally absent diagonal")
+	}
+}

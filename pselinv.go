@@ -34,6 +34,7 @@ package pselinv
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"pselinv/internal/blockmat"
@@ -114,6 +115,22 @@ func (m *Matrix) Asymmetrize(seed int64, eps float64) *Matrix {
 	m.gen = sparse.Asymmetrize(m.gen, seed, eps)
 	return m
 }
+
+// Shifted returns a new matrix A + σI — the pole-expansion transformation.
+// The sparsity pattern (and therefore Fingerprint) is unchanged, so shifted
+// matrices reuse a Symbolic analysis of the original.
+func (m *Matrix) Shifted(sigma float64) (*Matrix, error) {
+	a, err := m.gen.A.ShiftDiagonal(sigma)
+	if err != nil {
+		return nil, fmt.Errorf("pselinv: %s: %w", m.Name(), err)
+	}
+	return &Matrix{gen: &sparse.Generated{A: a, Name: m.gen.Name, Geom: m.gen.Geom}}, nil
+}
+
+// Fingerprint returns a stable digest of the sparsity pattern (structure
+// only, not values). Matrices with equal fingerprints can share one
+// Symbolic analysis.
+func (m *Matrix) Fingerprint() string { return m.gen.A.PatternFingerprint() }
 
 // IsSymmetric reports whether the matrix has symmetric values.
 func (m *Matrix) IsSymmetric() bool { return m.gen.A.IsSymmetric(0) }
@@ -200,11 +217,121 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Symbolic is the value-independent half of an analyzed problem: the
+// fill-reducing ordering, the supernodal symbolic analysis, and a cache of
+// communication plans and engine programs derived from them. It depends
+// only on the sparsity pattern, so one Symbolic serves every matrix sharing
+// that pattern — the PEXSI workload, where tens of selected inversions per
+// SCF iteration differ only in numeric values. A Symbolic is immutable
+// after construction apart from its internal plan cache, which is
+// mutex-guarded; all methods are safe for concurrent use.
+type Symbolic struct {
+	opt Options
+	fp  string
+	an  *etree.Analysis
+
+	// engines caches one engine template (plan + per-rank programs, no
+	// numeric factor) per grid/scheme/seed/symmetry combination, so warm
+	// same-pattern runs skip plan construction entirely. Bounded: see
+	// engineTemplate.
+	mu      sync.Mutex
+	engines map[engineKey]*pselinv.Engine
+}
+
+type engineKey struct {
+	pr, pc    int
+	scheme    Scheme
+	seed      uint64
+	symmetric bool
+}
+
+// maxEngineTemplates bounds the per-Symbolic plan cache. Serving workloads
+// use a handful of (grid, scheme) combinations; if a client sweeps seeds the
+// cache is cleared wholesale rather than LRU-tracked — rebuilding a plan is
+// milliseconds, and the common case stays a single map hit.
+const maxEngineTemplates = 16
+
+// AnalyzePattern orders and symbolically analyzes the matrix's sparsity
+// pattern without touching its values. The result can Factorize any matrix
+// with the same pattern, skipping the ordering/analysis cost — on
+// geometry-free patterns (where nested dissection runs on the general
+// graph) that is the dominant cost of NewSystem.
+func AnalyzePattern(m *Matrix, opt Options) (*Symbolic, error) {
+	opt = opt.withDefaults()
+	if !m.gen.A.IsStructurallySymmetric() {
+		return nil, fmt.Errorf("pselinv: %s: pattern must be structurally symmetric", m.Name())
+	}
+	perm := ordering.Compute(opt.Ordering, m.gen.A, m.gen.Geom)
+	an := etree.Analyze(m.gen.A.Permute(perm), perm,
+		etree.Options{Relax: opt.Relax, MaxWidth: opt.MaxWidth})
+	return &Symbolic{
+		opt:     opt,
+		fp:      m.Fingerprint(),
+		an:      an,
+		engines: map[engineKey]*pselinv.Engine{},
+	}, nil
+}
+
+// Fingerprint returns the sparsity-pattern digest this analysis was built
+// for; Factorize accepts exactly the matrices sharing it.
+func (sy *Symbolic) Fingerprint() string { return sy.fp }
+
+// NumSupernodes returns the supernode count of the analysis.
+func (sy *Symbolic) NumSupernodes() int { return sy.an.BP.NumSnodes() }
+
+// FactorNNZ returns the scalar nonzero count of the block pattern of L.
+func (sy *Symbolic) FactorNNZ() int64 { return sy.an.BP.NNZScalars() }
+
+// Factorize numerically factorizes a matrix against this symbolic
+// analysis, returning a System ready for selected inversion. The matrix
+// must share the pattern the analysis was built from. Systems produced by
+// one Symbolic share its analysis and plan cache and may run concurrently:
+// the shared state is read-only during runs (the plan cache is internally
+// locked), and each System owns its numeric factor.
+func (sy *Symbolic) Factorize(m *Matrix) (*System, error) {
+	if got := m.Fingerprint(); got != sy.fp {
+		return nil, fmt.Errorf("pselinv: %s: sparsity pattern does not match the symbolic analysis (fingerprint %.12s… vs %.12s…)",
+			m.Name(), got, sy.fp)
+	}
+	// PermTotal (fill ordering composed with the analysis postorder), not
+	// the fill ordering alone, is what the block pattern is expressed in.
+	lu, err := factor.Factorize(m.gen.A.Permute(sy.an.PermTotal), sy.an.BP)
+	if err != nil {
+		return nil, fmt.Errorf("pselinv: factorization of %s failed: %w", m.Name(), err)
+	}
+	return &System{
+		m: m, opt: sy.opt, sym: sy, an: sy.an, lu: lu,
+		symmetric: m.gen.A.IsSymmetric(1e-14),
+	}, nil
+}
+
+// engineTemplate returns the cached engine template (communication plan +
+// per-rank programs, no numeric factor) for one grid/scheme/seed/symmetry
+// combination, building and caching it on first use.
+func (sy *Symbolic) engineTemplate(pr, pc int, scheme Scheme, seed uint64, symmetric bool) *pselinv.Engine {
+	key := engineKey{pr: pr, pc: pc, scheme: scheme, seed: seed, symmetric: symmetric}
+	sy.mu.Lock()
+	defer sy.mu.Unlock()
+	if eng, ok := sy.engines[key]; ok {
+		return eng
+	}
+	if len(sy.engines) >= maxEngineTemplates {
+		sy.engines = map[engineKey]*pselinv.Engine{}
+	}
+	plan := core.NewPlanFull(sy.an.BP, procgrid.New(pr, pc), scheme, seed, core.DefaultHybridThreshold, symmetric)
+	eng := pselinv.NewEngine(plan, nil)
+	sy.engines[key] = eng
+	return eng
+}
+
 // System is an analyzed and factorized problem, ready for selected
-// inversion (sequential, parallel or simulated).
+// inversion (sequential, parallel or simulated). Systems sharing one
+// Symbolic may run concurrently; a single System is itself safe for
+// concurrent Parallel* calls (each run gets a fresh world and rank state).
 type System struct {
 	m         *Matrix
 	opt       Options
+	sym       *Symbolic
 	an        *etree.Analysis
 	lu        *factor.LU
 	symmetric bool
@@ -214,20 +341,32 @@ type System struct {
 // values is detected automatically and selects the communication pattern
 // of the distributed phase (the paper's symmetric path, or the general
 // path with explicit upper-triangle broadcasts and reductions).
+//
+// Callers inverting many matrices with one sparsity pattern should instead
+// AnalyzePattern once and Factorize each matrix against it.
 func NewSystem(m *Matrix, opt Options) (*System, error) {
-	opt = opt.withDefaults()
-	if !m.gen.A.IsStructurallySymmetric() {
-		return nil, fmt.Errorf("pselinv: %s: pattern must be structurally symmetric", m.Name())
-	}
-	perm := ordering.Compute(opt.Ordering, m.gen.A, m.gen.Geom)
-	an := etree.Analyze(m.gen.A.Permute(perm), perm,
-		etree.Options{Relax: opt.Relax, MaxWidth: opt.MaxWidth})
-	lu, err := factor.Factorize(an.A, an.BP)
+	sy, err := AnalyzePattern(m, opt)
 	if err != nil {
-		return nil, fmt.Errorf("pselinv: factorization of %s failed: %w", m.Name(), err)
+		return nil, err
 	}
-	return &System{m: m, opt: opt, an: an, lu: lu, symmetric: m.gen.A.IsSymmetric(1e-14)}, nil
+	return sy.Factorize(m)
 }
+
+// Symbolic returns the shareable value-independent analysis of this
+// system; Factorize same-pattern matrices against it to skip re-analysis.
+func (s *System) Symbolic() *Symbolic { return s.sym }
+
+// SetTimeout overrides the per-run timeout for this System only (the
+// Options value is otherwise inherited from the symbolic analysis).
+func (s *System) SetTimeout(d time.Duration) {
+	if d > 0 {
+		s.opt.Timeout = d
+	}
+}
+
+// SetChaosSeed installs (non-zero) or removes (zero) the deterministic
+// chaos adversary on this System's subsequent parallel runs.
+func (s *System) SetChaosSeed(seed uint64) { s.opt.ChaosSeed = seed }
 
 // Symmetric reports whether the system uses the symmetric-value fast path.
 func (s *System) Symmetric() bool { return s.symmetric }
@@ -401,8 +540,10 @@ func (s *System) ParallelSelInvTraced(procs int, scheme Scheme, seed uint64) (*P
 
 func (s *System) parallelRun(pr, pc int, scheme Scheme, seed uint64, rec *trace.Recorder) (*ParallelResult, *trace.Recorder, error) {
 	grid := procgrid.New(pr, pc)
-	plan := core.NewPlanFull(s.an.BP, grid, scheme, seed, core.DefaultHybridThreshold, s.symmetric)
-	eng := pselinv.NewEngine(plan, s.lu)
+	// The plan and per-rank programs come from the Symbolic's cache (built
+	// on first use); Rebind attaches this System's numeric factor without
+	// copying them, so warm same-pattern runs skip plan construction.
+	eng := s.sym.engineTemplate(pr, pc, scheme, seed, s.symmetric).Rebind(s.lu)
 	eng.Trace = rec
 	if s.opt.ChaosSeed != 0 {
 		eng.Chaos = &chaos.Config{Seed: s.opt.ChaosSeed}
