@@ -59,7 +59,7 @@ bench:
 # (the bench-baseline job in ci.yml can do this via workflow_dispatch),
 # commit .github/bench-baseline.txt, and explain the change in the commit
 # message.
-BENCH_GATE_PATTERN = ^BenchmarkGemm$$/^(256x256x256|512x512x512)$$|^BenchmarkEndToEndParallel16$$
+BENCH_GATE_PATTERN = ^BenchmarkGemm$$/^(256x256x256|512x512x512)$$|^BenchmarkEndToEndParallel16(Obs)?$$
 BENCH_COUNT ?= 5
 BENCH_TOLERANCE ?= 0.25
 BENCH_OUT ?= /tmp/bench-new.txt

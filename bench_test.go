@@ -227,3 +227,24 @@ func BenchmarkEndToEndParallel16(b *testing.B) {
 		res.Release()
 	}
 }
+
+// BenchmarkEndToEndParallel16Obs is BenchmarkEndToEndParallel16 with full
+// observability installed (traffic collector + merged trace). Comparing
+// the pair bounds the instrumentation overhead; the bench gate tracks
+// both so an obs-path regression is caught like any other.
+func BenchmarkEndToEndParallel16Obs(b *testing.B) {
+	m := Grid2D(16, 16, 1)
+	sys, err := NewSystem(m, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, _, err := sys.ParallelSelInvObserved(16, ShiftedBinaryTree, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+}

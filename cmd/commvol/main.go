@@ -49,6 +49,8 @@ var (
 	flag46     = flag.Bool("table1paper", false, "Table I on the paper's literal 46x46 grid via the analytic volume model (no engine run)")
 	flagWork   = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
 	flagChaos  = flag.Uint64("chaos-seed", 0, "non-zero: run every engine measurement under the seeded chaos adversary (adversarial message reordering; volumes unchanged, numerics forced deterministic)")
+	flagObs    = flag.Bool("obs", false, "re-run the main measurement with the communication substrate instrumented: JSON reports, merged Chrome traces, and measured forwarding chains per scheme")
+	flagObsOut = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
 )
 
 // chaosCfg returns the adversary configuration selected by -chaos-seed
@@ -70,7 +72,7 @@ func main() {
 		*flagTable1, *flagTable2 = true, true
 		*flagFig4, *flagFig5, *flagFig6, *flagFig7 = true, true, true, true
 	}
-	if !(*flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flag46) {
+	if !(*flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flag46 || *flagObs) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -97,7 +99,7 @@ func main() {
 	needMain := *flagTable1 || *flagFig4 || *flagFig5 || *flagFig7
 	var mainMs []*exp.VolumeMeasurement
 	var pipe *exp.Pipeline
-	if needMain || *flagFig6 {
+	if needMain || *flagFig6 || *flagObs {
 		var err error
 		pipe, err = exp.Prepare(audikw, exp.DefaultRelax, exp.DefaultMaxWidth)
 		check(err)
@@ -108,6 +110,28 @@ func main() {
 		var err error
 		mainMs, err = exp.MeasureVolumesChaos(pipe, grid, core.Schemes(), uint64(*flagSeed), 20*time.Minute, chaosCfg())
 		check(err)
+	}
+
+	if *flagObs {
+		fmt.Printf("== Observability: instrumented runs on %v (reports + merged traces in %s) ==\n", grid, *flagObsOut)
+		ms, err := exp.MeasureObs(pipe, grid, core.Schemes(), uint64(*flagSeed), 20*time.Minute)
+		check(err)
+		for _, m := range ms {
+			fmt.Printf("-- %v --\n%s\n", m.Scheme, m.Report.Summary())
+			// The measured Col-Bcast traffic matrix is the per-link version
+			// of the Figure 5 per-rank heat maps (embedded up to 64 ranks).
+			if hm := m.Report.RenderMatrix("Col-Bcast"); hm != "" {
+				fmt.Print(hm)
+				fmt.Println()
+			}
+		}
+		paths, err := exp.WriteObsArtifacts(*flagObsOut, ms)
+		check(err)
+		fmt.Println("artifacts:")
+		for _, p := range paths {
+			fmt.Println("  " + p)
+		}
+		fmt.Println()
 	}
 
 	if *flagTable1 {

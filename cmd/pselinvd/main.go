@@ -11,6 +11,8 @@
 //	POST /v1/selinv      run a selected inversion (JSON body, see below)
 //	GET  /metrics        Prometheus text exposition
 //	GET  /debug/trace/   index of retained Chrome traces; /debug/trace/{id}
+//	GET  /debug/obs/     index of retained observability reports; /debug/obs/{id}
+//	GET  /debug/pprof/   Go profiling endpoints (only with -pprof)
 //	GET  /healthz        liveness
 //
 // Example:
@@ -34,6 +36,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,13 +53,34 @@ var (
 	flagQueueWait = flag.Duration("queue-wait", 2*time.Second, "max time a request waits for a slot")
 	flagCache     = flag.Int("cache", 32, "symbolic-analysis cache entries (LRU)")
 	flagTraceRing = flag.Int("trace-ring", 16, "retained per-request Chrome traces")
+	flagObsRing   = flag.Int("obs-ring", 16, "retained per-request observability reports")
 	flagTimeout   = flag.Duration("timeout", 60*time.Second, "default per-request engine timeout")
 	flagMaxN      = flag.Int("max-n", 20000, "largest accepted matrix dimension")
 	flagMaxProcs  = flag.Int("max-procs", 256, "largest accepted simulated rank count")
 	flagKernel    = flag.Int("kernel-workers", 0, "dense kernel worker threads (0 = GOMAXPROCS)")
 	flagSelftest  = flag.Bool("selftest", false, "run the cold/warm load test against an in-process server and exit")
 	flagLoadtest  = flag.String("loadtest", "", "run the cold/warm load test against a running daemon at this base URL and exit")
+	flagPprof     = flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/ (engine rank goroutines carry pselinv_rank/pselinv_scheme pprof labels)")
 )
+
+// handler wraps the server mux, optionally mounting net/http/pprof. The
+// profiling endpoints stay off by default: pselinvd may face untrusted
+// clients and pprof exposes heap contents and allows CPU-burning profile
+// captures.
+func handler(srv *server.Server) http.Handler {
+	h := srv.Handler()
+	if !*flagPprof {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	flag.Parse()
@@ -71,6 +95,7 @@ func main() {
 		QueueWait:      *flagQueueWait,
 		CacheSize:      *flagCache,
 		TraceRing:      *flagTraceRing,
+		ObsRing:        *flagObsRing,
 		DefaultTimeout: *flagTimeout,
 		MaxN:           *flagMaxN,
 		MaxProcs:       *flagMaxProcs,
@@ -80,7 +105,7 @@ func main() {
 		os.Exit(selftest(srv))
 	}
 
-	hs := &http.Server{Addr: *flagAddr, Handler: srv.Handler()}
+	hs := &http.Server{Addr: *flagAddr, Handler: handler(srv)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -111,7 +136,7 @@ func selftest(srv *server.Server) int {
 		fmt.Fprintln(os.Stderr, "pselinvd: selftest:", err)
 		return 1
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler(srv)}
 	go func() {
 		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "pselinvd: selftest serve:", err)

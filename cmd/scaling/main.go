@@ -42,6 +42,9 @@ var (
 	flagSeeds  = flag.Int("seeds", 6, "placement seeds per point (paper: 6 runs)")
 	flagWork   = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
 	flagChaos  = flag.Uint64("chaos-seed", 0, "non-zero: preflight the real engine under the seeded chaos adversary before simulating (the scaling sweeps themselves are timing-model replays with no live messages)")
+	flagObs    = flag.Bool("obs", false, "run the fixed observability problem (real engine, 4x4 grid) per scheme and write JSON reports + merged Chrome traces")
+	flagObsOut = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
+	flagObsSd  = flag.Uint64("obs-seed", 1, "tree-shift seed for -obs runs")
 )
 
 func main() {
@@ -56,10 +59,19 @@ func main() {
 		}
 		fmt.Println("ok (bit-identical to unperturbed run, bytes conserved)")
 	}
+	if *flagObs {
+		if err := runObs(*flagObsOut, *flagObsSd); err != nil {
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			os.Exit(1)
+		}
+	}
 	if *flagAll {
 		*flagFig8, *flagFig9, *flagHybrid, *flagAsym = true, true, true, true
 	}
 	if !(*flagFig8 || *flagFig9 || *flagHybrid || *flagAsym) {
+		if *flagObs {
+			return
+		}
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -174,6 +186,37 @@ func main() {
 			fmt.Printf("  threshold %-18s %10.4f±%.4f s\n", label, s.Mean, s.Std)
 		}
 	}
+}
+
+// runObs runs the fixed observability problem once per scheme with the
+// communication substrate fully instrumented, prints each scheme's
+// measured-chain summary, and writes the JSON reports and merged
+// compute+collective Chrome traces (chrome://tracing / ui.perfetto.dev)
+// into dir. The measured broadcast chains are the empirical check of the
+// paper's p-1 vs 2·⌈log p⌉ critical-path argument.
+func runObs(dir string, seed uint64) error {
+	p, grid, err := exp.ObsProblem()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Observability: measured forwarding chains and traffic matrices on %v ==\n", grid)
+	ms, err := exp.MeasureObs(p, grid, core.Schemes(), seed, 5*time.Minute)
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
+		fmt.Printf("-- %v --\n%s\n", m.Scheme, m.Report.Summary())
+	}
+	paths, err := exp.WriteObsArtifacts(dir, ms)
+	if err != nil {
+		return err
+	}
+	fmt.Println("artifacts:")
+	for _, p := range paths {
+		fmt.Println("  " + p)
+	}
+	fmt.Println()
+	return nil
 }
 
 // runAsymSection compares the symmetric fast path against the general

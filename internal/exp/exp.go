@@ -8,6 +8,9 @@ package exp
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"pselinv/internal/blockmat"
@@ -17,12 +20,14 @@ import (
 	"pselinv/internal/etree"
 	"pselinv/internal/factor"
 	"pselinv/internal/netsim"
+	"pselinv/internal/obs"
 	"pselinv/internal/ordering"
 	"pselinv/internal/procgrid"
 	"pselinv/internal/pselinv"
 	"pselinv/internal/simmpi"
 	"pselinv/internal/sparse"
 	"pselinv/internal/stats"
+	"pselinv/internal/trace"
 )
 
 // Pipeline carries a fully prepared problem: matrix, analysis,
@@ -144,6 +149,108 @@ func MeasureVolumesChaos(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme
 		out = append(out, m)
 	}
 	return out, nil
+}
+
+// ObsMeasurement is one fully observed engine run for one scheme: the
+// telemetry report (traffic matrices, chains, imbalance) plus the trace
+// recorder holding the merged compute+collective timeline, and the world
+// whose volume counters the report's matrices must marginalize to.
+type ObsMeasurement struct {
+	Scheme  core.Scheme
+	Report  *obs.Report
+	Trace   *trace.Recorder
+	World   *simmpi.World
+	Elapsed time.Duration
+}
+
+// MeasureObs runs the real engine once per scheme with full observability
+// installed — an obs.Collector on the communication substrate and a trace
+// recorder on the engine — and returns the per-scheme reports. The same
+// seed across schemes makes the traffic matrices directly comparable to a
+// cmd/commvol run with that seed (the byte counters are identical; only
+// the routing differs per scheme).
+func MeasureObs(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed uint64, timeout time.Duration) ([]*ObsMeasurement, error) {
+	out := make([]*ObsMeasurement, 0, len(schemes))
+	for _, scheme := range schemes {
+		plan := core.NewPlan(p.An.BP, grid, scheme, seed)
+		eng := pselinv.NewEngine(plan, p.LU)
+		col := obs.NewCollector(grid.Size())
+		eng.Observer = col
+		eng.Trace = trace.NewRecorder()
+		res, err := eng.Run(timeout)
+		if err != nil {
+			return nil, fmt.Errorf("exp: obs %v on %v: %w", scheme, grid, err)
+		}
+		res.Release()
+		out = append(out, &ObsMeasurement{
+			Scheme:  scheme,
+			Report:  col.Report(scheme.String()),
+			Trace:   eng.Trace,
+			World:   res.World,
+			Elapsed: res.Elapsed,
+		})
+	}
+	return out, nil
+}
+
+// ObsProblem prepares the small fixed problem behind `-obs` runs and the
+// observability acceptance test: a 16×16 grid Laplacian inverted on a 4×4
+// processor grid — big enough that column/row trees reach the full
+// 4-participant fan-out where flat and binary chains separate, small
+// enough to run in well under a second.
+func ObsProblem() (*Pipeline, *procgrid.Grid, error) {
+	p, err := Prepare(sparse.Grid2D(16, 16, 1), 2, 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, procgrid.New(4, 4), nil
+}
+
+// SchemeSlug is the filesystem-safe form of a scheme name
+// ("Shifted Binary-Tree" → "shifted-binary-tree").
+func SchemeSlug(s core.Scheme) string {
+	return strings.ToLower(strings.ReplaceAll(s.String(), " ", "-"))
+}
+
+// WriteObsArtifacts writes each measurement's JSON report and merged
+// Chrome trace into dir (created if needed) as obs-<scheme>.json and
+// trace-<scheme>.json, returning the written paths. Both files are
+// byte-for-byte deterministic for a fixed problem and seed, except for
+// the report's schedule-dependent telemetry (waits, queue depths).
+func WriteObsArtifacts(dir string, ms []*ObsMeasurement) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, m := range ms {
+		slug := SchemeSlug(m.Scheme)
+		rp := filepath.Join(dir, "obs-"+slug+".json")
+		rf, err := os.Create(rp)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Report.WriteJSON(rf); err != nil {
+			rf.Close()
+			return nil, err
+		}
+		if err := rf.Close(); err != nil {
+			return nil, err
+		}
+		tp := filepath.Join(dir, "trace-"+slug+".json")
+		tf, err := os.Create(tp)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Trace.WriteChromeTrace(tf); err != nil {
+			tf.Close()
+			return nil, err
+		}
+		if err := tf.Close(); err != nil {
+			return nil, err
+		}
+		paths = append(paths, rp, tp)
+	}
+	return paths, nil
 }
 
 // VerifyChaos is the chaos preflight of the cmd tools: it runs the real

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pselinv/internal/core"
+	"pselinv/internal/simmpi"
+)
+
+// TestObsAcceptance is the observability acceptance check: one MeasureObs
+// sweep on the 4×4 grid must yield (a) a merged Chrome trace containing
+// both compute and collective spans, (b) per-class traffic matrices whose
+// marginals equal the world's volume counters (the numbers cmd/commvol
+// prints for the same seed), and (c) measured broadcast forwarding chains
+// where the tree schemes beat the flat tree.
+func TestObsAcceptance(t *testing.T) {
+	p, grid, err := ObsProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := MeasureObs(p, grid, core.Schemes(), 1, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainSum := map[core.Scheme]int{}
+	for _, m := range ms {
+		rep := m.Report
+
+		// (a) Merged trace: compute spans and role-tagged collective spans
+		// on one recorder.
+		var b strings.Builder
+		if err := m.Trace.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		tr := b.String()
+		for _, want := range []string{`"cat":"compute"`, `"cat":"collective"`,
+			`"role":"root"`, `"role":"leaf"`, "gemm", "col-bcast"} {
+			if !strings.Contains(tr, want) {
+				t.Errorf("%v: chrome trace lacks %s", m.Scheme, want)
+			}
+		}
+
+		// (b) Traffic matrices are consistent with the byte counters: per
+		// class, row sums equal SentBytes and column sums equal RecvBytes.
+		if len(rep.Classes) == 0 {
+			t.Fatalf("%v: report has no traffic classes", m.Scheme)
+		}
+		for _, cr := range rep.Classes {
+			if cr.Matrix == nil {
+				t.Fatalf("%v: class %s has no embedded matrix at P=%d", m.Scheme, cr.Class, rep.P)
+			}
+			var class simmpi.Class
+			found := false
+			for _, c := range simmpi.Classes() {
+				if c.String() == cr.Class {
+					class, found = c, true
+				}
+			}
+			if !found {
+				t.Fatalf("%v: unknown class %s", m.Scheme, cr.Class)
+			}
+			for r := 0; r < rep.P; r++ {
+				var row, col int64
+				for x := 0; x < rep.P; x++ {
+					row += cr.Matrix[r*rep.P+x]
+					col += cr.Matrix[x*rep.P+r]
+				}
+				if want := m.World.SentBytes(r, class); row != want {
+					t.Errorf("%v: %s rank %d: matrix row sum %d, counter %d",
+						m.Scheme, cr.Class, r, row, want)
+				}
+				if want := m.World.RecvBytes(r, class); col != want {
+					t.Errorf("%v: %s rank %d: matrix col sum %d, counter %d",
+						m.Scheme, cr.Class, r, col, want)
+				}
+			}
+		}
+
+		// (c) Chain analysis must be complete (no ring overflow) for the
+		// comparison to mean anything.
+		if !rep.ChainsOK {
+			t.Fatalf("%v: chain analysis incomplete (%d events dropped)", m.Scheme, rep.DroppedEvents)
+		}
+		chainSum[m.Scheme] = rep.BcastChainSum()
+	}
+
+	flat := chainSum[core.FlatTree]
+	if flat == 0 {
+		t.Fatal("flat-tree run measured no broadcast chains")
+	}
+	for _, s := range []core.Scheme{core.BinaryTree, core.ShiftedBinaryTree} {
+		if chainSum[s] >= flat {
+			t.Errorf("measured bcast chain sum for %v (%d) is not below FlatTree (%d)",
+				s, chainSum[s], flat)
+		}
+	}
+	t.Logf("measured bcast chain sums: %v", chainSum)
+}

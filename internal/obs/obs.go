@@ -1,0 +1,200 @@
+// Package obs is the communication-observability layer: a simmpi.Observer
+// that records per-link traffic matrices, per-rank ring-buffered event
+// streams, mailbox queue-depth high-watermarks and blocked-receive wait
+// durations, plus a post-run analyzer that replays the event graph into
+// measured per-collective critical paths and imbalance scores.
+//
+// The paper's central claim is observational — a flat broadcast tree
+// serializes p-1 sends at the root while a binary tree bounds the chain by
+// 2·⌈log₂ p⌉ — and this package measures that chain from the actual
+// message stream instead of deriving it from the plan, so tree-selection
+// regressions show up as data rather than as an argument.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pselinv/internal/simmpi"
+)
+
+// numClasses mirrors simmpi's class count; the collector sizes its
+// per-class link rows from it.
+var numClasses = len(simmpi.Classes())
+
+// Dir is the direction of a recorded event relative to the owning rank.
+type Dir uint8
+
+const (
+	// DirSend is a message leaving the rank.
+	DirSend Dir = iota
+	// DirRecv is a message delivered to the rank.
+	DirRecv
+)
+
+// Event is one communication event on a rank's ring, in the rank's program
+// order (the ring index is the per-rank sequence number).
+type Event struct {
+	T     time.Duration // since collector creation
+	Wait  time.Duration // blocked-recv wait; zero for sends and TryRecv
+	Tag   uint64
+	Bytes int64
+	Peer  int32 // dst for sends, src for recvs
+	Class simmpi.Class
+	Dir   Dir
+}
+
+// rankObs is the per-rank slice of the collector. The matrix rows, ring
+// and wait statistics are written only by the owning rank's goroutine
+// (sends touch the source rank, receives the destination rank), so they
+// need no locks; the queue-depth high-watermark is written by arbitrary
+// sender goroutines and is atomic.
+type rankObs struct {
+	// sentB[class][dst] / recvB[class][src] are byte counts; sentN/recvN
+	// the message counts. Rows are allocated on first use by the owning
+	// goroutine, so idle classes cost nothing.
+	sentB, recvB [][]int64
+	sentN, recvN [][]int64
+
+	ring    []Event
+	ringLen int64 // total events appended, including overwritten ones
+
+	waitTotal time.Duration
+	waitMax   time.Duration
+	waitCount int64
+
+	hwm atomic.Int64 // mailbox queue-depth high-watermark
+}
+
+// DefaultRingCap is the per-rank event-ring capacity: enough to retain the
+// full message stream of the experiment-sized runs the analyzer targets,
+// small enough that a large world does not balloon (rings are allocated
+// lazily, on a rank's first event).
+const DefaultRingCap = 1 << 14
+
+// Collector implements simmpi.Observer. Create one per run, install it
+// with World.SetObserver (or Engine.Observer) before the run, and call
+// Report after the run completes; the collector must not be shared across
+// worlds.
+type Collector struct {
+	start   time.Time
+	p       int
+	ringCap int
+	ranks   []rankObs
+}
+
+// NewCollector returns a collector for a p-rank world with the default
+// per-rank ring capacity.
+func NewCollector(p int) *Collector { return NewCollectorCap(p, DefaultRingCap) }
+
+// NewCollectorCap is NewCollector with an explicit per-rank event-ring
+// capacity. When a rank's stream exceeds the capacity the oldest events are
+// overwritten; the report then marks its chain analysis incomplete while
+// the traffic matrices (plain counters, not ring-bound) stay exact.
+func NewCollectorCap(p, ringCap int) *Collector {
+	if p <= 0 {
+		panic("obs: non-positive world size")
+	}
+	if ringCap < 1 {
+		ringCap = 1
+	}
+	return &Collector{start: time.Now(), p: p, ringCap: ringCap, ranks: make([]rankObs, p)}
+}
+
+// P returns the world size the collector was built for.
+func (c *Collector) P() int { return c.p }
+
+func (ro *rankObs) row(rows *[][]int64, class simmpi.Class, p int) []int64 {
+	if *rows == nil {
+		*rows = make([][]int64, numClasses)
+	}
+	r := (*rows)[class]
+	if r == nil {
+		r = make([]int64, p)
+		(*rows)[class] = r
+	}
+	return r
+}
+
+func (ro *rankObs) appendEvent(e Event, cap int) {
+	if ro.ring == nil {
+		ro.ring = make([]Event, 0, cap)
+	}
+	if len(ro.ring) < cap {
+		ro.ring = append(ro.ring, e)
+	} else {
+		ro.ring[ro.ringLen%int64(cap)] = e
+	}
+	ro.ringLen++
+}
+
+// events returns the retained events oldest-first plus the dropped count.
+func (ro *rankObs) events(cap int) ([]Event, int64) {
+	if ro.ringLen <= int64(len(ro.ring)) {
+		return ro.ring, 0
+	}
+	// The ring wrapped: linearize from the oldest retained slot.
+	out := make([]Event, len(ro.ring))
+	head := int(ro.ringLen % int64(cap))
+	n := copy(out, ro.ring[head:])
+	copy(out[n:], ro.ring[:head])
+	return out, ro.ringLen - int64(len(ro.ring))
+}
+
+// RecordSend implements simmpi.Observer: it charges the (src → dst) link
+// in the class matrix and appends a send event to src's ring. Self-sends
+// update only the destination queue-depth watermark, matching the volume
+// counters which exclude intra-rank bytes.
+func (c *Collector) RecordSend(src, dst int, class simmpi.Class, tag uint64, bytes int64, depth int) {
+	d := &c.ranks[dst]
+	for {
+		old := d.hwm.Load()
+		if int64(depth) <= old || d.hwm.CompareAndSwap(old, int64(depth)) {
+			break
+		}
+	}
+	if src == dst {
+		return
+	}
+	s := &c.ranks[src]
+	s.row(&s.sentB, class, c.p)[dst] += bytes
+	s.row(&s.sentN, class, c.p)[dst]++
+	s.appendEvent(Event{
+		T: time.Since(c.start), Tag: tag, Bytes: bytes,
+		Peer: int32(dst), Class: class, Dir: DirSend,
+	}, c.ringCap)
+}
+
+// RecordRecv implements simmpi.Observer: it charges the receive side of
+// the (src → dst) link, accumulates the blocked-receive wait, and appends
+// a recv event to dst's ring. Wait time is counted even for self-delivered
+// messages (the block was real); the link matrices skip them.
+func (c *Collector) RecordRecv(src, dst int, class simmpi.Class, tag uint64, bytes int64, wait time.Duration) {
+	d := &c.ranks[dst]
+	d.waitTotal += wait
+	if wait > d.waitMax {
+		d.waitMax = wait
+	}
+	d.waitCount++
+	if src == dst {
+		return
+	}
+	d.row(&d.recvB, class, c.p)[src] += bytes
+	d.row(&d.recvN, class, c.p)[src]++
+	d.appendEvent(Event{
+		T: time.Since(c.start), Wait: wait, Tag: tag, Bytes: bytes,
+		Peer: int32(src), Class: class, Dir: DirRecv,
+	}, c.ringCap)
+}
+
+// LinkBytes returns the bytes sent from src to dst in class, as recorded
+// by the traffic matrix (exact regardless of ring overflow).
+func (c *Collector) LinkBytes(class simmpi.Class, src, dst int) int64 {
+	rows := c.ranks[src].sentB
+	if rows == nil || rows[class] == nil {
+		return 0
+	}
+	return rows[class][dst]
+}
+
+var _ simmpi.Observer = (*Collector)(nil)

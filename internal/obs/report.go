@@ -1,0 +1,376 @@
+// Report assembly and rendering: the deterministic JSON document exported
+// by `-obs` runs and /debug/obs, plus ASCII traffic-matrix rendering for
+// terminals and the run summary used by the cmds.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+
+	"pselinv/internal/simmpi"
+	"pselinv/internal/stats"
+)
+
+// MatrixLimit is the largest world size for which the report embeds full
+// P×P link matrices; beyond it only the per-rank marginals are kept (the
+// JSON stays readable and a 2116-rank run does not emit a 40 MB report).
+const MatrixLimit = 64
+
+// ClassReport is the per-communication-class slice of a report.
+type ClassReport struct {
+	Class      string  `json:"class"`
+	TotalBytes int64   `json:"total_bytes"`
+	Msgs       int64   `json:"msgs"`
+	Imbalance  float64 `json:"imbalance"` // max/mean per-rank sent bytes
+	SentBytes  []int64 `json:"sent_bytes"`
+	RecvBytes  []int64 `json:"recv_bytes"`
+	// Matrix is the P×P row-major src→dst byte matrix (MsgMatrix the
+	// message counts); both are omitted above MatrixLimit ranks.
+	Matrix    []int64 `json:"matrix,omitempty"`
+	MsgMatrix []int64 `json:"msg_matrix,omitempty"`
+}
+
+// RankReport carries the per-rank telemetry that has no per-class
+// structure: queue pressure and blocked-receive wait.
+type RankReport struct {
+	Rank          int   `json:"rank"`
+	SentBytes     int64 `json:"sent_bytes"`
+	RecvBytes     int64 `json:"recv_bytes"`
+	QueueHWM      int   `json:"queue_hwm"`
+	RecvWaitNS    int64 `json:"recv_wait_ns"`
+	RecvWaitMaxNS int64 `json:"recv_wait_max_ns"`
+	Recvs         int64 `json:"recvs"`
+	Events        int64 `json:"events"`
+	Dropped       int64 `json:"dropped"`
+}
+
+// Report is the full observability document of one run. Every field except
+// the ones zeroed by StripSchedule is a deterministic function of the plan
+// and seed, so reports golden-test byte-for-byte.
+type Report struct {
+	P             int     `json:"p"`
+	Label         string  `json:"label,omitempty"`
+	TotalBytes    int64   `json:"total_bytes"`
+	TotalMsgs     int64   `json:"total_msgs"`
+	DroppedEvents int64   `json:"dropped_events"`
+	ChainsOK      bool    `json:"chains_complete"`
+	VolImbalance  float64 `json:"volume_imbalance"` // max/mean per-rank sent bytes
+	WaitImbalance float64 `json:"wait_imbalance"`   // max/mean per-rank blocked-recv wait
+
+	Classes     []*ClassReport     `json:"classes"`
+	Ranks       []*RankReport      `json:"ranks"`
+	Collectives []*ChainSummary    `json:"collectives"`
+	TopChains   []*CollectiveChain `json:"top_chains,omitempty"`
+	Critical    *CriticalPath      `json:"critical_path,omitempty"`
+}
+
+// Report drains the collector into a report. Call it once, after the run
+// completes (World.Run returning is the synchronization point that makes
+// the rank-local counters safe to read). label tags the report, typically
+// with the tree scheme.
+func (c *Collector) Report(label string) *Report {
+	rep := &Report{P: c.p, Label: label}
+
+	for _, class := range simmpi.Classes() {
+		cr := &ClassReport{
+			Class:     class.String(),
+			SentBytes: make([]int64, c.p),
+			RecvBytes: make([]int64, c.p),
+		}
+		if c.p <= MatrixLimit {
+			cr.Matrix = make([]int64, c.p*c.p)
+			cr.MsgMatrix = make([]int64, c.p*c.p)
+		}
+		for r := range c.ranks {
+			ro := &c.ranks[r]
+			if ro.sentB != nil && ro.sentB[class] != nil {
+				for dst, b := range ro.sentB[class] {
+					cr.SentBytes[r] += b
+					cr.TotalBytes += b
+					if cr.Matrix != nil {
+						cr.Matrix[r*c.p+dst] += b
+					}
+				}
+				for dst, n := range ro.sentN[class] {
+					cr.Msgs += n
+					if cr.MsgMatrix != nil {
+						cr.MsgMatrix[r*c.p+dst] += n
+					}
+				}
+			}
+			if ro.recvB != nil && ro.recvB[class] != nil {
+				for _, b := range ro.recvB[class] {
+					cr.RecvBytes[r] += b
+				}
+			}
+		}
+		if cr.TotalBytes == 0 && cr.Msgs == 0 {
+			continue
+		}
+		cr.Imbalance = imbalance(cr.SentBytes)
+		rep.TotalBytes += cr.TotalBytes
+		rep.TotalMsgs += cr.Msgs
+		rep.Classes = append(rep.Classes, cr)
+	}
+
+	waits := make([]int64, c.p)
+	for r := range c.ranks {
+		ro := &c.ranks[r]
+		rr := &RankReport{
+			Rank:          r,
+			QueueHWM:      int(ro.hwm.Load()),
+			RecvWaitNS:    int64(ro.waitTotal),
+			RecvWaitMaxNS: int64(ro.waitMax),
+			Recvs:         ro.waitCount,
+			Events:        ro.ringLen,
+		}
+		if dropped := ro.ringLen - int64(len(ro.ring)); dropped > 0 {
+			rr.Dropped = dropped
+			rep.DroppedEvents += dropped
+		}
+		for _, cr := range rep.Classes {
+			rr.SentBytes += cr.SentBytes[r]
+			rr.RecvBytes += cr.RecvBytes[r]
+		}
+		waits[r] = int64(ro.waitTotal)
+		rep.Ranks = append(rep.Ranks, rr)
+	}
+	sent := make([]int64, c.p)
+	for r, rr := range rep.Ranks {
+		sent[r] = rr.SentBytes
+	}
+	rep.VolImbalance = imbalance(sent)
+	rep.WaitImbalance = imbalance(waits)
+
+	chains, crit, complete := c.analyze()
+	rep.ChainsOK = complete
+	rep.Critical = crit
+	rep.Collectives = summarizeChains(chains)
+	rep.TopChains = topChains(chains, 16)
+	return rep
+}
+
+// imbalance is max/mean — 1.0 is perfect balance, the paper's Figures 5–7
+// quantity.
+func imbalance(xs []int64) float64 {
+	var sum, max int64
+	for _, x := range xs {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(xs)) / float64(sum)
+}
+
+// logRef is the paper's binary-tree chain bound 2·⌈log₂ p⌉.
+func logRef(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return 2 * bits.Len(uint(p-1))
+}
+
+// summarizeChains folds per-collective chains into per-class aggregates,
+// sorted by class name.
+func summarizeChains(chains []*CollectiveChain) []*ChainSummary {
+	byClass := map[string]*ChainSummary{}
+	for _, cc := range chains {
+		cs := byClass[cc.Class]
+		if cs == nil {
+			cs = &ChainSummary{Class: cc.Class, Kind: cc.Kind}
+			byClass[cc.Class] = cs
+		}
+		cs.Count++
+		cs.ChainSum += cc.Chain
+		if cc.Chain > cs.ChainMax {
+			cs.ChainMax = cc.Chain
+		}
+		if cc.Depth > cs.DepthMax {
+			cs.DepthMax = cc.Depth
+		}
+		if cc.Ranks > cs.MaxRanks {
+			cs.MaxRanks = cc.Ranks
+		}
+	}
+	out := make([]*ChainSummary, 0, len(byClass))
+	for _, cs := range byClass {
+		cs.ChainMean = math.Round(100*float64(cs.ChainSum)/float64(cs.Count)) / 100
+		cs.FlatRef = cs.MaxRanks - 1
+		cs.LogRef = logRef(cs.MaxRanks)
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// topChains returns the n longest measured broadcast chains (broadcast
+// chains are deterministic replays of the plan; reduce chains depend on
+// arrival order and live only in the aggregates), with a total tie order
+// so the report stays byte-stable.
+func topChains(chains []*CollectiveChain, n int) []*CollectiveChain {
+	var bc []*CollectiveChain
+	for _, cc := range chains {
+		if cc.Kind == KindBcast.String() {
+			bc = append(bc, cc)
+		}
+	}
+	sort.Slice(bc, func(i, j int) bool {
+		a, b := bc[i], bc[j]
+		if a.Chain != b.Chain {
+			return a.Chain > b.Chain
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.K != b.K {
+			return a.K < b.K
+		}
+		return a.Blk < b.Blk
+	})
+	if len(bc) > n {
+		bc = bc[:n]
+	}
+	return bc
+}
+
+// BcastChainSum sums the measured serialized chains over the broadcast
+// classes — the scalar the flat-vs-tree comparison ranks schemes by.
+func (r *Report) BcastChainSum() int {
+	total := 0
+	for _, cs := range r.Collectives {
+		if cs.Kind == KindBcast.String() {
+			total += cs.ChainSum
+		}
+	}
+	return total
+}
+
+// Class returns the report slice for the named class, or nil.
+func (r *Report) Class(name string) *ClassReport {
+	for _, cr := range r.Classes {
+		if cr.Class == name {
+			return cr
+		}
+	}
+	return nil
+}
+
+// MaxQueueHWM returns the largest mailbox queue-depth high-watermark over
+// all ranks.
+func (r *Report) MaxQueueHWM() int {
+	m := 0
+	for _, rr := range r.Ranks {
+		if rr.QueueHWM > m {
+			m = rr.QueueHWM
+		}
+	}
+	return m
+}
+
+// TotalRecvWait sums the blocked-receive wait over all ranks.
+func (r *Report) TotalRecvWait() time.Duration {
+	var t time.Duration
+	for _, rr := range r.Ranks {
+		t += time.Duration(rr.RecvWaitNS)
+	}
+	return t
+}
+
+// StripSchedule zeroes every field that depends on goroutine scheduling
+// rather than on the plan: wait durations, queue watermarks, the
+// wall-clock critical path and the reduce-class chain measurements (reduce
+// chains depend on arrival order). What remains is a deterministic
+// function of (pattern, grid, scheme, seed), suitable for golden files.
+func (r *Report) StripSchedule() {
+	r.WaitImbalance = 0
+	r.Critical = nil
+	for _, rr := range r.Ranks {
+		rr.QueueHWM = 0
+		rr.RecvWaitNS = 0
+		rr.RecvWaitMaxNS = 0
+	}
+	for _, cs := range r.Collectives {
+		if cs.Kind == KindReduce.String() {
+			cs.ChainMax = 0
+			cs.ChainSum = 0
+			cs.ChainMean = 0
+		}
+	}
+}
+
+// WriteJSON writes the report as indented JSON. Struct fields encode in
+// declaration order and the only map (critical-path class counts) has its
+// keys sorted by encoding/json, so equal reports are byte-identical.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// JSON returns the indented JSON encoding.
+func (r *Report) JSON() ([]byte, error) {
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// RenderMatrix renders the class's P×P traffic matrix as an ASCII heat map
+// (rows = source rank, columns = destination), reusing the stats shading so
+// it reads like the paper's Figure 5/7 maps. Returns "" when the class has
+// no embedded matrix.
+func (r *Report) RenderMatrix(class string) string {
+	cr := r.Class(class)
+	if cr == nil || cr.Matrix == nil {
+		return ""
+	}
+	vals := make([]float64, len(cr.Matrix))
+	for i, b := range cr.Matrix {
+		vals[i] = float64(b)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s traffic matrix (src rows x dst cols, %.3f MB total)\n",
+		class, stats.MB(cr.TotalBytes))
+	b.WriteString(stats.NewHeatMap(r.P, r.P, vals).Render())
+	return b.String()
+}
+
+// Summary renders the report as a compact terminal table: totals,
+// imbalance, and the measured-vs-analytic chain comparison per class.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	label := r.Label
+	if label == "" {
+		label = "run"
+	}
+	fmt.Fprintf(&b, "obs[%s]: P=%d, %.3f MB in %d msgs, volume imbalance %.2f, wait imbalance %.2f\n",
+		label, r.P, stats.MB(r.TotalBytes), r.TotalMsgs, r.VolImbalance, r.WaitImbalance)
+	if r.DroppedEvents > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d events dropped (ring overflow); chain analysis skipped\n", r.DroppedEvents)
+	}
+	if len(r.Collectives) > 0 {
+		fmt.Fprintf(&b, "  %-12s %-7s %6s %6s %9s %9s %8s %8s\n",
+			"class", "kind", "count", "maxP", "chainMax", "chainMean", "flatRef", "logRef")
+		for _, cs := range r.Collectives {
+			fmt.Fprintf(&b, "  %-12s %-7s %6d %6d %9d %9.2f %8d %8d\n",
+				cs.Class, cs.Kind, cs.Count, cs.MaxRanks, cs.ChainMax, cs.ChainMean, cs.FlatRef, cs.LogRef)
+		}
+	}
+	if r.Critical != nil {
+		fmt.Fprintf(&b, "  critical path: %d hops (%d comm) over %v\n",
+			r.Critical.Hops, r.Critical.CommHops,
+			time.Duration(r.Critical.EndNS-r.Critical.StartNS).Round(time.Microsecond))
+	}
+	return b.String()
+}

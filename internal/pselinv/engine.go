@@ -15,8 +15,11 @@
 package pselinv
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"time"
 
 	"pselinv/internal/blockmat"
@@ -74,6 +77,11 @@ type Engine struct {
 	// Trace, when non-nil, records a per-rank execution timeline of the
 	// run (see internal/trace); set it before calling Run.
 	Trace *trace.Recorder
+	// Observer, when non-nil, is installed on each run's world and receives
+	// per-message telemetry (internal/obs provides the collecting
+	// implementation); set it before calling Run. Observer state is
+	// per-run: use a fresh instance for every run.
+	Observer simmpi.Observer
 	// Chaos, when non-nil, installs a seeded delivery adversary
 	// (internal/chaos) on each run's world.
 	Chaos *chaos.Config
@@ -222,9 +230,9 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 // NewEngine, proportional to the total task count — are shared with the
 // receiver; they are immutable during runs, so rebound engines may run
 // concurrently with each other and with the original. This is the warm path
-// of a plan cache: same sparsity pattern, new values. Trace, Chaos and
-// Deterministic are reset on the copy so per-run instrumentation never
-// leaks between requests.
+// of a plan cache: same sparsity pattern, new values. Trace, Observer,
+// Chaos and Deterministic are reset on the copy so per-run instrumentation
+// never leaks between requests.
 func (e *Engine) Rebind(lu *factor.LU) *Engine {
 	return &Engine{Plan: e.Plan, LU: lu, programs: e.programs}
 }
@@ -259,6 +267,9 @@ func (e *Engine) Run(timeout time.Duration) (*RunResult, error) {
 	if e.Chaos != nil {
 		chaos.Install(*e.Chaos, world)
 	}
+	if e.Observer != nil {
+		world.SetObserver(e.Observer)
+	}
 	res, err := e.RunWorld(world, timeout)
 	if err != nil {
 		world.Close()
@@ -272,13 +283,19 @@ func (e *Engine) Run(timeout time.Duration) (*RunResult, error) {
 // and in-flight messages before closing it.
 func (e *Engine) RunWorld(world *simmpi.World, timeout time.Duration) (*RunResult, error) {
 	states := make([]*rankState, world.P)
+	scheme := e.Plan.Scheme.String()
 	start := time.Now()
 	err := world.Run(timeout, func(r *simmpi.Rank) {
-		st := newRankState(e, r)
-		states[r.ID] = st
-		st.runPass1()
-		r.Barrier()
-		st.runPass2()
+		// Label the rank goroutine so CPU profiles (pselinvd -pprof)
+		// attribute samples to simulated ranks and tree schemes.
+		labels := pprof.Labels("pselinv_rank", strconv.Itoa(r.ID), "pselinv_scheme", scheme)
+		pprof.Do(context.Background(), labels, func(context.Context) {
+			st := newRankState(e, r)
+			states[r.ID] = st
+			st.runPass1()
+			r.Barrier()
+			st.runPass2()
+		})
 	})
 	elapsed := time.Since(start)
 	if err != nil {
@@ -418,6 +435,27 @@ func newRankState(e *Engine, r *simmpi.Rank) *rankState {
 
 func (st *rankState) width(k int) int { return st.e.Plan.BP.Part.Width(k) }
 
+// collSpan opens a collective-communication span for supernode k, tagged
+// with this rank's role in the collective's tree, so the Chrome trace
+// merges communication spans with the compute spans on one timeline. The
+// span should cover only the message handling (forwarding sends, reduce
+// combines), not the compute it unblocks — the GEMM/TRSM spans stand on
+// their own.
+func (st *rankState) collSpan(kind string, k int, tr *core.Tree) func() {
+	if st.e.Trace == nil {
+		return func() {}
+	}
+	me := st.r.ID
+	role := "leaf"
+	switch {
+	case me == tr.Root:
+		role = "root"
+	case len(tr.Children(me)) > 0:
+		role = "forwarder"
+	}
+	return st.e.Trace.SpanRole(me, kind, k, role)
+}
+
 func matFromData(rows, cols int, data []float64) *dense.Matrix {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("pselinv: payload %d does not match %dx%d block", len(data), rows, cols))
@@ -460,14 +498,18 @@ func (st *rankState) runPass1() {
 		dk := st.e.LU.Diag[k]
 		st.diagFact[k] = dk
 		sp := st.e.Plan.Snodes[k]
+		end := st.collSpan("diag-bcast", k, sp.DiagBcast.Tree)
 		for _, c := range sp.DiagBcast.Tree.Children(me) {
 			st.r.Send(c, sp.DiagBcast.Key(), simmpi.ClassDiagBcast, dk.Data)
 		}
+		end()
 		st.doTrsms(k)
 		if !st.e.Plan.Symmetric {
+			end := st.collSpan("diag-bcast", k, sp.DiagBcastRow.Tree)
 			for _, c := range sp.DiagBcastRow.Tree.Children(me) {
 				st.r.Send(c, sp.DiagBcastRow.Key(), simmpi.ClassDiagBcast, dk.Data)
 			}
+			end()
 			st.doTrsmsU(k)
 		}
 	}
@@ -483,14 +525,18 @@ func (st *rankState) runPass1() {
 		sp := st.e.Plan.Snodes[k]
 		switch kind {
 		case core.OpDiagBcast:
+			end := st.collSpan("diag-bcast", k, sp.DiagBcast.Tree)
 			for _, c := range sp.DiagBcast.Tree.Children(me) {
 				st.r.Send(c, sp.DiagBcast.Key(), simmpi.ClassDiagBcast, dk.Data)
 			}
+			end()
 			st.doTrsms(k)
 		case core.OpDiagBcastRow:
+			end := st.collSpan("diag-bcast", k, sp.DiagBcastRow.Tree)
 			for _, c := range sp.DiagBcastRow.Tree.Children(me) {
 				st.r.Send(c, sp.DiagBcastRow.Key(), simmpi.ClassDiagBcast, dk.Data)
 			}
+			end()
 			st.doTrsmsU(k)
 		default:
 			panic(fmt.Sprintf("pselinv: unexpected %v message in pass 1", kind))
@@ -588,17 +634,21 @@ func (st *rankState) handle(msg simmpi.Message) {
 		i := blk
 		lh := matFromData(st.width(i), st.width(k), msg.Data)
 		cb := &sp.ColBcasts[cIndex(sp.C, i)]
+		end := st.collSpan("col-bcast", k, cb.Tree)
 		for _, c := range cb.Tree.Children(me) {
 			st.r.Send(c, cb.Key(), simmpi.ClassColBcast, lh.Data)
 		}
+		end()
 		st.bcastArrived(k, i, lh)
 	case core.OpColBcast:
 		i := blk
 		lh := matFromData(st.width(i), st.width(k), msg.Data)
 		cb := &sp.ColBcasts[cIndex(sp.C, i)]
+		end := st.collSpan("col-bcast", k, cb.Tree)
 		for _, c := range cb.Tree.Children(me) {
 			st.r.Send(c, cb.Key(), simmpi.ClassColBcast, lh.Data)
 		}
+		end()
 		st.bcastArrived(k, i, lh)
 	case core.OpRowReduce:
 		// A child's partial sum: accumulate it, then recycle the payload —
@@ -628,18 +678,22 @@ func (st *rankState) handle(msg simmpi.Message) {
 		i := blk
 		uh := matFromData(st.width(k), st.width(i), msg.Data)
 		rb := &sp.RowBcasts[cIndex(sp.C, i)]
+		end := st.collSpan("row-bcast", k, rb.Tree)
 		for _, c := range rb.Tree.Children(me) {
 			st.r.Send(c, rb.Key(), simmpi.ClassRowBcast, uh.Data)
 		}
+		end()
 		st.bcastUArrived(k, i, uh)
 		st.tryDiagContribAsym(k, i)
 	case core.OpRowBcast:
 		i := blk
 		uh := matFromData(st.width(k), st.width(i), msg.Data)
 		rb := &sp.RowBcasts[cIndex(sp.C, i)]
+		end := st.collSpan("row-bcast", k, rb.Tree)
 		for _, c := range rb.Tree.Children(me) {
 			st.r.Send(c, rb.Key(), simmpi.ClassRowBcast, uh.Data)
 		}
+		end()
 		st.bcastUArrived(k, i, uh)
 	case core.OpColReduce:
 		j := blk
@@ -717,19 +771,22 @@ func (st *rankState) maybeCompleteCol(k, j int, red *redState) {
 		return
 	}
 	red.done = true
-	st.combineSlots(red, st.width(k), st.width(j))
 	sp := st.e.Plan.Snodes[k]
 	op := &sp.ColReduces[cIndex(sp.C, j)]
+	end := st.collSpan("col-reduce", k, op.Tree)
+	st.combineSlots(red, st.width(k), st.width(j))
 	me := st.r.ID
 	if me != op.Tree.Root {
 		// The buffer travels up the tree; the parent recycles it.
 		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassColReduce, red.sum.Data)
 		red.sum = nil
+		end()
 		return
 	}
 	m := red.sum
 	red.sum = nil // ownership moves to ainv (released via RunResult.Release)
 	m.Scale(-1)
+	end()
 	st.finalize(blockKey{k, j}, m)
 }
 
@@ -835,20 +892,23 @@ func (st *rankState) maybeCompleteRow(k, j int, red *redState) {
 		return
 	}
 	red.done = true
-	st.combineSlots(red, st.width(j), st.width(k))
 	sp := st.e.Plan.Snodes[k]
 	op := &sp.RowReduces[cIndex(sp.C, j)]
+	end := st.collSpan("row-reduce", k, op.Tree)
+	st.combineSlots(red, st.width(j), st.width(k))
 	me := st.r.ID
 	if me != op.Tree.Root {
 		// The buffer travels up the tree; the parent recycles it.
 		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassRowReduce, red.sum.Data)
 		red.sum = nil
+		end()
 		return
 	}
 	// Root: A⁻¹_{J,K} = −(accumulated sum).
 	m := red.sum
 	red.sum = nil // ownership moves to ainv (released via RunResult.Release)
 	m.Scale(-1)
+	end()
 	st.finalize(blockKey{j, k}, m)
 	if !st.e.Plan.Symmetric {
 		// General path: the upper triangle is computed by its own
@@ -881,15 +941,18 @@ func (st *rankState) maybeCompleteDiag(k int, red *redState) {
 		return
 	}
 	red.done = true
-	st.combineSlots(red, st.width(k), st.width(k))
 	op := st.e.Plan.Snodes[k].DiagReduce
+	endColl := st.collSpan("diag-reduce", k, op.Tree)
+	st.combineSlots(red, st.width(k), st.width(k))
 	me := st.r.ID
 	if me != op.Tree.Root {
 		// The buffer travels up the tree; the parent recycles it.
 		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassDiagReduce, red.sum.Data)
 		red.sum = nil
+		endColl()
 		return
 	}
+	endColl()
 	end := st.e.Trace.Span(st.r.ID, "diag-inverse", k)
 	diag := dense.GetMatrixUninit(st.width(k), st.width(k))
 	st.e.LU.DiagInverseTo(k, diag)

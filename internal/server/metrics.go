@@ -70,14 +70,38 @@ type metrics struct {
 	start     time.Time
 	requests  map[string]uint64     // status label -> count
 	latencies map[string]*histogram // phase label -> histogram
+
+	// Communication-observability aggregates over observed runs
+	// ("obs": true requests).
+	obsRuns         uint64
+	obsClassBytes   map[string]int64 // class label -> cumulative sent bytes
+	obsVolImbalance float64          // last observed run's max/mean sent volume
+	obsMaxQueue     int              // largest mailbox queue-depth HWM seen
+	obsRecvWaitSec  float64          // cumulative blocked-receive wait
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		start:     time.Now(),
-		requests:  map[string]uint64{},
-		latencies: map[string]*histogram{},
+		start:         time.Now(),
+		requests:      map[string]uint64{},
+		latencies:     map[string]*histogram{},
+		obsClassBytes: map[string]int64{},
 	}
+}
+
+// recordObs folds one observed run's aggregates into the obs counters.
+func (m *metrics) recordObs(classBytes map[string]int64, volImbalance float64, maxQueue int, recvWait time.Duration) {
+	m.mu.Lock()
+	m.obsRuns++
+	for class, b := range classBytes {
+		m.obsClassBytes[class] += b
+	}
+	m.obsVolImbalance = volImbalance
+	if maxQueue > m.obsMaxQueue {
+		m.obsMaxQueue = maxQueue
+	}
+	m.obsRecvWaitSec += recvWait.Seconds()
+	m.mu.Unlock()
 }
 
 func (m *metrics) countRequest(status string) {
@@ -166,6 +190,29 @@ func (m *metrics) write(w io.Writer, cs CacheStats, g gauges) {
 	fmt.Fprintf(w, "# HELP pselinvd_traces_retained Per-request Chrome traces in the debug ring.\n")
 	fmt.Fprintf(w, "# TYPE pselinvd_traces_retained gauge\n")
 	fmt.Fprintf(w, "pselinvd_traces_retained %d\n", g.TracesRetained)
+
+	fmt.Fprintf(w, "# HELP pselinvd_obs_runs_total Requests served with communication observability.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_obs_runs_total counter\n")
+	fmt.Fprintf(w, "pselinvd_obs_runs_total %d\n", m.obsRuns)
+	fmt.Fprintf(w, "# HELP pselinvd_obs_sent_bytes_total Bytes sent per communication class across observed runs.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_obs_sent_bytes_total counter\n")
+	classes := make([]string, 0, len(m.obsClassBytes))
+	for c := range m.obsClassBytes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(w, "pselinvd_obs_sent_bytes_total{class=%q} %d\n", c, m.obsClassBytes[c])
+	}
+	fmt.Fprintf(w, "# HELP pselinvd_obs_volume_imbalance Max/mean per-rank sent volume of the last observed run.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_obs_volume_imbalance gauge\n")
+	fmt.Fprintf(w, "pselinvd_obs_volume_imbalance %g\n", m.obsVolImbalance)
+	fmt.Fprintf(w, "# HELP pselinvd_obs_queue_depth_max Largest mailbox queue-depth high-watermark over observed runs.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_obs_queue_depth_max gauge\n")
+	fmt.Fprintf(w, "pselinvd_obs_queue_depth_max %d\n", m.obsMaxQueue)
+	fmt.Fprintf(w, "# HELP pselinvd_obs_recv_wait_seconds_total Blocked-receive wait summed over ranks and observed runs.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_obs_recv_wait_seconds_total counter\n")
+	fmt.Fprintf(w, "pselinvd_obs_recv_wait_seconds_total %g\n", m.obsRecvWaitSec)
 
 	phases := make([]string, 0, len(m.latencies))
 	for p := range m.latencies {

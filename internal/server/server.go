@@ -42,6 +42,8 @@ type Config struct {
 	CacheSize int
 	// TraceRing bounds retained per-request Chrome traces. Default 16.
 	TraceRing int
+	// ObsRing bounds retained per-request observability reports. Default 16.
+	ObsRing int
 	// MaxN and MaxProcs cap request size. Defaults 20000 and 256.
 	MaxN     int
 	MaxProcs int
@@ -74,6 +76,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceRing <= 0 {
 		c.TraceRing = 16
 	}
+	if c.ObsRing <= 0 {
+		c.ObsRing = 16
+	}
 	if c.MaxN <= 0 {
 		c.MaxN = 20000
 	}
@@ -98,6 +103,7 @@ type Server struct {
 	waiting atomic.Int64
 	reqID   atomic.Uint64
 	traces  *traceRing
+	reports *traceRing // observability JSON reports, same retention policy
 
 	// testSlowdown, when non-nil, runs while a slot is held — test hook to
 	// make saturation deterministic.
@@ -113,16 +119,18 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		slots:   make(chan struct{}, cfg.Workers),
 		traces:  newTraceRing(cfg.TraceRing),
+		reports: newTraceRing(cfg.ObsRing),
 	}
 }
 
 // Handler returns the HTTP mux: POST /v1/selinv, GET /metrics,
-// GET /debug/trace/{id}, GET /healthz.
+// GET /debug/trace/{id}, GET /debug/obs/{id}, GET /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/selinv", s.handleSelInv)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/trace/", s.handleTrace)
+	mux.HandleFunc("/debug/obs/", s.handleObs)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
 		fmt.Fprintln(w, "ok")
@@ -208,6 +216,12 @@ type Request struct {
 	// Trace records a per-rank Chrome trace retrievable at the returned
 	// trace path.
 	Trace bool `json:"trace,omitempty"`
+	// Obs instruments the run's communication substrate: the response
+	// carries an obs path serving the full JSON report (per-class traffic
+	// matrices, queue/wait telemetry, measured forwarding chains), the
+	// trace path carries the merged compute+collective timeline, and the
+	// run's aggregates feed the pselinvd_obs_* metrics.
+	Obs bool `json:"obs,omitempty"`
 	// TimeoutMS bounds the engine run (0 = server default).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
@@ -229,6 +243,9 @@ type Response struct {
 	MaxSentMB float64            `json:"max_sent_mb"`
 	Diagonal  []float64          `json:"diagonal,omitempty"`
 	TracePath string             `json:"trace,omitempty"`
+	ObsPath   string             `json:"obs,omitempty"`
+	// VolImbalance is max/mean per-rank sent bytes (observed runs only).
+	VolImbalance float64 `json:"vol_imbalance,omitempty"`
 }
 
 type httpError struct {
@@ -449,8 +466,13 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 	tInv := time.Now()
 	var res *pselinv.ParallelResult
 	var tr *pselinv.TraceReport
+	var orep *pselinv.ObsReport
 	var err error
-	if req.Trace {
+	if req.Obs {
+		// Observed runs always carry the merged trace: the collective
+		// spans are half the point of the instrumentation.
+		res, tr, orep, err = sys.ParallelSelInvObserved(procs, scheme, seed)
+	} else if req.Trace {
 		res, tr, err = sys.ParallelSelInvTraced(procs, scheme, seed)
 	} else {
 		res, err = sys.ParallelSelInv(procs, scheme, seed)
@@ -492,6 +514,15 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 			resp.TracePath = "/debug/trace/" + id
 		}
 	}
+	if orep != nil {
+		if b, jerr := orep.JSON(); jerr == nil {
+			s.reports.put(id, b)
+			resp.ObsPath = "/debug/obs/" + id
+		}
+		resp.VolImbalance = orep.VolumeImbalance()
+		s.metrics.recordObs(orep.ClassSentBytes(), orep.VolumeImbalance(),
+			orep.MaxQueueDepth(), orep.TotalRecvWait())
+	}
 
 	s.metrics.observe("analyze", analyzeDur)
 	s.metrics.observe("factorize", facDur)
@@ -529,6 +560,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		QueueCapacity:  s.cfg.MaxQueue,
 		TracesRetained: s.traces.len(),
 	})
+}
+
+func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/obs/")
+	if id == "" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.reports.ids()); err != nil {
+			return
+		}
+		return
+	}
+	data, ok := s.reports.get(id)
+	if !ok {
+		http.Error(w, "no obs report retained for "+id+" (request it with \"obs\": true; the ring keeps the most recent reports)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		return
+	}
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

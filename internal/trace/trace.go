@@ -19,10 +19,15 @@ import (
 // Event is one completed span on a rank's timeline.
 type Event struct {
 	Rank      int
-	Kind      string // e.g. "trsm", "gemm", "diag-inverse", "fwd-bcast"
+	Kind      string // e.g. "trsm", "gemm", "diag-inverse", "col-bcast"
 	Supernode int
-	Start     time.Duration // since recorder creation
-	End       time.Duration
+	// Role distinguishes collective-communication spans from compute spans:
+	// it is "" for compute and the rank's tree position ("root",
+	// "forwarder", "leaf") for collective spans, so one Chrome trace merges
+	// both and still lets Perfetto queries split them apart.
+	Role  string
+	Start time.Duration // since recorder creation
+	End   time.Duration
 }
 
 // Dur returns the span length.
@@ -46,6 +51,13 @@ func NewRecorder() *Recorder {
 //
 //	defer rec.Span(rank, "gemm", k)()
 func (r *Recorder) Span(rank int, kind string, supernode int) func() {
+	return r.SpanRole(rank, kind, supernode, "")
+}
+
+// SpanRole is Span with a tree-role tag; the engine uses it for
+// collective-communication spans ("root"/"forwarder"/"leaf") so they merge
+// with compute spans into one timeline.
+func (r *Recorder) SpanRole(rank int, kind string, supernode int, role string) func() {
 	if r == nil {
 		return func() {}
 	}
@@ -53,12 +65,15 @@ func (r *Recorder) Span(rank int, kind string, supernode int) func() {
 	return func() {
 		e := time.Since(r.start)
 		r.mu.Lock()
-		r.events = append(r.events, Event{Rank: rank, Kind: kind, Supernode: supernode, Start: s, End: e})
+		r.events = append(r.events, Event{Rank: rank, Kind: kind, Supernode: supernode, Role: role, Start: s, End: e})
 		r.mu.Unlock()
 	}
 }
 
-// Events returns a copy of the recorded events sorted by start time.
+// Events returns a copy of the recorded events in a total deterministic
+// order: by start time, with ties broken on every remaining field. Equal
+// timestamps are common under coarse clocks and the race scheduler, and an
+// unstable tie order would make golden traces flake byte-for-byte.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
@@ -66,7 +81,25 @@ func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	out := append([]Event(nil), r.events...)
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Supernode != b.Supernode {
+			return a.Supernode < b.Supernode
+		}
+		return a.Role < b.Role
+	})
 	return out
 }
 
@@ -141,15 +174,21 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	evs := r.Events()
 	out := make([]chromeEvent, 0, len(evs))
 	for _, e := range evs {
+		args := map[string]string{"supernode": fmt.Sprint(e.Supernode)}
+		cat := "compute"
+		if e.Role != "" {
+			args["role"] = e.Role
+			cat = "collective"
+		}
 		out = append(out, chromeEvent{
 			Name: fmt.Sprintf("%s K=%d", e.Kind, e.Supernode),
-			Cat:  e.Kind,
+			Cat:  cat,
 			Ph:   "X",
 			TS:   float64(e.Start.Nanoseconds()) / 1e3,
 			Dur:  float64(e.Dur().Nanoseconds()) / 1e3,
 			PID:  0,
 			TID:  e.Rank,
-			Args: map[string]string{"supernode": fmt.Sprint(e.Supernode)},
+			Args: args,
 		})
 	}
 	enc := json.NewEncoder(w)

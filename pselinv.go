@@ -44,6 +44,7 @@ import (
 	"pselinv/internal/etree"
 	"pselinv/internal/factor"
 	"pselinv/internal/netsim"
+	"pselinv/internal/obs"
 	"pselinv/internal/ordering"
 	"pselinv/internal/pexsi"
 	"pselinv/internal/procgrid"
@@ -509,7 +510,7 @@ func (s *System) ParallelSelInv(procs int, scheme Scheme, seed uint64) (*Paralle
 
 // ParallelSelInvOnGrid is ParallelSelInv with an explicit Pr×Pc grid.
 func (s *System) ParallelSelInvOnGrid(pr, pc int, scheme Scheme, seed uint64) (*ParallelResult, error) {
-	res, _, err := s.parallelRun(pr, pc, scheme, seed, nil)
+	res, _, err := s.parallelRun(pr, pc, scheme, seed, nil, nil)
 	return res, err
 }
 
@@ -531,20 +532,77 @@ func (t *TraceReport) WriteChromeTrace(w io.Writer) error { return t.rec.WriteCh
 func (s *System) ParallelSelInvTraced(procs int, scheme Scheme, seed uint64) (*ParallelResult, *TraceReport, error) {
 	g := procgrid.Squarish(procs)
 	rec := trace.NewRecorder()
-	res, _, err := s.parallelRun(g.Pr, g.Pc, scheme, seed, rec)
+	res, _, err := s.parallelRun(g.Pr, g.Pc, scheme, seed, rec, nil)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res, &TraceReport{rec: rec}, nil
 }
 
-func (s *System) parallelRun(pr, pc int, scheme Scheme, seed uint64, rec *trace.Recorder) (*ParallelResult, *trace.Recorder, error) {
+// ObsReport is the communication-observability report of an observed
+// parallel run: per-class P×P traffic matrices, per-rank queue and wait
+// telemetry, and the measured per-collective critical paths (see
+// internal/obs for the event model).
+type ObsReport struct {
+	rep *obs.Report
+}
+
+// Summary renders totals, imbalance scores and the measured-vs-analytic
+// forwarding-chain table.
+func (o *ObsReport) Summary() string { return o.rep.Summary() }
+
+// WriteJSON writes the full report as deterministic indented JSON.
+func (o *ObsReport) WriteJSON(w io.Writer) error { return o.rep.WriteJSON(w) }
+
+// JSON returns the deterministic indented JSON encoding of the report.
+func (o *ObsReport) JSON() ([]byte, error) { return o.rep.JSON() }
+
+// RenderMatrix renders one class's traffic matrix as an ASCII heat map
+// (class names as in the paper: "Col-Bcast", "Row-Reduce", ...).
+func (o *ObsReport) RenderMatrix(class string) string { return o.rep.RenderMatrix(class) }
+
+// VolumeImbalance returns max/mean per-rank sent bytes (1.0 = balanced).
+func (o *ObsReport) VolumeImbalance() float64 { return o.rep.VolImbalance }
+
+// MaxQueueDepth returns the largest mailbox queue-depth high-watermark.
+func (o *ObsReport) MaxQueueDepth() int { return o.rep.MaxQueueHWM() }
+
+// TotalRecvWait returns the blocked-receive wait summed over ranks.
+func (o *ObsReport) TotalRecvWait() time.Duration { return o.rep.TotalRecvWait() }
+
+// ClassSentBytes returns total sent bytes per communication class.
+func (o *ObsReport) ClassSentBytes() map[string]int64 {
+	out := map[string]int64{}
+	for _, cr := range o.rep.Classes {
+		out[cr.Class] = cr.TotalBytes
+	}
+	return out
+}
+
+// ParallelSelInvObserved is ParallelSelInv with full observability: the
+// run is traced (compute + collective spans merged in one timeline) and
+// the communication substrate is instrumented, yielding the ObsReport.
+func (s *System) ParallelSelInvObserved(procs int, scheme Scheme, seed uint64) (*ParallelResult, *TraceReport, *ObsReport, error) {
+	g := procgrid.Squarish(procs)
+	rec := trace.NewRecorder()
+	col := obs.NewCollector(g.Size())
+	res, _, err := s.parallelRun(g.Pr, g.Pc, scheme, seed, rec, col)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, &TraceReport{rec: rec}, &ObsReport{rep: col.Report(scheme.String())}, nil
+}
+
+func (s *System) parallelRun(pr, pc int, scheme Scheme, seed uint64, rec *trace.Recorder, col *obs.Collector) (*ParallelResult, *trace.Recorder, error) {
 	grid := procgrid.New(pr, pc)
 	// The plan and per-rank programs come from the Symbolic's cache (built
 	// on first use); Rebind attaches this System's numeric factor without
 	// copying them, so warm same-pattern runs skip plan construction.
 	eng := s.sym.engineTemplate(pr, pc, scheme, seed, s.symmetric).Rebind(s.lu)
 	eng.Trace = rec
+	if col != nil {
+		eng.Observer = col
+	}
 	if s.opt.ChaosSeed != 0 {
 		eng.Chaos = &chaos.Config{Seed: s.opt.ChaosSeed}
 		eng.Deterministic = true
