@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test tier1 bench bench-gemm bench-baseline bench-gate \
-	serve loadtest selftest vet race chaos fuzz-smoke clean
+	serve loadtest selftest vet race chaos fuzz-smoke tcp-smoke clean
 
 all: build test
 
@@ -12,10 +12,12 @@ build:
 	$(GO) build ./...
 
 # tier1 is the gate run by CI and before every merge: vet plus the race
-# detector over the packages with concurrency (the simulated-MPI substrate,
-# the parallel engine, and the worker-pool dense kernels).
+# detector over the packages with concurrency (the simulated-MPI substrate
+# and its TCP backend, the multi-process launcher, the parallel engine,
+# and the worker-pool dense kernels).
 tier1: vet
-	$(GO) test -race ./internal/simmpi/... ./internal/pselinv/... ./internal/dense/... \
+	$(GO) test -race ./internal/simmpi/... ./internal/tcptransport/... \
+		./internal/distrun/... ./internal/pselinv/... ./internal/dense/... \
 		./internal/server/...
 
 vet:
@@ -39,6 +41,16 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/core/ -fuzz FuzzBinaryTree -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -fuzz FuzzShiftedTree -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -fuzz FuzzOpKeyRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tcptransport/ -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
+
+# Multi-process smoke: the cross-backend equivalence tests (launcher
+# re-execs the test binary, one OS process per rank) plus a real commvol
+# run over the TCP transport at P=4. See EXPERIMENTS.md "Multi-process
+# runs over TCP".
+tcp-smoke:
+	$(GO) test -race -count=1 ./internal/distrun/ ./internal/tcptransport/
+	$(GO) run ./cmd/commvol -table1 -quick -pr 2 -transport=tcp
 
 # The kernel throughput sweep recorded in BENCH_gemm.json.
 bench-gemm:

@@ -28,6 +28,7 @@ import (
 	"pselinv/internal/chaos"
 	"pselinv/internal/core"
 	"pselinv/internal/dense"
+	"pselinv/internal/distrun"
 	"pselinv/internal/exp"
 	"pselinv/internal/procgrid"
 	"pselinv/internal/sparse"
@@ -51,6 +52,11 @@ var (
 	flagChaos  = flag.Uint64("chaos-seed", 0, "non-zero: run every engine measurement under the seeded chaos adversary (adversarial message reordering; volumes unchanged, numerics forced deterministic)")
 	flagObs    = flag.Bool("obs", false, "re-run the main measurement with the communication substrate instrumented: JSON reports, merged Chrome traces, and measured forwarding chains per scheme")
 	flagObsOut = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
+
+	flagTransport = flag.String("transport", "inproc", "communication substrate: inproc (goroutine mailboxes, one process) or tcp (one OS process per rank on localhost; byte counters are transport-invariant, so volumes match inproc exactly)")
+	flagMailCap   = flag.Int("mailbox-cap", 0, "non-zero: bound every rank's mailbox to this many queued messages (bounded-buffer backpressure); per-rank blocked-send counts are reported. Caps far below a rank's peak fan-in can deadlock the engine — the run then times out with a snapshot of the send-blocked ranks")
+	flagLatScale  = flag.Float64("latency-scale", 0, "non-zero: impose the netsim link-latency geometry on the live in-process run, scaled by this factor (inproc only)")
+	flagTimeout   = flag.Duration("timeout", 20*time.Minute, "per-measurement engine deadline; on expiry the error includes a snapshot of where every rank was blocked")
 )
 
 // chaosCfg returns the adversary configuration selected by -chaos-seed
@@ -63,7 +69,24 @@ func chaosCfg() *chaos.Config {
 }
 
 func main() {
+	distrun.MaybeWorker() // re-exec hook: with -transport=tcp this binary is its own worker
 	flag.Parse()
+	switch *flagTransport {
+	case "inproc", "tcp":
+	default:
+		fmt.Fprintf(os.Stderr, "commvol: unknown -transport %q (want inproc or tcp)\n", *flagTransport)
+		os.Exit(2)
+	}
+	if *flagTransport == "tcp" {
+		if *flagObs {
+			fmt.Fprintln(os.Stderr, "commvol: -obs needs the in-process substrate (the collector taps goroutine mailboxes); drop -transport=tcp")
+			os.Exit(2)
+		}
+		if *flagLatScale != 0 {
+			fmt.Fprintln(os.Stderr, "commvol: -latency-scale decorates the in-process transport only (TCP links have real latency); drop -transport=tcp")
+			os.Exit(2)
+		}
+	}
 	fmt.Printf("dense kernel workers: %d\n", dense.SetWorkers(*flagWork))
 	if *flagChaos != 0 {
 		fmt.Printf("chaos adversary active (seed %d): message delivery adversarially reordered, deterministic reductions on\n", *flagChaos)
@@ -87,13 +110,29 @@ func main() {
 	// details the scaling). Use -pr to override, e.g. -pr 46 for the
 	// literal grid.
 	grid := procgrid.New(*flagPr, *flagPr)
-	smallGrid := procgrid.New(*flagPr/3, *flagPr/3) // Figure 6's "small P" grid
+	smallGrid := procgrid.New(max(1, *flagPr/3), max(1, *flagPr/3)) // Figure 6's "small P" grid
 	audikw := sparse.AudikwStandin(*flagSeed)
 	if *flagQuick {
-		grid = procgrid.New(12, 12)
-		smallGrid = procgrid.New(6, 6)
+		// An explicit -pr wins over -quick's default grid shrink (so
+		// `-quick -pr 2 -transport=tcp` runs P=4 real processes on the
+		// quick matrix); -quick alone shrinks both.
+		prSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "pr" {
+				prSet = true
+			}
+		})
+		if !prSet {
+			grid = procgrid.New(12, 12)
+			smallGrid = procgrid.New(6, 6)
+		}
 		audikw = sparse.FE3D(7, 7, 7, 2, *flagSeed)
 		audikw.Name = "audikw_1_standin_quick"
+	}
+	if *flagTransport == "tcp" && grid.Pr*grid.Pc > 64 {
+		fmt.Fprintf(os.Stderr, "commvol: -transport=tcp would spawn %d OS processes; use a smaller grid (e.g. -quick -pr 2 for P=4)\n",
+			grid.Pr*grid.Pc)
+		os.Exit(2)
 	}
 
 	needMain := *flagTable1 || *flagFig4 || *flagFig5 || *flagFig7
@@ -108,8 +147,9 @@ func main() {
 	}
 	if needMain {
 		var err error
-		mainMs, err = exp.MeasureVolumesChaos(pipe, grid, core.Schemes(), uint64(*flagSeed), 20*time.Minute, chaosCfg())
+		mainMs, err = measure(audikw, pipe, grid, core.Schemes())
 		check(err)
+		printBlocked(mainMs)
 	}
 
 	if *flagObs {
@@ -170,7 +210,7 @@ func main() {
 
 	if *flagFig6 {
 		fmt.Printf("== Figure 6: Col-Bcast Flat-Tree heat map on %v ==\n", smallGrid)
-		ms, err := exp.MeasureVolumesChaos(pipe, smallGrid, []core.Scheme{core.FlatTree}, uint64(*flagSeed), 20*time.Minute, chaosCfg())
+		ms, err := measure(audikw, pipe, smallGrid, []core.Scheme{core.FlatTree})
 		check(err)
 		s := ms[0].ColBcastSummary()
 		hm := stats.NewHeatMap(smallGrid.Pr, smallGrid.Pc, ms[0].ColBcastSent)
@@ -219,8 +259,9 @@ func main() {
 			p, err := exp.Prepare(g, exp.DefaultRelax, exp.DefaultMaxWidth)
 			check(err)
 			fmt.Printf("%s\n  n=%d nnz(A)=%d nnz(L+U)=%d\n", g.Name, g.A.N, g.A.NNZ(), 2*p.An.BP.NNZScalars())
-			ms, err := exp.MeasureVolumesChaos(p, grid, core.Schemes(), uint64(*flagSeed), 20*time.Minute, chaosCfg())
+			ms, err := measure(g, p, grid, core.Schemes())
 			check(err)
+			printBlocked(ms)
 			fmt.Printf("  %-22s %10s %10s %10s %10s\n", "Communication tree", "Min", "Max", "Median", "Std.dev")
 			for _, m := range ms {
 				fmt.Printf("  %-22s %s\n", m.Scheme, m.RowReduceSummary().Row())
@@ -228,6 +269,52 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// measure runs the volume measurement on the substrate selected by
+// -transport: the in-process goroutine-mailbox world (optionally with
+// chaos, bounded mailboxes or imposed link latency) or one OS process per
+// rank over localhost TCP via distrun. Byte counters are transport-
+// invariant, so the two substrates report identical volumes for the same
+// matrix, grid and seed (pinned by internal/distrun's golden test).
+func measure(gen *sparse.Generated, pipe *exp.Pipeline, grid *procgrid.Grid, schemes []core.Scheme) ([]*exp.VolumeMeasurement, error) {
+	if *flagTransport == "tcp" {
+		spec := distrun.Spec{
+			Relax:      exp.DefaultRelax,
+			MaxWidth:   exp.DefaultMaxWidth,
+			PR:         grid.Pr,
+			PC:         grid.Pc,
+			Seed:       uint64(*flagSeed),
+			MailboxCap: *flagMailCap,
+			TimeoutSec: flagTimeout.Seconds(),
+		}
+		if *flagChaos != 0 {
+			spec.ChaosEnabled, spec.ChaosSeed, spec.Deterministic = true, *flagChaos, true
+		}
+		return distrun.MeasureVolumes(gen, spec, schemes, nil)
+	}
+	return exp.MeasureVolumesOpts(pipe, grid, schemes, uint64(*flagSeed), *flagTimeout,
+		exp.RunOpts{Chaos: chaosCfg(), MailboxCap: *flagMailCap, LatencyScale: *flagLatScale})
+}
+
+// printBlocked reports the bounded-mailbox backpressure counters when
+// -mailbox-cap is active.
+func printBlocked(ms []*exp.VolumeMeasurement) {
+	if *flagMailCap <= 0 {
+		return
+	}
+	for _, m := range ms {
+		var total, max int64
+		for _, b := range m.BlockedSends {
+			total += b
+			if b > max {
+				max = b
+			}
+		}
+		fmt.Printf("# %v: mailbox cap %d: %d sends blocked (max %d at one rank)\n",
+			m.Scheme, *flagMailCap, total, max)
+	}
+	fmt.Println()
 }
 
 // table1Paper reproduces Table I on the paper's literal 46×46 grid using

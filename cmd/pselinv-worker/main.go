@@ -1,0 +1,26 @@
+// pselinv-worker is a standalone distributed-run worker: one OS process
+// embodying one rank of a multi-process selected-inversion world over the
+// TCP transport. It is normally spawned by a distrun launcher (cmd/commvol
+// or cmd/scaling with -transport=tcp re-execute themselves instead), but a
+// dedicated binary is useful for packaging and for debugging a single rank
+// under a tracer:
+//
+//	PSELINV_WORKER_SPEC=spec.json PSELINV_WORKER_RANK=2 pselinv-worker
+//
+// The worker prints its listen address on stdout, expects the full JSON
+// address map on stdin, and prints a single JSON result line when done.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pselinv/internal/distrun"
+)
+
+func main() {
+	distrun.MaybeWorker()
+	fmt.Fprintf(os.Stderr, "pselinv-worker: %s and %s must be set (this binary only runs as a distrun worker)\n",
+		distrun.EnvSpec, distrun.EnvRank)
+	os.Exit(2)
+}

@@ -25,6 +25,7 @@ import (
 
 	"pselinv/internal/core"
 	"pselinv/internal/dense"
+	"pselinv/internal/distrun"
 	"pselinv/internal/exp"
 	"pselinv/internal/netsim"
 	"pselinv/internal/procgrid"
@@ -45,11 +46,28 @@ var (
 	flagObs    = flag.Bool("obs", false, "run the fixed observability problem (real engine, 4x4 grid) per scheme and write JSON reports + merged Chrome traces")
 	flagObsOut = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
 	flagObsSd  = flag.Uint64("obs-seed", 1, "tree-shift seed for -obs runs")
+
+	flagTransport = flag.String("transport", "inproc", "communication substrate for the live preflight: inproc, or tcp to validate the real engine across 4 OS processes on localhost (byte-identical volumes to inproc) before the simulated sweeps")
 )
 
 func main() {
+	distrun.MaybeWorker() // re-exec hook: with -transport=tcp this binary is its own worker
 	flag.Parse()
 	fmt.Printf("dense kernel workers: %d\n", dense.SetWorkers(*flagWork))
+	switch *flagTransport {
+	case "inproc":
+	case "tcp":
+		fmt.Print("tcp preflight: live engine across 4 OS processes on localhost ... ")
+		if err := runTCPPreflight(); err != nil {
+			fmt.Println("FAILED")
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			os.Exit(1)
+		}
+		fmt.Println("ok (volume matrices byte-identical to the in-process backend)")
+	default:
+		fmt.Fprintf(os.Stderr, "scaling: unknown -transport %q (want inproc or tcp)\n", *flagTransport)
+		os.Exit(2)
+	}
 	if *flagChaos != 0 {
 		fmt.Printf("chaos preflight (seed %d): running the engine under the adversary ... ", *flagChaos)
 		if err := exp.VerifyChaos(*flagChaos, 5*time.Minute); err != nil {
@@ -69,7 +87,7 @@ func main() {
 		*flagFig8, *flagFig9, *flagHybrid, *flagAsym = true, true, true, true
 	}
 	if !(*flagFig8 || *flagFig9 || *flagHybrid || *flagAsym) {
-		if *flagObs {
+		if *flagObs || *flagTransport == "tcp" {
 			return
 		}
 		flag.Usage()
@@ -186,6 +204,47 @@ func main() {
 			fmt.Printf("  threshold %-18s %10.4f±%.4f s\n", label, s.Mean, s.Std)
 		}
 	}
+}
+
+// runTCPPreflight runs the real engine at P=4 twice — once on the
+// in-process goroutine-mailbox world, once as four OS processes meshed
+// over localhost TCP via distrun — and fails unless the per-rank volume
+// measurements agree exactly for all three tree schemes. The simulated
+// sweeps that follow stay in-process; the preflight certifies that the
+// engine the simulator models runs unchanged on a real wire.
+func runTCPPreflight() error {
+	gen := sparse.Grid2D(12, 12, 3)
+	grid := procgrid.New(2, 2)
+	schemes := core.Schemes()
+	pipe, err := exp.Prepare(gen, exp.DefaultRelax, exp.DefaultMaxWidth)
+	if err != nil {
+		return err
+	}
+	local, err := exp.MeasureVolumes(pipe, grid, schemes, 1, 5*time.Minute)
+	if err != nil {
+		return err
+	}
+	spec := distrun.Spec{
+		Relax: exp.DefaultRelax, MaxWidth: exp.DefaultMaxWidth,
+		PR: grid.Pr, PC: grid.Pc, Seed: 1,
+		TimeoutSec: (5 * time.Minute).Seconds(),
+	}
+	remote, err := distrun.MeasureVolumes(gen, spec, schemes, nil)
+	if err != nil {
+		return err
+	}
+	for i, scheme := range schemes {
+		for r := range local[i].TotalSent {
+			if local[i].ColBcastSent[r] != remote[i].ColBcastSent[r] ||
+				local[i].RowReduceRecv[r] != remote[i].RowReduceRecv[r] ||
+				local[i].TotalSent[r] != remote[i].TotalSent[r] {
+				return fmt.Errorf("tcp preflight: %v rank %d volumes diverge across backends: inproc (%.6f, %.6f, %.6f) MB vs tcp (%.6f, %.6f, %.6f) MB",
+					scheme, r, local[i].ColBcastSent[r], local[i].RowReduceRecv[r], local[i].TotalSent[r],
+					remote[i].ColBcastSent[r], remote[i].RowReduceRecv[r], remote[i].TotalSent[r])
+			}
+		}
+	}
+	return nil
 }
 
 // runObs runs the fixed observability problem once per scheme with the

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// opKindCount is the number of defined OpKinds (OpColReduce is the last
+// in plan.go's const block).
+const opKindCount = int(OpColReduce) + 1
+
+// FuzzOpKeyRoundTrip: OpKey/DecodeOpKey must round-trip every value in the
+// encodable domain (kind in 16 bits, supernode and block in 24 bits each).
+// These keys are serialized as message tags on the TCP wire, so the
+// packing is a cross-process protocol, not a private detail: a round-trip
+// failure here means two processes would disagree about which collective a
+// frame belongs to.
+func FuzzOpKeyRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint32(0), uint32(0))
+	f.Add(uint16(uint(OpColReduce)), uint32(1<<24-1), uint32(1<<24-1))
+	f.Add(uint16(2), uint32(12345), uint32(678))
+	f.Add(uint16(9999), uint32(1<<30-1), uint32(1<<31-1)) // masked into domain below
+	f.Fuzz(func(t *testing.T, kindRaw uint16, kRaw, blkRaw uint32) {
+		// Mask into the encodable domain: the packing owns 16/24/24 bits.
+		// Values outside it alias by design (supernode counts are far
+		// below 2^24; the guard test below pins the real-range check).
+		kind := OpKind(kindRaw)
+		k := int(kRaw & 0xffffff)
+		blk := int(blkRaw & 0xffffff)
+		tag := OpKey(kind, k, blk)
+		gotKind, gotK, gotBlk := DecodeOpKey(tag)
+		if gotKind != kind || gotK != k || gotBlk != blk {
+			t.Fatalf("OpKey(%d, %d, %d) = %#x decodes to (%d, %d, %d)",
+				kind, k, blk, tag, gotKind, gotK, gotBlk)
+		}
+	})
+}
+
+// TestOpKeyDomain pins the field layout: every defined kind fits the kind
+// field with room to spare, keys are unique across the domain edges, and
+// the 24-bit supernode/block fields hold any realistic problem (the
+// largest plans in this repository have a few thousand supernodes).
+func TestOpKeyDomain(t *testing.T) {
+	if opKindCount >= 1<<16 {
+		t.Fatalf("%d op kinds overflow the 16-bit kind field", opKindCount)
+	}
+	edges := []int{0, 1, 2, 1<<24 - 2, 1<<24 - 1}
+	seen := map[uint64]string{}
+	for kind := OpKind(0); kind < OpKind(opKindCount); kind++ {
+		for _, k := range edges {
+			for _, blk := range edges {
+				tag := OpKey(kind, k, blk)
+				id := fmt.Sprintf("(%v,%d,%d)", kind, k, blk)
+				if prev, dup := seen[tag]; dup {
+					t.Fatalf("tag collision: %s and %s both encode to %#x", prev, id, tag)
+				}
+				seen[tag] = id
+				gk, gkk, gblk := DecodeOpKey(tag)
+				if gk != kind || gkk != k || gblk != blk {
+					t.Fatalf("%s round-trips to (%v,%d,%d)", id, gk, gkk, gblk)
+				}
+			}
+		}
+	}
+}

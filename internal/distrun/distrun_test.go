@@ -1,0 +1,194 @@
+package distrun_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pselinv/internal/chaos"
+	"pselinv/internal/core"
+	"pselinv/internal/distrun"
+	"pselinv/internal/exp"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/sparse"
+)
+
+// TestMain installs the worker hook: when the launcher re-executes this
+// test binary with the worker environment set, MaybeWorker takes over and
+// the test driver never runs in the child.
+func TestMain(m *testing.M) {
+	distrun.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// testSchemes are the three schemes the cross-backend golden covers.
+var testSchemes = []core.Scheme{core.FlatTree, core.BinaryTree, core.ShiftedBinaryTree}
+
+func testProblem() (*sparse.Generated, distrun.Spec) {
+	// A 4x1 grid makes the column trees span all four ranks, so the three
+	// schemes route genuinely different per-rank volumes and the golden
+	// discriminates them (on a 2x2 grid every tree has ≤2 ranks and the
+	// schemes coincide).
+	gen := sparse.Grid2D(12, 12, 3)
+	spec := distrun.Spec{
+		Relax:      2,
+		MaxWidth:   8,
+		PR:         4,
+		PC:         1,
+		Seed:       1,
+		TimeoutSec: 60,
+	}
+	return gen, spec
+}
+
+// renderVolumes formats measurements with full float64 precision, so two
+// renderings are equal iff the underlying byte counters are equal.
+func renderVolumes(ms []*exp.VolumeMeasurement) string {
+	var b strings.Builder
+	f := func(vs []float64) {
+		for _, v := range vs {
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	for _, m := range ms {
+		b.WriteString("scheme: " + m.Scheme.String() + "\n")
+		b.WriteString("colbcast_sent_mb:")
+		f(m.ColBcastSent)
+		b.WriteString("rowreduce_recv_mb:")
+		f(m.RowReduceRecv)
+		b.WriteString("total_sent_mb:")
+		f(m.TotalSent)
+	}
+	return b.String()
+}
+
+// TestCrossBackendVolumeEquivalence: the per-rank, per-class volume
+// matrices of a P=4 run must be byte-identical whether the four ranks
+// share a process (goroutine mailboxes) or live in four OS processes
+// meshed over TCP — and both must match the checked-in golden, pinning
+// the measurement across sessions.
+func TestCrossBackendVolumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 12 worker processes")
+	}
+	gen, spec := testProblem()
+
+	pipe, err := exp.Prepare(gen, spec.Relax, spec.MaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := exp.MeasureVolumes(pipe, procgrid.New(spec.PR, spec.PC), testSchemes, spec.Seed, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := distrun.MeasureVolumes(gen, spec, testSchemes, &distrun.Options{Stderr: testWriter{t}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, scheme := range testSchemes {
+		if !reflect.DeepEqual(local[i].ColBcastSent, remote[i].ColBcastSent) {
+			t.Errorf("%v: Col-Bcast sent diverges:\n  in-process: %v\n  tcp:        %v",
+				scheme, local[i].ColBcastSent, remote[i].ColBcastSent)
+		}
+		if !reflect.DeepEqual(local[i].RowReduceRecv, remote[i].RowReduceRecv) {
+			t.Errorf("%v: Row-Reduce recv diverges:\n  in-process: %v\n  tcp:        %v",
+				scheme, local[i].RowReduceRecv, remote[i].RowReduceRecv)
+		}
+		if !reflect.DeepEqual(local[i].TotalSent, remote[i].TotalSent) {
+			t.Errorf("%v: total sent diverges:\n  in-process: %v\n  tcp:        %v",
+				scheme, local[i].TotalSent, remote[i].TotalSent)
+		}
+	}
+
+	got := renderVolumes(remote)
+	goldenPath := filepath.Join("testdata", "commvol-p4.golden")
+	if os.Getenv("PSELINV_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (set PSELINV_UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("volume matrices drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestDistributedChaosMatchesInProcess: the seeded chaos adversary runs at
+// the destination mailbox off link serials assigned at send, so the same
+// seed perturbs a TCP mesh exactly as it perturbs the in-process world —
+// volumes included.
+func TestDistributedChaosMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 4 worker processes")
+	}
+	gen, spec := testProblem()
+	spec.PR, spec.PC = 2, 2 // square grid: row-reduce traffic is nonzero
+	spec.ChaosEnabled = true
+	spec.ChaosSeed = 7
+	spec.Deterministic = true
+	schemes := []core.Scheme{core.BinaryTree}
+
+	pipe, err := exp.Prepare(gen, spec.Relax, spec.MaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := exp.MeasureVolumesOpts(pipe, procgrid.New(spec.PR, spec.PC), schemes, spec.Seed,
+		60*time.Second, exp.RunOpts{Chaos: &chaos.Config{Seed: spec.ChaosSeed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := distrun.MeasureVolumes(gen, spec, schemes, &distrun.Options{Stderr: testWriter{t}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(local[0].ColBcastSent, remote[0].ColBcastSent) ||
+		!reflect.DeepEqual(local[0].RowReduceRecv, remote[0].RowReduceRecv) ||
+		!reflect.DeepEqual(local[0].TotalSent, remote[0].TotalSent) {
+		t.Errorf("chaos run diverges across backends:\n  in-process: %v / %v\n  tcp:        %v / %v",
+			local[0].ColBcastSent, local[0].TotalSent, remote[0].ColBcastSent, remote[0].TotalSent)
+	}
+}
+
+// TestWorkerTimeoutEmbedsSnapshot: a distributed timeout must surface the
+// chaos-style in-flight report (rank states, pending messages) in the
+// launcher's error, not just an exit code.
+func TestWorkerTimeoutEmbedsSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 4 worker processes")
+	}
+	gen, spec := testProblem()
+	spec.TimeoutSec = 1e-6 // expires before any cross-process message lands
+	_, err := distrun.MeasureVolumes(gen, spec, []core.Scheme{core.BinaryTree}, &distrun.Options{Stderr: testWriter{t}})
+	if err == nil {
+		t.Fatal("1µs deadline produced no error")
+	}
+	if !strings.Contains(err.Error(), "chaos deadlock report") {
+		t.Errorf("timeout error lacks the in-flight snapshot:\n%v", err)
+	}
+	if !strings.Contains(err.Error(), "rank states:") {
+		t.Errorf("timeout error lacks rank states:\n%v", err)
+	}
+}
+
+// testWriter forwards worker stderr into the test log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("worker: %s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

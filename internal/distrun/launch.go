@@ -1,0 +1,344 @@
+package distrun
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"pselinv/internal/core"
+	"pselinv/internal/exp"
+	"pselinv/internal/simmpi"
+	"pselinv/internal/sparse"
+	"pselinv/internal/stats"
+)
+
+// Options tunes how the launcher spawns workers.
+type Options struct {
+	// WorkerCmd is the argv prefix of the worker command. Default:
+	// {os.Executable()} — re-execute the current binary, relying on its
+	// MaybeWorker hook.
+	WorkerCmd []string
+	// Stderr receives the workers' stderr and any unrecognized stdout
+	// lines. Default os.Stderr.
+	Stderr io.Writer
+	// SetupTimeout bounds the address-exchange phase (spawn → every rank
+	// published its listen address). Default 60s.
+	SetupTimeout time.Duration
+}
+
+func (o *Options) workerCmd() ([]string, error) {
+	if o != nil && len(o.WorkerCmd) > 0 {
+		return o.WorkerCmd, nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("distrun: resolving worker binary: %w", err)
+	}
+	return []string{exe}, nil
+}
+
+func (o *Options) stderr() io.Writer {
+	if o != nil && o.Stderr != nil {
+		return o.Stderr
+	}
+	return os.Stderr
+}
+
+func (o *Options) setupTimeout() time.Duration {
+	if o != nil && o.SetupTimeout > 0 {
+		return o.SetupTimeout
+	}
+	return 60 * time.Second
+}
+
+// Outcome aggregates one distributed run: each rank's Result in rank
+// order, with the slowest worker's parallel-section time as the run's
+// elapsed time.
+type Outcome struct {
+	Results []Result
+	Elapsed time.Duration
+}
+
+// SentBytes assembles the per-rank sent-byte vector for one class — the
+// distributed equivalent of simmpi.World.VolumeVector(class, true).
+func (o *Outcome) SentBytes(class simmpi.Class) []int64 {
+	out := make([]int64, len(o.Results))
+	for r, res := range o.Results {
+		out[r] = res.SentBytes[class]
+	}
+	return out
+}
+
+// RecvBytes assembles the per-rank received-byte vector for one class.
+func (o *Outcome) RecvBytes(class simmpi.Class) []int64 {
+	out := make([]int64, len(o.Results))
+	for r, res := range o.Results {
+		out[r] = res.RecvBytes[class]
+	}
+	return out
+}
+
+// BlockedSends assembles the per-rank blocked-send vector.
+func (o *Outcome) BlockedSends() []int64 {
+	out := make([]int64, len(o.Results))
+	for r, res := range o.Results {
+		out[r] = res.BlockedSends
+	}
+	return out
+}
+
+// TotalSent sums one rank's sent bytes across classes.
+func (o *Outcome) TotalSent(rank int) int64 {
+	var total int64
+	for _, b := range o.Results[rank].SentBytes {
+		total += b
+	}
+	return total
+}
+
+// checkConservation verifies that globally, per class, bytes and message
+// counts sent equal those received. Within one process the mailbox
+// structure makes this nearly tautological; across processes it certifies
+// the TCP framing and barrier shutdown lost nothing.
+func (o *Outcome) checkConservation() error {
+	for i, c := range simmpi.Classes() {
+		var sentB, recvB, sentM, recvM int64
+		for _, res := range o.Results {
+			sentB += res.SentBytes[i]
+			recvB += res.RecvBytes[i]
+			sentM += res.SentMsgs[i]
+			recvM += res.RecvMsgs[i]
+		}
+		if sentB != recvB || sentM != recvM {
+			return fmt.Errorf("distrun: conservation violated for class %v: sent %d bytes/%d msgs, received %d bytes/%d msgs",
+				c, sentB, sentM, recvB, recvM)
+		}
+	}
+	return nil
+}
+
+// launchedWorker is the launcher's handle on one rank's process.
+type launchedWorker struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	addrCh chan string
+	resCh  chan Result
+	scanCh chan error // scanner goroutine exit status
+}
+
+// Launch runs the spec across P() worker processes on localhost and
+// aggregates their results. The spec (and the matrix it references) must
+// already be on disk; use StageMatrix/WriteSpec or see MeasureVolumes for
+// the end-to-end convenience path. On worker failure the returned error
+// includes every failing rank's message — for timeouts that embeds the
+// worker's in-flight snapshot.
+func Launch(specPath string, spec *Spec, opts *Options) (*Outcome, error) {
+	p := spec.P()
+	if p <= 0 {
+		return nil, fmt.Errorf("distrun: empty world (%dx%d grid)", spec.PR, spec.PC)
+	}
+	argv, err := opts.workerCmd()
+	if err != nil {
+		return nil, err
+	}
+	errSink := opts.stderr()
+
+	workers := make([]*launchedWorker, p)
+	defer func() {
+		for _, w := range workers {
+			if w == nil || w.cmd.Process == nil {
+				continue
+			}
+			w.cmd.Process.Kill()
+			w.cmd.Wait()
+		}
+	}()
+	for r := 0; r < p; r++ {
+		w, err := spawnWorker(argv, specPath, r, errSink)
+		if err != nil {
+			return nil, fmt.Errorf("distrun: spawning rank %d: %w", r, err)
+		}
+		workers[r] = w
+	}
+
+	// Phase 1: gather every rank's listen address.
+	addrs := make([]string, p)
+	setupDeadline := time.After(opts.setupTimeout())
+	for r, w := range workers {
+		select {
+		case addr, ok := <-w.addrCh:
+			if !ok {
+				return nil, fmt.Errorf("distrun: rank %d exited before publishing its address", r)
+			}
+			addrs[r] = addr
+		case <-setupDeadline:
+			return nil, fmt.Errorf("distrun: rank %d did not publish an address within %v", r, opts.setupTimeout())
+		}
+	}
+
+	// Phase 2: broadcast the complete map; each worker then meshes up
+	// peer-to-peer without further launcher involvement.
+	addrLine, err := json.Marshal(addrs)
+	if err != nil {
+		return nil, err
+	}
+	for r, w := range workers {
+		if _, err := fmt.Fprintf(w.stdin, "%s\n", addrLine); err != nil {
+			return nil, fmt.Errorf("distrun: sending address map to rank %d: %w", r, err)
+		}
+		w.stdin.Close()
+	}
+
+	// Phase 3: collect results. Workers enforce the engine timeout
+	// themselves; the launcher allows setup slack on top before declaring
+	// a worker lost.
+	outcome := &Outcome{Results: make([]Result, p)}
+	resultDeadline := time.After(spec.Timeout() + opts.setupTimeout())
+	var failures []string
+	for r, w := range workers {
+		select {
+		case res, ok := <-w.resCh:
+			if !ok {
+				werr := w.cmd.Wait()
+				workers[r] = nil
+				return nil, fmt.Errorf("distrun: rank %d exited without a result (%v)", r, werr)
+			}
+			if res.Rank != r {
+				return nil, fmt.Errorf("distrun: rank %d reported itself as rank %d", r, res.Rank)
+			}
+			outcome.Results[r] = res
+			if res.Error != "" {
+				failures = append(failures, fmt.Sprintf("rank %d: %s", r, res.Error))
+			}
+			if e := time.Duration(res.ElapsedNS); e > outcome.Elapsed {
+				outcome.Elapsed = e
+			}
+		case <-resultDeadline:
+			return nil, fmt.Errorf("distrun: rank %d produced no result within %v of the engine deadline",
+				r, opts.setupTimeout())
+		}
+	}
+	for r, w := range workers {
+		err := w.cmd.Wait()
+		workers[r] = nil
+		if err != nil && outcome.Results[r].Error == "" {
+			failures = append(failures, fmt.Sprintf("rank %d: process: %v", r, err))
+		}
+	}
+	if len(failures) > 0 {
+		return outcome, fmt.Errorf("distrun: %d of %d ranks failed:\n%s", len(failures), p, strings.Join(failures, "\n"))
+	}
+	if err := outcome.checkConservation(); err != nil {
+		return outcome, err
+	}
+	return outcome, nil
+}
+
+// spawnWorker starts one rank's process and its stdout demultiplexer.
+func spawnWorker(argv []string, specPath string, rank int, errSink io.Writer) (*launchedWorker, error) {
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(),
+		EnvSpec+"="+specPath,
+		fmt.Sprintf("%s=%d", EnvRank, rank),
+	)
+	cmd.Stderr = errSink
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	w := &launchedWorker{
+		cmd:    cmd,
+		stdin:  stdin,
+		addrCh: make(chan string, 1),
+		resCh:  make(chan Result, 1),
+		scanCh: make(chan error, 1),
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	go func() {
+		// Timeout snapshots in result errors can run long; give the
+		// scanner room well beyond the default 64KB line limit.
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, addrPrefix):
+				w.addrCh <- strings.TrimSpace(line[len(addrPrefix):])
+			case strings.HasPrefix(line, resultPrefix):
+				var res Result
+				if err := json.Unmarshal([]byte(line[len(resultPrefix):]), &res); err != nil {
+					fmt.Fprintf(errSink, "distrun: rank %d: bad result line: %v\n", rank, err)
+					continue
+				}
+				w.resCh <- res
+			default:
+				fmt.Fprintln(errSink, line)
+			}
+		}
+		close(w.addrCh)
+		close(w.resCh)
+		w.scanCh <- sc.Err()
+	}()
+	return w, nil
+}
+
+// MeasureVolumes is the multi-process analogue of exp.MeasureVolumes: it
+// stages gen on disk, runs one distributed launch per scheme (base
+// supplies everything but the scheme: grid, seeds, amalgamation, timeout,
+// chaos/capacity options), and reduces the workers' counters to the same
+// per-rank MB measurements the in-process path produces. Byte counting is
+// transport-invariant, so for a given matrix, grid and seed the vectors
+// match the in-process ones exactly.
+func MeasureVolumes(gen *sparse.Generated, base Spec, schemes []core.Scheme, opts *Options) ([]*exp.VolumeMeasurement, error) {
+	dir, err := os.MkdirTemp("", "distrun-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	staged, err := StageMatrix(dir, gen)
+	if err != nil {
+		return nil, err
+	}
+	base.MatrixFile, base.MatrixName, base.Geom = staged.MatrixFile, staged.MatrixName, staged.Geom
+
+	out := make([]*exp.VolumeMeasurement, 0, len(schemes))
+	for _, scheme := range schemes {
+		spec := base
+		spec.Scheme = scheme
+		specPath, err := WriteSpec(dir, &spec)
+		if err != nil {
+			return nil, err
+		}
+		outcome, err := Launch(specPath, &spec, opts)
+		if err != nil {
+			return nil, fmt.Errorf("distrun: %v on %dx%d: %w", scheme, spec.PR, spec.PC, err)
+		}
+		m := &exp.VolumeMeasurement{
+			Scheme:        scheme,
+			ColBcastSent:  stats.BytesToMB(outcome.SentBytes(simmpi.ClassColBcast)),
+			RowReduceRecv: stats.BytesToMB(outcome.RecvBytes(simmpi.ClassRowReduce)),
+			Elapsed:       outcome.Elapsed,
+		}
+		if spec.MailboxCap > 0 {
+			m.BlockedSends = outcome.BlockedSends()
+		}
+		total := make([]float64, spec.P())
+		for r := range total {
+			total[r] = stats.MB(outcome.TotalSent(r))
+		}
+		m.TotalSent = total
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+// Package distrun orchestrates a multi-process selected-inversion run on
+// localhost: a launcher process stages the problem on disk, spawns one
+// worker process per rank, brokers the TCP address exchange for
+// internal/tcptransport's two-phase mesh setup, and aggregates each
+// worker's per-class volume counters into the same measurements the
+// in-process harness produces — including the global byte-conservation
+// check, which becomes a cross-process property once each world only
+// holds one rank's share of the counters.
+//
+// The worker re-exec pattern: any binary that may serve as a worker calls
+// MaybeWorker() first thing in main. The launcher re-executes the current
+// binary with PSELINV_WORKER_SPEC/PSELINV_WORKER_RANK set, so the child
+// never parses flags or runs the caller's main body.
+package distrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pselinv/internal/core"
+	"pselinv/internal/exp"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/pselinv"
+	"pselinv/internal/sparse"
+)
+
+// Spec is the complete, JSON-serializable description of one distributed
+// run. Every worker reconstructs an identical pipeline from it: the matrix
+// is read back from a staged MatrixMarket file (written with enough digits
+// to round-trip float64 exactly), and ordering/analysis/planning are
+// deterministic functions of the matrix, geometry and the seeds below —
+// so the per-rank programs agree across processes without any further
+// coordination.
+type Spec struct {
+	// MatrixFile is the staged MatrixMarket file (see StageMatrix).
+	MatrixFile string `json:"matrix_file"`
+	// MatrixName labels the problem in reports.
+	MatrixName string `json:"matrix_name"`
+	// Geom, when present, carries the generator's grid geometry so the
+	// workers' nested-dissection ordering matches the launcher's.
+	Geom *sparse.Geometry `json:"geom,omitempty"`
+
+	// Relax and MaxWidth are the supernode amalgamation options.
+	Relax    int `json:"relax"`
+	MaxWidth int `json:"max_width"`
+
+	// PR × PC is the processor grid; the world size is PR*PC.
+	PR int `json:"pr"`
+	PC int `json:"pc"`
+	// Scheme is the collective tree scheme (core.Scheme).
+	Scheme core.Scheme `json:"scheme"`
+	// Seed is the plan's tree-construction seed.
+	Seed uint64 `json:"seed"`
+
+	// Deterministic forces slot-based reductions (bit-exact results
+	// independent of delivery order).
+	Deterministic bool `json:"deterministic,omitempty"`
+	// ChaosEnabled installs the seeded chaos adversary (ChaosSeed) on
+	// every worker's world. The adversary's decisions are pure functions
+	// of (seed, src, dst, link serial), so the perturbation is the same
+	// deterministic one the in-process backend applies.
+	ChaosEnabled bool   `json:"chaos_enabled,omitempty"`
+	ChaosSeed    uint64 `json:"chaos_seed,omitempty"`
+	// MailboxCap, when positive, bounds every worker's inbox (blocked
+	// sends surface in the worker results).
+	MailboxCap int `json:"mailbox_cap,omitempty"`
+
+	// TimeoutSec bounds each worker's engine run.
+	TimeoutSec float64 `json:"timeout_sec"`
+}
+
+// P returns the world size.
+func (s *Spec) P() int { return s.PR * s.PC }
+
+// Timeout returns the engine deadline as a duration (default 120s).
+func (s *Spec) Timeout() time.Duration {
+	if s.TimeoutSec <= 0 {
+		return 120 * time.Second
+	}
+	return time.Duration(s.TimeoutSec * float64(time.Second))
+}
+
+// StageMatrix writes gen's matrix to dir as a MatrixMarket file and
+// returns a Spec skeleton with the matrix fields (file, name, geometry)
+// filled in.
+func StageMatrix(dir string, gen *sparse.Generated) (Spec, error) {
+	path := filepath.Join(dir, "matrix.mtx")
+	f, err := os.Create(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	if err := sparse.WriteMatrixMarket(f, gen.A); err != nil {
+		f.Close()
+		return Spec{}, fmt.Errorf("distrun: staging %s: %w", gen.Name, err)
+	}
+	if err := f.Close(); err != nil {
+		return Spec{}, err
+	}
+	return Spec{MatrixFile: path, MatrixName: gen.Name, Geom: gen.Geom}, nil
+}
+
+// WriteSpec writes the spec as JSON next to the staged matrix and returns
+// its path.
+func WriteSpec(dir string, s *Spec) (string, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadSpec loads a spec file.
+func ReadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Spec{}
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("distrun: parsing spec %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Build reconstructs the pipeline, plan and engine the spec describes.
+// Every field that influences the result is in the spec, so concurrent
+// workers build identical plans.
+func (s *Spec) Build() (*exp.Pipeline, *core.Plan, *pselinv.Engine, error) {
+	f, err := os.Open(s.MatrixFile)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	a, err := sparse.ReadMatrixMarket(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("distrun: reading %s: %w", s.MatrixFile, err)
+	}
+	gen := &sparse.Generated{A: a, Name: s.MatrixName, Geom: s.Geom}
+	pipe, err := exp.Prepare(gen, s.Relax, s.MaxWidth)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plan := core.NewPlan(pipe.An.BP, procgrid.New(s.PR, s.PC), s.Scheme, s.Seed)
+	eng := pselinv.NewEngine(plan, pipe.LU)
+	eng.Deterministic = s.Deterministic
+	return pipe, plan, eng, nil
+}

@@ -1,0 +1,179 @@
+package distrun
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"pselinv/internal/chaos"
+	"pselinv/internal/simmpi"
+	"pselinv/internal/tcptransport"
+)
+
+// Environment variables that switch a binary into worker mode. The
+// launcher sets both on the child; everything else the worker needs is in
+// the spec file.
+const (
+	EnvSpec = "PSELINV_WORKER_SPEC"
+	EnvRank = "PSELINV_WORKER_RANK"
+)
+
+// Wire markers for the launcher<->worker stdout protocol. Everything not
+// prefixed with one of these is forwarded verbatim to the launcher's
+// stderr sink (runtime warnings, stray prints), so the protocol tolerates
+// noisy workers.
+const (
+	addrPrefix   = "PSELINV-ADDR "
+	resultPrefix = "PSELINV-RESULT "
+)
+
+// Result is one worker's report, emitted as a single JSON line. The
+// volume slices are indexed by simmpi.Class and cover only this worker's
+// rank — the launcher assembles the per-rank matrices and checks global
+// conservation across processes.
+type Result struct {
+	Rank      int     `json:"rank"`
+	SentBytes []int64 `json:"sent_bytes"`
+	RecvBytes []int64 `json:"recv_bytes"`
+	SentMsgs  []int64 `json:"sent_msgs"`
+	RecvMsgs  []int64 `json:"recv_msgs"`
+	// BlockedSends counts sends into this rank's mailbox that stalled on
+	// the capacity bound (0 unless the spec sets MailboxCap).
+	BlockedSends int64 `json:"blocked_sends,omitempty"`
+	// DialRetries counts mesh-setup dial attempts that had to back off.
+	DialRetries int64 `json:"dial_retries,omitempty"`
+	ElapsedNS   int64 `json:"elapsed_ns"`
+	// Error carries the failure, including the chaos-style in-flight
+	// snapshot for timeouts, so the launcher can surface which ranks were
+	// stuck where even though the worlds live in separate processes.
+	Error string `json:"error,omitempty"`
+}
+
+// MaybeWorker turns the current process into a distrun worker when the
+// worker environment variables are set, and never returns in that case.
+// Call it first thing in main() (and in TestMain for test binaries that
+// launch distributed runs): the launcher re-executes the current binary,
+// and this hook keeps the child from falling through into the parent's
+// flag parsing or test driver.
+func MaybeWorker() {
+	if os.Getenv(EnvSpec) == "" {
+		return
+	}
+	os.Exit(WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+}
+
+// WorkerMain runs one rank of a distributed run: listen, publish the
+// address, receive the full address map, connect the mesh, execute the
+// rank's program, report counters. It returns the process exit code.
+func WorkerMain(stdin io.Reader, stdout, stderr io.Writer) int {
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		fmt.Fprintf(stderr, "distrun worker: bad %s: %v\n", EnvRank, err)
+		return 2
+	}
+	spec, err := ReadSpec(os.Getenv(EnvSpec))
+	if err != nil {
+		fmt.Fprintf(stderr, "distrun worker: %v\n", err)
+		return 2
+	}
+	res := runWorker(rank, spec, stdin, stdout)
+	line, err := json.Marshal(res)
+	if err != nil {
+		fmt.Fprintf(stderr, "distrun worker %d: encoding result: %v\n", rank, err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "%s%s\n", resultPrefix, line)
+	if res.Error != "" {
+		return 1
+	}
+	return 0
+}
+
+// runWorker is the fallible body of WorkerMain; any error lands in the
+// Result so the launcher sees it attributed to this rank.
+func runWorker(rank int, spec *Spec, stdin io.Reader, stdout io.Writer) Result {
+	res := Result{Rank: rank}
+	fail := func(err error) Result {
+		res.Error = err.Error()
+		return res
+	}
+	p := spec.P()
+	if rank < 0 || rank >= p {
+		return fail(fmt.Errorf("rank %d outside world of %d", rank, p))
+	}
+
+	// Phase 1: bind an ephemeral port and publish it before the heavy
+	// local build, so the launcher can gather the address map while every
+	// worker factorizes in parallel. Peer dials land in the OS accept
+	// backlog until Connect below starts accepting.
+	ln, err := tcptransport.Listen("127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	defer ln.Close()
+	fmt.Fprintf(stdout, "%s%s\n", addrPrefix, ln.Addr())
+
+	_, plan, eng, err := spec.Build()
+	if err != nil {
+		return fail(err)
+	}
+
+	// Phase 2: the launcher answers with the complete address map on
+	// stdin once all ranks have published.
+	var addrs []string
+	sc := bufio.NewScanner(stdin)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return fail(fmt.Errorf("reading address map: %w", err))
+		}
+		return fail(fmt.Errorf("launcher closed stdin before sending address map"))
+	}
+	if err := json.Unmarshal(sc.Bytes(), &addrs); err != nil {
+		return fail(fmt.Errorf("parsing address map: %w", err))
+	}
+	if len(addrs) != p {
+		return fail(fmt.Errorf("address map has %d entries, world size is %d", len(addrs), p))
+	}
+
+	tr, err := ln.Connect(tcptransport.Config{Rank: rank, Addrs: addrs, Capacity: spec.MailboxCap})
+	if err != nil {
+		return fail(fmt.Errorf("connecting mesh: %w", err))
+	}
+	world := simmpi.NewWorldOn(tr)
+	defer world.Close()
+	if spec.ChaosEnabled {
+		chaos.Install(chaos.Config{Seed: spec.ChaosSeed, DupDetect: true}, world)
+	}
+
+	start := time.Now()
+	runRes, err := eng.RunWorld(world, spec.Timeout())
+	res.ElapsedNS = time.Since(start).Nanoseconds()
+	classes := simmpi.Classes()
+	res.SentBytes = make([]int64, len(classes))
+	res.RecvBytes = make([]int64, len(classes))
+	res.SentMsgs = make([]int64, len(classes))
+	res.RecvMsgs = make([]int64, len(classes))
+	for i, c := range classes {
+		res.SentBytes[i] = world.SentBytes(rank, c)
+		res.RecvBytes[i] = world.RecvBytes(rank, c)
+		res.SentMsgs[i] = world.SentMsgs(rank, c)
+		res.RecvMsgs[i] = world.RecvMsgs(rank, c)
+	}
+	res.BlockedSends = world.BlockedSends(rank)
+	res.DialRetries = tr.DialRetries()
+	if err != nil {
+		// Attach the in-flight snapshot (rank states, pending queue
+		// summaries) so a distributed hang reads like a chaos-harness
+		// timeout, not an opaque exit code.
+		rep := chaos.Snapshot(world, plan, err)
+		return fail(fmt.Errorf("%w\n%s", err, rep.String()))
+	}
+	if runRes != nil {
+		runRes.Release()
+	}
+	return res
+}

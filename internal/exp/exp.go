@@ -94,19 +94,65 @@ type VolumeMeasurement struct {
 	RowReduceRecv []float64
 	// TotalSent is the per-rank total sent volume in MB.
 	TotalSent []float64
-	Elapsed   time.Duration
+	// BlockedSends is the per-rank count of sends that blocked on a full
+	// bounded mailbox; nil unless the run used RunOpts.MailboxCap.
+	BlockedSends []int64
+	Elapsed      time.Duration
 }
 
 // Summary helpers for the table rows.
 func (m *VolumeMeasurement) ColBcastSummary() stats.Summary  { return stats.Summarize(m.ColBcastSent) }
 func (m *VolumeMeasurement) RowReduceSummary() stats.Summary { return stats.Summarize(m.RowReduceRecv) }
 
+// RunOpts selects the substrate options of a measurement run: an optional
+// chaos adversary, an optional per-rank mailbox capacity (bounded-buffer
+// backpressure, measured via blocked-send counters), and an optional
+// link-latency decoration of the in-process transport (the netsim latency
+// geometry imposed on a live run instead of simulated).
+type RunOpts struct {
+	// Chaos, when non-nil, installs the seeded delivery adversary and
+	// forces deterministic reductions so the numerics stay bit-identical
+	// to an unperturbed run.
+	Chaos *chaos.Config
+	// MailboxCap, when positive, bounds every rank's mailbox.
+	MailboxCap int
+	// LatencyScale, when positive, wraps the transport with
+	// netsim.NewLatencyTransport at that scale, using LatencyParams (or
+	// ScaledEdisonParams when nil).
+	LatencyScale  float64
+	LatencyParams *netsim.Params
+}
+
+// transport builds the engine transport factory for the options, or nil
+// when the default in-process transport needs no decoration.
+func (o *RunOpts) transport() func(p int) simmpi.Transport {
+	if o.MailboxCap <= 0 && o.LatencyScale <= 0 {
+		return nil
+	}
+	return func(p int) simmpi.Transport {
+		inner := simmpi.NewInProc(p)
+		if o.MailboxCap > 0 {
+			inner.SetMailboxCapacity(o.MailboxCap)
+		}
+		var tr simmpi.Transport = inner
+		if o.LatencyScale > 0 {
+			params := o.LatencyParams
+			if params == nil {
+				pp := ScaledEdisonParams()
+				params = &pp
+			}
+			tr = netsim.NewLatencyTransport(tr, params, o.LatencyScale)
+		}
+		return tr
+	}
+}
+
 // MeasureVolumes runs the real parallel engine once per scheme on the given
 // grid and collects the per-rank communication volumes. The numerics are
 // identical across schemes (verified by the engine's tests); only the
 // message routing differs.
 func MeasureVolumes(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed uint64, timeout time.Duration) ([]*VolumeMeasurement, error) {
-	return MeasureVolumesChaos(p, grid, schemes, seed, timeout, nil)
+	return MeasureVolumesOpts(p, grid, schemes, seed, timeout, RunOpts{})
 }
 
 // MeasureVolumesChaos is MeasureVolumes under an optional chaos adversary
@@ -115,19 +161,26 @@ func MeasureVolumes(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, see
 // stay meaningful; deterministic reductions are forced so the numerics are
 // bit-identical to an unperturbed run.
 func MeasureVolumesChaos(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed uint64, timeout time.Duration, cc *chaos.Config) ([]*VolumeMeasurement, error) {
+	return MeasureVolumesOpts(p, grid, schemes, seed, timeout, RunOpts{Chaos: cc})
+}
+
+// MeasureVolumesOpts is the general form of MeasureVolumes: one engine run
+// per scheme with the substrate options applied.
+func MeasureVolumesOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed uint64, timeout time.Duration, opts RunOpts) ([]*VolumeMeasurement, error) {
 	out := make([]*VolumeMeasurement, 0, len(schemes))
 	for _, scheme := range schemes {
 		plan := core.NewPlan(p.An.BP, grid, scheme, seed)
 		eng := pselinv.NewEngine(plan, p.LU)
-		if cc != nil {
-			eng.Chaos = cc
+		if opts.Chaos != nil {
+			eng.Chaos = opts.Chaos
 			eng.Deterministic = true
 		}
+		eng.Transport = opts.transport()
 		res, err := eng.Run(timeout)
 		if err != nil {
 			return nil, fmt.Errorf("exp: %v on %v: %w", scheme, grid, err)
 		}
-		if cc != nil {
+		if opts.Chaos != nil {
 			if cerr := res.World.CheckConservation(); cerr != nil {
 				return nil, fmt.Errorf("exp: %v on %v: %w", scheme, grid, cerr)
 			}
@@ -137,6 +190,9 @@ func MeasureVolumesChaos(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme
 			ColBcastSent:  stats.BytesToMB(res.World.VolumeVector(simmpi.ClassColBcast, true)),
 			RowReduceRecv: stats.BytesToMB(res.World.VolumeVector(simmpi.ClassRowReduce, false)),
 			Elapsed:       res.Elapsed,
+		}
+		if opts.MailboxCap > 0 {
+			m.BlockedSends = res.World.BlockedSendsVector()
 		}
 		total := make([]float64, res.World.P)
 		for r := 0; r < res.World.P; r++ {
@@ -170,6 +226,14 @@ type ObsMeasurement struct {
 // cmd/commvol run with that seed (the byte counters are identical; only
 // the routing differs per scheme).
 func MeasureObs(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed uint64, timeout time.Duration) ([]*ObsMeasurement, error) {
+	return MeasureObsOpts(p, grid, schemes, seed, timeout, RunOpts{})
+}
+
+// MeasureObsOpts is MeasureObs with substrate options. With a mailbox
+// capacity installed, the per-rank blocked-send counters are attached to
+// each report (omitted when no send ever blocked, keeping unbounded-run
+// reports golden-stable).
+func MeasureObsOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed uint64, timeout time.Duration, opts RunOpts) ([]*ObsMeasurement, error) {
 	out := make([]*ObsMeasurement, 0, len(schemes))
 	for _, scheme := range schemes {
 		plan := core.NewPlan(p.An.BP, grid, scheme, seed)
@@ -177,14 +241,17 @@ func MeasureObs(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed ui
 		col := obs.NewCollector(grid.Size())
 		eng.Observer = col
 		eng.Trace = trace.NewRecorder()
+		eng.Transport = opts.transport()
 		res, err := eng.Run(timeout)
 		if err != nil {
 			return nil, fmt.Errorf("exp: obs %v on %v: %w", scheme, grid, err)
 		}
 		res.Release()
+		rep := col.Report(scheme.String())
+		rep.SetBlockedSends(res.World.BlockedSendsVector())
 		out = append(out, &ObsMeasurement{
 			Scheme:  scheme,
-			Report:  col.Report(scheme.String()),
+			Report:  rep,
 			Trace:   eng.Trace,
 			World:   res.World,
 			Elapsed: res.Elapsed,

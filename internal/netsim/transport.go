@@ -1,0 +1,204 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+
+	"pselinv/internal/simmpi"
+)
+
+// LatencyTransport decorates an in-process simmpi.Transport with this
+// package's link-latency model, imposed in real time: a cross-rank message
+// is held in a per-link FIFO delay line for Scale × Params.Latency(src,
+// dst) seconds before it reaches the destination mailbox. Where the
+// discrete-event simulator (Simulate) predicts schedules analytically,
+// the decorator makes the same latency geometry physically felt by a live
+// engine run — ordering effects, tree-root hotspots and all — without
+// leaving the process.
+//
+// Per-link FIFO survives the decoration: each (src, dst) link delays
+// messages in its own queue drained in order, so equal-latency messages
+// cannot overtake each other and volume accounting stays byte-identical
+// to the undecorated transport (delay changes when a message arrives, not
+// whether).
+//
+// Self-sends and barriers pass through undelayed (no wire is crossed).
+type LatencyTransport struct {
+	inner  simmpi.Transport
+	params *Params
+	scale  float64
+
+	mu     sync.Mutex
+	links  map[int64]*delayLine
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ simmpi.Transport = (*LatencyTransport)(nil)
+
+// NewLatencyTransport wraps inner with the latency model. scale multiplies
+// every modeled latency (1.0 imposes them as-is; microsecond-scale
+// latencies make the decoration cheap enough for tests); scale <= 0
+// disables delays entirely.
+func NewLatencyTransport(inner simmpi.Transport, params *Params, scale float64) *LatencyTransport {
+	return &LatencyTransport{
+		inner:  inner,
+		params: params,
+		scale:  scale,
+		links:  make(map[int64]*delayLine),
+	}
+}
+
+// delayLine is one (src, dst) link's FIFO of in-flight messages, drained
+// by a dedicated goroutine that sleeps each message's remaining flight
+// time before forwarding it to the inner transport.
+type delayLine struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []flight
+	done  bool
+}
+
+type flight struct {
+	msg simmpi.Message
+	due time.Time
+}
+
+// Send delays cross-rank messages by the modeled link latency; self-sends
+// go straight through. The returned depth is the delay-line depth for
+// delayed messages (in-flight congestion), else the inner transport's.
+func (t *LatencyTransport) Send(msg simmpi.Message) int {
+	if msg.Src == msg.Dst || t.scale <= 0 {
+		return t.inner.Send(msg)
+	}
+	delay := time.Duration(t.scale * t.params.Latency(msg.Src, msg.Dst) * float64(time.Second))
+	if delay <= 0 {
+		return t.inner.Send(msg)
+	}
+	line := t.line(msg.Src, msg.Dst)
+	if line == nil { // closed: deliver undelayed rather than drop
+		return t.inner.Send(msg)
+	}
+	line.mu.Lock()
+	line.queue = append(line.queue, flight{msg: msg, due: time.Now().Add(delay)})
+	depth := len(line.queue)
+	line.mu.Unlock()
+	line.cond.Signal()
+	return depth
+}
+
+// line returns (lazily starting) the delay line for one ordered link, or
+// nil after Close.
+func (t *LatencyTransport) line(src, dst int) *delayLine {
+	key := int64(src)*int64(t.inner.Size()) + int64(dst)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if l, ok := t.links[key]; ok {
+		return l
+	}
+	l := &delayLine{}
+	l.cond = sync.NewCond(&l.mu)
+	t.links[key] = l
+	t.wg.Add(1)
+	go t.drain(l)
+	return l
+}
+
+// drain forwards one link's messages in FIFO order once their flight time
+// elapses.
+func (t *LatencyTransport) drain(l *delayLine) {
+	defer t.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.done {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 && l.done {
+			l.mu.Unlock()
+			return
+		}
+		f := l.queue[0]
+		copy(l.queue, l.queue[1:])
+		l.queue[len(l.queue)-1] = flight{}
+		l.queue = l.queue[:len(l.queue)-1]
+		l.mu.Unlock()
+		if d := time.Until(f.due); d > 0 {
+			time.Sleep(d)
+		}
+		t.inner.Send(f.msg)
+	}
+}
+
+// Size returns the inner transport's world size.
+func (t *LatencyTransport) Size() int { return t.inner.Size() }
+
+// LocalRanks returns the inner transport's local ranks.
+func (t *LatencyTransport) LocalRanks() []int { return t.inner.LocalRanks() }
+
+// Recv delegates to the inner transport.
+func (t *LatencyTransport) Recv(rank int) (simmpi.Message, bool) { return t.inner.Recv(rank) }
+
+// TryRecv delegates to the inner transport.
+func (t *LatencyTransport) TryRecv(rank int) (simmpi.Message, bool) { return t.inner.TryRecv(rank) }
+
+// Pending snapshots the inner transport's queue for rank (messages still
+// in flight on a delay line are not yet pending anywhere).
+func (t *LatencyTransport) Pending(rank int) []simmpi.Message { return t.inner.Pending(rank) }
+
+// SetAdversary installs the adversary on the inner transport: delivery
+// perturbation composes after the latency delay.
+func (t *LatencyTransport) SetAdversary(a simmpi.Adversary) { t.inner.SetAdversary(a) }
+
+// Barrier delegates to the inner transport undelayed.
+func (t *LatencyTransport) Barrier(rank int) { t.inner.Barrier(rank) }
+
+// SetMailboxCapacity bounds the inner transport's mailboxes when it
+// supports capacities (simmpi.CapacityLimiter).
+func (t *LatencyTransport) SetMailboxCapacity(n int) {
+	if cl, ok := t.inner.(simmpi.CapacityLimiter); ok {
+		cl.SetMailboxCapacity(n)
+	}
+}
+
+// MailboxCapacity reports the inner transport's installed bound.
+func (t *LatencyTransport) MailboxCapacity() int {
+	if cl, ok := t.inner.(simmpi.CapacityLimiter); ok {
+		return cl.MailboxCapacity()
+	}
+	return 0
+}
+
+// BlockedSends reports the inner transport's blocked-send counter.
+func (t *LatencyTransport) BlockedSends(rank int) int64 {
+	if cl, ok := t.inner.(simmpi.CapacityLimiter); ok {
+		return cl.BlockedSends(rank)
+	}
+	return 0
+}
+
+// Close drains every delay line (in-flight messages still deliver, so
+// conservation holds at shutdown), then closes the inner transport.
+func (t *LatencyTransport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	lines := make([]*delayLine, 0, len(t.links))
+	for _, l := range t.links {
+		lines = append(lines, l)
+	}
+	t.mu.Unlock()
+	for _, l := range lines {
+		l.mu.Lock()
+		l.done = true
+		l.mu.Unlock()
+		l.cond.Broadcast()
+	}
+	t.wg.Wait()
+	t.inner.Close()
+}

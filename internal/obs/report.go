@@ -63,11 +63,30 @@ type Report struct {
 	VolImbalance  float64 `json:"volume_imbalance"` // max/mean per-rank sent bytes
 	WaitImbalance float64 `json:"wait_imbalance"`   // max/mean per-rank blocked-recv wait
 
+	// BlockedSends, when present, holds the per-rank count of sends that
+	// blocked on a full bounded mailbox (simmpi.CapacityLimiter); it is
+	// attached by SetBlockedSends after the run and omitted entirely when
+	// no send ever blocked, so unbounded-run reports are unchanged.
+	BlockedSends []int64 `json:"blocked_sends,omitempty"`
+
 	Classes     []*ClassReport     `json:"classes"`
 	Ranks       []*RankReport      `json:"ranks"`
 	Collectives []*ChainSummary    `json:"collectives"`
 	TopChains   []*CollectiveChain `json:"top_chains,omitempty"`
 	Critical    *CriticalPath      `json:"critical_path,omitempty"`
+}
+
+// SetBlockedSends attaches the per-rank blocked-send counters (from
+// simmpi.World.BlockedSendsVector) when any rank's mailbox ever exerted
+// backpressure; an all-zero vector is dropped so reports from unbounded
+// runs stay byte-identical to before capacities existed.
+func (r *Report) SetBlockedSends(v []int64) {
+	for _, x := range v {
+		if x != 0 {
+			r.BlockedSends = v
+			return
+		}
+	}
 }
 
 // Report drains the collector into a report. Call it once, after the run
@@ -358,6 +377,14 @@ func (r *Report) Summary() string {
 		label, r.P, stats.MB(r.TotalBytes), r.TotalMsgs, r.VolImbalance, r.WaitImbalance)
 	if r.DroppedEvents > 0 {
 		fmt.Fprintf(&b, "  WARNING: %d events dropped (ring overflow); chain analysis skipped\n", r.DroppedEvents)
+	}
+	if len(r.BlockedSends) > 0 {
+		var total int64
+		for _, x := range r.BlockedSends {
+			total += x
+		}
+		fmt.Fprintf(&b, "  backpressure: %d sends blocked on full mailboxes (per-rank imbalance %.2f)\n",
+			total, imbalance(r.BlockedSends))
 	}
 	if len(r.Collectives) > 0 {
 		fmt.Fprintf(&b, "  %-12s %-7s %6s %6s %9s %9s %8s %8s\n",

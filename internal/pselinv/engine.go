@@ -93,6 +93,13 @@ type Engine struct {
 	// chaos sweep compares against. Costs one scratch matrix per in-flight
 	// contribution instead of one per reduction.
 	Deterministic bool
+	// Transport, when non-nil, supplies the communication substrate for
+	// each Run (the default is the in-process goroutine transport). The
+	// factory receives the grid size; internal/netsim uses this to wrap
+	// the in-process transport with a link-latency model. For one-rank-
+	// per-process backends use RunWorld directly with a world built on the
+	// process's transport.
+	Transport func(p int) simmpi.Transport
 }
 
 // NewEngine derives the per-rank programs from the plan.
@@ -263,7 +270,12 @@ func (rr *RunResult) Release() {
 // With Chaos set, the world gets a seeded delivery adversary. On error the
 // world is closed; use RunWorld to snapshot a deadlocked world first.
 func (e *Engine) Run(timeout time.Duration) (*RunResult, error) {
-	world := simmpi.NewWorld(e.Plan.Grid.Size())
+	var world *simmpi.World
+	if e.Transport != nil {
+		world = simmpi.NewWorldOn(e.Transport(e.Plan.Grid.Size()))
+	} else {
+		world = simmpi.NewWorld(e.Plan.Grid.Size())
+	}
 	if e.Chaos != nil {
 		chaos.Install(*e.Chaos, world)
 	}
@@ -272,6 +284,12 @@ func (e *Engine) Run(timeout time.Duration) (*RunResult, error) {
 	}
 	res, err := e.RunWorld(world, timeout)
 	if err != nil {
+		if _, ok := err.(*simmpi.TimeoutError); ok {
+			// Snapshot before Close releases the blocked goroutines: the
+			// error then names where every rank was stuck and what was in
+			// flight, same as the distributed workers' timeout reports.
+			err = fmt.Errorf("%w\n%s", err, chaos.Snapshot(world, e.Plan, err).String())
+		}
 		world.Close()
 	}
 	return res, err
@@ -281,6 +299,12 @@ func (e *Engine) Run(timeout time.Duration) (*RunResult, error) {
 // adversary already installed) and gathers the result. On error the world
 // is NOT closed, so the caller can take a chaos.Snapshot of the stuck ranks
 // and in-flight messages before closing it.
+//
+// With a distributed transport underneath the world (one rank per
+// process), only the world's local ranks execute and the result gathers
+// only their A⁻¹ blocks; volume conservation is then a cross-process
+// property the launcher checks after aggregating worker counters (see
+// internal/distrun), so the local check is skipped.
 func (e *Engine) RunWorld(world *simmpi.World, timeout time.Duration) (*RunResult, error) {
 	states := make([]*rankState, world.P)
 	scheme := e.Plan.Scheme.String()
@@ -301,11 +325,16 @@ func (e *Engine) RunWorld(world *simmpi.World, timeout time.Duration) (*RunResul
 	if err != nil {
 		return nil, err
 	}
-	if cerr := world.CheckConservation(); cerr != nil {
-		return nil, cerr
+	if world.AllLocal() {
+		if cerr := world.CheckConservation(); cerr != nil {
+			return nil, cerr
+		}
 	}
 	gathered := blockmat.New(e.Plan.BP.Part)
 	for _, st := range states {
+		if st == nil { // non-local rank on a distributed transport
+			continue
+		}
 		for key, m := range st.ainv {
 			gathered.Set(key.I, key.J, m)
 		}

@@ -1,0 +1,234 @@
+package simmpi
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Inbox is an FIFO of messages backed by a growable ring buffer:
+// steady-state push/pop traffic reuses the same slots instead of appending
+// to (and abandoning prefixes of) a slice, so a long run's message churn
+// stops feeding the garbage collector. It is the per-rank delivery queue
+// shared by every transport backend — the TCP backend pushes decoded
+// frames into the same structure — so adversary-perturbed delivery and
+// capacity backpressure behave identically across backends.
+//
+// An Inbox is unbounded by default; SetCapacity bounds it, after which
+// Push blocks while the box is full (except for self-sends) and counts
+// each blocking episode.
+type Inbox struct {
+	mu      sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf     []Message
+	head    int // index of the oldest message
+	count   int
+	closed  bool
+
+	// capacity, when positive, bounds count; blocked counts Push calls
+	// that had to wait for a slot (atomic, readable mid-run).
+	capacity int
+	blocked  int64
+
+	// dst is the owning rank; adv, when non-nil, chooses which pending
+	// message each pop delivers (set via SetAdversary before traffic).
+	dst     int
+	adv     Adversary
+	scratch []Message // reusable FIFO-order view handed to adv.Pick
+}
+
+// NewInbox creates the delivery queue for rank dst.
+func NewInbox(dst int) *Inbox {
+	in := &Inbox{dst: dst}
+	in.notEmpty = sync.NewCond(&in.mu)
+	in.notFull = sync.NewCond(&in.mu)
+	return in
+}
+
+// SetCapacity bounds the box to n queued messages (n <= 0 restores
+// unbounded). Call before traffic starts.
+func (in *Inbox) SetCapacity(n int) {
+	in.mu.Lock()
+	in.capacity = n
+	in.mu.Unlock()
+	in.notFull.Broadcast()
+}
+
+// Capacity returns the current bound (0 when unbounded).
+func (in *Inbox) Capacity() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.capacity
+}
+
+// SetAdversary installs (or removes, with nil) the delivery adversary.
+func (in *Inbox) SetAdversary(a Adversary) {
+	in.mu.Lock()
+	in.adv = a
+	in.mu.Unlock()
+}
+
+// BlockedSends returns how many Push calls have blocked on a full box so
+// far. Safe to call concurrently with traffic.
+func (in *Inbox) BlockedSends() int64 { return atomic.LoadInt64(&in.blocked) }
+
+// pushLocked appends msg, growing (and linearizing) the ring when full.
+func (in *Inbox) pushLocked(msg Message) {
+	if in.count == len(in.buf) {
+		grown := make([]Message, max(2*len(in.buf), 16))
+		for i := 0; i < in.count; i++ {
+			grown[i] = in.buf[(in.head+i)%len(in.buf)]
+		}
+		in.buf = grown
+		in.head = 0
+	}
+	in.buf[(in.head+in.count)%len(in.buf)] = msg
+	in.count++
+}
+
+// popLocked removes the oldest message, clearing its slot so the ring does
+// not pin the payload past delivery.
+func (in *Inbox) popLocked() Message {
+	msg := in.buf[in.head]
+	in.buf[in.head] = Message{}
+	in.head = (in.head + 1) % len(in.buf)
+	in.count--
+	return msg
+}
+
+// Push enqueues msg and returns the queue depth just after the insert (the
+// observer's queue-depth high-watermark input; callers without an observer
+// ignore it). With a capacity installed, Push blocks while the box is full
+// unless msg is a self-send — a rank waiting on its own full mailbox could
+// never drain it — or the box is closed.
+func (in *Inbox) Push(msg Message) int {
+	in.mu.Lock()
+	if in.capacity > 0 && msg.Src != in.dst && in.count >= in.capacity && !in.closed {
+		atomic.AddInt64(&in.blocked, 1)
+		for in.count >= in.capacity && in.capacity > 0 && !in.closed {
+			in.notFull.Wait()
+		}
+	}
+	in.pushLocked(msg)
+	depth := in.count
+	in.mu.Unlock()
+	in.notEmpty.Signal()
+	return depth
+}
+
+// popAtLocked removes the message at FIFO position i, shifting the older
+// prefix toward the tail so the relative order of the rest is preserved.
+func (in *Inbox) popAtLocked(i int) Message {
+	n := len(in.buf)
+	msg := in.buf[(in.head+i)%n]
+	for j := i; j > 0; j-- {
+		in.buf[(in.head+j)%n] = in.buf[(in.head+j-1)%n]
+	}
+	in.buf[in.head] = Message{}
+	in.head = (in.head + 1) % n
+	in.count--
+	return msg
+}
+
+// pendingLocked returns the queued messages oldest-first in a reusable
+// scratch slice (valid only until the lock is released).
+func (in *Inbox) pendingLocked() []Message {
+	if cap(in.scratch) < in.count {
+		in.scratch = make([]Message, in.count)
+	}
+	s := in.scratch[:in.count]
+	for i := range s {
+		s[i] = in.buf[(in.head+i)%len(in.buf)]
+	}
+	return s
+}
+
+// signalSlotLocked wakes one capacity-blocked Push after a removal. The
+// branch keeps the unbounded hot path free of notify-list traffic.
+func (in *Inbox) signalSlotLocked() {
+	if in.capacity > 0 {
+		in.notFull.Signal()
+	}
+}
+
+// Pop blocks until a message arrives or the box is closed. With an
+// adversary installed, the adversary picks which pending message is
+// delivered (and may drop it entirely).
+func (in *Inbox) Pop() (Message, bool) {
+	in.mu.Lock()
+	for {
+		for in.count == 0 && !in.closed {
+			in.notEmpty.Wait()
+		}
+		if in.count == 0 {
+			in.mu.Unlock()
+			return Message{}, false
+		}
+		if in.adv == nil {
+			msg := in.popLocked()
+			in.signalSlotLocked()
+			in.mu.Unlock()
+			return msg, true
+		}
+		idx, drop := in.adv.Pick(in.dst, in.pendingLocked())
+		msg := in.popAtLocked(idx)
+		in.signalSlotLocked()
+		if drop {
+			continue
+		}
+		adv := in.adv
+		in.mu.Unlock()
+		adv.Delivered(in.dst, &msg)
+		return msg, true
+	}
+}
+
+// TryPop is the non-blocking variant of Pop.
+func (in *Inbox) TryPop() (Message, bool) {
+	in.mu.Lock()
+	for {
+		if in.count == 0 {
+			in.mu.Unlock()
+			return Message{}, false
+		}
+		if in.adv == nil {
+			msg := in.popLocked()
+			in.signalSlotLocked()
+			in.mu.Unlock()
+			return msg, true
+		}
+		idx, drop := in.adv.Pick(in.dst, in.pendingLocked())
+		msg := in.popAtLocked(idx)
+		in.signalSlotLocked()
+		if drop {
+			continue
+		}
+		adv := in.adv
+		in.mu.Unlock()
+		adv.Delivered(in.dst, &msg)
+		return msg, true
+	}
+}
+
+// Pending returns a snapshot of the queued messages, oldest-first. The
+// returned messages share payload slices with the queue and must be
+// treated as read-only.
+func (in *Inbox) Pending() []Message {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Message, in.count)
+	for i := range out {
+		out[i] = in.buf[(in.head+i)%len(in.buf)]
+	}
+	return out
+}
+
+// Close wakes any blocked Pop (ok = false) and any capacity-blocked Push.
+// Already-queued messages remain deliverable.
+func (in *Inbox) Close() {
+	in.mu.Lock()
+	in.closed = true
+	in.mu.Unlock()
+	in.notEmpty.Broadcast()
+	in.notFull.Broadcast()
+}

@@ -1,0 +1,115 @@
+package simmpi
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// InProc is the in-process transport: every rank is a goroutine in this
+// process and messages move between in-memory Inboxes. It is the default
+// backend (NewWorld wraps it) and the reference for every behavioral
+// guarantee the rest of the stack pins — per-link FIFO, zero-alloc
+// steady-state send/recv, and deterministic adversary perturbation.
+type InProc struct {
+	p       int
+	inboxes []*Inbox
+	local   []int
+	cap     atomic.Int64
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierCnt  int
+	barrierGen  int
+}
+
+var (
+	_ Transport       = (*InProc)(nil)
+	_ CapacityLimiter = (*InProc)(nil)
+)
+
+// NewInProc creates an in-process transport with p ranks.
+func NewInProc(p int) *InProc {
+	if p <= 0 {
+		panic("simmpi: non-positive world size")
+	}
+	t := &InProc{
+		p:       p,
+		inboxes: make([]*Inbox, p),
+		local:   make([]int, p),
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = NewInbox(i)
+		t.local[i] = i
+	}
+	t.barrierCond = sync.NewCond(&t.barrierMu)
+	return t
+}
+
+// Size returns the number of ranks.
+func (t *InProc) Size() int { return t.p }
+
+// LocalRanks returns every rank: all of them live in this process.
+func (t *InProc) LocalRanks() []int { return t.local }
+
+// Send enqueues msg on the destination inbox and returns its depth just
+// after the insert.
+func (t *InProc) Send(msg Message) int { return t.inboxes[msg.Dst].Push(msg) }
+
+// Recv blocks until a message for rank arrives or the transport closes.
+func (t *InProc) Recv(rank int) (Message, bool) { return t.inboxes[rank].Pop() }
+
+// TryRecv is the non-blocking variant of Recv.
+func (t *InProc) TryRecv(rank int) (Message, bool) { return t.inboxes[rank].TryPop() }
+
+// Pending snapshots rank's queue, oldest-first.
+func (t *InProc) Pending(rank int) []Message { return t.inboxes[rank].Pending() }
+
+// SetAdversary installs a delivery adversary on every inbox.
+func (t *InProc) SetAdversary(a Adversary) {
+	for _, in := range t.inboxes {
+		in.SetAdversary(a)
+	}
+}
+
+// SetMailboxCapacity bounds every inbox to n queued messages.
+func (t *InProc) SetMailboxCapacity(n int) {
+	if n < 0 {
+		n = 0
+	}
+	t.cap.Store(int64(n))
+	for _, in := range t.inboxes {
+		in.SetCapacity(n)
+	}
+}
+
+// MailboxCapacity returns the installed bound (0 when unbounded).
+func (t *InProc) MailboxCapacity() int { return int(t.cap.Load()) }
+
+// BlockedSends returns how many sends have blocked on rank's full inbox.
+func (t *InProc) BlockedSends(rank int) int64 { return t.inboxes[rank].BlockedSends() }
+
+// Barrier blocks until every rank has entered it (generation-counted
+// condition variable; the rank argument is unused in-process).
+func (t *InProc) Barrier(int) {
+	t.barrierMu.Lock()
+	gen := t.barrierGen
+	t.barrierCnt++
+	if t.barrierCnt == t.p {
+		t.barrierCnt = 0
+		t.barrierGen++
+		t.barrierMu.Unlock()
+		t.barrierCond.Broadcast()
+		return
+	}
+	for gen == t.barrierGen {
+		t.barrierCond.Wait()
+	}
+	t.barrierMu.Unlock()
+}
+
+// Close closes all inboxes (wakes any blocked Recv with ok = false).
+func (t *InProc) Close() {
+	for _, in := range t.inboxes {
+		in.Close()
+	}
+}

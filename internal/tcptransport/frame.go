@@ -1,0 +1,155 @@
+package tcptransport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"pselinv/internal/simmpi"
+)
+
+// Wire format. Every frame is
+//
+//	uint32  payload length (little-endian, bytes after this field)
+//	uint8   frame type
+//	[...]   type-specific payload
+//
+// and the per-type payloads are
+//
+//	hello:           uint32 magic, uint8 version, uint32 src rank, uint32 world size
+//	data:            uint64 tag, uint64 serial, uint32 src, uint32 dst,
+//	                 uint8 class, then len(Data) float64s as IEEE-754 bits
+//	barrier-arrive:  uint32 src rank
+//	barrier-release: empty
+//
+// All integers are little-endian. The tag crosses the wire verbatim as a
+// uint64 — the engine's OpKind/supernode/block packing (core.OpKey) is
+// opaque to the transport, so the packing round-trip is what the fuzz
+// tests in internal/core and this package pin.
+const (
+	frameHello byte = iota + 1
+	frameData
+	frameBarrierArrive
+	frameBarrierRelease
+
+	helloMagic   uint32 = 0x50534C56 // "PSLV"
+	helloVersion byte   = 1
+
+	frameHeader  = 5 // length + type
+	dataOverhead = 8 + 8 + 4 + 4 + 1
+
+	// maxFramePayload bounds a frame so a corrupt or hostile length field
+	// cannot trigger an arbitrary allocation.
+	maxFramePayload = 1 << 30
+)
+
+// appendDataFrame appends the framed encoding of msg to buf and returns
+// the extended slice. The caller reuses buf across sends, so steady-state
+// encoding does not allocate.
+func appendDataFrame(buf []byte, msg *simmpi.Message) []byte {
+	payload := dataOverhead + 8*len(msg.Data)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload))
+	buf = append(buf, frameData)
+	buf = binary.LittleEndian.AppendUint64(buf, msg.Tag)
+	buf = binary.LittleEndian.AppendUint64(buf, msg.Serial)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Src))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Dst))
+	buf = append(buf, byte(msg.Class))
+	for _, v := range msg.Data {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// decodeDataPayload parses a data-frame payload into a Message. The
+// returned payload slice is freshly allocated (the frame buffer is reused
+// by the reader loop).
+func decodeDataPayload(p []byte) (simmpi.Message, error) {
+	if len(p) < dataOverhead || (len(p)-dataOverhead)%8 != 0 {
+		return simmpi.Message{}, fmt.Errorf("tcptransport: bad data frame length %d", len(p))
+	}
+	msg := simmpi.Message{
+		Tag:    binary.LittleEndian.Uint64(p[0:]),
+		Serial: binary.LittleEndian.Uint64(p[8:]),
+		Src:    int(binary.LittleEndian.Uint32(p[16:])),
+		Dst:    int(binary.LittleEndian.Uint32(p[20:])),
+		Class:  simmpi.Class(p[24]),
+	}
+	n := (len(p) - dataOverhead) / 8
+	if n > 0 {
+		msg.Data = make([]float64, n)
+		for i := range msg.Data {
+			msg.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[dataOverhead+8*i:]))
+		}
+	}
+	return msg, nil
+}
+
+// appendHelloFrame appends the connection-opening handshake.
+func appendHelloFrame(buf []byte, src, size int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, 13)
+	buf = append(buf, frameHello)
+	buf = binary.LittleEndian.AppendUint32(buf, helloMagic)
+	buf = append(buf, helloVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(src))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(size))
+	return buf
+}
+
+// decodeHelloPayload validates the handshake and returns the peer rank.
+func decodeHelloPayload(p []byte, wantSize int) (src int, err error) {
+	if len(p) != 13 {
+		return 0, fmt.Errorf("tcptransport: bad hello length %d", len(p))
+	}
+	if m := binary.LittleEndian.Uint32(p[0:]); m != helloMagic {
+		return 0, fmt.Errorf("tcptransport: bad hello magic %#x", m)
+	}
+	if v := p[4]; v != helloVersion {
+		return 0, fmt.Errorf("tcptransport: protocol version %d, want %d", v, helloVersion)
+	}
+	src = int(binary.LittleEndian.Uint32(p[5:]))
+	if size := int(binary.LittleEndian.Uint32(p[9:])); size != wantSize {
+		return 0, fmt.Errorf("tcptransport: peer rank %d believes world size is %d, want %d",
+			src, size, wantSize)
+	}
+	return src, nil
+}
+
+// appendBarrierArrive appends a rank's arrival notification (sent to the
+// coordinator, rank 0).
+func appendBarrierArrive(buf []byte, src int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, 4)
+	buf = append(buf, frameBarrierArrive)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(src))
+	return buf
+}
+
+// appendBarrierRelease appends the coordinator's release broadcast.
+func appendBarrierRelease(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	buf = append(buf, frameBarrierRelease)
+	return buf
+}
+
+// readFrame reads one frame into buf (grown as needed) and returns the
+// frame type, the payload (aliasing buf — valid until the next call), and
+// the grown buffer for reuse.
+func readFrame(r io.Reader, buf []byte) (typ byte, payload, kept []byte, err error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFramePayload {
+		return 0, nil, buf, fmt.Errorf("tcptransport: frame payload %d exceeds limit", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, fmt.Errorf("tcptransport: truncated frame: %w", err)
+	}
+	return hdr[4], buf, buf, nil
+}
