@@ -62,16 +62,17 @@ bench:
 
 # ---- Bench-regression gate -------------------------------------------------
 # The CI gate re-runs a small, representative benchmark set (two GEMM
-# shapes plus the 16-rank end-to-end inversion) and compares it against the
-# committed baseline with cmd/benchgate (medians + Mann-Whitney U test).
-# A significant slowdown beyond BENCH_TOLERANCE fails CI.
+# shapes, the 16-rank end-to-end inversion, and the 4-rank sequential/DAG
+# end-to-end pair) and compares it against the committed baseline with
+# cmd/benchgate (medians + Mann-Whitney U test). A significant slowdown
+# beyond BENCH_TOLERANCE fails CI.
 #
 # To update the baseline after an intentional perf change (or on new
 # runner hardware): run `make bench-baseline` on the machine class CI uses
 # (the bench-baseline job in ci.yml can do this via workflow_dispatch),
 # commit .github/bench-baseline.txt, and explain the change in the commit
 # message.
-BENCH_GATE_PATTERN = ^BenchmarkGemm$$/^(256x256x256|512x512x512)$$|^BenchmarkEndToEndParallel16(Obs)?$$
+BENCH_GATE_PATTERN = ^BenchmarkGemm$$/^(256x256x256|512x512x512)$$|^BenchmarkEndToEndParallel16(Obs)?$$|^BenchmarkEndToEndParallel$$|^BenchmarkEndToEndDag$$
 BENCH_COUNT ?= 5
 BENCH_TOLERANCE ?= 0.25
 BENCH_OUT ?= /tmp/bench-new.txt

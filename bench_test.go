@@ -228,6 +228,33 @@ func BenchmarkEndToEndParallel16(b *testing.B) {
 	}
 }
 
+// benchEndToEndP4 runs repeated parallel inversions of a fixed problem at
+// P=4 in sequential or task-DAG mode. The pair quantifies the tentpole:
+// the DAG variant overlaps each rank's supernode updates with the tree
+// collectives on the kernel worker pool, so on a multi-core host it beats
+// the sequential-mode run wall-clock; the bench gate tracks both.
+func benchEndToEndP4(b *testing.B, dag bool) {
+	b.Helper()
+	m := Grid2D(24, 24, 1)
+	sys, err := NewSystem(m, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.SetDAG(dag)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.ParallelSelInv(4, ShiftedBinaryTree, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+}
+
+func BenchmarkEndToEndParallel(b *testing.B) { benchEndToEndP4(b, false) }
+func BenchmarkEndToEndDag(b *testing.B)      { benchEndToEndP4(b, true) }
+
 // BenchmarkEndToEndParallel16Obs is BenchmarkEndToEndParallel16 with full
 // observability installed (traffic collector + merged trace). Comparing
 // the pair bounds the instrumentation overhead; the bench gate tracks

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"pselinv"
+	"pselinv/internal/dense"
 )
 
 var (
@@ -37,6 +38,8 @@ var (
 	flagSim    = flag.Bool("sim", false, "also run the network timing simulator at this processor count")
 	flagAsym   = flag.Bool("asym", false, "perturb the generated matrix to asymmetric values (general path)")
 	flagTrace  = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the parallel run to this file")
+	flagDag    = flag.Bool("dag", false, "intra-rank task-DAG execution: schedule supernode updates on the kernel worker pool, overlapped with the tree collectives (result stays byte-identical)")
+	flagWork   = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
 )
 
 func scheme(name string) pselinv.Scheme {
@@ -109,8 +112,12 @@ func main() {
 	}
 	fmt.Printf("matrix %s: n=%d nnz=%d\n", m.Name(), m.N(), m.NNZ())
 
+	if *flagDag || *flagWork > 0 {
+		fmt.Printf("dense kernel workers: %d\n", dense.SetWorkers(*flagWork))
+	}
+
 	t0 := time.Now()
-	sys, err := pselinv.NewSystem(m, pselinv.Options{Ordering: orderMethod(*flagOrder)})
+	sys, err := pselinv.NewSystem(m, pselinv.Options{Ordering: orderMethod(*flagOrder), DAG: *flagDag})
 	check(err)
 	path := "symmetric"
 	if !sys.Symmetric() {
@@ -152,6 +159,19 @@ func main() {
 	}
 	fmt.Printf("communication: max total sent %.3f MB/rank, max Col-Bcast sent %.3f MB/rank\n",
 		par.MaxSentMB(), maxCB)
+	if ds := par.DagStats(); len(ds) > 0 {
+		tasks, offloaded, maxWidth, occ := 0, 0, 0, 0.0
+		for _, s := range ds {
+			tasks += s.Tasks
+			offloaded += s.Offloaded
+			if s.MaxWidth > maxWidth {
+				maxWidth = s.MaxWidth
+			}
+			occ += s.Occupancy()
+		}
+		fmt.Printf("task DAG: %d tasks (%d offloaded to pool workers), peak width %d, mean occupancy %.2f\n",
+			tasks, offloaded, maxWidth, occ/float64(len(ds)))
+	}
 
 	if *flagVerify {
 		worst := 0.0

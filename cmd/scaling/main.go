@@ -46,6 +46,7 @@ var (
 	flagObs    = flag.Bool("obs", false, "run the fixed observability problem (real engine, 4x4 grid) per scheme and write JSON reports + merged Chrome traces")
 	flagObsOut = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
 	flagObsSd  = flag.Uint64("obs-seed", 1, "tree-shift seed for -obs runs")
+	flagDag    = flag.Bool("dag", false, "run the live-engine sections (-obs, -chaos-seed preflight) in intra-rank task-DAG mode: supernode updates scheduled on the kernel worker pool, overlapped with the tree collectives")
 
 	flagTransport = flag.String("transport", "inproc", "communication substrate for the live preflight: inproc, or tcp to validate the real engine across 4 OS processes on localhost (byte-identical volumes to inproc) before the simulated sweeps")
 )
@@ -69,8 +70,12 @@ func main() {
 		os.Exit(2)
 	}
 	if *flagChaos != 0 {
-		fmt.Printf("chaos preflight (seed %d): running the engine under the adversary ... ", *flagChaos)
-		if err := exp.VerifyChaos(*flagChaos, 5*time.Minute); err != nil {
+		mode := ""
+		if *flagDag {
+			mode = ", task-DAG mode"
+		}
+		fmt.Printf("chaos preflight (seed %d%s): running the engine under the adversary ... ", *flagChaos, mode)
+		if err := exp.VerifyChaos(*flagChaos, *flagDag, 5*time.Minute); err != nil {
 			fmt.Println("FAILED")
 			fmt.Fprintln(os.Stderr, "scaling:", err)
 			os.Exit(1)
@@ -78,7 +83,7 @@ func main() {
 		fmt.Println("ok (bit-identical to unperturbed run, bytes conserved)")
 	}
 	if *flagObs {
-		if err := runObs(*flagObsOut, *flagObsSd); err != nil {
+		if err := runObs(*flagObsOut, *flagObsSd, *flagDag); err != nil {
 			fmt.Fprintln(os.Stderr, "scaling:", err)
 			os.Exit(1)
 		}
@@ -252,14 +257,17 @@ func runTCPPreflight() error {
 // measured-chain summary, and writes the JSON reports and merged
 // compute+collective Chrome traces (chrome://tracing / ui.perfetto.dev)
 // into dir. The measured broadcast chains are the empirical check of the
-// paper's p-1 vs 2·⌈log p⌉ critical-path argument.
-func runObs(dir string, seed uint64) error {
+// paper's p-1 vs 2·⌈log p⌉ critical-path argument. With dag set the runs
+// execute in task-DAG mode, so the reports additionally carry per-rank
+// occupancy/width stats and the traces show task spans interleaved with
+// the collective spans.
+func runObs(dir string, seed uint64, dag bool) error {
 	p, grid, err := exp.ObsProblem()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("== Observability: measured forwarding chains and traffic matrices on %v ==\n", grid)
-	ms, err := exp.MeasureObs(p, grid, core.Schemes(), seed, 5*time.Minute)
+	ms, err := exp.MeasureObsOpts(p, grid, core.Schemes(), seed, 5*time.Minute, exp.RunOpts{DAG: dag})
 	if err != nil {
 		return err
 	}

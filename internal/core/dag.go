@@ -1,0 +1,32 @@
+package core
+
+import "fmt"
+
+// SnodeHeights computes, for each supernode of the elimination tree, its
+// height: the length of the longest chain from it down to a leaf of the
+// tree (0 for leaves). parent is etree.BlockPattern.SnParent — parent[k]
+// is the parent supernode of k, strictly greater than k, or -1 at a root.
+//
+// The height is the critical-path priority of the intra-rank task DAG: in
+// the selected-inversion pass the finalized A⁻¹ blocks of a supernode feed
+// the updates of every supernode in the subtree below it, so among the
+// ready tasks the one whose supernode has the tallest subtree unlocks the
+// longest remaining dependency chain and is dispatched first. Because
+// parents have larger indices than their children, one ascending pass
+// relaxing h[parent[k]] against h[k]+1 visits every edge after its
+// subtree is final.
+func SnodeHeights(parent []int) []int {
+	h := make([]int, len(parent))
+	for k, p := range parent {
+		if p < 0 {
+			continue
+		}
+		if p <= k || p >= len(parent) {
+			panic(fmt.Sprintf("core: SnParent[%d] = %d is not a later supernode", k, p))
+		}
+		if h[k]+1 > h[p] {
+			h[p] = h[k] + 1
+		}
+	}
+	return h
+}

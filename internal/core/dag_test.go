@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"pselinv/internal/etree"
+	"pselinv/internal/ordering"
+	"pselinv/internal/sparse"
+)
+
+func TestSnodeHeightsShapes(t *testing.T) {
+	cases := []struct {
+		name   string
+		parent []int
+		want   []int
+	}{
+		{"empty", []int{}, []int{}},
+		{"single", []int{-1}, []int{0}},
+		{"chain", []int{1, 2, 3, -1}, []int{0, 1, 2, 3}},
+		{"star", []int{3, 3, 3, -1}, []int{0, 0, 0, 1}},
+		{"balanced", []int{2, 2, 6, 5, 5, 6, -1}, []int{0, 0, 1, 0, 0, 1, 2}},
+		{"forest", []int{1, -1, 3, -1}, []int{0, 1, 0, 1}},
+		{"lopsided", []int{1, 4, 3, 4, -1}, []int{0, 1, 0, 1, 2}},
+	}
+	for _, c := range cases {
+		got := SnodeHeights(c.parent)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: %d heights, want %d", c.name, len(got), len(c.want))
+		}
+		for k := range got {
+			if got[k] != c.want[k] {
+				t.Errorf("%s: h[%d] = %d, want %d", c.name, k, got[k], c.want[k])
+			}
+		}
+	}
+}
+
+func TestSnodeHeightsRejectsBadParent(t *testing.T) {
+	for _, parent := range [][]int{{0}, {1, 0}, {5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SnodeHeights(%v) did not panic", parent)
+				}
+			}()
+			SnodeHeights(parent)
+		}()
+	}
+}
+
+// On a real analyzed matrix the heights must satisfy the defining
+// recurrence: a parent is strictly higher than each child, exactly one
+// more than its tallest child, and leaves sit at height 0.
+func TestSnodeHeightsMatchEliminationTree(t *testing.T) {
+	g := sparse.Grid2D(12, 12, 1)
+	perm := ordering.Compute(ordering.NestedDissection, g.A, g.Geom)
+	an := etree.Analyze(g.A.Permute(perm), perm, etree.Options{Relax: 4, MaxWidth: 8})
+	parent := an.BP.SnParent
+	h := SnodeHeights(parent)
+	tallest := make(map[int]int)
+	children := make(map[int]int)
+	for k, p := range parent {
+		if p < 0 {
+			continue
+		}
+		children[p]++
+		if h[k] >= h[p] {
+			t.Fatalf("h[%d] = %d not above child %d at %d", p, h[p], k, h[k])
+		}
+		if h[k] > tallest[p] {
+			tallest[p] = h[k]
+		}
+	}
+	for k := range parent {
+		if children[k] == 0 && h[k] != 0 {
+			t.Errorf("leaf %d has height %d", k, h[k])
+		}
+		if children[k] > 0 && h[k] != tallest[k]+1 {
+			t.Errorf("h[%d] = %d, want tallest child + 1 = %d", k, h[k], tallest[k]+1)
+		}
+	}
+}

@@ -38,6 +38,31 @@ func SetWorkers(n int) int {
 // Workers returns the current kernel worker-pool degree.
 func Workers() int { return kernelPool.Load().n }
 
+// TrySubmit runs fn on a pool worker goroutine if a slot is free right
+// now, returning true; otherwise it returns false without running fn, and
+// the caller decides what to do (typically: run it inline, or keep it
+// queued). The slot is held until fn returns, so at most Workers()-1
+// submitted tasks run concurrently process-wide — the same bound the
+// striped kernels observe, letting task-DAG schedulers and stripe
+// parallelism share one budget without oversubscribing the machine.
+//
+// fn must not panic: the pool goroutine has no recovery frame, so an
+// escaping panic kills the process. Callers that run arbitrary compute
+// wrap fn with their own recover and re-raise on their own goroutine.
+func TrySubmit(fn func()) bool {
+	p := kernelPool.Load()
+	select {
+	case p.sem <- struct{}{}:
+		go func() {
+			defer func() { <-p.sem }()
+			fn()
+		}()
+		return true
+	default:
+		return false
+	}
+}
+
 // parallelRanges splits [0, total) into up to Workers() contiguous chunks
 // of at least minChunk and runs fn on each, borrowing pool slots for all
 // but the last chunk. The caller's goroutine always participates, and when

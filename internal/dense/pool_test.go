@@ -1,0 +1,66 @@
+package dense
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTrySubmitRunsAndBounds(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	// With 4 workers there are 3 slots: 3 submissions succeed while held
+	// open, the 4th is refused.
+	var hold sync.WaitGroup
+	hold.Add(1)
+	started := make(chan struct{}, 3)
+	accepted := 0
+	for i := 0; i < 3; i++ {
+		if TrySubmit(func() {
+			started <- struct{}{}
+			hold.Wait()
+		}) {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		hold.Done()
+		t.Fatalf("accepted %d tasks with 3 slots free", accepted)
+	}
+	for i := 0; i < 3; i++ {
+		<-started
+	}
+	if TrySubmit(func() {}) {
+		hold.Done()
+		t.Fatal("TrySubmit succeeded with every slot held")
+	}
+	hold.Done()
+}
+
+func TestTrySubmitReleasesSlot(t *testing.T) {
+	SetWorkers(2)
+	defer SetWorkers(0)
+	// One slot: each task must free it for the next; every task must run
+	// exactly once.
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		done := make(chan struct{})
+		for !TrySubmit(func() { ran.Add(1); close(done) }) {
+		}
+		<-done
+	}
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("ran %d tasks, want 50", got)
+	}
+}
+
+func TestTrySubmitSingleWorkerAlwaysRefuses(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	// Degree 1 means no extra workers at all: the caller always computes
+	// inline, which is what the engine's DAG mode relies on for its
+	// degenerate sequential fallback.
+	if TrySubmit(func() { t.Error("task ran on a worker with degree 1") }) {
+		t.Fatal("TrySubmit succeeded with zero pool slots")
+	}
+}

@@ -121,6 +121,11 @@ type RunOpts struct {
 	// ScaledEdisonParams when nil).
 	LatencyScale  float64
 	LatencyParams *netsim.Params
+	// DAG enables intra-rank task-DAG execution: supernode updates are
+	// scheduled onto the dense kernel worker pool and overlapped with the
+	// tree collectives. Implies deterministic reductions, so volumes and
+	// numerics stay identical to a sequential deterministic run.
+	DAG bool
 }
 
 // transport builds the engine transport factory for the options, or nil
@@ -175,6 +180,7 @@ func MeasureVolumesOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme,
 			eng.Chaos = opts.Chaos
 			eng.Deterministic = true
 		}
+		eng.DAG = opts.DAG
 		eng.Transport = opts.transport()
 		res, err := eng.Run(timeout)
 		if err != nil {
@@ -241,6 +247,7 @@ func MeasureObsOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, see
 		col := obs.NewCollector(grid.Size())
 		eng.Observer = col
 		eng.Trace = trace.NewRecorder()
+		eng.DAG = opts.DAG
 		eng.Transport = opts.transport()
 		res, err := eng.Run(timeout)
 		if err != nil {
@@ -249,6 +256,7 @@ func MeasureObsOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, see
 		res.Release()
 		rep := col.Report(scheme.String())
 		rep.SetBlockedSends(res.World.BlockedSendsVector())
+		rep.SetDagStats(DagReportStats(res.Dag))
 		out = append(out, &ObsMeasurement{
 			Scheme:  scheme,
 			Report:  rep,
@@ -258,6 +266,29 @@ func MeasureObsOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, see
 		})
 	}
 	return out, nil
+}
+
+// DagReportStats converts the engine's per-rank task-DAG scheduler
+// counters into the observability report's serializable form (nil in → nil
+// out, so sequential-mode reports stay byte-identical).
+func DagReportStats(stats []pselinv.DagRankStats) []*obs.DagRankStats {
+	if len(stats) == 0 {
+		return nil
+	}
+	out := make([]*obs.DagRankStats, len(stats))
+	for i, d := range stats {
+		out[i] = &obs.DagRankStats{
+			Rank:        d.Rank,
+			Tasks:       d.Tasks,
+			Offloaded:   d.Offloaded,
+			MaxWidth:    d.MaxWidth,
+			MaxInflight: d.MaxInflight,
+			BusyNS:      d.BusyNS,
+			WallNS:      d.WallNS,
+			Occupancy:   d.Occupancy(),
+		}
+	}
+	return out
 }
 
 // ObsProblem prepares the small fixed problem behind `-obs` runs and the
@@ -326,8 +357,10 @@ func WriteObsArtifacts(dir string, ms []*ObsMeasurement) ([]string, error) {
 // results agree bit for bit and both worlds conserve bytes. The scaling
 // experiments themselves go through the timing simulator (no live
 // messages), so this is how a -chaos-seed run establishes that the engine
-// the model stands in for survives that adversarial schedule.
-func VerifyChaos(chaosSeed uint64, timeout time.Duration) error {
+// the model stands in for survives that adversarial schedule. With dag set
+// the runs additionally detour compute through the task-DAG scheduler, so
+// the preflight also pins DAG determinism under the adversary.
+func VerifyChaos(chaosSeed uint64, dag bool, timeout time.Duration) error {
 	p, err := Prepare(sparse.Grid2D(8, 8, 2), 2, 6)
 	if err != nil {
 		return err
@@ -337,6 +370,7 @@ func VerifyChaos(chaosSeed uint64, timeout time.Duration) error {
 		plan := core.NewPlan(p.An.BP, grid, core.ShiftedBinaryTree, 1)
 		eng := pselinv.NewEngine(plan, p.LU)
 		eng.Deterministic = true
+		eng.DAG = dag
 		eng.Chaos = cc
 		res, err := eng.Run(timeout)
 		if err != nil {

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"pselinv/internal/chaos"
 	"pselinv/internal/core"
+	"pselinv/internal/dense"
 	"pselinv/internal/netsim"
 	"pselinv/internal/procgrid"
 	"pselinv/internal/sparse"
@@ -62,8 +64,61 @@ func TestMeasureVolumesChaosMatchesUnperturbed(t *testing.T) {
 }
 
 func TestVerifyChaos(t *testing.T) {
-	if err := VerifyChaos(21, time.Minute); err != nil {
+	if err := VerifyChaos(21, false, time.Minute); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestVerifyChaosDag runs the preflight with the task-DAG scheduler in the
+// loop; the pool degree is raised so tasks genuinely offload even on a
+// single-core runner.
+func TestVerifyChaosDag(t *testing.T) {
+	dense.SetWorkers(4)
+	defer dense.SetWorkers(0)
+	if err := VerifyChaos(21, true, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeasureObsDagAttachesStats pins the -dag observability wiring: a DAG
+// run's report must carry per-rank scheduler stats with a plan-determined
+// task count, and a sequential run's report must carry none.
+func TestMeasureObsDagAttachesStats(t *testing.T) {
+	dense.SetWorkers(4)
+	defer dense.SetWorkers(0)
+	p, err := Prepare(sparse.Grid2D(8, 8, 1), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := procgrid.New(2, 2)
+	schemes := []core.Scheme{core.ShiftedBinaryTree}
+	seqMs, err := MeasureObsOpts(p, grid, schemes, 1, time.Minute, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqMs[0].Report.Dag != nil {
+		t.Fatal("sequential run attached dag stats")
+	}
+	dagMs, err := MeasureObsOpts(p, grid, schemes, 1, time.Minute, RunOpts{DAG: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := dagMs[0].Report.Dag
+	if len(stats) != grid.Size() {
+		t.Fatalf("got dag stats for %d ranks, want %d", len(stats), grid.Size())
+	}
+	total := 0
+	for _, s := range stats {
+		total += s.Tasks
+		if s.Occupancy < 0 {
+			t.Fatalf("negative occupancy: %+v", s)
+		}
+	}
+	if total == 0 {
+		t.Fatal("dag run reported zero tasks")
+	}
+	if !strings.Contains(dagMs[0].Report.Summary(), "task-DAG") {
+		t.Fatal("report summary does not mention the task DAG")
 	}
 }
 

@@ -69,11 +69,42 @@ type Report struct {
 	// no send ever blocked, so unbounded-run reports are unchanged.
 	BlockedSends []int64 `json:"blocked_sends,omitempty"`
 
+	// Dag, when present, holds the per-rank task-DAG scheduler statistics
+	// of a run with DAG execution enabled: attached by SetDagStats after
+	// the run and omitted entirely for sequential runs, so reports from
+	// non-DAG runs (including the goldens) stay byte-identical.
+	Dag []*DagRankStats `json:"dag,omitempty"`
+
 	Classes     []*ClassReport     `json:"classes"`
 	Ranks       []*RankReport      `json:"ranks"`
 	Collectives []*ChainSummary    `json:"collectives"`
 	TopChains   []*CollectiveChain `json:"top_chains,omitempty"`
 	Critical    *CriticalPath      `json:"critical_path,omitempty"`
+}
+
+// DagRankStats mirrors the engine's per-rank task-DAG scheduler counters
+// (obs cannot import the engine package): how many tasks ran, how many
+// were offloaded to pool workers, the peak runnable width and in-flight
+// depth, and the busy/wall occupancy ratio — above 1 means task compute
+// genuinely overlapped the rank's communication loop.
+type DagRankStats struct {
+	Rank        int     `json:"rank"`
+	Tasks       int     `json:"tasks"`
+	Offloaded   int     `json:"offloaded"`
+	MaxWidth    int     `json:"max_width"`
+	MaxInflight int     `json:"max_inflight"`
+	BusyNS      int64   `json:"busy_ns"`
+	WallNS      int64   `json:"wall_ns"`
+	Occupancy   float64 `json:"occupancy"`
+}
+
+// SetDagStats attaches per-rank task-DAG scheduler statistics to the
+// report. A nil or empty slice leaves the report untouched, keeping
+// sequential-run reports byte-identical to pre-DAG ones.
+func (r *Report) SetDagStats(stats []*DagRankStats) {
+	if len(stats) > 0 {
+		r.Dag = stats
+	}
 }
 
 // SetBlockedSends attaches the per-rank blocked-send counters (from
@@ -325,6 +356,16 @@ func (r *Report) StripSchedule() {
 			cs.ChainMean = 0
 		}
 	}
+	for _, d := range r.Dag {
+		// Task counts are plan-determined; everything else is timing or
+		// pool-contention dependent.
+		d.Offloaded = 0
+		d.MaxWidth = 0
+		d.MaxInflight = 0
+		d.BusyNS = 0
+		d.WallNS = 0
+		d.Occupancy = 0
+	}
 }
 
 // WriteJSON writes the report as indented JSON. Struct fields encode in
@@ -385,6 +426,20 @@ func (r *Report) Summary() string {
 		}
 		fmt.Fprintf(&b, "  backpressure: %d sends blocked on full mailboxes (per-rank imbalance %.2f)\n",
 			total, imbalance(r.BlockedSends))
+	}
+	if len(r.Dag) > 0 {
+		tasks, offloaded, maxWidth := 0, 0, 0
+		var occ float64
+		for _, d := range r.Dag {
+			tasks += d.Tasks
+			offloaded += d.Offloaded
+			if d.MaxWidth > maxWidth {
+				maxWidth = d.MaxWidth
+			}
+			occ += d.Occupancy
+		}
+		fmt.Fprintf(&b, "  task-DAG: %d tasks (%d offloaded to pool workers), peak width %d, mean occupancy %.2f\n",
+			tasks, offloaded, maxWidth, occ/float64(len(r.Dag)))
 	}
 	if len(r.Collectives) > 0 {
 		fmt.Fprintf(&b, "  %-12s %-7s %6s %6s %9s %9s %8s %8s\n",

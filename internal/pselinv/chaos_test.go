@@ -12,9 +12,13 @@ import (
 	"testing"
 	"time"
 
+	"math"
+
+	"pselinv/internal/blockmat"
 	"pselinv/internal/chaos"
 	"pselinv/internal/chaos/chaostest"
 	"pselinv/internal/core"
+	"pselinv/internal/dense"
 	"pselinv/internal/etree"
 	"pselinv/internal/factor"
 	"pselinv/internal/netsim"
@@ -75,6 +79,65 @@ func TestChaosSweepP64(t *testing.T) {
 		procgrid.New(8, 8), true)
 	chaostest.Sweep(t, eng, chaos.Config{ReorderWindow: 12},
 		chaostest.Seeds(3000, *chaosSeeds), chaosTimeout)
+}
+
+// TestChaosSweepDag pins DAG-mode determinism under the adversary: with
+// compute detoured through the worker pool AND message delivery perturbed,
+// every run must still be bit-identical to the unperturbed baseline. The
+// pool degree is raised so tasks genuinely run concurrently even on a
+// single-core runner; 8 seeds per the acceptance bar, capped by
+// -chaos-seeds for quick CI smokes.
+func TestChaosSweepDag(t *testing.T) {
+	dense.SetWorkers(4)
+	defer dense.SetWorkers(0)
+	seeds := 8
+	if *chaosSeeds < seeds {
+		seeds = *chaosSeeds
+	}
+	eng := chaosEngine(t, sparse.Grid2D(7, 7, 4), etree.Options{Relax: 2, MaxWidth: 6},
+		procgrid.New(2, 2), true)
+	eng.DAG = true
+	chaostest.Sweep(t, eng, chaos.Config{DupDetect: true},
+		chaostest.Seeds(5000, seeds), chaosTimeout)
+}
+
+// TestChaosDagMatchesSequentialBaseline closes the triangle: a chaos-
+// perturbed DAG run must match not only its own baseline but the
+// sequential deterministic baseline, seed for seed.
+func TestChaosDagMatchesSequentialBaseline(t *testing.T) {
+	dense.SetWorkers(4)
+	defer dense.SetWorkers(0)
+	run := func(dag bool, cc *chaos.Config) map[[2]int][]float64 {
+		eng := chaosEngine(t, sparse.Grid2D(6, 6, 5), etree.Options{Relax: 2, MaxWidth: 6},
+			procgrid.New(2, 2), true)
+		eng.DAG = dag
+		eng.Chaos = cc
+		res, err := eng.Run(chaosTimeout)
+		if err != nil {
+			t.Fatalf("dag=%v chaos=%v: %v", dag, cc != nil, err)
+		}
+		snap := map[[2]int][]float64{}
+		res.Ainv.Range(func(key blockmat.Key, b *dense.Matrix) {
+			snap[[2]int{key.I, key.J}] = append([]float64(nil), b.Data...)
+		})
+		res.Release()
+		return snap
+	}
+	seq := run(false, nil)
+	for _, cc := range []*chaos.Config{nil, {Seed: 42, DupDetect: true}} {
+		got := run(true, cc)
+		if len(got) != len(seq) {
+			t.Fatalf("chaos=%v: block counts differ", cc != nil)
+		}
+		for key, want := range seq {
+			g := got[key]
+			for x := range want {
+				if math.Float64bits(g[x]) != math.Float64bits(want[x]) {
+					t.Fatalf("chaos=%v: block (%d,%d) not bit-identical to sequential", cc != nil, key[0], key[1])
+				}
+			}
+		}
+	}
 }
 
 func TestChaosSweepAsymmetricPath(t *testing.T) {

@@ -1,0 +1,322 @@
+// Task-DAG execution mode: instead of running every TRSM/GEMM inline on
+// the rank goroutine, each rank derives a dependency graph from its
+// program (the in-degree counters the event loop already maintains:
+// broadcast arrivals, finalized A⁻¹ operands, reduction pending counts)
+// and hands ready compute tasks to the shared internal/dense worker pool,
+// overlapping them with the tree collectives that stay on the rank
+// goroutine. Message sends and receives never move off the rank
+// goroutine, so simmpi delivery order, the chaos adversary's decisions and
+// the conservation counters are identical to sequential mode.
+//
+// Determinism: DAG mode forces the engine's deterministic reductions
+// (Engine.deterministic), so every concurrent task writes a private
+// canonical slot and the slots are combined in a fixed order on the rank
+// goroutine. The floating-point result is therefore byte-identical to
+// sequential deterministic mode under any pool schedule — the property
+// the DAG golden and chaos tests pin.
+//
+// Scheduler invariants:
+//   - task.run is pure compute into memory no other task aliases (a
+//     private slot matrix, a fresh L̂/Û/A⁻¹ block); it may run on any
+//     goroutine.
+//   - task.done runs on the rank goroutine only: it decrements reduction
+//     counters, finalizes blocks, sends messages and submits new tasks.
+//   - completions hand over via a channel sized past the pool's slot
+//     count, so a worker never blocks returning a result.
+//   - the rank goroutine blocks on the completion channel only while
+//     tasks are in flight (a completion is then guaranteed), and on
+//     Recv only when it has no runnable or in-flight work, so a rank
+//     whose pending sends hide behind an unfinished task cannot deadlock
+//     its peers.
+//   - ready tasks dispatch highest critical-path height first
+//     (core.SnodeHeights), submission order breaking ties, so the
+//     schedule shape is reproducible run-to-run.
+package pselinv
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"pselinv/internal/core"
+	"pselinv/internal/dense"
+	"pselinv/internal/simmpi"
+)
+
+// DagRankStats reports one rank's task-DAG scheduler counters for a run
+// with Engine.DAG set.
+type DagRankStats struct {
+	Rank int
+	// Tasks is the number of DAG tasks executed; it is plan-determined
+	// (independent of scheduling).
+	Tasks int
+	// Offloaded counts tasks that ran on a pool worker; the rest ran
+	// inline on the rank goroutine when the pool had no free slot.
+	Offloaded int
+	// MaxWidth is the peak number of simultaneously runnable or running
+	// tasks — the exploitable intra-rank parallelism the DAG exposed.
+	MaxWidth int
+	// MaxInflight is the peak number of this rank's tasks concurrently
+	// out on pool workers.
+	MaxInflight int
+	// BusyNS sums task execution time wherever each task ran; WallNS is
+	// the rank body's wall-clock time. Their ratio is the occupancy:
+	// above 1 means compute genuinely overlapped with the rank loop.
+	BusyNS int64
+	WallNS int64
+}
+
+// Occupancy returns BusyNS/WallNS, the mean number of this rank's tasks
+// executing at any instant (0 when the rank did no timed work).
+func (d DagRankStats) Occupancy() float64 {
+	if d.WallNS <= 0 {
+		return 0
+	}
+	return float64(d.BusyNS) / float64(d.WallNS)
+}
+
+// dagTask is one schedulable unit of compute.
+type dagTask struct {
+	prio int    // critical-path height of the supernode; higher runs first
+	seq  int    // submission order; deterministic tiebreak
+	kind string // trace span kind ("trsm", "gemm", "diag-inverse", ...)
+	k    int    // supernode
+	dep  string // dependency annotation for the trace ("" when untraced)
+	run  func() // pure compute; safe on any goroutine
+	done func() // completion bookkeeping; rank goroutine only, may be nil
+
+	dur       time.Duration
+	recovered any    // panic value captured on a worker, re-raised on the rank
+	stack     []byte // worker stack at the recover site
+}
+
+// taskHeap is a max-heap on (prio, -seq).
+type taskHeap []*dagTask
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)        { *h = append(*h, x.(*dagTask)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// dagSched drives one rank's task DAG. All methods run on the rank
+// goroutine; only the closure wrapped around task.run executes elsewhere.
+type dagSched struct {
+	st       *rankState
+	ready    taskHeap
+	comp     chan *dagTask
+	inflight int
+	seq      int
+	started  time.Time
+	stats    DagRankStats
+}
+
+func newDagSched(st *rankState) *dagSched {
+	return &dagSched{
+		st: st,
+		// A rank can have at most the pool's slot count of tasks in
+		// flight, so this buffer guarantees workers never block handing
+		// back a completion — even a rank parked in Recv cannot starve
+		// the pool.
+		comp:    make(chan *dagTask, dense.Workers()+1),
+		started: time.Now(),
+	}
+}
+
+// depf formats a dependency annotation, skipping the allocation when the
+// run is untraced.
+func (s *dagSched) depf(format string, args ...any) string {
+	if s.st.e.Trace == nil {
+		return ""
+	}
+	return fmt.Sprintf(format, args...)
+}
+
+// submit queues a task and immediately tries to push ready work onto the
+// pool.
+func (s *dagSched) submit(k int, kind, dep string, run, done func()) {
+	t := &dagTask{prio: s.st.e.heights[k], seq: s.seq, kind: kind, k: k, dep: dep, run: run, done: done}
+	s.seq++
+	s.stats.Tasks++
+	heap.Push(&s.ready, t)
+	if w := len(s.ready) + s.inflight; w > s.stats.MaxWidth {
+		s.stats.MaxWidth = w
+	}
+	s.dispatch()
+}
+
+// dispatch moves ready tasks onto pool workers, highest priority first,
+// until the pool refuses a slot.
+func (s *dagSched) dispatch() {
+	for len(s.ready) > 0 {
+		t := s.ready[0]
+		if !dense.TrySubmit(s.wrap(t)) {
+			return
+		}
+		heap.Pop(&s.ready)
+		s.inflight++
+		s.stats.Offloaded++
+		if s.inflight > s.stats.MaxInflight {
+			s.stats.MaxInflight = s.inflight
+		}
+	}
+}
+
+// wrap builds the worker-side closure: run the compute under a task span,
+// capture any panic, and hand the task back on the completion channel.
+func (s *dagSched) wrap(t *dagTask) func() {
+	tr := s.st.e.Trace
+	me := s.st.r.ID
+	return func() {
+		end := tr.SpanTask(me, t.kind, t.k, t.dep)
+		t0 := time.Now()
+		defer func() {
+			if r := recover(); r != nil {
+				t.recovered, t.stack = r, debug.Stack()
+			}
+			t.dur = time.Since(t0)
+			end()
+			s.comp <- t
+		}()
+		t.run()
+	}
+}
+
+// runInline executes a task on the rank goroutine (pool saturated, or the
+// degenerate single-worker configuration where TrySubmit never succeeds).
+func (s *dagSched) runInline(t *dagTask) {
+	end := s.st.e.Trace.SpanTask(s.st.r.ID, t.kind, t.k, t.dep)
+	t0 := time.Now()
+	t.run()
+	end()
+	s.stats.BusyNS += int64(time.Since(t0))
+	if t.done != nil {
+		t.done()
+	}
+}
+
+// complete applies a finished task's bookkeeping on the rank goroutine,
+// re-raising any panic the worker captured.
+func (s *dagSched) complete(t *dagTask) {
+	s.inflight--
+	s.stats.BusyNS += int64(t.dur)
+	if t.recovered != nil {
+		panic(fmt.Sprintf("pselinv: dag task %s K=%d panicked on a pool worker: %v\n%s",
+			t.kind, t.k, t.recovered, t.stack))
+	}
+	if t.done != nil {
+		t.done()
+	}
+}
+
+// drainCompletions applies every already-finished task without blocking.
+func (s *dagSched) drainCompletions() bool {
+	progressed := false
+	for {
+		select {
+		case t := <-s.comp:
+			s.complete(t)
+			progressed = true
+		default:
+			return progressed
+		}
+	}
+}
+
+// drain runs every queued and in-flight task to completion, the rank
+// goroutine helping with tasks the pool refuses. Pass 1 calls it before
+// the barrier so the normalized L̂/Û blocks are final before any pass-2
+// message aliases their storage.
+func (s *dagSched) drain() {
+	for len(s.ready) > 0 || s.inflight > 0 {
+		s.dispatch()
+		if len(s.ready) > 0 {
+			s.runInline(heap.Pop(&s.ready).(*dagTask))
+			continue
+		}
+		if s.inflight > 0 {
+			s.complete(<-s.comp)
+		}
+	}
+}
+
+// runPass2Dag is the DAG-mode pass-2 event loop. Structurally it receives
+// the same expect2 messages as the sequential loop and performs the same
+// sends from the same handlers; the difference is that GEMM-sized compute
+// detours through the scheduler, and the loop interleaves three progress
+// sources — task completions, arrived messages, ready tasks — blocking
+// only when none can advance.
+func (st *rankState) runPass2Dag() {
+	s := st.sched
+	for _, k := range st.prog.leafDiags {
+		k := k
+		w := st.width(k)
+		inv := dense.GetMatrixUninit(w, w)
+		s.submit(k, "diag-inverse", s.depf("ready"), func() {
+			st.e.LU.DiagInverseTo(k, inv)
+		}, func() {
+			st.finalize(blockKey{k, k}, inv)
+		})
+	}
+	for _, bk := range st.prog.crossSrcs {
+		i, k := bk.I, bk.J
+		dst := st.e.Plan.Grid.OwnerOfBlock(k, i)
+		st.r.Send(dst, core.OpKey(core.OpCrossSend, k, i), simmpi.ClassCrossSend,
+			st.lhat[blockKey{i, k}].Data)
+	}
+	for _, bk := range st.prog.crossUSrcs {
+		k, i := bk.I, bk.J
+		dst := st.e.Plan.Grid.OwnerOfBlock(i, k)
+		st.r.Send(dst, core.OpKey(core.OpCrossSendU, k, i), simmpi.ClassCrossSend,
+			st.uhat[blockKey{k, i}].Data)
+	}
+	got := 0
+	for got < st.prog.expect2 || s.inflight > 0 || len(s.ready) > 0 {
+		s.dispatch()
+		progressed := s.drainCompletions()
+		for got < st.prog.expect2 {
+			msg, ok := st.r.TryRecv()
+			if !ok {
+				break
+			}
+			st.handle(msg)
+			got++
+			progressed = true
+		}
+		if progressed {
+			continue
+		}
+		switch {
+		case s.inflight > 0:
+			// Blocking here is safe: a worker always finishes. Blocking
+			// on Recv here would not be — this task's done() may carry
+			// the send a peer is waiting for.
+			s.complete(<-s.comp)
+		case len(s.ready) > 0:
+			// Pool saturated and nothing else to do: help out.
+			s.runInline(heap.Pop(&s.ready).(*dagTask))
+		default:
+			msg, ok := st.r.Recv()
+			if !ok {
+				panic("pselinv: world closed during pass 2")
+			}
+			st.handle(msg)
+			got++
+		}
+	}
+	s.stats.Rank = st.r.ID
+	s.stats.WallNS = int64(time.Since(s.started))
+}

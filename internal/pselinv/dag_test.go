@@ -1,0 +1,166 @@
+package pselinv
+
+import (
+	"math"
+	"testing"
+
+	"pselinv/internal/blockmat"
+	"pselinv/internal/core"
+	"pselinv/internal/dense"
+	"pselinv/internal/etree"
+	"pselinv/internal/factor"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/sparse"
+)
+
+// withPoolWorkers raises the kernel pool degree so TrySubmit actually
+// offloads tasks regardless of the test machine's core count (on a
+// single-core runner the default degree is 1, where DAG mode degenerates
+// to inline execution and the concurrent paths would go untested).
+func withPoolWorkers(t *testing.T, n int) {
+	t.Helper()
+	dense.SetWorkers(n)
+	t.Cleanup(func() { dense.SetWorkers(0) })
+}
+
+// offloadedTotal accumulates, across every runMode call, how many tasks
+// actually ran on pool workers; the golden test asserts it is non-zero so
+// byte-identity is proven against real concurrency, not the inline
+// fallback. Tests are not parallel, so a plain counter suffices.
+var offloadedTotal int
+
+// runMode executes one engine run in the given mode and snapshots the
+// A⁻¹ blocks (the run's arena storage is recycled before returning).
+func runMode(t *testing.T, an *etree.Analysis, lu *factor.LU, grid *procgrid.Grid,
+	scheme core.Scheme, seed uint64, dag bool) map[blockmat.Key][]float64 {
+	t.Helper()
+	plan := core.NewPlan(an.BP, grid, scheme, seed)
+	eng := NewEngine(plan, lu)
+	eng.Deterministic = true
+	eng.DAG = dag
+	res, err := eng.Run(testTimeout)
+	if err != nil {
+		t.Fatalf("grid %v scheme %v dag=%v: %v", grid, scheme, dag, err)
+	}
+	if cerr := res.World.CheckConservation(); cerr != nil {
+		t.Fatalf("grid %v scheme %v dag=%v: %v", grid, scheme, dag, cerr)
+	}
+	if dag {
+		total := 0
+		for _, s := range res.Dag {
+			total += s.Tasks
+			offloadedTotal += s.Offloaded
+			if s.BusyNS < 0 || s.MaxWidth < 0 || s.Offloaded > s.Tasks {
+				t.Fatalf("grid %v scheme %v: implausible dag stats %+v", grid, scheme, s)
+			}
+		}
+		if total == 0 {
+			t.Fatalf("grid %v scheme %v: dag run executed no tasks", grid, scheme)
+		}
+	} else if res.Dag != nil {
+		t.Fatalf("grid %v scheme %v: sequential run carries dag stats", grid, scheme)
+	}
+	out := map[blockmat.Key][]float64{}
+	res.Ainv.Range(func(key blockmat.Key, b *dense.Matrix) {
+		out[key] = append([]float64(nil), b.Data...)
+	})
+	res.Release()
+	return out
+}
+
+// diffBits reports the first bitwise difference between two snapshots.
+func diffBits(a, b map[blockmat.Key][]float64) string {
+	if len(a) != len(b) {
+		return "block counts differ"
+	}
+	for key, av := range a {
+		bv, ok := b[key]
+		if !ok || len(av) != len(bv) {
+			return "block sets differ"
+		}
+		for x := range av {
+			if math.Float64bits(av[x]) != math.Float64bits(bv[x]) {
+				return "entries differ"
+			}
+		}
+	}
+	return ""
+}
+
+// TestDagByteIdenticalToSequential is the tentpole's golden property: with
+// real pool concurrency, DAG mode must reproduce the sequential
+// deterministic result bit for bit at P ∈ {1,4,16} for every scheme —
+// under any pool schedule, since each task writes a private canonical
+// slot and the combine order is fixed.
+func TestDagByteIdenticalToSequential(t *testing.T) {
+	withPoolWorkers(t, 4)
+	g := sparse.Grid2D(8, 8, 3)
+	an, lu, ref := prep(t, g, etree.Options{Relax: 2, MaxWidth: 8})
+	for _, dims := range [][2]int{{1, 1}, {2, 2}, {4, 4}} {
+		grid := procgrid.New(dims[0], dims[1])
+		for _, scheme := range []core.Scheme{core.FlatTree, core.BinaryTree, core.ShiftedBinaryTree} {
+			seq := runMode(t, an, lu, grid, scheme, 3, false)
+			dag := runMode(t, an, lu, grid, scheme, 3, true)
+			if msg := diffBits(seq, dag); msg != "" {
+				t.Fatalf("grid %v scheme %v: dag vs sequential: %s", grid, scheme, msg)
+			}
+			// And against the plain sequential reference, tolerance-level:
+			for _, key := range ref.Ainv.Keys() {
+				want := ref.Ainv.MustGet(key.I, key.J)
+				got := dag[blockmat.Key{I: key.I, J: key.J}]
+				for x := range want.Data {
+					if d := math.Abs(got[x] - want.Data[x]); d > 1e-9 {
+						t.Fatalf("grid %v scheme %v: block (%d,%d) off by %g", grid, scheme, key.I, key.J, d)
+					}
+				}
+			}
+		}
+	}
+	if offloadedTotal == 0 {
+		t.Fatal("no task was ever offloaded to a pool worker: byte-identity was only tested inline")
+	}
+}
+
+// DAG runs must also be reproducible against themselves across repeated
+// runs (fresh pool schedules each time) and on the asymmetric path.
+func TestDagReproducibleAcrossRunsAsymmetric(t *testing.T) {
+	withPoolWorkers(t, 4)
+	g := sparse.RandomAsym(60, 5, 2)
+	an, lu, _ := prep(t, g, etree.Options{Relax: 2, MaxWidth: 6})
+	grid := procgrid.New(2, 2)
+	base := runMode(t, an, lu, grid, core.ShiftedBinaryTree, 9, true)
+	seq := runMode(t, an, lu, grid, core.ShiftedBinaryTree, 9, false)
+	if msg := diffBits(base, seq); msg != "" {
+		t.Fatalf("asymmetric dag vs sequential: %s", msg)
+	}
+	for rep := 0; rep < 3; rep++ {
+		again := runMode(t, an, lu, grid, core.ShiftedBinaryTree, 9, true)
+		if msg := diffBits(base, again); msg != "" {
+			t.Fatalf("asymmetric dag rerun %d: %s", rep, msg)
+		}
+	}
+}
+
+// The DAG flag alone must force deterministic reductions: a DAG run with
+// Deterministic unset still matches a Deterministic sequential run.
+func TestDagImpliesDeterministic(t *testing.T) {
+	withPoolWorkers(t, 4)
+	g := sparse.Grid2D(6, 6, 4)
+	an, lu, _ := prep(t, g, etree.Options{Relax: 2, MaxWidth: 8})
+	plan := core.NewPlan(an.BP, procgrid.New(2, 2), core.ShiftedBinaryTree, 1)
+	eng := NewEngine(plan, lu)
+	eng.DAG = true // Deterministic deliberately left false
+	res, err := eng.Run(testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag := map[blockmat.Key][]float64{}
+	res.Ainv.Range(func(key blockmat.Key, b *dense.Matrix) {
+		dag[key] = append([]float64(nil), b.Data...)
+	})
+	res.Release()
+	seq := runMode(t, an, lu, procgrid.New(2, 2), core.ShiftedBinaryTree, 1, false)
+	if msg := diffBits(dag, seq); msg != "" {
+		t.Fatalf("dag without explicit Deterministic differs from deterministic sequential: %s", msg)
+	}
+}

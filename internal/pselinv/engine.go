@@ -74,6 +74,10 @@ type Engine struct {
 	Plan     *core.Plan
 	LU       *factor.LU
 	programs []*rankProgram
+	// heights holds each supernode's elimination-tree height, the
+	// critical-path dispatch priority of DAG mode (immutable, shared by
+	// Rebind like the programs).
+	heights []int
 	// Trace, when non-nil, records a per-rank execution timeline of the
 	// run (see internal/trace); set it before calling Run.
 	Trace *trace.Recorder
@@ -93,6 +97,13 @@ type Engine struct {
 	// chaos sweep compares against. Costs one scratch matrix per in-flight
 	// contribution instead of one per reduction.
 	Deterministic bool
+	// DAG schedules each rank's TRSM/GEMM-sized compute as a task DAG on
+	// the shared dense worker pool (see dag.go), overlapping it with the
+	// tree collectives that stay on the rank goroutine. DAG mode implies
+	// deterministic reductions — concurrent tasks each write a private
+	// canonical slot — so its result is byte-identical to a sequential
+	// run with Deterministic set.
+	DAG bool
 	// Transport, when non-nil, supplies the communication substrate for
 	// each Run (the default is the in-process goroutine transport). The
 	// factory receives the grid size; internal/netsim uses this to wrap
@@ -229,8 +240,13 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 			}
 		}
 	}
-	return &Engine{Plan: plan, LU: lu, programs: progs}
+	return &Engine{Plan: plan, LU: lu, programs: progs, heights: core.SnodeHeights(plan.BP.SnParent)}
 }
+
+// deterministic reports whether this run uses canonical-slot reductions:
+// requested explicitly, or forced by DAG mode, whose concurrent tasks
+// rely on private slots for both race-freedom and bit-exactness.
+func (e *Engine) deterministic() bool { return e.Deterministic || e.DAG }
 
 // Rebind returns a copy of the engine bound to a different numeric
 // factorization. The plan-derived per-rank programs — the expensive part of
@@ -238,10 +254,10 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 // receiver; they are immutable during runs, so rebound engines may run
 // concurrently with each other and with the original. This is the warm path
 // of a plan cache: same sparsity pattern, new values. Trace, Observer,
-// Chaos and Deterministic are reset on the copy so per-run instrumentation
-// never leaks between requests.
+// Chaos, Deterministic and DAG are reset on the copy so per-run
+// instrumentation and execution modes never leak between requests.
 func (e *Engine) Rebind(lu *factor.LU) *Engine {
-	return &Engine{Plan: e.Plan, LU: lu, programs: e.programs}
+	return &Engine{Plan: e.Plan, LU: lu, programs: e.programs, heights: e.heights}
 }
 
 // RunResult carries the outcome of a distributed run.
@@ -254,6 +270,10 @@ type RunResult struct {
 	World *simmpi.World
 	// Elapsed is the wall-clock duration of the parallel section.
 	Elapsed time.Duration
+	// Dag holds the per-rank task-DAG scheduler statistics of a run with
+	// Engine.DAG set, ordered by rank (nil otherwise, and nil for ranks
+	// hosted in other processes on a distributed transport).
+	Dag []DagRankStats
 }
 
 // Release returns the gathered A⁻¹ blocks to the dense kernel arena. The
@@ -331,6 +351,7 @@ func (e *Engine) RunWorld(world *simmpi.World, timeout time.Duration) (*RunResul
 		}
 	}
 	gathered := blockmat.New(e.Plan.BP.Part)
+	var dag []DagRankStats
 	for _, st := range states {
 		if st == nil { // non-local rank on a distributed transport
 			continue
@@ -338,9 +359,12 @@ func (e *Engine) RunWorld(world *simmpi.World, timeout time.Duration) (*RunResul
 		for key, m := range st.ainv {
 			gathered.Set(key.I, key.J, m)
 		}
+		if st.sched != nil {
+			dag = append(dag, st.sched.stats)
+		}
 		st.release()
 	}
-	return &RunResult{Ainv: gathered, World: world, Elapsed: elapsed}, nil
+	return &RunResult{Ainv: gathered, World: world, Elapsed: elapsed, Dag: dag}, nil
 }
 
 // redState tracks one in-flight reduction at one rank. sum is arena-backed
@@ -366,7 +390,7 @@ type redState struct {
 // accumulates into: the shared sum normally, a fresh zeroed slot matrix in
 // deterministic mode.
 func (st *rankState) slotFor(red *redState, si, rows, cols int) *dense.Matrix {
-	if !st.e.Deterministic {
+	if !st.e.deterministic() {
 		return red.sum
 	}
 	if red.slots[si] != nil {
@@ -382,7 +406,7 @@ func (st *rankState) slotFor(red *redState, si, rows, cols int) *dense.Matrix {
 // deterministic mode keeps the buffer as the slot and recycles it in
 // combineSlots, the default path recycles it immediately.
 func (st *rankState) childArrived(red *redState, tr *core.Tree, src int, rows, cols int, data []float64) {
-	if st.e.Deterministic {
+	if st.e.deterministic() {
 		ci := -1
 		for x, c := range tr.Children(st.r.ID) {
 			if c == src {
@@ -408,7 +432,7 @@ func (st *rankState) childArrived(red *redState, tr *core.Tree, src int, rows, c
 // combineSlots (deterministic mode) folds the slots left-to-right into a
 // fresh sum and recycles the slot buffers. No-op otherwise.
 func (st *rankState) combineSlots(red *redState, rows, cols int) {
-	if !st.e.Deterministic {
+	if !st.e.deterministic() {
 		return
 	}
 	red.sum = dense.GetMatrix(rows, cols)
@@ -442,10 +466,14 @@ type rankState struct {
 	taskUDone []bool
 	colRed    map[blockKey]*redState // (K, J)
 	diagTDone map[blockKey]bool      // (K, J) diagonal contributions already applied
+
+	// sched, non-nil iff Engine.DAG, detours TRSM/GEMM-sized compute
+	// through the worker-pool task scheduler (see dag.go).
+	sched *dagSched
 }
 
 func newRankState(e *Engine, r *simmpi.Rank) *rankState {
-	return &rankState{
+	st := &rankState{
 		e: e, r: r, prog: e.programs[r.ID],
 		lhat:      map[blockKey]*dense.Matrix{},
 		diagFact:  map[int]*dense.Matrix{},
@@ -460,6 +488,10 @@ func newRankState(e *Engine, r *simmpi.Rank) *rankState {
 		colRed:    map[blockKey]*redState{},
 		diagTDone: map[blockKey]bool{},
 	}
+	if e.DAG {
+		st.sched = newDagSched(st)
+	}
+	return st
 }
 
 func (st *rankState) width(k int) int { return st.e.Plan.BP.Part.Width(k) }
@@ -571,6 +603,13 @@ func (st *rankState) runPass1() {
 			panic(fmt.Sprintf("pselinv: unexpected %v message in pass 1", kind))
 		}
 	}
+	if st.sched != nil {
+		// Join the TRSM tasks before the barrier: pass 2 sends L̂/Û
+		// buffers zero-copy, so they must be final first. The TRSMs of
+		// late-arriving diagonal broadcasts still overlapped the Recv
+		// waits above.
+		st.sched.drain()
+	}
 }
 
 // doTrsms normalizes every owned L block in column k:
@@ -581,6 +620,16 @@ func (st *rankState) doTrsms(k int) {
 		lb, ok := st.e.LU.LBlock(i, k)
 		if !ok {
 			panic(fmt.Sprintf("pselinv: plan references missing L block (%d,%d)", i, k))
+		}
+		if st.sched != nil {
+			// The map insert happens here so pass 2 finds the block; the
+			// solve fills it on a worker, joined before the barrier.
+			x := dense.GetMatrixCopy(lb)
+			st.lhat[blockKey{i, k}] = x
+			st.sched.submit(k, "trsm", st.sched.depf("diag-bcast(%d)", k), func() {
+				dense.Trsm(dense.Right, dense.Lower, dense.NoTrans, dense.Unit, dk, x)
+			}, nil)
+			continue
 		}
 		end := st.e.Trace.Span(st.r.ID, "trsm", k)
 		x := dense.GetMatrixCopy(lb)
@@ -599,6 +648,14 @@ func (st *rankState) doTrsmsU(k int) {
 		if !ok {
 			panic(fmt.Sprintf("pselinv: plan references missing U block (%d,%d)", k, i))
 		}
+		if st.sched != nil {
+			x := dense.GetMatrixCopy(ub)
+			st.uhat[blockKey{k, i}] = x
+			st.sched.submit(k, "trsm-u", st.sched.depf("diag-bcast-row(%d)", k), func() {
+				dense.Trsm(dense.Left, dense.Upper, dense.NoTrans, dense.NonUnit, dk, x)
+			}, nil)
+			continue
+		}
 		end := st.e.Trace.Span(st.r.ID, "trsm-u", k)
 		x := dense.GetMatrixCopy(ub)
 		dense.Trsm(dense.Left, dense.Upper, dense.NoTrans, dense.NonUnit, dk, x)
@@ -610,6 +667,10 @@ func (st *rankState) doTrsmsU(k int) {
 // --- Pass 2: asynchronous selected inversion -------------------------------
 
 func (st *rankState) runPass2() {
+	if st.sched != nil {
+		st.runPass2Dag()
+		return
+	}
 	// Initial local actions: leaf diagonals and cross-sends of ready L̂.
 	for _, k := range st.prog.leafDiags {
 		end := st.e.Trace.Span(st.r.ID, "diag-inverse", k)
@@ -761,6 +822,18 @@ func (st *rankState) tryRunU(ti int) {
 	}
 	st.taskUDone[ti] = true
 	red := st.getColRed(t.K, t.J)
+	if st.sched != nil {
+		out := st.slotFor(red, t.Slot, st.width(t.K), st.width(t.J))
+		st.sched.submit(t.K, "gemm-u",
+			st.sched.depf("bcast-u(%d,%d) ainv(%d,%d)", t.K, t.I, t.I, t.J),
+			func() {
+				dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uh, av, 1, out)
+			}, func() {
+				red.localPending--
+				st.maybeCompleteCol(t.K, t.J, red)
+			})
+		return
+	}
 	end := st.e.Trace.Span(st.r.ID, "gemm-u", t.K)
 	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uh, av, 1,
 		st.slotFor(red, t.Slot, st.width(t.K), st.width(t.J)))
@@ -773,7 +846,7 @@ func (st *rankState) tryRunU(ti int) {
 // default mode, the empty canonical slot array in deterministic mode.
 func (st *rankState) newRedState(rows, cols, local, children int) *redState {
 	red := &redState{localPending: local, childPending: children, base: local}
-	if st.e.Deterministic {
+	if st.e.deterministic() {
 		red.slots = make([]*dense.Matrix, local+children)
 	} else {
 		red.sum = dense.GetMatrix(rows, cols)
@@ -838,6 +911,18 @@ func (st *rankState) tryDiagContribAsym(k, j int) {
 	}
 	st.diagTDone[key] = true
 	red := st.getDiagRed(k)
+	if st.sched != nil {
+		out := st.slotFor(red, st.prog.diagSlot[key], st.width(k), st.width(k))
+		st.sched.submit(k, "gemm",
+			st.sched.depf("bcast-u(%d,%d) ainv(%d,%d)", k, j, j, k),
+			func() {
+				dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uh, av, 1, out)
+			}, func() {
+				red.localPending--
+				st.maybeCompleteDiag(k, red)
+			})
+		return
+	}
 	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uh, av, 1,
 		st.slotFor(red, st.prog.diagSlot[key], st.width(k), st.width(k)))
 	red.localPending--
@@ -883,6 +968,18 @@ func (st *rankState) tryRun(ti int) {
 	}
 	st.taskDone[ti] = true
 	red := st.getRowRed(t.K, t.J)
+	if st.sched != nil {
+		out := st.slotFor(red, t.Slot, st.width(t.J), st.width(t.K))
+		st.sched.submit(t.K, "gemm",
+			st.sched.depf("bcast(%d,%d) ainv(%d,%d)", t.K, t.I, t.J, t.I),
+			func() {
+				dense.Gemm(dense.NoTrans, dense.NoTrans, 1, av, lh, 1, out)
+			}, func() {
+				red.localPending--
+				st.maybeCompleteRow(t.K, t.J, red)
+			})
+		return
+	}
 	end := st.e.Trace.Span(st.r.ID, "gemm", t.K)
 	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, av, lh, 1,
 		st.slotFor(red, t.Slot, st.width(t.J), st.width(t.K)))
@@ -957,6 +1054,18 @@ func (st *rankState) maybeCompleteRow(k, j int, red *redState) {
 		panic(fmt.Sprintf("pselinv: row-reduce root %d lacks L̂(%d,%d)", me, j, k))
 	}
 	dred := st.getDiagRed(k)
+	if st.sched != nil {
+		out := st.slotFor(dred, st.prog.diagSlot[blockKey{k, j}], st.width(k), st.width(k))
+		st.sched.submit(k, "gemm",
+			st.sched.depf("lhat(%d,%d) rowred(%d,%d)", j, k, k, j),
+			func() {
+				dense.Gemm(dense.DoTrans, dense.NoTrans, 1, lhjk, m, 1, out)
+			}, func() {
+				dred.localPending--
+				st.maybeCompleteDiag(k, dred)
+			})
+		return
+	}
 	dense.Gemm(dense.DoTrans, dense.NoTrans, 1, lhjk, m, 1,
 		st.slotFor(dred, st.prog.diagSlot[blockKey{k, j}], st.width(k), st.width(k)))
 	dred.localPending--
@@ -982,6 +1091,20 @@ func (st *rankState) maybeCompleteDiag(k int, red *redState) {
 		return
 	}
 	endColl()
+	if st.sched != nil {
+		sum := red.sum
+		red.sum = nil
+		diag := dense.GetMatrixUninit(st.width(k), st.width(k))
+		st.sched.submit(k, "diag-inverse", st.sched.depf("diag-reduce(%d)", k),
+			func() {
+				st.e.LU.DiagInverseTo(k, diag)
+				diag.AddScaled(-1, sum)
+			}, func() {
+				dense.PutMatrix(sum)
+				st.finalize(blockKey{k, k}, diag)
+			})
+		return
+	}
 	end := st.e.Trace.Span(st.r.ID, "diag-inverse", k)
 	diag := dense.GetMatrixUninit(st.width(k), st.width(k))
 	st.e.LU.DiagInverseTo(k, diag)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -137,12 +138,20 @@ func (m *metrics) phaseQuantile(phase string, q float64) float64 {
 type gauges struct {
 	PoolInUse, PoolCapacity, QueueDepth, QueueCapacity int
 	TracesRetained                                     int
+	// KernelWorkers is the dense kernel worker-pool degree — the
+	// concurrency available to task-DAG ("dag": true) requests.
+	KernelWorkers int
 }
 
 // write renders the Prometheus text exposition format (version 0.0.4).
 func (m *metrics) write(w io.Writer, cs CacheStats, g gauges) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP pselinvd_build_info Build and runtime configuration (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_build_info gauge\n")
+	fmt.Fprintf(w, "pselinvd_build_info{go_version=%q,kernel_workers=\"%d\",engine_slots=\"%d\"} 1\n",
+		runtime.Version(), g.KernelWorkers, g.PoolCapacity)
 
 	fmt.Fprintf(w, "# HELP pselinvd_uptime_seconds Time since server start.\n")
 	fmt.Fprintf(w, "# TYPE pselinvd_uptime_seconds gauge\n")

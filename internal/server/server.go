@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"pselinv"
+	"pselinv/internal/dense"
 )
 
 // Config sizes the server. The zero value is usable: every field has a
@@ -224,6 +225,13 @@ type Request struct {
 	Obs bool `json:"obs,omitempty"`
 	// TimeoutMS bounds the engine run (0 = server default).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Dag runs the inversion in intra-rank task-DAG mode: each rank's
+	// supernode updates are scheduled onto the shared dense kernel worker
+	// pool (sized by the -kernel-workers flag, reported in
+	// pselinvd_build_info) and overlapped with the tree collectives. The
+	// result is byte-identical to a sequential deterministic run; the
+	// response reports the scheduler's mean occupancy.
+	Dag bool `json:"dag,omitempty"`
 }
 
 // Response is the /v1/selinv response body.
@@ -246,6 +254,11 @@ type Response struct {
 	ObsPath   string             `json:"obs,omitempty"`
 	// VolImbalance is max/mean per-rank sent bytes (observed runs only).
 	VolImbalance float64 `json:"vol_imbalance,omitempty"`
+	// DagTasks and DagOccupancy summarize the task-DAG scheduler of a
+	// "dag": true run: total tasks across ranks and the mean per-rank
+	// busy/wall occupancy.
+	DagTasks     int     `json:"dag_tasks,omitempty"`
+	DagOccupancy float64 `json:"dag_occupancy,omitempty"`
 }
 
 type httpError struct {
@@ -461,6 +474,7 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: "factorization: " + ferr.Error()}
 	}
 	sys.SetTimeout(timeout)
+	sys.SetDAG(req.Dag)
 	facDur := time.Since(tFac)
 
 	tInv := time.Now()
@@ -505,6 +519,14 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 	}
 	if req.Diagonal {
 		resp.Diagonal = res.Diagonal()
+	}
+	if ds := res.DagStats(); len(ds) > 0 {
+		occ := 0.0
+		for _, st := range ds {
+			resp.DagTasks += st.Tasks
+			occ += st.Occupancy()
+		}
+		resp.DagOccupancy = occ / float64(len(ds))
 	}
 	res.Release()
 	if tr != nil {
@@ -559,6 +581,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		QueueDepth:     int(s.waiting.Load()),
 		QueueCapacity:  s.cfg.MaxQueue,
 		TracesRetained: s.traces.len(),
+		KernelWorkers:  dense.Workers(),
 	})
 }
 

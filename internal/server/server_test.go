@@ -8,12 +8,14 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"pselinv"
+	"pselinv/internal/dense"
 )
 
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -319,9 +321,62 @@ func TestMetricsExposition(t *testing.T) {
 		"pselinvd_request_seconds_count{phase=\"invert\"} 2",
 		"pselinvd_pool_capacity",
 		"pselinvd_queue_capacity",
+		fmt.Sprintf("pselinvd_build_info{go_version=%q,kernel_workers=\"%d\",engine_slots=\"2\"} 1",
+			runtime.Version(), dense.Workers()),
 	} {
 		if !strings.Contains(string(text), want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServeDagRequest pins the "dag": true request path: the response must
+// match a sequential run's diagonal exactly (DAG mode is byte-identical)
+// and carry the scheduler summary. The kernel pool degree is raised so
+// tasks genuinely offload even on a single-core runner.
+func TestServeDagRequest(t *testing.T) {
+	dense.SetWorkers(4)
+	defer dense.SetWorkers(0)
+	_, ts := testServer(t, Config{})
+	base := &Request{
+		Matrix:   MatrixSpec{Kind: "grid2d", NX: 10, NY: 10, Seed: 7},
+		Procs:    4,
+		Diagonal: true,
+	}
+	hr, seq := postJSON(t, ts.URL, base)
+	if seq == nil {
+		t.Fatalf("status %d", hr.StatusCode)
+	}
+	if seq.DagTasks != 0 || seq.DagOccupancy != 0 {
+		t.Fatalf("sequential response carries dag fields: %+v", seq)
+	}
+	dagReq := *base
+	dagReq.Dag = true
+	hr, dag := postJSON(t, ts.URL, &dagReq)
+	if dag == nil {
+		t.Fatalf("status %d", hr.StatusCode)
+	}
+	if dag.DagTasks == 0 {
+		t.Fatal("dag response reports zero tasks")
+	}
+	if dag.DagOccupancy < 0 {
+		t.Fatalf("negative occupancy %g", dag.DagOccupancy)
+	}
+	// The sequential baseline reduces in arrival order, so it agrees at
+	// summation-order tolerance; DAG reruns must agree with each other bit
+	// for bit (canonical-slot reductions under any pool schedule).
+	for i := range seq.Diagonal {
+		if math.Abs(dag.Diagonal[i]-seq.Diagonal[i]) > 1e-9 {
+			t.Fatalf("diagonal[%d]: dag %g vs sequential %g", i, dag.Diagonal[i], seq.Diagonal[i])
+		}
+	}
+	_, dag2 := postJSON(t, ts.URL, &dagReq)
+	if dag2 == nil {
+		t.Fatal("dag rerun failed")
+	}
+	for i := range dag.Diagonal {
+		if math.Float64bits(dag2.Diagonal[i]) != math.Float64bits(dag.Diagonal[i]) {
+			t.Fatalf("diagonal[%d] not bit-identical across dag reruns", i)
 		}
 	}
 }

@@ -26,6 +26,11 @@ type Event struct {
 	// "forwarder", "leaf") for collective spans, so one Chrome trace merges
 	// both and still lets Perfetto queries split them apart.
 	Role  string
+	// Deps annotates a task-DAG span with the operands the task waited on
+	// (e.g. "bcast(5,2) ainv(7,2)"). It is "" for rank-loop spans; task
+	// spans carry it so the Chrome trace shows each task's dependency
+	// edges and Perfetto can split scheduled compute from loop compute.
+	Deps  string
 	Start time.Duration // since recorder creation
 	End   time.Duration
 }
@@ -70,6 +75,24 @@ func (r *Recorder) SpanRole(rank int, kind string, supernode int, role string) f
 	}
 }
 
+// SpanTask is Span for a DAG-scheduled task: the event carries the task's
+// dependency annotation, so the merged Chrome trace shows scheduled task
+// spans (category "task") interleaved with the rank loop's compute and
+// collective spans, each labelled with the operands it waited on. Safe to
+// call from pool worker goroutines.
+func (r *Recorder) SpanTask(rank int, kind string, supernode int, deps string) func() {
+	if r == nil {
+		return func() {}
+	}
+	s := time.Since(r.start)
+	return func() {
+		e := time.Since(r.start)
+		r.mu.Lock()
+		r.events = append(r.events, Event{Rank: rank, Kind: kind, Supernode: supernode, Deps: deps, Start: s, End: e})
+		r.mu.Unlock()
+	}
+}
+
 // Events returns a copy of the recorded events in a total deterministic
 // order: by start time, with ties broken on every remaining field. Equal
 // timestamps are common under coarse clocks and the race scheduler, and an
@@ -98,7 +121,10 @@ func (r *Recorder) Events() []Event {
 		if a.Supernode != b.Supernode {
 			return a.Supernode < b.Supernode
 		}
-		return a.Role < b.Role
+		if a.Role != b.Role {
+			return a.Role < b.Role
+		}
+		return a.Deps < b.Deps
 	})
 	return out
 }
@@ -179,6 +205,10 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		if e.Role != "" {
 			args["role"] = e.Role
 			cat = "collective"
+		}
+		if e.Deps != "" {
+			args["deps"] = e.Deps
+			cat = "task"
 		}
 		out = append(out, chromeEvent{
 			Name: fmt.Sprintf("%s K=%d", e.Kind, e.Supernode),

@@ -1,0 +1,57 @@
+package zdense
+
+import (
+	"math/rand"
+	"testing"
+
+	"pselinv/internal/dense"
+)
+
+// TestGemm4MParity pins the 4M split against the direct complex loop on
+// shapes straddling the threshold, with general alpha/beta. The two paths
+// sum in different orders, so parity is tolerance-level, scaled to the
+// inner-product length.
+func TestGemm4MParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alpha, beta := complex(0.75, -1.25), complex(-0.5, 2)
+	for _, dims := range [][3]int{
+		{8, 8, 8},    // below threshold: direct loop
+		{32, 32, 32}, // exactly at threshold: split path
+		{40, 33, 37}, // ragged, above threshold
+		{64, 64, 64},
+		{128, 16, 16}, // above threshold on volume, skinny
+	} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+		c := randMat(rng, m, n)
+		want := c.Clone()
+		want.Scale(beta)
+		prod := NewMatrix(m, n)
+		gemmNaive(1, a, b, prod)
+		want.AddScaled(alpha, prod)
+		Gemm(alpha, a, b, beta, c)
+		if d := c.MaxAbsDiff(want); d > 1e-12*float64(k) {
+			t.Fatalf("%dx%dx%d: 4M split differs from naive by %g", m, k, n, d)
+		}
+	}
+}
+
+// TestGemm4MParityStriped re-runs the parity check with the real kernels'
+// worker pool raised, so the split path exercises the striped parallel
+// GEMM it exists to reach.
+func TestGemm4MParityStriped(t *testing.T) {
+	dense.SetWorkers(4)
+	defer dense.SetWorkers(0)
+	rng := rand.New(rand.NewSource(8))
+	m, k, n := 96, 80, 88
+	a := randMat(rng, m, k)
+	b := randMat(rng, k, n)
+	c := NewMatrix(m, n)
+	Gemm(1, a, b, 0, c)
+	want := NewMatrix(m, n)
+	gemmNaive(1, a, b, want)
+	if d := c.MaxAbsDiff(want); d > 1e-12*float64(k) {
+		t.Fatalf("striped 4M split differs from naive by %g", d)
+	}
+}

@@ -100,7 +100,10 @@ func (a *Matrix) MaxAbs() float64 {
 }
 
 // Gemm computes c = alpha*a*b + beta*c (no transposes; the selected
-// inversion passes operate on explicitly stored blocks).
+// inversion passes operate on explicitly stored blocks). Products at or
+// above gemm4MThreshold are routed through the blocked real kernels of
+// internal/dense via the 4M split (see gemm4M); smaller ones run the
+// direct complex loop, whose per-entry overhead is lower.
 func Gemm(alpha complex128, a, b *Matrix, beta complex128, c *Matrix) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("zdense: Gemm shape mismatch %dx%d %dx%d %dx%d",
@@ -116,6 +119,16 @@ func Gemm(alpha complex128, a, b *Matrix, beta complex128, c *Matrix) {
 	if alpha == 0 {
 		return
 	}
+	if int64(a.Rows)*int64(a.Cols)*int64(b.Cols) >= gemm4MThreshold {
+		gemm4M(alpha, a, b, c)
+		return
+	}
+	gemmNaive(alpha, a, b, c)
+}
+
+// gemmNaive accumulates c += alpha*a*b with the direct complex
+// triple loop (beta already applied by Gemm).
+func gemmNaive(alpha complex128, a, b, c *Matrix) {
 	for j := 0; j < b.Cols; j++ {
 		cj := c.Data[j*c.Rows : (j+1)*c.Rows]
 		for p := 0; p < a.Cols; p++ {

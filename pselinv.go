@@ -203,6 +203,12 @@ type Options struct {
 	// (canonical-order) reductions are forced so the result stays
 	// bit-identical to an unperturbed run.
 	ChaosSeed uint64
+	// DAG enables intra-rank task-DAG execution on parallel runs: each
+	// rank's TRSM/GEMM-sized updates are scheduled onto the shared dense
+	// kernel worker pool and overlapped with the tree collectives, which
+	// stay on the rank goroutine. Deterministic reductions are implied, so
+	// the result is byte-identical to a sequential deterministic run.
+	DAG bool
 }
 
 func (o Options) withDefaults() Options {
@@ -369,6 +375,10 @@ func (s *System) SetTimeout(d time.Duration) {
 // chaos adversary on this System's subsequent parallel runs.
 func (s *System) SetChaosSeed(seed uint64) { s.opt.ChaosSeed = seed }
 
+// SetDAG enables or disables intra-rank task-DAG execution (see
+// Options.DAG) on this System's subsequent parallel runs.
+func (s *System) SetDAG(on bool) { s.opt.DAG = on }
+
 // Symmetric reports whether the system uses the symmetric-value fast path.
 func (s *System) Symmetric() bool { return s.symmetric }
 
@@ -436,9 +446,18 @@ type ParallelResult struct {
 	*Inverse
 	world *simmpi.World
 	grid  *procgrid.Grid
+	dag   []pselinv.DagRankStats
 	// Elapsed is the wall-clock time of the parallel section.
 	Elapsed time.Duration
 }
+
+// DagRankStats reports one rank's task-DAG scheduler counters for a run
+// with DAG execution enabled (see Options.DAG).
+type DagRankStats = pselinv.DagRankStats
+
+// DagStats returns the per-rank task-DAG scheduler counters of the run,
+// or nil when the run executed in sequential (non-DAG) mode.
+func (r *ParallelResult) DagStats() []DagRankStats { return r.dag }
 
 // Procs returns the number of simulated ranks.
 func (r *ParallelResult) Procs() int { return r.world.P }
@@ -590,7 +609,31 @@ func (s *System) ParallelSelInvObserved(procs int, scheme Scheme, seed uint64) (
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return res, &TraceReport{rec: rec}, &ObsReport{rep: col.Report(scheme.String())}, nil
+	rep := col.Report(scheme.String())
+	rep.SetDagStats(obsDagStats(res.dag))
+	return res, &TraceReport{rec: rec}, &ObsReport{rep: rep}, nil
+}
+
+// obsDagStats converts the engine's per-rank scheduler counters into the
+// observability report's serializable form.
+func obsDagStats(stats []pselinv.DagRankStats) []*obs.DagRankStats {
+	if len(stats) == 0 {
+		return nil
+	}
+	out := make([]*obs.DagRankStats, len(stats))
+	for i, d := range stats {
+		out[i] = &obs.DagRankStats{
+			Rank:        d.Rank,
+			Tasks:       d.Tasks,
+			Offloaded:   d.Offloaded,
+			MaxWidth:    d.MaxWidth,
+			MaxInflight: d.MaxInflight,
+			BusyNS:      d.BusyNS,
+			WallNS:      d.WallNS,
+			Occupancy:   d.Occupancy(),
+		}
+	}
+	return out
 }
 
 func (s *System) parallelRun(pr, pc int, scheme Scheme, seed uint64, rec *trace.Recorder, col *obs.Collector) (*ParallelResult, *trace.Recorder, error) {
@@ -607,6 +650,7 @@ func (s *System) parallelRun(pr, pc int, scheme Scheme, seed uint64, rec *trace.
 		eng.Chaos = &chaos.Config{Seed: s.opt.ChaosSeed}
 		eng.Deterministic = true
 	}
+	eng.DAG = s.opt.DAG
 	res, err := eng.Run(s.opt.Timeout)
 	if err != nil {
 		return nil, nil, err
@@ -615,6 +659,7 @@ func (s *System) parallelRun(pr, pc int, scheme Scheme, seed uint64, rec *trace.
 		Inverse: &Inverse{an: s.an, ainv: res.Ainv},
 		world:   res.World,
 		grid:    grid,
+		dag:     res.Dag,
 		Elapsed: res.Elapsed,
 	}, rec, nil
 }
