@@ -42,6 +42,8 @@ fuzz-smoke:
 	$(GO) test ./internal/core/ -fuzz FuzzBinaryTree -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -fuzz FuzzShiftedTree -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -fuzz FuzzOpKeyRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -fuzz FuzzTopoShiftedTree -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -fuzz FuzzBineTree -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tcptransport/ -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
 
 # Multi-process smoke: the cross-backend equivalence tests (launcher
@@ -72,7 +74,7 @@ bench:
 # (the bench-baseline job in ci.yml can do this via workflow_dispatch),
 # commit .github/bench-baseline.txt, and explain the change in the commit
 # message.
-BENCH_GATE_PATTERN = ^BenchmarkGemm$$/^(256x256x256|512x512x512)$$|^BenchmarkEndToEndParallel16(Obs)?$$|^BenchmarkEndToEndParallel$$|^BenchmarkEndToEndDag$$
+BENCH_GATE_PATTERN = ^BenchmarkGemm$$/^(256x256x256|512x512x512)$$|^BenchmarkEndToEndParallel16(Obs|Topo)?$$|^BenchmarkEndToEndParallel$$|^BenchmarkEndToEndDag$$
 BENCH_COUNT ?= 5
 BENCH_TOLERANCE ?= 0.25
 BENCH_OUT ?= /tmp/bench-new.txt

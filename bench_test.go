@@ -228,6 +228,27 @@ func BenchmarkEndToEndParallel16(b *testing.B) {
 	}
 }
 
+// BenchmarkEndToEndParallel16Topo is BenchmarkEndToEndParallel16 on the
+// topology-aware shifted tree with an explicit 8-ranks-per-node packing
+// (a 2-node hierarchy). Comparing the pair bounds the cost of the
+// topology-aware tree construction; the bench gate tracks both.
+func BenchmarkEndToEndParallel16Topo(b *testing.B) {
+	m := Grid2D(16, 16, 1)
+	sys, err := NewSystem(m, Options{CoresPerNode: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.ParallelSelInv(16, TopoShiftedTree, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+}
+
 // benchEndToEndP4 runs repeated parallel inversions of a fixed problem at
 // P=4 in sequential or task-DAG mode. The pair quantifies the tentpole:
 // the DAG variant overlaps each rank's supernode updates with the tree

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"pselinv/internal/chaos"
@@ -52,12 +53,32 @@ var (
 	flagChaos  = flag.Uint64("chaos-seed", 0, "non-zero: run every engine measurement under the seeded chaos adversary (adversarial message reordering; volumes unchanged, numerics forced deterministic)")
 	flagObs    = flag.Bool("obs", false, "re-run the main measurement with the communication substrate instrumented: JSON reports, merged Chrome traces, and measured forwarding chains per scheme")
 	flagObsOut = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
+	flagSchemes = flag.String("schemes", "", "comma-separated tree schemes to measure (empty = the paper's flat,binary,shifted; valid: "+strings.Join(core.SchemeSlugs(), "|")+")")
+	flagCPN     = flag.Int("cores-per-node", 0, "ranks per node consumed by the topology-aware schemes (0 = Edison default 24)")
 
 	flagTransport = flag.String("transport", "inproc", "communication substrate: inproc (goroutine mailboxes, one process) or tcp (one OS process per rank on localhost; byte counters are transport-invariant, so volumes match inproc exactly)")
 	flagMailCap   = flag.Int("mailbox-cap", 0, "non-zero: bound every rank's mailbox to this many queued messages (bounded-buffer backpressure); per-rank blocked-send counts are reported. Caps far below a rank's peak fan-in can deadlock the engine — the run then times out with a snapshot of the send-blocked ranks")
 	flagLatScale  = flag.Float64("latency-scale", 0, "non-zero: impose the netsim link-latency geometry on the live in-process run, scaled by this factor (inproc only)")
 	flagTimeout   = flag.Duration("timeout", 20*time.Minute, "per-measurement engine deadline; on expiry the error includes a snapshot of where every rank was blocked")
 )
+
+// schemeList resolves -schemes (empty keeps the paper's three-scheme
+// comparison); an unknown slug is a hard error naming the valid set.
+func schemeList() []core.Scheme {
+	if *flagSchemes == "" {
+		return core.Schemes()
+	}
+	var out []core.Scheme
+	for _, name := range strings.Split(*flagSchemes, ",") {
+		s, err := core.ParseScheme(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "commvol: %v\n", err)
+			os.Exit(2)
+		}
+		out = append(out, s)
+	}
+	return out
+}
 
 // chaosCfg returns the adversary configuration selected by -chaos-seed
 // (nil when the flag is unset).
@@ -147,14 +168,15 @@ func main() {
 	}
 	if needMain {
 		var err error
-		mainMs, err = measure(audikw, pipe, grid, core.Schemes())
+		mainMs, err = measure(audikw, pipe, grid, schemeList())
 		check(err)
 		printBlocked(mainMs)
 	}
 
 	if *flagObs {
 		fmt.Printf("== Observability: instrumented runs on %v (reports + merged traces in %s) ==\n", grid, *flagObsOut)
-		ms, err := exp.MeasureObs(pipe, grid, core.Schemes(), uint64(*flagSeed), 20*time.Minute)
+		ms, err := exp.MeasureObsOpts(pipe, grid, schemeList(), uint64(*flagSeed), 20*time.Minute,
+			exp.RunOpts{CoresPerNode: *flagCPN})
 		check(err)
 		for _, m := range ms {
 			fmt.Printf("-- %v --\n%s\n", m.Scheme, m.Report.Summary())
@@ -259,7 +281,7 @@ func main() {
 			p, err := exp.Prepare(g, exp.DefaultRelax, exp.DefaultMaxWidth)
 			check(err)
 			fmt.Printf("%s\n  n=%d nnz(A)=%d nnz(L+U)=%d\n", g.Name, g.A.N, g.A.NNZ(), 2*p.An.BP.NNZScalars())
-			ms, err := measure(g, p, grid, core.Schemes())
+			ms, err := measure(g, p, grid, schemeList())
 			check(err)
 			printBlocked(ms)
 			fmt.Printf("  %-22s %10s %10s %10s %10s\n", "Communication tree", "Min", "Max", "Median", "Std.dev")
@@ -280,13 +302,14 @@ func main() {
 func measure(gen *sparse.Generated, pipe *exp.Pipeline, grid *procgrid.Grid, schemes []core.Scheme) ([]*exp.VolumeMeasurement, error) {
 	if *flagTransport == "tcp" {
 		spec := distrun.Spec{
-			Relax:      exp.DefaultRelax,
-			MaxWidth:   exp.DefaultMaxWidth,
-			PR:         grid.Pr,
-			PC:         grid.Pc,
-			Seed:       uint64(*flagSeed),
-			MailboxCap: *flagMailCap,
-			TimeoutSec: flagTimeout.Seconds(),
+			Relax:        exp.DefaultRelax,
+			MaxWidth:     exp.DefaultMaxWidth,
+			PR:           grid.Pr,
+			PC:           grid.Pc,
+			Seed:         uint64(*flagSeed),
+			CoresPerNode: *flagCPN,
+			MailboxCap:   *flagMailCap,
+			TimeoutSec:   flagTimeout.Seconds(),
 		}
 		if *flagChaos != 0 {
 			spec.ChaosEnabled, spec.ChaosSeed, spec.Deterministic = true, *flagChaos, true
@@ -294,7 +317,8 @@ func measure(gen *sparse.Generated, pipe *exp.Pipeline, grid *procgrid.Grid, sch
 		return distrun.MeasureVolumes(gen, spec, schemes, nil)
 	}
 	return exp.MeasureVolumesOpts(pipe, grid, schemes, uint64(*flagSeed), *flagTimeout,
-		exp.RunOpts{Chaos: chaosCfg(), MailboxCap: *flagMailCap, LatencyScale: *flagLatScale})
+		exp.RunOpts{Chaos: chaosCfg(), MailboxCap: *flagMailCap, LatencyScale: *flagLatScale,
+			CoresPerNode: *flagCPN})
 }
 
 // printBlocked reports the bounded-mailbox backpressure counters when

@@ -32,7 +32,8 @@ var (
 	flagN      = flag.Int("n", 1000, "dimension (banded, random)")
 	flagSeed   = flag.Int64("seed", 1, "generator seed")
 	flagProcs  = flag.Int("procs", 16, "simulated MPI ranks")
-	flagScheme = flag.String("scheme", "shifted", "tree scheme: flat|binary|shifted|randperm|hybrid")
+	flagScheme = flag.String("scheme", "shifted", "tree scheme: "+strings.Join(pselinv.SchemeSlugs(), "|"))
+	flagCPN    = flag.Int("cores-per-node", 0, "ranks per node for the topology-aware schemes (0 = Edison default 24)")
 	flagOrder  = flag.String("order", "nd", "ordering: natural|rcm|nd|mmd")
 	flagVerify = flag.Bool("verify", false, "compare the parallel inverse against the sequential one")
 	flagSim    = flag.Bool("sim", false, "also run the network timing simulator at this processor count")
@@ -43,21 +44,12 @@ var (
 )
 
 func scheme(name string) pselinv.Scheme {
-	switch strings.ToLower(name) {
-	case "flat":
-		return pselinv.FlatTree
-	case "binary":
-		return pselinv.BinaryTree
-	case "shifted":
-		return pselinv.ShiftedBinaryTree
-	case "randperm":
-		return pselinv.RandomPermTree
-	case "hybrid":
-		return pselinv.Hybrid
+	s, err := pselinv.ParseScheme(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pselinv: %v\n", err)
+		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "pselinv: unknown scheme %q\n", name)
-	os.Exit(2)
-	return 0
+	return s
 }
 
 func orderMethod(name string) pselinv.OrderingMethod {
@@ -117,7 +109,9 @@ func main() {
 	}
 
 	t0 := time.Now()
-	sys, err := pselinv.NewSystem(m, pselinv.Options{Ordering: orderMethod(*flagOrder), DAG: *flagDag})
+	sys, err := pselinv.NewSystem(m, pselinv.Options{
+		Ordering: orderMethod(*flagOrder), DAG: *flagDag, CoresPerNode: *flagCPN,
+	})
 	check(err)
 	path := "symmetric"
 	if !sys.Symmetric() {
@@ -198,7 +192,9 @@ func main() {
 	}
 
 	if *flagSim {
-		tr := sys.SimulateTiming(*flagProcs, sch, pselinv.SimParams{Seed: uint64(*flagSeed)})
+		tr := sys.SimulateTiming(*flagProcs, sch, pselinv.SimParams{
+			Seed: uint64(*flagSeed), CoresPerNode: *flagCPN,
+		})
 		fmt.Printf("simulated timing at P=%d: %.4fs (compute %.4fs, comm %.4fs, %d msgs, %.1f MB)\n",
 			*flagProcs, tr.Seconds, tr.ComputeSeconds, tr.CommSeconds,
 			tr.Messages, float64(tr.Bytes)/1e6)

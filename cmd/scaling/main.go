@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"pselinv/internal/core"
@@ -49,7 +50,29 @@ var (
 	flagDag    = flag.Bool("dag", false, "run the live-engine sections (-obs, -chaos-seed preflight) in intra-rank task-DAG mode: supernode updates scheduled on the kernel worker pool, overlapped with the tree collectives")
 
 	flagTransport = flag.String("transport", "inproc", "communication substrate for the live preflight: inproc, or tcp to validate the real engine across 4 OS processes on localhost (byte-identical volumes to inproc) before the simulated sweeps")
+
+	flagTrees    = flag.Bool("trees", false, "run the tree-scheme comparison on the hierarchical topology (cross-node traffic + measured critical path per scheme) and write the artifact")
+	flagTreesOut = flag.String("trees-out", "BENCH_trees.json", "artifact path for -trees")
+	flagSchemes  = flag.String("schemes", "", "comma-separated tree schemes for -trees and -obs (empty = shifted,toposhifted,bine for -trees, the paper's three for -obs; valid: "+strings.Join(core.SchemeSlugs(), "|")+")")
 )
+
+// parseSchemes resolves -schemes, or returns def when the flag is empty;
+// an unknown slug is a hard error naming the valid set.
+func parseSchemes(def []core.Scheme) []core.Scheme {
+	if *flagSchemes == "" {
+		return def
+	}
+	var out []core.Scheme
+	for _, name := range strings.Split(*flagSchemes, ",") {
+		s, err := core.ParseScheme(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			os.Exit(2)
+		}
+		out = append(out, s)
+	}
+	return out
+}
 
 func main() {
 	distrun.MaybeWorker() // re-exec hook: with -transport=tcp this binary is its own worker
@@ -88,11 +111,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *flagTrees {
+		if err := runTrees(*flagTreesOut); err != nil {
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			os.Exit(1)
+		}
+	}
 	if *flagAll {
 		*flagFig8, *flagFig9, *flagHybrid, *flagAsym = true, true, true, true
 	}
 	if !(*flagFig8 || *flagFig9 || *flagHybrid || *flagAsym) {
-		if *flagObs || *flagTransport == "tcp" {
+		if *flagObs || *flagTrees || *flagTransport == "tcp" {
 			return
 		}
 		flag.Usage()
@@ -267,7 +296,7 @@ func runObs(dir string, seed uint64, dag bool) error {
 		return err
 	}
 	fmt.Printf("== Observability: measured forwarding chains and traffic matrices on %v ==\n", grid)
-	ms, err := exp.MeasureObsOpts(p, grid, core.Schemes(), seed, 5*time.Minute, exp.RunOpts{DAG: dag})
+	ms, err := exp.MeasureObsOpts(p, grid, parseSchemes(core.Schemes()), seed, 5*time.Minute, exp.RunOpts{DAG: dag})
 	if err != nil {
 		return err
 	}
@@ -283,6 +312,48 @@ func runObs(dir string, seed uint64, dag bool) error {
 		fmt.Println("  " + p)
 	}
 	fmt.Println()
+	return nil
+}
+
+// runTrees runs the tree-scheme comparison on the hierarchical topology
+// (24 ranks per node, as Edison): per (P, scheme) it records the plan's
+// cross-node collective traffic and the measured critical path of a
+// simulated run, then writes the BENCH_trees.json artifact. The expected
+// headline: the topology-aware schemes (toposhifted, bine) move strictly
+// fewer messages across nodes than the topology-blind shifted tree.
+func runTrees(out string) error {
+	g, relax, mw := exp.ScalingPNFStandin(2)
+	pipe := exp.PrepareSymbolic(g, relax, mw)
+	params := exp.ScaledEdisonParams()
+	ps := []int{48, 96, 192, 384}
+	if *flagQuick {
+		ps = []int{48, 96}
+	}
+	nSeeds := *flagSeeds
+	if nSeeds < 1 {
+		nSeeds = 1
+	}
+	seeds := make([]uint64, nSeeds)
+	for i := range seeds {
+		seeds[i] = uint64(100 + i)
+	}
+	schemes := parseSchemes([]core.Scheme{
+		core.ShiftedBinaryTree, core.TopoShiftedTree, core.BineTree,
+	})
+	fmt.Printf("== Tree schemes on the hierarchical topology: %s, %d ranks/node ==\n",
+		g.Name, params.CoresPerNode)
+	sweep := exp.MeasureTreeSweep(pipe, ps, schemes, seeds, params)
+	fmt.Printf("%7s %6s %-18s %12s %11s %11s %13s %10s  (mean of %d seeds)\n",
+		"P", "nodes", "scheme", "makespan(s)", "xnode-edges", "xnode-MB", "crit-msgs", "crit-xnode", len(seeds))
+	for _, pt := range sweep.Points {
+		fmt.Printf("%7d %6d %-18s %8.4f±%.4f %11d %11.2f %13d %10d\n",
+			pt.P, pt.Nodes, pt.Slug, pt.MakespanMean, pt.MakespanStd,
+			pt.CrossEdges, float64(pt.CrossBytes)/1e6, pt.CritMsgs, pt.CritCrossMsgs)
+	}
+	if err := exp.WriteTreeSweep(out, sweep); err != nil {
+		return err
+	}
+	fmt.Printf("artifact: %s\n\n", out)
 	return nil
 }
 

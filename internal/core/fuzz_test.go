@@ -78,6 +78,89 @@ func FuzzBinaryTree(f *testing.F) {
 	})
 }
 
+// topoDepthBound is the hierarchical analogue of depthBound: inter-node
+// binary tree over the occupied node groups plus intra-node binary tree
+// within the largest group, with two joining edges. Duplicate ranks only
+// inflate the bound, which is safe.
+func topoDepthBound(ranks []int, topo Topology) int {
+	groups := map[int]int{}
+	maxGroup := 0
+	for _, r := range ranks {
+		n := topo.Node(r)
+		groups[n]++
+		if groups[n] > maxGroup {
+			maxGroup = groups[n]
+		}
+	}
+	return depthBound(len(groups)) + depthBound(maxGroup) + 2
+}
+
+// checkTopoTreeInvariants asserts the properties of the topology-aware
+// constructions: Validate() plus the locality invariant (no tree edge
+// crosses nodes unless its child endpoint is that node's single group
+// leader), out-degree at most 4 (two inter-node plus two intra-node
+// children), and hierarchical-logarithmic depth.
+func checkTopoTreeInvariants(t *testing.T, tr *Tree, topo Topology, ranks []int) {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	if err := tr.ValidateTopology(topo); err != nil {
+		t.Fatalf("topology invariant violated (cpn=%d): %v", topo.CoresPerNode, err)
+	}
+	for _, r := range tr.Participants() {
+		if d := len(tr.Children(r)); d > 4 {
+			t.Fatalf("rank %d has out-degree %d (> 4); root=%d parts=%v",
+				r, d, tr.Root, tr.Participants())
+		}
+	}
+	if d, bound := tr.Depth(), topoDepthBound(ranks, topo); d > bound {
+		t.Fatalf("depth %d exceeds hierarchical bound %d (cpn=%d, p=%d)",
+			d, bound, topo.CoresPerNode, tr.Size())
+	}
+}
+
+func FuzzTopoShiftedTree(f *testing.F) {
+	f.Add(uint64(1), uint64(1), byte(0), byte(3), []byte{1, 2, 3})
+	f.Add(uint64(42), uint64(7), byte(9), byte(0), []byte{3, 1, 4, 1, 5, 9, 2, 6})
+	f.Add(uint64(0), uint64(0), byte(128), byte(23), make([]byte, 150))
+	f.Fuzz(func(t *testing.T, seed, opKey uint64, rootSel, cpn byte, data []byte) {
+		ranks := fuzzRanks(data)
+		root := ranks[int(rootSel)%len(ranks)]
+		topo := Topology{CoresPerNode: 1 + int(cpn%24)}
+		tr := NewTreeTopo(TopoShiftedTree, root, ranks, seed, opKey, DefaultHybridThreshold, topo)
+		if tr.Size() != uniqueCount(ranks) {
+			t.Fatalf("size %d, want %d distinct participants", tr.Size(), uniqueCount(ranks))
+		}
+		checkTopoTreeInvariants(t, tr, topo, ranks)
+		// Every rank derives the tree independently from (seed, opKey): a
+		// reconstruction must match edge for edge.
+		indep := NewTreeTopo(TopoShiftedTree, root, ranks, seed, opKey, DefaultHybridThreshold, topo)
+		for _, r := range tr.Participants() {
+			if indep.Parent(r) != tr.Parent(r) {
+				t.Fatalf("rank %d: parent %d vs %d across reconstructions",
+					r, indep.Parent(r), tr.Parent(r))
+			}
+		}
+	})
+}
+
+func FuzzBineTree(f *testing.F) {
+	f.Add(uint64(1), uint64(1), byte(0), byte(3), []byte{1, 2, 3})
+	f.Add(uint64(7), uint64(99), byte(3), byte(7), []byte{0, 0, 0, 0, 5})
+	f.Add(uint64(0), uint64(0), byte(255), byte(23), make([]byte, 200))
+	f.Fuzz(func(t *testing.T, seed, opKey uint64, rootSel, cpn byte, data []byte) {
+		ranks := fuzzRanks(data)
+		root := ranks[int(rootSel)%len(ranks)]
+		topo := Topology{CoresPerNode: 1 + int(cpn%24)}
+		tr := NewTreeTopo(BineTree, root, ranks, seed, opKey, DefaultHybridThreshold, topo)
+		if tr.Size() != uniqueCount(ranks) {
+			t.Fatalf("size %d, want %d distinct participants", tr.Size(), uniqueCount(ranks))
+		}
+		checkTopoTreeInvariants(t, tr, topo, ranks)
+	})
+}
+
 func FuzzShiftedTree(f *testing.F) {
 	f.Add(uint64(1), uint64(1), byte(0), []byte{1, 2, 3})
 	f.Add(uint64(42), uint64(7), byte(9), []byte{3, 1, 4, 1, 5, 9, 2, 6})

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTopologyNode(t *testing.T) {
+	topo := Topology{CoresPerNode: 4}
+	for rank, want := range map[int]int{0: 0, 3: 0, 4: 1, 7: 1, 23: 5} {
+		if got := topo.Node(rank); got != want {
+			t.Errorf("Node(%d) = %d, want %d", rank, got, want)
+		}
+	}
+	flat := Topology{} // zero value: one giant node
+	if flat.Node(999) != 0 {
+		t.Fatal("zero-value topology must map every rank to node 0")
+	}
+	if n := topo.NumNodes([]int{0, 1, 4, 5, 23}); n != 3 {
+		t.Fatalf("NumNodes = %d, want 3", n)
+	}
+}
+
+// TestSchemeTable covers every scheme constant: String/Slug round-trips
+// through ParseScheme, and NewTreeTopo has a switch arm building a valid
+// tree. A sixth/seventh enum value that misses any of these fails here.
+func TestSchemeTable(t *testing.T) {
+	want := map[Scheme]struct{ name, slug string }{
+		FlatTree:          {"Flat-Tree", "flat"},
+		BinaryTree:        {"Binary-Tree", "binary"},
+		ShiftedBinaryTree: {"Shifted Binary-Tree", "shifted"},
+		RandomPermTree:    {"Random-Perm-Tree", "randperm"},
+		Hybrid:            {"Hybrid", "hybrid"},
+		TopoShiftedTree:   {"Topo-Shifted-Tree", "toposhifted"},
+		BineTree:          {"Bine-Tree", "bine"},
+	}
+	all := AllSchemes()
+	if len(all) != len(want) {
+		t.Fatalf("AllSchemes lists %d schemes, table has %d — extend both together", len(all), len(want))
+	}
+	topo := Topology{CoresPerNode: 4}
+	for _, s := range all {
+		w, ok := want[s]
+		if !ok {
+			t.Fatalf("scheme %d missing from the table", int(s))
+		}
+		if s.String() != w.name {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w.name)
+		}
+		if s.Slug() != w.slug {
+			t.Errorf("%d.Slug() = %q, want %q", int(s), s.Slug(), w.slug)
+		}
+		got, err := ParseScheme(w.slug)
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v; want %v", w.slug, got, err, s)
+		}
+		if got, err := ParseScheme(strings.ToUpper(" " + w.slug + " ")); err != nil || got != s {
+			t.Errorf("ParseScheme is not case/space insensitive for %q", w.slug)
+		}
+		tr := NewTreeTopo(s, 0, ranksUpTo(20), 1, 2, DefaultHybridThreshold, topo)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%v: NewTreeTopo built an invalid tree: %v", s, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Fatal("ParseScheme must reject unknown names")
+	} else {
+		for _, slug := range SchemeSlugs() {
+			if !strings.Contains(err.Error(), slug) {
+				t.Errorf("ParseScheme error %q does not list valid slug %q", err, slug)
+			}
+		}
+	}
+}
+
+func TestTopoShiftedTreeLocality(t *testing.T) {
+	topo := Topology{CoresPerNode: 24}
+	ranks := ranksUpTo(48)
+	for op := uint64(0); op < 20; op++ {
+		tr := NewTreeTopo(TopoShiftedTree, 30, ranks, 7, op, DefaultHybridThreshold, topo)
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.ValidateTopology(topo); err != nil {
+			t.Fatal(err)
+		}
+		if e := tr.CrossNodeEdges(topo); e != 1 {
+			t.Fatalf("op %d: %d cross-node edges over 2 nodes, want 1", op, e)
+		}
+	}
+}
+
+func TestBineTreeLocality(t *testing.T) {
+	topo := Topology{CoresPerNode: 8}
+	ranks := ranksUpTo(64) // 8 nodes
+	for _, root := range []int{0, 13, 31, 63} {
+		tr := NewTreeTopo(BineTree, root, ranks, 1, 1, DefaultHybridThreshold, topo)
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.ValidateTopology(topo); err != nil {
+			t.Fatal(err)
+		}
+		if e := tr.CrossNodeEdges(topo); e != 7 {
+			t.Fatalf("root %d: %d cross-node edges over 8 nodes, want 7", root, e)
+		}
+		// Bidirectional expansion: the root's inter-node children sit on the
+		// nearest occupied node on each side — no wrap-around edge.
+		rootNode := topo.Node(root)
+		for _, c := range tr.Children(root) {
+			cn := topo.Node(c)
+			if cn != rootNode && cn != rootNode-1 && cn != rootNode+1 {
+				t.Fatalf("root %d (node %d) links across nodes to %d (node %d), want an adjacent node",
+					root, rootNode, c, cn)
+			}
+		}
+	}
+}
+
+// TestTopoShiftedRotatesLeaders checks the load-balancing half of the
+// design: the rank chosen as a non-root node's entry point must vary per
+// collective, like ShiftedBinaryTree's internal nodes do.
+func TestTopoShiftedRotatesLeaders(t *testing.T) {
+	topo := Topology{CoresPerNode: 24}
+	ranks := ranksUpTo(48)
+	leaders := map[int]bool{}
+	for op := uint64(0); op < 50; op++ {
+		tr := NewTreeTopo(TopoShiftedTree, 0, ranks, 7, op, DefaultHybridThreshold, topo)
+		for _, r := range ranks[24:] { // node 1's members
+			if topo.Node(tr.Parent(r)) == 0 {
+				leaders[r] = true
+			}
+		}
+	}
+	if len(leaders) < 10 {
+		t.Fatalf("only %d distinct node-1 leaders across 50 collectives; rotation not effective", len(leaders))
+	}
+}
+
+// Property: on the same (ranks, root, seed, opKey, topology) inputs the
+// topology-aware schemes never use more cross-node edges than the
+// topology-blind binary constructions — in fact they pin the count at its
+// g-1 spanning-tree minimum for g occupied nodes.
+func TestTopoSchemesMinimizeCrossNodeEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(80)
+		ranks := rng.Perm(400)[:n]
+		root := ranks[rng.Intn(n)]
+		topo := Topology{CoresPerNode: 1 + rng.Intn(32)}
+		seed, op := rng.Uint64(), rng.Uint64()
+		build := func(s Scheme) *Tree {
+			return NewTreeTopo(s, root, ranks, seed, op, DefaultHybridThreshold, topo)
+		}
+		floor := topo.NumNodes(ranks) - 1
+		for _, s := range []Scheme{TopoShiftedTree, BineTree} {
+			tr := build(s)
+			if err := tr.ValidateTopology(topo); err != nil {
+				t.Fatalf("trial %d %v: %v", trial, s, err)
+			}
+			aware := tr.CrossNodeEdges(topo)
+			if aware != floor {
+				t.Fatalf("trial %d %v: %d cross-node edges, want the minimum %d", trial, s, aware, floor)
+			}
+			for _, base := range []Scheme{BinaryTree, ShiftedBinaryTree} {
+				if blind := build(base).CrossNodeEdges(topo); aware > blind {
+					t.Fatalf("trial %d: %v uses %d cross-node edges, %v only %d (cpn=%d n=%d)",
+						trial, s, aware, base, blind, topo.CoresPerNode, n)
+				}
+			}
+		}
+	}
+}

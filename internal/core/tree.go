@@ -11,6 +11,11 @@
 //     concurrent collectives pick different ranks as internal forwarding
 //     nodes — the load-balancing heuristic the paper introduces.
 //
+// Beyond the paper's three schemes, the package adds two topology-aware
+// constructions (TopoShiftedTree, BineTree) that consume a Topology
+// describing rank→node placement and keep tree edges inside nodes — see
+// topo.go and DESIGN.md §5j.
+//
 // The package also provides the full per-supernode communication plan of
 // the PSelInv second loop, shared by the goroutine execution engine
 // (internal/pselinv) and the discrete-event timing simulator
@@ -20,6 +25,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Scheme selects the tree construction used for restricted collectives.
@@ -40,6 +46,17 @@ const (
 	// Hybrid uses FlatTree for small participant sets and
 	// ShiftedBinaryTree for large ones (§IV-B, final remark).
 	Hybrid
+	// TopoShiftedTree is the shifted binary tree made topology-aware: the
+	// root-dependent shift is applied within node groups, one leader per
+	// occupied node forwards across the inter-node network, and everything
+	// else stays on-node. Cross-node edges hit the g-1 minimum for g
+	// occupied nodes.
+	TopoShiftedTree
+	// BineTree is a Bine-style locality-optimized tree (after
+	// arXiv 2508.17311): bidirectional distance-halving expansion around
+	// each anchor, so both anchor edges connect nearest neighbors and no
+	// edge wraps around — minimal hop distance under a linear network.
+	BineTree
 )
 
 // String names the scheme as in the paper.
@@ -55,12 +72,68 @@ func (s Scheme) String() string {
 		return "Random-Perm-Tree"
 	case Hybrid:
 		return "Hybrid"
+	case TopoShiftedTree:
+		return "Topo-Shifted-Tree"
+	case BineTree:
+		return "Bine-Tree"
 	}
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
 
+// Slug returns the short lower-case name used on command-line flags and in
+// service requests.
+func (s Scheme) Slug() string {
+	switch s {
+	case FlatTree:
+		return "flat"
+	case BinaryTree:
+		return "binary"
+	case ShiftedBinaryTree:
+		return "shifted"
+	case RandomPermTree:
+		return "randperm"
+	case Hybrid:
+		return "hybrid"
+	case TopoShiftedTree:
+		return "toposhifted"
+	case BineTree:
+		return "bine"
+	}
+	return fmt.Sprintf("scheme%d", int(s))
+}
+
 // Schemes lists the three schemes evaluated in the paper's figures.
 func Schemes() []Scheme { return []Scheme{FlatTree, BinaryTree, ShiftedBinaryTree} }
+
+// AllSchemes lists every scheme constant, in declaration order. Table
+// tests range over it so a new enum value cannot silently miss a switch
+// arm.
+func AllSchemes() []Scheme {
+	return []Scheme{FlatTree, BinaryTree, ShiftedBinaryTree, RandomPermTree,
+		Hybrid, TopoShiftedTree, BineTree}
+}
+
+// SchemeSlugs lists the flag-facing names of every scheme.
+func SchemeSlugs() []string {
+	all := AllSchemes()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Slug()
+	}
+	return out
+}
+
+// ParseScheme resolves a flag or request value to a Scheme. Unknown names
+// are a hard error whose message lists the valid slugs.
+func ParseScheme(name string) (Scheme, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	for _, s := range AllSchemes() {
+		if n == s.Slug() {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q (valid: %s)", name, strings.Join(SchemeSlugs(), "|"))
+}
 
 // DefaultHybridThreshold is the participant count at or below which Hybrid
 // uses a flat tree. On the paper's platform a node has 24 cores and
@@ -174,8 +247,16 @@ func NewTree(scheme Scheme, root int, ranks []int, seed uint64, opKey uint64) *T
 }
 
 // NewTreeThreshold is NewTree with an explicit Hybrid flat/shifted
-// threshold.
+// threshold. The topology-aware schemes get the default Edison-style
+// placement; use NewTreeTopo to supply one.
 func NewTreeThreshold(scheme Scheme, root int, ranks []int, seed uint64, opKey uint64, hybridThreshold int) *Tree {
+	return NewTreeTopo(scheme, root, ranks, seed, opKey, hybridThreshold, DefaultTopology())
+}
+
+// NewTreeTopo is the full constructor: NewTreeThreshold plus an explicit
+// rank→node Topology consumed by TopoShiftedTree and BineTree (the other
+// schemes ignore it).
+func NewTreeTopo(scheme Scheme, root int, ranks []int, seed uint64, opKey uint64, hybridThreshold int, topo Topology) *Tree {
 	sorted := append([]int(nil), ranks...)
 	sort.Ints(sorted)
 	// Deduplicate (a rank owning several blocks participates once).
@@ -243,10 +324,109 @@ func NewTreeThreshold(scheme Scheme, root int, ranks []int, seed uint64, opKey u
 			}
 			t.buildBinary(root, rest)
 		}
+	case TopoShiftedTree:
+		t.buildTopoShifted(root, seed, opKey, topo)
+	case BineTree:
+		t.buildBineTopo(root, topo)
 	default:
-		panic(fmt.Sprintf("core: unknown scheme %d", int(scheme)))
+		panic(fmt.Sprintf("core: unknown scheme %d (valid: %s)",
+			int(scheme), strings.Join(SchemeSlugs(), "|")))
 	}
 	return t
+}
+
+// buildTopoShifted is the shifted binary tree restructured around the node
+// groups of topo. One leader per occupied node joins an inter-node binary
+// tree rooted at the broadcast root, in circular node order anchored at the
+// root's group (the paper's shift applied at node granularity); the
+// remaining members of each group hang off their leader through an
+// intra-node shifted binary tree. Leaders and intra-node shifts rotate per
+// collective via the (seed, opKey) stream, spreading forwarding load the
+// same way ShiftedBinaryTree does — but never at the price of an extra
+// cross-node edge.
+func (t *Tree) buildTopoShifted(root int, seed, opKey uint64, topo Topology) {
+	groups := groupByNode(t.parts, topo)
+	mix := splitmix64(seed ^ splitmix64(opKey))
+	rootNode := topo.Node(root)
+	leaders := make([]int, len(groups))
+	rootIdx := 0
+	for i, g := range groups {
+		if g.node == rootNode {
+			leaders[i] = root
+			rootIdx = i
+			continue
+		}
+		shift := int(splitmix64(mix^uint64(g.node)) % uint64(len(g.members)))
+		leaders[i] = g.members[shift]
+	}
+	others := make([]int, 0, len(groups)-1)
+	for k := 1; k < len(groups); k++ {
+		others = append(others, leaders[(rootIdx+k)%len(groups)])
+	}
+	t.buildBinary(root, others)
+	for i, g := range groups {
+		rest := make([]int, 0, len(g.members)-1)
+		for _, r := range g.members {
+			if r != leaders[i] {
+				rest = append(rest, r)
+			}
+		}
+		if len(rest) > 1 {
+			shift := int(splitmix64(mix^0x9e3779b9^uint64(g.node)) % uint64(len(rest)))
+			rest = append(rest[shift:], rest[:shift]...)
+		}
+		t.buildBinary(leaders[i], rest)
+	}
+}
+
+// buildBineTopo is the Bine-style hierarchical construction: a fixed
+// leader per node group (the group's first rank, or the root for its own
+// group), an inter-node bine expansion over the leaders, and an intra-node
+// bine expansion under each leader. Leaders are static — the deliberate
+// contrast with TopoShiftedTree's per-collective rotation — trading load
+// spread for minimal hop distance.
+func (t *Tree) buildBineTopo(root int, topo Topology) {
+	groups := groupByNode(t.parts, topo)
+	rootNode := topo.Node(root)
+	// Consecutive-rank packing makes node monotone in rank, so the leader
+	// list is ascending and bine expansion can binary-search the anchor.
+	leaders := make([]int, len(groups))
+	for i, g := range groups {
+		if g.node == rootNode {
+			leaders[i] = root
+		} else {
+			leaders[i] = g.members[0]
+		}
+	}
+	t.buildBineAround(root, leaders)
+	for i, g := range groups {
+		t.buildBineAround(leaders[i], g.members)
+	}
+}
+
+// buildBineAround attaches sorted (which must contain anchor) as
+// descendants of anchor by bidirectional expansion: the nearest neighbor
+// on each side becomes a child and forwards outward through a binary tree
+// over its side. Both anchor edges thus connect closest peers and no edge
+// wraps around the ends of the list — the property that minimizes summed
+// hop distance under netsim's linear |nodeA-nodeB| cost.
+func (t *Tree) buildBineAround(anchor int, sorted []int) {
+	idx := sort.SearchInts(sorted, anchor)
+	lo, hi := sorted[:idx], sorted[idx+1:]
+	if len(hi) > 0 {
+		c := hi[0]
+		t.link(anchor, c)
+		t.buildBinary(c, hi[1:])
+	}
+	if len(lo) > 0 {
+		c := lo[len(lo)-1]
+		t.link(anchor, c)
+		rev := make([]int, 0, len(lo)-1)
+		for i := len(lo) - 2; i >= 0; i-- {
+			rev = append(rev, lo[i])
+		}
+		t.buildBinary(c, rev)
+	}
 }
 
 func (t *Tree) link(parent, child int) {

@@ -121,7 +121,7 @@ func TestShiftedTreeVariesWithOpKey(t *testing.T) {
 
 func TestAllSchemesValidate(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	for _, scheme := range []Scheme{FlatTree, BinaryTree, ShiftedBinaryTree, RandomPermTree, Hybrid} {
+	for _, scheme := range AllSchemes() {
 		for trial := 0; trial < 50; trial++ {
 			n := 1 + rng.Intn(60)
 			ranks := rng.Perm(200)[:n]
@@ -218,7 +218,7 @@ func TestQuickTreeInvariants(t *testing.T) {
 		n := 1 + r.Intn(80)
 		ranks := r.Perm(500)[:n]
 		root := ranks[r.Intn(n)]
-		for _, scheme := range []Scheme{FlatTree, BinaryTree, ShiftedBinaryTree, RandomPermTree, Hybrid} {
+		for _, scheme := range AllSchemes() {
 			tr := NewTree(scheme, root, ranks, r.Uint64(), r.Uint64())
 			if tr.Validate() != nil {
 				return false

@@ -128,6 +128,62 @@ func TestCrossBackendVolumeEquivalence(t *testing.T) {
 	}
 }
 
+// TestCrossBackendTopoSchemeEquivalence is the cross-backend golden for
+// the topology-aware schemes: with the four ranks packed two to a node
+// (CoresPerNode=2 splits the P=4 column trees across a node boundary),
+// the per-rank volume matrices must be byte-identical between the
+// in-process and TCP backends and match the checked-in golden.
+func TestCrossBackendTopoSchemeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 8 worker processes")
+	}
+	gen, spec := testProblem()
+	spec.CoresPerNode = 2
+	schemes := []core.Scheme{core.TopoShiftedTree, core.BineTree}
+
+	pipe, err := exp.Prepare(gen, spec.Relax, spec.MaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := exp.MeasureVolumesOpts(pipe, procgrid.New(spec.PR, spec.PC), schemes, spec.Seed,
+		60*time.Second, exp.RunOpts{CoresPerNode: spec.CoresPerNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := distrun.MeasureVolumes(gen, spec, schemes, &distrun.Options{Stderr: testWriter{t}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, scheme := range schemes {
+		if !reflect.DeepEqual(local[i].ColBcastSent, remote[i].ColBcastSent) ||
+			!reflect.DeepEqual(local[i].RowReduceRecv, remote[i].RowReduceRecv) ||
+			!reflect.DeepEqual(local[i].TotalSent, remote[i].TotalSent) {
+			t.Errorf("%v: volumes diverge across backends:\n  in-process: %v\n  tcp:        %v",
+				scheme, local[i].TotalSent, remote[i].TotalSent)
+		}
+	}
+
+	got := renderVolumes(remote)
+	goldenPath := filepath.Join("testdata", "commvol-topo-p4.golden")
+	if os.Getenv("PSELINV_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (set PSELINV_UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("volume matrices drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
 // TestDistributedChaosMatchesInProcess: the seeded chaos adversary runs at
 // the destination mailbox off link serials assigned at send, so the same
 // seed perturbs a TCP mesh exactly as it perturbs the in-process world —

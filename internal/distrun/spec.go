@@ -54,6 +54,9 @@ type Spec struct {
 	Scheme core.Scheme `json:"scheme"`
 	// Seed is the plan's tree-construction seed.
 	Seed uint64 `json:"seed"`
+	// CoresPerNode is the rank→node packing consumed by the topology-aware
+	// schemes (0 = Edison-style default of 24).
+	CoresPerNode int `json:"cores_per_node,omitempty"`
 
 	// Deterministic forces slot-based reductions (bit-exact results
 	// independent of delivery order).
@@ -147,7 +150,10 @@ func (s *Spec) Build() (*exp.Pipeline, *core.Plan, *pselinv.Engine, error) {
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	plan := core.NewPlan(pipe.An.BP, procgrid.New(s.PR, s.PC), s.Scheme, s.Seed)
+	plan := core.NewPlanConfig(pipe.An.BP, procgrid.New(s.PR, s.PC), core.PlanConfig{
+		Scheme: s.Scheme, Seed: s.Seed, Symmetric: true,
+		Topo: core.Topology{CoresPerNode: s.CoresPerNode},
+	})
 	eng := pselinv.NewEngine(plan, pipe.LU)
 	eng.Deterministic = s.Deterministic
 	return pipe, plan, eng, nil

@@ -126,6 +126,17 @@ type RunOpts struct {
 	// tree collectives. Implies deterministic reductions, so volumes and
 	// numerics stay identical to a sequential deterministic run.
 	DAG bool
+	// CoresPerNode, when positive, sets the rank→node placement consumed
+	// by the topology-aware schemes (core.TopoShiftedTree, core.BineTree)
+	// and reported by the obs chain tables. Zero keeps
+	// core.DefaultTopology and leaves reports topology-free.
+	CoresPerNode int
+}
+
+// planConfig translates the options into the plan knobs for one scheme.
+func (o *RunOpts) planConfig(scheme core.Scheme, seed uint64) core.PlanConfig {
+	return core.PlanConfig{Scheme: scheme, Seed: seed, Symmetric: true,
+		Topo: core.Topology{CoresPerNode: o.CoresPerNode}}
 }
 
 // transport builds the engine transport factory for the options, or nil
@@ -174,7 +185,7 @@ func MeasureVolumesChaos(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme
 func MeasureVolumesOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed uint64, timeout time.Duration, opts RunOpts) ([]*VolumeMeasurement, error) {
 	out := make([]*VolumeMeasurement, 0, len(schemes))
 	for _, scheme := range schemes {
-		plan := core.NewPlan(p.An.BP, grid, scheme, seed)
+		plan := core.NewPlanConfig(p.An.BP, grid, opts.planConfig(scheme, seed))
 		eng := pselinv.NewEngine(plan, p.LU)
 		if opts.Chaos != nil {
 			eng.Chaos = opts.Chaos
@@ -242,9 +253,12 @@ func MeasureObs(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed ui
 func MeasureObsOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, seed uint64, timeout time.Duration, opts RunOpts) ([]*ObsMeasurement, error) {
 	out := make([]*ObsMeasurement, 0, len(schemes))
 	for _, scheme := range schemes {
-		plan := core.NewPlan(p.An.BP, grid, scheme, seed)
+		plan := core.NewPlanConfig(p.An.BP, grid, opts.planConfig(scheme, seed))
 		eng := pselinv.NewEngine(plan, p.LU)
 		col := obs.NewCollector(grid.Size())
+		if opts.CoresPerNode > 0 {
+			col.SetTopology(opts.CoresPerNode)
+		}
 		eng.Observer = col
 		eng.Trace = trace.NewRecorder()
 		eng.DAG = opts.DAG

@@ -1,0 +1,124 @@
+// Tree-scheme comparison sweep: the BENCH_trees.json artifact behind
+// `cmd/scaling -trees`. For each (P, scheme) cell it builds the full
+// communication plan on the hierarchical topology, records the plan-level
+// inter-node traffic of the collectives (cross-node edges, hop distance,
+// bytes), simulates the run over several placement seeds, and extracts the
+// measured critical path of the last seed — the chain of compute steps and
+// messages that determined the makespan — counting how many of its
+// messages crossed nodes. See EXPERIMENTS.md "Comparing tree schemes on
+// the hierarchical topology".
+package exp
+
+import (
+	"encoding/json"
+	"os"
+
+	"pselinv/internal/core"
+	"pselinv/internal/netsim"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/stats"
+)
+
+// TreeSweepPoint is one (P, scheme) cell of the tree-scheme comparison.
+type TreeSweepPoint struct {
+	P      int    `json:"p"`
+	Scheme string `json:"scheme"`
+	Slug   string `json:"slug"`
+	// Nodes is the number of physical nodes the P ranks occupy.
+	Nodes int `json:"nodes"`
+	// Simulated makespan over the placement seeds.
+	MakespanMean float64 `json:"makespan_mean_s"`
+	MakespanStd  float64 `json:"makespan_std_s"`
+	// Plan-level inter-node traffic of the collective trees (point-to-point
+	// ops are fixed by block ownership and identical across schemes).
+	CrossEdges int   `json:"cross_edges"`
+	CrossDist  int   `json:"cross_dist"`
+	CrossBytes int64 `json:"cross_bytes"`
+	// Measured critical path of the last placement seed: total steps,
+	// message hops, message hops crossing nodes, and its wall time (equal
+	// to the makespan of that seed).
+	CritSteps     int     `json:"crit_steps"`
+	CritMsgs      int     `json:"crit_msgs"`
+	CritCrossMsgs int     `json:"crit_cross_msgs"`
+	CritSeconds   float64 `json:"crit_seconds"`
+}
+
+// TreeSweep is the full artifact: the strong-scaling comparison of every
+// tree scheme on the hierarchical topology.
+type TreeSweep struct {
+	Matrix       string            `json:"matrix"`
+	CoresPerNode int               `json:"cores_per_node"`
+	Ps           []int             `json:"ps"`
+	Seeds        []uint64          `json:"seeds"`
+	Points       []*TreeSweepPoint `json:"points"`
+}
+
+// MeasureTreeSweep runs the comparison: one plan + simulation per
+// (P, scheme) with the ranks packed params.CoresPerNode to a node.
+func MeasureTreeSweep(p *Pipeline, ps []int, schemes []core.Scheme, seeds []uint64, params netsim.Params) *TreeSweep {
+	topo := core.Topology{CoresPerNode: params.CoresPerNode}
+	sweep := &TreeSweep{
+		Matrix:       p.Gen.Name,
+		CoresPerNode: params.CoresPerNode,
+		Ps:           ps,
+		Seeds:        seeds,
+	}
+	for _, procs := range ps {
+		grid := procgrid.Squarish(procs)
+		ranks := make([]int, procs)
+		for i := range ranks {
+			ranks[i] = i
+		}
+		for _, scheme := range schemes {
+			plan := core.NewPlanConfig(p.An.BP, grid, core.PlanConfig{
+				Scheme: scheme, Seed: 1, Symmetric: true, Topo: topo,
+			})
+			cross := plan.CrossNodeStats()
+			dag := netsim.BuildDAG(plan)
+			pt := &TreeSweepPoint{
+				P:          procs,
+				Scheme:     scheme.String(),
+				Slug:       scheme.Slug(),
+				Nodes:      topo.NumNodes(ranks),
+				CrossEdges: cross.Edges,
+				CrossDist:  cross.Dist,
+				CrossBytes: cross.Bytes,
+			}
+			var times []float64
+			for i, seed := range seeds {
+				prm := params
+				prm.Seed = seed
+				if i < len(seeds)-1 {
+					times = append(times, netsim.SimulateDAG(dag, prm).Makespan)
+					continue
+				}
+				res, path := netsim.SimulateDAGTraced(dag, prm)
+				times = append(times, res.Makespan)
+				pt.CritSteps = len(path)
+				pt.CritSeconds = res.Makespan
+				for _, st := range path {
+					if st.Kind != "msg" {
+						continue
+					}
+					pt.CritMsgs++
+					if topo.Node(st.Rank) != topo.Node(st.Dst) {
+						pt.CritCrossMsgs++
+					}
+				}
+			}
+			s := stats.Summarize(times)
+			pt.MakespanMean, pt.MakespanStd = s.Mean, s.Std
+			sweep.Points = append(sweep.Points, pt)
+		}
+	}
+	return sweep
+}
+
+// WriteTreeSweep writes the artifact as deterministic indented JSON.
+func WriteTreeSweep(path string, sweep *TreeSweep) error {
+	data, err := json.MarshalIndent(sweep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

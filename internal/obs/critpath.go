@@ -71,6 +71,13 @@ type CollectiveChain struct {
 	Msgs  int    `json:"msgs"`
 	Chain int    `json:"chain"`
 	Depth int    `json:"depth"`
+	// Topology annotations, present only when the collector was given a
+	// rank→node placement (Collector.SetTopology): the number of nodes the
+	// participants occupy and how many of the collective's messages
+	// crossed nodes. The message set is plan-determined, so both are
+	// schedule-independent and golden-stable.
+	Nodes     int `json:"nodes,omitempty"`
+	CrossHops int `json:"cross_hops,omitempty"`
 }
 
 // ChainSummary aggregates the measured chains of one communication class,
@@ -87,6 +94,15 @@ type ChainSummary struct {
 	DepthMax  int     `json:"depth_max"`
 	FlatRef   int     `json:"flat_ref"`
 	LogRef    int     `json:"log_ref"`
+	// Topology aggregates (only on runs with SetTopology): the widest node
+	// spread of any collective in the class, the worst and total measured
+	// cross-node hops, and the spanning-tree reference NodesMax-1 — the
+	// minimum cross-node hops any tree over that spread can achieve, the
+	// analytic line the topology-aware schemes are held to.
+	NodesMax int `json:"nodes_max,omitempty"`
+	CrossMax int `json:"cross_max,omitempty"`
+	CrossSum int `json:"cross_sum,omitempty"`
+	CrossRef int `json:"cross_ref,omitempty"`
 }
 
 // CriticalPath is the wall-clock dependency chain ending at the last
@@ -192,6 +208,18 @@ func (c *Collector) analyze() (chains []*CollectiveChain, crit *CriticalPath, co
 			Msgs: len(st.msgs),
 		}
 		cc.Ranks, cc.Chain, cc.Depth = chainOf(st.msgs, ClassKind(st.class))
+		if c.coresPerNode > 0 {
+			topo := core.Topology{CoresPerNode: c.coresPerNode}
+			nodes := map[int]bool{}
+			for _, m := range st.msgs {
+				nodes[topo.Node(m.src)] = true
+				nodes[topo.Node(m.dst)] = true
+				if topo.Node(m.src) != topo.Node(m.dst) {
+					cc.CrossHops++
+				}
+			}
+			cc.Nodes = len(nodes)
+		}
 		chains = append(chains, cc)
 	}
 	return chains, c.timeWalk(perRank), true

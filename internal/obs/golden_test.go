@@ -79,6 +79,67 @@ func goldenReport(t *testing.T, scheme core.Scheme) *obs.Report {
 	return rep
 }
 
+var (
+	goldenTopoOnce sync.Once
+	goldenTopoReps map[core.Scheme]*obs.Report
+	goldenTopoErr  error
+)
+
+// topoGoldenSchemes are the topology-aware additions, golden-tested with
+// an explicit 8-ranks-per-node placement (a 2-node hierarchy on the
+// 16-rank obs problem) so the reports carry the cross-node chain columns.
+func topoGoldenSchemes() []core.Scheme {
+	return []core.Scheme{core.TopoShiftedTree, core.BineTree}
+}
+
+func goldenTopoReport(t *testing.T, scheme core.Scheme) *obs.Report {
+	t.Helper()
+	goldenTopoOnce.Do(func() {
+		p, grid, err := exp.ObsProblem()
+		if err != nil {
+			goldenTopoErr = err
+			return
+		}
+		ms, err := exp.MeasureObsOpts(p, grid, topoGoldenSchemes(), 1, 60*time.Second,
+			exp.RunOpts{CoresPerNode: 8})
+		if err != nil {
+			goldenTopoErr = err
+			return
+		}
+		goldenTopoReps = map[core.Scheme]*obs.Report{}
+		for _, m := range ms {
+			m.Report.StripSchedule()
+			goldenTopoReps[m.Scheme] = m.Report
+		}
+	})
+	if goldenTopoErr != nil {
+		t.Fatal(goldenTopoErr)
+	}
+	rep := goldenTopoReps[scheme]
+	if rep == nil {
+		t.Fatalf("no golden report for %v", scheme)
+	}
+	return rep
+}
+
+func TestGoldenTopoReportJSON(t *testing.T) {
+	for _, scheme := range topoGoldenSchemes() {
+		rep := goldenTopoReport(t, scheme)
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "report_"+exp.SchemeSlug(scheme)+".golden.json", string(b))
+	}
+}
+
+func TestGoldenTopoSummary(t *testing.T) {
+	for _, scheme := range topoGoldenSchemes() {
+		rep := goldenTopoReport(t, scheme)
+		checkGolden(t, "summary_"+exp.SchemeSlug(scheme)+".golden", rep.Summary())
+	}
+}
+
 func TestGoldenReportJSON(t *testing.T) {
 	for _, scheme := range core.Schemes() {
 		rep := goldenReport(t, scheme)

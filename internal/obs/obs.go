@@ -80,8 +80,18 @@ type Collector struct {
 	start   time.Time
 	p       int
 	ringCap int
-	ranks   []rankObs
+	// coresPerNode, when positive, is the rank→node packing used to
+	// annotate chains with cross-node hop counts (see SetTopology).
+	coresPerNode int
+	ranks        []rankObs
 }
+
+// SetTopology declares the rank→node placement of the run (consecutive
+// packing, coresPerNode ranks per node). Once set, the report's chain
+// analysis counts cross-node hops per collective and adds the
+// nodes-1 analytic reference next to the flat/log ones. Leaving it unset
+// keeps reports byte-identical to topology-free runs.
+func (c *Collector) SetTopology(coresPerNode int) { c.coresPerNode = coresPerNode }
 
 // NewCollector returns a collector for a p-rank world with the default
 // per-rank ring capacity.

@@ -54,8 +54,12 @@ type RankReport struct {
 // the ones zeroed by StripSchedule is a deterministic function of the plan
 // and seed, so reports golden-test byte-for-byte.
 type Report struct {
-	P             int     `json:"p"`
-	Label         string  `json:"label,omitempty"`
+	P     int    `json:"p"`
+	Label string `json:"label,omitempty"`
+	// CoresPerNode is the rank→node packing the chain analysis used for
+	// its cross-node-hop columns; omitted (with those columns) when the
+	// collector was never given a topology.
+	CoresPerNode  int     `json:"cores_per_node,omitempty"`
 	TotalBytes    int64   `json:"total_bytes"`
 	TotalMsgs     int64   `json:"total_msgs"`
 	DroppedEvents int64   `json:"dropped_events"`
@@ -125,7 +129,7 @@ func (r *Report) SetBlockedSends(v []int64) {
 // the rank-local counters safe to read). label tags the report, typically
 // with the tree scheme.
 func (c *Collector) Report(label string) *Report {
-	rep := &Report{P: c.p, Label: label}
+	rep := &Report{P: c.p, Label: label, CoresPerNode: c.coresPerNode}
 
 	for _, class := range simmpi.Classes() {
 		cr := &ClassReport{
@@ -251,12 +255,22 @@ func summarizeChains(chains []*CollectiveChain) []*ChainSummary {
 		if cc.Ranks > cs.MaxRanks {
 			cs.MaxRanks = cc.Ranks
 		}
+		cs.CrossSum += cc.CrossHops
+		if cc.CrossHops > cs.CrossMax {
+			cs.CrossMax = cc.CrossHops
+		}
+		if cc.Nodes > cs.NodesMax {
+			cs.NodesMax = cc.Nodes
+		}
 	}
 	out := make([]*ChainSummary, 0, len(byClass))
 	for _, cs := range byClass {
 		cs.ChainMean = math.Round(100*float64(cs.ChainSum)/float64(cs.Count)) / 100
 		cs.FlatRef = cs.MaxRanks - 1
 		cs.LogRef = logRef(cs.MaxRanks)
+		if cs.NodesMax > 0 {
+			cs.CrossRef = cs.NodesMax - 1
+		}
 		out = append(out, cs)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
@@ -442,11 +456,21 @@ func (r *Report) Summary() string {
 			tasks, offloaded, maxWidth, occ/float64(len(r.Dag)))
 	}
 	if len(r.Collectives) > 0 {
-		fmt.Fprintf(&b, "  %-12s %-7s %6s %6s %9s %9s %8s %8s\n",
-			"class", "kind", "count", "maxP", "chainMax", "chainMean", "flatRef", "logRef")
-		for _, cs := range r.Collectives {
-			fmt.Fprintf(&b, "  %-12s %-7s %6d %6d %9d %9.2f %8d %8d\n",
-				cs.Class, cs.Kind, cs.Count, cs.MaxRanks, cs.ChainMax, cs.ChainMean, cs.FlatRef, cs.LogRef)
+		if r.CoresPerNode > 0 {
+			fmt.Fprintf(&b, "  %-12s %-7s %6s %6s %9s %9s %8s %8s %8s %8s %8s\n",
+				"class", "kind", "count", "maxP", "chainMax", "chainMean", "flatRef", "logRef", "crossMax", "crossSum", "crossRef")
+			for _, cs := range r.Collectives {
+				fmt.Fprintf(&b, "  %-12s %-7s %6d %6d %9d %9.2f %8d %8d %8d %8d %8d\n",
+					cs.Class, cs.Kind, cs.Count, cs.MaxRanks, cs.ChainMax, cs.ChainMean, cs.FlatRef, cs.LogRef,
+					cs.CrossMax, cs.CrossSum, cs.CrossRef)
+			}
+		} else {
+			fmt.Fprintf(&b, "  %-12s %-7s %6s %6s %9s %9s %8s %8s\n",
+				"class", "kind", "count", "maxP", "chainMax", "chainMean", "flatRef", "logRef")
+			for _, cs := range r.Collectives {
+				fmt.Fprintf(&b, "  %-12s %-7s %6d %6d %9d %9.2f %8d %8d\n",
+					cs.Class, cs.Kind, cs.Count, cs.MaxRanks, cs.ChainMax, cs.ChainMean, cs.FlatRef, cs.LogRef)
+			}
 		}
 	}
 	if r.Critical != nil {

@@ -40,18 +40,24 @@ const chaosTimeout = 60 * time.Second
 func chaosEngine(t testing.TB, g *sparse.Generated, opt etree.Options,
 	grid *procgrid.Grid, symmetric bool) *pselinv.Engine {
 	t.Helper()
+	return chaosEngineScheme(t, g, opt, grid, symmetric, core.ShiftedBinaryTree, 0)
+}
+
+// chaosEngineScheme is chaosEngine with an explicit tree scheme and
+// rank→node packing (coresPerNode 0 keeps the default topology).
+func chaosEngineScheme(t testing.TB, g *sparse.Generated, opt etree.Options,
+	grid *procgrid.Grid, symmetric bool, scheme core.Scheme, coresPerNode int) *pselinv.Engine {
+	t.Helper()
 	perm := ordering.Compute(ordering.NestedDissection, g.A, g.Geom)
 	an := etree.Analyze(g.A.Permute(perm), perm, opt)
 	lu, err := factor.Factorize(an.A, an.BP)
 	if err != nil {
 		t.Fatalf("%s: %v", g.Name, err)
 	}
-	var plan *core.Plan
-	if symmetric {
-		plan = core.NewPlan(an.BP, grid, core.ShiftedBinaryTree, 1)
-	} else {
-		plan = core.NewPlanAsym(an.BP, grid, core.ShiftedBinaryTree, 1)
-	}
+	plan := core.NewPlanConfig(an.BP, grid, core.PlanConfig{
+		Scheme: scheme, Seed: 1, Symmetric: symmetric,
+		Topo: core.Topology{CoresPerNode: coresPerNode},
+	})
 	eng := pselinv.NewEngine(plan, lu)
 	eng.Deterministic = true
 	return eng
@@ -79,6 +85,22 @@ func TestChaosSweepP64(t *testing.T) {
 		procgrid.New(8, 8), true)
 	chaostest.Sweep(t, eng, chaos.Config{ReorderWindow: 12},
 		chaostest.Seeds(3000, *chaosSeeds), chaosTimeout)
+}
+
+// TestChaosSweepTopoSchemes runs the adversarial sweep over the
+// topology-aware tree schemes at P=16 packed 8 ranks to a node (the node
+// boundary splits the 4×4 grid's columns). The schemes change message
+// routing only, so every chaos seed must still reproduce the
+// deterministic baseline bit for bit.
+func TestChaosSweepTopoSchemes(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.TopoShiftedTree, core.BineTree} {
+		t.Run(scheme.Slug(), func(t *testing.T) {
+			eng := chaosEngineScheme(t, sparse.Grid2D(8, 8, 2), etree.Options{Relax: 2, MaxWidth: 6},
+				procgrid.New(4, 4), true, scheme, 8)
+			chaostest.Sweep(t, eng, chaos.Config{DupDetect: true},
+				chaostest.Seeds(7000, *chaosSeeds), chaosTimeout)
+		})
+	}
 }
 
 // TestChaosSweepDag pins DAG-mode determinism under the adversary: with

@@ -34,7 +34,13 @@ var offloadedTotal int
 func runMode(t *testing.T, an *etree.Analysis, lu *factor.LU, grid *procgrid.Grid,
 	scheme core.Scheme, seed uint64, dag bool) map[blockmat.Key][]float64 {
 	t.Helper()
-	plan := core.NewPlan(an.BP, grid, scheme, seed)
+	return runPlan(t, core.NewPlan(an.BP, grid, scheme, seed), lu, dag)
+}
+
+// runPlan is runMode for a pre-built plan (topology-aware variants).
+func runPlan(t *testing.T, plan *core.Plan, lu *factor.LU, dag bool) map[blockmat.Key][]float64 {
+	t.Helper()
+	grid, scheme := plan.Grid, plan.Scheme
 	eng := NewEngine(plan, lu)
 	eng.Deterministic = true
 	eng.DAG = dag
@@ -118,6 +124,30 @@ func TestDagByteIdenticalToSequential(t *testing.T) {
 	}
 	if offloadedTotal == 0 {
 		t.Fatal("no task was ever offloaded to a pool worker: byte-identity was only tested inline")
+	}
+}
+
+// TestDagByteIdenticalTopoSchemes extends the byte-identity property to
+// the topology-aware schemes: at P=16 packed 8 ranks to a node (the node
+// boundary splits the 4×4 grid's column trees), a DAG run must reproduce
+// the sequential deterministic run bit for bit.
+func TestDagByteIdenticalTopoSchemes(t *testing.T) {
+	withPoolWorkers(t, 4)
+	g := sparse.Grid2D(8, 8, 3)
+	an, lu, _ := prep(t, g, etree.Options{Relax: 2, MaxWidth: 8})
+	grid := procgrid.New(4, 4)
+	for _, scheme := range []core.Scheme{core.TopoShiftedTree, core.BineTree} {
+		mk := func() *core.Plan {
+			return core.NewPlanConfig(an.BP, grid, core.PlanConfig{
+				Scheme: scheme, Seed: 3, Symmetric: true,
+				Topo: core.Topology{CoresPerNode: 8},
+			})
+		}
+		seq := runPlan(t, mk(), lu, false)
+		dag := runPlan(t, mk(), lu, true)
+		if msg := diffBits(seq, dag); msg != "" {
+			t.Fatalf("scheme %v: dag vs sequential: %s", scheme, msg)
+		}
 	}
 }
 

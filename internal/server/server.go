@@ -203,9 +203,14 @@ type Request struct {
 	Shift float64 `json:"shift,omitempty"`
 	// Procs is the simulated rank count (default 16).
 	Procs int `json:"procs,omitempty"`
-	// Scheme selects the collective tree: flat|binary|shifted|hybrid
-	// (default shifted).
+	// Scheme selects the collective tree (default shifted); any slug from
+	// pselinv.SchemeSlugs is accepted: flat|binary|shifted|randperm|
+	// hybrid|toposhifted|bine.
 	Scheme string `json:"scheme,omitempty"`
+	// CoresPerNode sets the rank→node packing consumed by the
+	// topology-aware schemes (toposhifted, bine); 0 keeps the Edison-style
+	// default of 24 ranks per node. Other schemes ignore it.
+	CoresPerNode int `json:"cores_per_node,omitempty"`
 	// Ordering selects the fill-reducing ordering: nd|natural|rcm|mmd.
 	// The service default is nested dissection — the expensive ordering is
 	// exactly what the plan cache amortizes across a same-pattern family.
@@ -335,17 +340,14 @@ func (s *Server) buildMatrix(spec MatrixSpec, shift float64) (*pselinv.Matrix, e
 }
 
 func parseScheme(s string) (pselinv.Scheme, *httpError) {
-	switch strings.ToLower(s) {
-	case "", "shifted":
+	if s == "" {
 		return pselinv.ShiftedBinaryTree, nil
-	case "flat":
-		return pselinv.FlatTree, nil
-	case "binary":
-		return pselinv.BinaryTree, nil
-	case "hybrid":
-		return pselinv.Hybrid, nil
 	}
-	return 0, badRequest("unknown scheme %q", s)
+	scheme, err := pselinv.ParseScheme(s)
+	if err != nil {
+		return 0, badRequest("%v", err)
+	}
+	return scheme, nil
 }
 
 // parseOrdering maps the request field to an ordering method plus its
@@ -454,13 +456,16 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 
 	// Cache key: pattern fingerprint + the analysis options that change
 	// its symbolic outcome.
-	key := fmt.Sprintf("%s/%s/r%d/w%d", m.Fingerprint(), ordName, s.cfg.Relax, s.cfg.MaxWidth)
+	// CoresPerNode is baked into the Symbolic's engine templates, so it is
+	// part of the key (a non-default packing must not reuse default plans).
+	key := fmt.Sprintf("%s/%s/r%d/w%d/c%d", m.Fingerprint(), ordName, s.cfg.Relax, s.cfg.MaxWidth, req.CoresPerNode)
 	tCache := time.Now()
 	sym, outcome, berr := s.cache.getOrBuild(key, func() (*pselinv.Symbolic, error) {
 		return pselinv.AnalyzePattern(m, pselinv.Options{
-			Ordering: ordMethod,
-			Relax:    s.cfg.Relax,
-			MaxWidth: s.cfg.MaxWidth,
+			Ordering:     ordMethod,
+			Relax:        s.cfg.Relax,
+			MaxWidth:     s.cfg.MaxWidth,
+			CoresPerNode: req.CoresPerNode,
 		})
 	})
 	if berr != nil {
@@ -505,7 +510,7 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 		Snodes:    sym.NumSupernodes(),
 		Cache:     string(outcome),
 		Procs:     res.Procs(),
-		Scheme:    strings.ToLower(schemeName(scheme)),
+		Scheme:    scheme.Slug(),
 		Ordering:  ordName,
 		Symmetric: sys.Symmetric(),
 		LogAbsDet: sys.LogAbsDet(),
@@ -557,20 +562,6 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 		s.metrics.observe("total_cold", total)
 	}
 	return resp, nil
-}
-
-func schemeName(s pselinv.Scheme) string {
-	switch s {
-	case pselinv.FlatTree:
-		return "flat"
-	case pselinv.BinaryTree:
-		return "binary"
-	case pselinv.ShiftedBinaryTree:
-		return "shifted"
-	case pselinv.Hybrid:
-		return "hybrid"
-	}
-	return fmt.Sprintf("scheme-%d", int(s))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -121,6 +121,61 @@ func TestServeMatrixMarketRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServeTopoSchemes runs the topology-aware schemes through the
+// service with an explicit packing and checks they produce the same
+// inverse as the default scheme (the tree shape never changes values,
+// only message routing), and that the response echoes the slug.
+func TestServeTopoSchemes(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	base := &Request{
+		Matrix:   MatrixSpec{Kind: "grid2d", NX: 8, NY: 8, Seed: 7},
+		Procs:    8,
+		Diagonal: true,
+	}
+	_, ref := postJSON(t, ts.URL, base)
+	if ref == nil {
+		t.Fatal("baseline request failed")
+	}
+	for _, slug := range []string{"toposhifted", "bine"} {
+		req := *base
+		req.Scheme = slug
+		req.CoresPerNode = 4
+		hr, resp := postJSON(t, ts.URL, &req)
+		if resp == nil {
+			t.Fatalf("%s: status %d", slug, hr.StatusCode)
+		}
+		if resp.Scheme != slug {
+			t.Fatalf("%s: response scheme %q", slug, resp.Scheme)
+		}
+		for i := range ref.Diagonal {
+			if math.Abs(resp.Diagonal[i]-ref.Diagonal[i]) > 1e-12 {
+				t.Fatalf("%s: diagonal[%d] = %g, want %g", slug, i, resp.Diagonal[i], ref.Diagonal[i])
+			}
+		}
+	}
+	// An unknown scheme must name every valid slug in the error body.
+	body, err := json.Marshal(&Request{
+		Matrix: MatrixSpec{Kind: "grid2d", NX: 5, NY: 5}, Scheme: "fibonacci",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(ts.URL+"/v1/selinv", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", hr.StatusCode)
+	}
+	for _, slug := range pselinv.SchemeSlugs() {
+		if !strings.Contains(string(msg), slug) {
+			t.Fatalf("error %q does not list valid scheme %q", msg, slug)
+		}
+	}
+}
+
 func TestServeValidation(t *testing.T) {
 	_, ts := testServer(t, Config{MaxN: 100, MaxProcs: 16})
 	cases := []Request{

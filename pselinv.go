@@ -183,7 +183,23 @@ const (
 	RandomPermTree = core.RandomPermTree
 	// Hybrid is flat below a size threshold and shifted above (§IV-B).
 	Hybrid = core.Hybrid
+	// TopoShiftedTree is the shifted binary tree made topology-aware: the
+	// shift rotates forwarders within node groups and one leader per node
+	// crosses the inter-node network (minimal cross-node edges).
+	TopoShiftedTree = core.TopoShiftedTree
+	// BineTree is a Bine-style locality-optimized tree (after
+	// arXiv 2508.17311): bidirectional nearest-neighbor expansion, minimal
+	// cross-node hop distance on a linear network.
+	BineTree = core.BineTree
 )
+
+// ParseScheme resolves a flag or request value ("flat", "binary",
+// "shifted", "randperm", "hybrid", "toposhifted", "bine") to a Scheme; an
+// unknown name is an error listing the valid slugs.
+func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
+
+// SchemeSlugs lists the flag-facing names of every scheme.
+func SchemeSlugs() []string { return core.SchemeSlugs() }
 
 // Options configures the analysis phase.
 type Options struct {
@@ -209,6 +225,10 @@ type Options struct {
 	// stay on the rank goroutine. Deterministic reductions are implied, so
 	// the result is byte-identical to a sequential deterministic run.
 	DAG bool
+	// CoresPerNode is the rank→node packing consumed by the
+	// topology-aware schemes (TopoShiftedTree, BineTree); 0 uses the
+	// Edison-style default of 24 ranks per node. Other schemes ignore it.
+	CoresPerNode int
 }
 
 func (o Options) withDefaults() Options {
@@ -325,7 +345,10 @@ func (sy *Symbolic) engineTemplate(pr, pc int, scheme Scheme, seed uint64, symme
 	if len(sy.engines) >= maxEngineTemplates {
 		sy.engines = map[engineKey]*pselinv.Engine{}
 	}
-	plan := core.NewPlanFull(sy.an.BP, procgrid.New(pr, pc), scheme, seed, core.DefaultHybridThreshold, symmetric)
+	plan := core.NewPlanConfig(sy.an.BP, procgrid.New(pr, pc), core.PlanConfig{
+		Scheme: scheme, Seed: seed, Symmetric: symmetric,
+		Topo: core.Topology{CoresPerNode: sy.opt.CoresPerNode},
+	})
 	eng := pselinv.NewEngine(plan, nil)
 	sy.engines[key] = eng
 	return eng
@@ -753,7 +776,13 @@ func (s *System) SimulateTiming(procs int, scheme Scheme, sp SimParams) *TimingR
 		params.FlopRate = sp.FlopRate
 	}
 	grid := procgrid.Squarish(procs)
-	plan := core.NewPlanFull(s.an.BP, grid, scheme, 1, core.DefaultHybridThreshold, s.symmetric)
+	// The plan's topology tracks the simulator's packing, so the
+	// topology-aware schemes optimize for the same placement the cost
+	// model charges for.
+	plan := core.NewPlanConfig(s.an.BP, grid, core.PlanConfig{
+		Scheme: scheme, Seed: 1, Symmetric: s.symmetric,
+		Topo: core.Topology{CoresPerNode: params.CoresPerNode},
+	})
 	res := netsim.Simulate(plan, params)
 	return &TimingResult{
 		Seconds:        res.Makespan,
