@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: all build test tier1 bench bench-gemm bench-baseline bench-gate \
-	serve loadtest selftest vet race chaos fuzz-smoke tcp-smoke clean
+	serve loadtest selftest vet race chaos fuzz-smoke tcp-smoke \
+	balancer-smoke clean
 
 all: build test
 
@@ -54,6 +55,19 @@ tcp-smoke:
 	$(GO) test -race -count=1 ./internal/distrun/ ./internal/tcptransport/
 	$(GO) run ./cmd/commvol -table1 -quick -pr 2 -transport=tcp
 
+# Balancer smoke: the cross-balancer parity and owner-map property tests
+# under the race detector, then one instrumented obs run per balancer so
+# the JSON reports (with the per-rank load section) land under
+# BALANCER_OBS_OUT — the artifacts the nightly workflow uploads.
+BALANCER_OBS_OUT ?= obs-balancers
+balancer-smoke:
+	$(GO) test -race -count=1 -run Balancer \
+		./internal/core/ ./internal/pselinv/ ./internal/server/
+	for b in cyclic nnz work subtree; do \
+		$(GO) run ./cmd/scaling -obs -obs-out $(BALANCER_OBS_OUT)/$$b \
+			-balancer $$b -schemes shifted || exit 1; \
+	done
+
 # The kernel throughput sweep recorded in BENCH_gemm.json.
 bench-gemm:
 	$(GO) test -run XXX -bench 'BenchmarkGemm$$|BenchmarkGemmNaive|BenchmarkTrsmBlocked' \
@@ -74,7 +88,7 @@ bench:
 # (the bench-baseline job in ci.yml can do this via workflow_dispatch),
 # commit .github/bench-baseline.txt, and explain the change in the commit
 # message.
-BENCH_GATE_PATTERN = ^BenchmarkGemm$$/^(256x256x256|512x512x512)$$|^BenchmarkEndToEndParallel16(Obs|Topo)?$$|^BenchmarkEndToEndParallel$$|^BenchmarkEndToEndDag$$
+BENCH_GATE_PATTERN = ^BenchmarkGemm$$/^(256x256x256|512x512x512)$$|^BenchmarkEndToEndParallel16(Obs|Topo|Work)?$$|^BenchmarkEndToEndParallel$$|^BenchmarkEndToEndDag$$
 BENCH_COUNT ?= 5
 BENCH_TOLERANCE ?= 0.25
 BENCH_OUT ?= /tmp/bench-new.txt

@@ -249,6 +249,32 @@ func BenchmarkEndToEndParallel16Topo(b *testing.B) {
 	}
 }
 
+// BenchmarkEndToEndParallel16Work is BenchmarkEndToEndParallel16 under the
+// greedy work balancer instead of the block-cyclic supernode→process map.
+// Comparing the pair bounds the cost of the balancer's weighted assignment;
+// the reported "imbalance" metric (the plan's max/mean per-rank flop factor,
+// 1.0 = perfect) makes load-balance regressions fail the bench gate just
+// like time regressions do.
+func BenchmarkEndToEndParallel16Work(b *testing.B) {
+	m := Grid2D(16, 16, 1)
+	sys, err := NewSystem(m, Options{Balancer: "work"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sys.sym.engineTemplate(4, 4, ShiftedBinaryTree, 0, sys.symmetric)
+	flopImb, _ := core.LoadImbalance(eng.Plan.RankLoads())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.ParallelSelInv(16, ShiftedBinaryTree, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+	b.ReportMetric(flopImb, "imbalance")
+}
+
 // benchEndToEndP4 runs repeated parallel inversions of a fixed problem at
 // P=4 in sequential or task-DAG mode. The pair quantifies the tentpole:
 // the DAG variant overlaps each rank's supernode updates with the tree

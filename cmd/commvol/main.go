@@ -37,24 +37,25 @@ import (
 )
 
 var (
-	flagTable1 = flag.Bool("table1", false, "reproduce Table I")
-	flagTable2 = flag.Bool("table2", false, "reproduce Table II")
-	flagFig4   = flag.Bool("fig4", false, "reproduce Figure 4 histograms")
-	flagFig5   = flag.Bool("fig5", false, "reproduce Figure 5 heat maps")
-	flagFig6   = flag.Bool("fig6", false, "reproduce Figure 6 small-grid heat map")
-	flagFig7   = flag.Bool("fig7", false, "reproduce Figure 7 Row-Reduce heat maps")
-	flagAll    = flag.Bool("all", false, "run every experiment")
-	flagQuick  = flag.Bool("quick", false, "smaller grid and matrices (seconds instead of minutes)")
-	flagSeed   = flag.Int64("seed", 1, "matrix and shift seed")
-	flagCSV    = flag.Bool("csv", false, "emit heat maps as CSV instead of ASCII")
-	flagPr     = flag.Int("pr", 24, "main grid dimension (Pr = Pc)")
-	flag46     = flag.Bool("table1paper", false, "Table I on the paper's literal 46x46 grid via the analytic volume model (no engine run)")
-	flagWork   = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
-	flagChaos  = flag.Uint64("chaos-seed", 0, "non-zero: run every engine measurement under the seeded chaos adversary (adversarial message reordering; volumes unchanged, numerics forced deterministic)")
-	flagObs    = flag.Bool("obs", false, "re-run the main measurement with the communication substrate instrumented: JSON reports, merged Chrome traces, and measured forwarding chains per scheme")
-	flagObsOut = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
-	flagSchemes = flag.String("schemes", "", "comma-separated tree schemes to measure (empty = the paper's flat,binary,shifted; valid: "+strings.Join(core.SchemeSlugs(), "|")+")")
-	flagCPN     = flag.Int("cores-per-node", 0, "ranks per node consumed by the topology-aware schemes (0 = Edison default 24)")
+	flagTable1   = flag.Bool("table1", false, "reproduce Table I")
+	flagTable2   = flag.Bool("table2", false, "reproduce Table II")
+	flagFig4     = flag.Bool("fig4", false, "reproduce Figure 4 histograms")
+	flagFig5     = flag.Bool("fig5", false, "reproduce Figure 5 heat maps")
+	flagFig6     = flag.Bool("fig6", false, "reproduce Figure 6 small-grid heat map")
+	flagFig7     = flag.Bool("fig7", false, "reproduce Figure 7 Row-Reduce heat maps")
+	flagAll      = flag.Bool("all", false, "run every experiment")
+	flagQuick    = flag.Bool("quick", false, "smaller grid and matrices (seconds instead of minutes)")
+	flagSeed     = flag.Int64("seed", 1, "matrix and shift seed")
+	flagCSV      = flag.Bool("csv", false, "emit heat maps as CSV instead of ASCII")
+	flagPr       = flag.Int("pr", 24, "main grid dimension (Pr = Pc)")
+	flag46       = flag.Bool("table1paper", false, "Table I on the paper's literal 46x46 grid via the analytic volume model (no engine run)")
+	flagWork     = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
+	flagChaos    = flag.Uint64("chaos-seed", 0, "non-zero: run every engine measurement under the seeded chaos adversary (adversarial message reordering; volumes unchanged, numerics forced deterministic)")
+	flagObs      = flag.Bool("obs", false, "re-run the main measurement with the communication substrate instrumented: JSON reports, merged Chrome traces, and measured forwarding chains per scheme")
+	flagObsOut   = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
+	flagSchemes  = flag.String("schemes", "", "comma-separated tree schemes to measure (empty = the paper's flat,binary,shifted; valid: "+strings.Join(core.SchemeSlugs(), "|")+")")
+	flagBalancer = flag.String("balancer", "cyclic", "supernode→process balancer: "+strings.Join(core.BalancerSlugs(), "|"))
+	flagCPN      = flag.Int("cores-per-node", 0, "ranks per node consumed by the topology-aware schemes (0 = Edison default 24)")
 
 	flagTransport = flag.String("transport", "inproc", "communication substrate: inproc (goroutine mailboxes, one process) or tcp (one OS process per rank on localhost; byte counters are transport-invariant, so volumes match inproc exactly)")
 	flagMailCap   = flag.Int("mailbox-cap", 0, "non-zero: bound every rank's mailbox to this many queued messages (bounded-buffer backpressure); per-rank blocked-send counts are reported. Caps far below a rank's peak fan-in can deadlock the engine — the run then times out with a snapshot of the send-blocked ranks")
@@ -78,6 +79,22 @@ func schemeList() []core.Scheme {
 		out = append(out, s)
 	}
 	return out
+}
+
+// balancerChoice resolves -balancer; an unknown slug is a hard error
+// naming the valid set.
+func balancerChoice() core.Balancer {
+	b, err := core.ParseBalancer(*flagBalancer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "commvol: %v\n", err)
+		os.Exit(2)
+	}
+	return b
+}
+
+// balancerSlug is balancerChoice in the form the distrun spec carries.
+func balancerSlug() string {
+	return balancerChoice().Slug()
 }
 
 // chaosCfg returns the adversary configuration selected by -chaos-seed
@@ -176,7 +193,7 @@ func main() {
 	if *flagObs {
 		fmt.Printf("== Observability: instrumented runs on %v (reports + merged traces in %s) ==\n", grid, *flagObsOut)
 		ms, err := exp.MeasureObsOpts(pipe, grid, schemeList(), uint64(*flagSeed), 20*time.Minute,
-			exp.RunOpts{CoresPerNode: *flagCPN})
+			exp.RunOpts{CoresPerNode: *flagCPN, Balancer: balancerChoice()})
 		check(err)
 		for _, m := range ms {
 			fmt.Printf("-- %v --\n%s\n", m.Scheme, m.Report.Summary())
@@ -308,6 +325,7 @@ func measure(gen *sparse.Generated, pipe *exp.Pipeline, grid *procgrid.Grid, sch
 			PC:           grid.Pc,
 			Seed:         uint64(*flagSeed),
 			CoresPerNode: *flagCPN,
+			Balancer:     balancerSlug(),
 			MailboxCap:   *flagMailCap,
 			TimeoutSec:   flagTimeout.Seconds(),
 		}
@@ -318,7 +336,7 @@ func measure(gen *sparse.Generated, pipe *exp.Pipeline, grid *procgrid.Grid, sch
 	}
 	return exp.MeasureVolumesOpts(pipe, grid, schemes, uint64(*flagSeed), *flagTimeout,
 		exp.RunOpts{Chaos: chaosCfg(), MailboxCap: *flagMailCap, LatencyScale: *flagLatScale,
-			CoresPerNode: *flagCPN})
+			CoresPerNode: *flagCPN, Balancer: balancerChoice()})
 }
 
 // printBlocked reports the bounded-mailbox backpressure counters when

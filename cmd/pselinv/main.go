@@ -23,24 +23,25 @@ import (
 )
 
 var (
-	flagMatrix = flag.String("matrix", "grid2d", "generator: grid2d|grid3d|dg2d|fe3d|banded|random")
-	flagMM     = flag.String("mm", "", "read a MatrixMarket file instead of generating")
-	flagNX     = flag.Int("nx", 12, "grid extent x")
-	flagNY     = flag.Int("ny", 12, "grid extent y")
-	flagNZ     = flag.Int("nz", 4, "grid extent z (3d generators)")
-	flagDofs   = flag.Int("dofs", 4, "unknowns per node/element (dg2d, fe3d)")
-	flagN      = flag.Int("n", 1000, "dimension (banded, random)")
-	flagSeed   = flag.Int64("seed", 1, "generator seed")
-	flagProcs  = flag.Int("procs", 16, "simulated MPI ranks")
-	flagScheme = flag.String("scheme", "shifted", "tree scheme: "+strings.Join(pselinv.SchemeSlugs(), "|"))
-	flagCPN    = flag.Int("cores-per-node", 0, "ranks per node for the topology-aware schemes (0 = Edison default 24)")
-	flagOrder  = flag.String("order", "nd", "ordering: natural|rcm|nd|mmd")
-	flagVerify = flag.Bool("verify", false, "compare the parallel inverse against the sequential one")
-	flagSim    = flag.Bool("sim", false, "also run the network timing simulator at this processor count")
-	flagAsym   = flag.Bool("asym", false, "perturb the generated matrix to asymmetric values (general path)")
-	flagTrace  = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the parallel run to this file")
-	flagDag    = flag.Bool("dag", false, "intra-rank task-DAG execution: schedule supernode updates on the kernel worker pool, overlapped with the tree collectives (result stays byte-identical)")
-	flagWork   = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
+	flagMatrix   = flag.String("matrix", "grid2d", "generator: grid2d|grid3d|dg2d|fe3d|banded|random")
+	flagMM       = flag.String("mm", "", "read a MatrixMarket file instead of generating")
+	flagNX       = flag.Int("nx", 12, "grid extent x")
+	flagNY       = flag.Int("ny", 12, "grid extent y")
+	flagNZ       = flag.Int("nz", 4, "grid extent z (3d generators)")
+	flagDofs     = flag.Int("dofs", 4, "unknowns per node/element (dg2d, fe3d)")
+	flagN        = flag.Int("n", 1000, "dimension (banded, random)")
+	flagSeed     = flag.Int64("seed", 1, "generator seed")
+	flagProcs    = flag.Int("procs", 16, "simulated MPI ranks")
+	flagScheme   = flag.String("scheme", "shifted", "tree scheme: "+strings.Join(pselinv.SchemeSlugs(), "|"))
+	flagBalancer = flag.String("balancer", "cyclic", "supernode→process balancer: "+strings.Join(pselinv.BalancerSlugs(), "|"))
+	flagCPN      = flag.Int("cores-per-node", 0, "ranks per node for the topology-aware schemes (0 = Edison default 24)")
+	flagOrder    = flag.String("order", "nd", "ordering: natural|rcm|nd|mmd")
+	flagVerify   = flag.Bool("verify", false, "compare the parallel inverse against the sequential one")
+	flagSim      = flag.Bool("sim", false, "also run the network timing simulator at this processor count")
+	flagAsym     = flag.Bool("asym", false, "perturb the generated matrix to asymmetric values (general path)")
+	flagTrace    = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the parallel run to this file")
+	flagDag      = flag.Bool("dag", false, "intra-rank task-DAG execution: schedule supernode updates on the kernel worker pool, overlapped with the tree collectives (result stays byte-identical)")
+	flagWork     = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
 )
 
 func scheme(name string) pselinv.Scheme {
@@ -50,6 +51,14 @@ func scheme(name string) pselinv.Scheme {
 		os.Exit(2)
 	}
 	return s
+}
+
+func balancer(name string) string {
+	if _, err := pselinv.ParseBalancer(name); err != nil {
+		fmt.Fprintf(os.Stderr, "pselinv: %v\n", err)
+		os.Exit(2)
+	}
+	return name
 }
 
 func orderMethod(name string) pselinv.OrderingMethod {
@@ -111,6 +120,7 @@ func main() {
 	t0 := time.Now()
 	sys, err := pselinv.NewSystem(m, pselinv.Options{
 		Ordering: orderMethod(*flagOrder), DAG: *flagDag, CoresPerNode: *flagCPN,
+		Balancer: balancer(*flagBalancer),
 	})
 	check(err)
 	path := "symmetric"

@@ -54,7 +54,22 @@ var (
 	flagTrees    = flag.Bool("trees", false, "run the tree-scheme comparison on the hierarchical topology (cross-node traffic + measured critical path per scheme) and write the artifact")
 	flagTreesOut = flag.String("trees-out", "BENCH_trees.json", "artifact path for -trees")
 	flagSchemes  = flag.String("schemes", "", "comma-separated tree schemes for -trees and -obs (empty = shifted,toposhifted,bine for -trees, the paper's three for -obs; valid: "+strings.Join(core.SchemeSlugs(), "|")+")")
+
+	flagBalancer     = flag.String("balancer", "cyclic", "supernode→process balancer for the live sections (-obs, chaos preflight): "+strings.Join(core.BalancerSlugs(), "|"))
+	flagBalancers    = flag.Bool("balancers", false, "run the balancer comparison (per-rank load imbalance + simulated makespan for every balancer × scheme) and write the artifact")
+	flagBalancersOut = flag.String("balancers-out", "BENCH_balancers.json", "artifact path for -balancers")
 )
+
+// parseBalancer resolves -balancer; an unknown slug is a hard error naming
+// the valid set.
+func parseBalancer() core.Balancer {
+	b, err := core.ParseBalancer(*flagBalancer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		os.Exit(2)
+	}
+	return b
+}
 
 // parseSchemes resolves -schemes, or returns def when the flag is empty;
 // an unknown slug is a hard error naming the valid set.
@@ -98,7 +113,7 @@ func main() {
 			mode = ", task-DAG mode"
 		}
 		fmt.Printf("chaos preflight (seed %d%s): running the engine under the adversary ... ", *flagChaos, mode)
-		if err := exp.VerifyChaos(*flagChaos, *flagDag, 5*time.Minute); err != nil {
+		if err := exp.VerifyChaosBalanced(*flagChaos, *flagDag, parseBalancer(), 5*time.Minute); err != nil {
 			fmt.Println("FAILED")
 			fmt.Fprintln(os.Stderr, "scaling:", err)
 			os.Exit(1)
@@ -117,11 +132,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *flagBalancers {
+		if err := runBalancers(*flagBalancersOut); err != nil {
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			os.Exit(1)
+		}
+	}
 	if *flagAll {
 		*flagFig8, *flagFig9, *flagHybrid, *flagAsym = true, true, true, true
 	}
 	if !(*flagFig8 || *flagFig9 || *flagHybrid || *flagAsym) {
-		if *flagObs || *flagTrees || *flagTransport == "tcp" {
+		if *flagObs || *flagTrees || *flagBalancers || *flagTransport == "tcp" {
 			return
 		}
 		flag.Usage()
@@ -296,7 +317,8 @@ func runObs(dir string, seed uint64, dag bool) error {
 		return err
 	}
 	fmt.Printf("== Observability: measured forwarding chains and traffic matrices on %v ==\n", grid)
-	ms, err := exp.MeasureObsOpts(p, grid, parseSchemes(core.Schemes()), seed, 5*time.Minute, exp.RunOpts{DAG: dag})
+	ms, err := exp.MeasureObsOpts(p, grid, parseSchemes(core.Schemes()), seed, 5*time.Minute,
+		exp.RunOpts{DAG: dag, Balancer: parseBalancer()})
 	if err != nil {
 		return err
 	}
@@ -351,6 +373,48 @@ func runTrees(out string) error {
 			pt.CrossEdges, float64(pt.CrossBytes)/1e6, pt.CritMsgs, pt.CritCrossMsgs)
 	}
 	if err := exp.WriteTreeSweep(out, sweep); err != nil {
+		return err
+	}
+	fmt.Printf("artifact: %s\n\n", out)
+	return nil
+}
+
+// runBalancers runs the supernode→process balancer comparison: for every
+// balancer × scheme at each P it builds the full plan, records the
+// per-rank flop/nnz imbalance factors of the owner map (max/mean, 1.0 =
+// perfect), and simulates the run for the makespan, then writes the
+// BENCH_balancers.json artifact. The expected headline: the greedy work
+// balancer cuts the flop imbalance of the block-cyclic baseline at the
+// larger processor counts, where cyclic's coarse supernode striping leaves
+// whole ranks underloaded.
+func runBalancers(out string) error {
+	g, relax, mw := exp.ScalingPNFStandin(2)
+	pipe := exp.PrepareSymbolic(g, relax, mw)
+	params := exp.ScaledEdisonParams()
+	ps := []int{16, 48, 96, 192}
+	if *flagQuick {
+		ps = []int{16, 48}
+	}
+	nSeeds := *flagSeeds
+	if nSeeds < 1 {
+		nSeeds = 1
+	}
+	seeds := make([]uint64, nSeeds)
+	for i := range seeds {
+		seeds[i] = uint64(100 + i)
+	}
+	schemes := parseSchemes([]core.Scheme{core.ShiftedBinaryTree})
+	fmt.Printf("== Supernode→process balancers: %s, %d ranks/node ==\n",
+		g.Name, params.CoresPerNode)
+	sweep := exp.MeasureBalancerSweep(pipe, ps, core.AllBalancers(), schemes, seeds, params)
+	fmt.Printf("%7s %-10s %-18s %10s %10s %14s %12s  (mean of %d seeds)\n",
+		"P", "balancer", "scheme", "flop-imb", "nnz-imb", "max-Gflop", "makespan(s)", len(seeds))
+	for _, pt := range sweep.Points {
+		fmt.Printf("%7d %-10s %-18s %10.3f %10.3f %14.3f %8.4f±%.4f\n",
+			pt.P, pt.Balancer, pt.Scheme, pt.FlopImbalance, pt.NNZImbalance,
+			float64(pt.MaxRankFlops)/1e9, pt.MakespanMean, pt.MakespanStd)
+	}
+	if err := exp.WriteBalancerSweep(out, sweep); err != nil {
 		return err
 	}
 	fmt.Printf("artifact: %s\n\n", out)

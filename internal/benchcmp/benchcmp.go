@@ -24,10 +24,16 @@ import (
 	"strings"
 )
 
-// ParseSet reads `go test -bench` output and returns ns/op samples per
-// benchmark name. The trailing -N GOMAXPROCS suffix is stripped so runs
-// from machines with different core counts compare under one key; every
-// `-count` repetition contributes one sample.
+// ParseSet reads `go test -bench` output and returns samples per metric.
+// ns/op samples are keyed by the bare benchmark name; custom
+// b.ReportMetric units (e.g. "imbalance") are keyed "name [unit]" and gate
+// regressions exactly like time does. Skipped: the allocator columns
+// (B/op, allocs/op — tracked by their own tooling, too noisy for a
+// cross-machine gate) and rate units ending in "/s" (higher is better, the
+// opposite of the gate's slower-is-worse direction). The trailing -N
+// GOMAXPROCS suffix is stripped so runs from machines with different core
+// counts compare under one key; every `-count` repetition contributes one
+// sample.
 func ParseSet(r io.Reader) (map[string][]float64, error) {
 	out := map[string][]float64{}
 	sc := bufio.NewScanner(r)
@@ -40,15 +46,19 @@ func ParseSet(r io.Reader) (map[string][]float64, error) {
 		name := stripProcSuffix(fields[0])
 		// fields: name iterations value unit [value unit ...]
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "ns/op" {
+			unit := fields[i+1]
+			if unit == "B/op" || unit == "allocs/op" || strings.HasSuffix(unit, "/s") {
 				continue
+			}
+			key := name
+			if unit != "ns/op" {
+				key = name + " [" + unit + "]"
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchcmp: bad ns/op %q for %s", fields[i], name)
+				return nil, fmt.Errorf("benchcmp: bad %s %q for %s", unit, fields[i], name)
 			}
-			out[name] = append(out[name], v)
-			break
+			out[key] = append(out[key], v)
 		}
 	}
 	return out, sc.Err()
@@ -89,7 +99,7 @@ const (
 // Result is one benchmark's comparison.
 type Result struct {
 	Name                 string
-	OldMedian, NewMedian float64 // ns/op; 0 when missing on that side
+	OldMedian, NewMedian float64 // in the metric's unit; 0 when missing on that side
 	OldN, NewN           int     // sample counts
 	Delta                float64 // (new-old)/old; +0.10 = 10% slower
 	P                    float64 // two-sided Mann–Whitney p-value (1 when missing)
@@ -105,7 +115,8 @@ func (r Result) String() string {
 		}
 		return fmt.Sprintf("%-44s missing from %s", r.Name, side)
 	default:
-		return fmt.Sprintf("%-44s %12.0f → %12.0f ns/op  %+6.1f%%  (p=%.3f, n=%d+%d)  %s",
+		// The key carries the unit for custom metrics; bare names are ns/op.
+		return fmt.Sprintf("%-44s %12.4g → %12.4g  %+6.1f%%  (p=%.3f, n=%d+%d)  %s",
 			r.Name, r.OldMedian, r.NewMedian, 100*r.Delta, r.P, r.OldN, r.NewN, r.Verdict)
 	}
 }

@@ -15,6 +15,8 @@ BenchmarkGemm/256x256x256-8          	     100	  11200000 ns/op	        3.000 GF
 BenchmarkEndToEndParallel16-8        	      10	 101000000 ns/op
 BenchmarkEndToEndParallel16-8        	      10	  99000000 ns/op
 BenchmarkOdd-name-with-dash          	      10	   1000000 ns/op
+BenchmarkEndToEndParallel16Work-8    	      10	 103000000 ns/op	         1.350 imbalance
+BenchmarkEndToEndParallel16Work-8    	      10	 104000000 ns/op	         1.350 imbalance
 PASS
 ok  	pselinv/internal/dense	12.3s
 `
@@ -34,6 +36,17 @@ func TestParseSet(t *testing.T) {
 	// is stripped.
 	if _, ok := set["BenchmarkOdd-name-with-dash"]; !ok {
 		t.Fatalf("dash-bearing name mangled; keys: %v", keys(set))
+	}
+	// Custom ReportMetric units are keyed "name [unit]" and gate like time.
+	if got := set["BenchmarkEndToEndParallel16Work [imbalance]"]; len(got) != 2 || got[0] != 1.350 {
+		t.Fatalf("imbalance samples %v; keys: %v", got, keys(set))
+	}
+	// Allocator columns and higher-is-better rates are excluded.
+	if _, ok := set["BenchmarkGemm/256x256x256 [GFLOP/s]"]; ok {
+		t.Fatalf("rate unit must not gate; keys: %v", keys(set))
+	}
+	if _, ok := set["BenchmarkGemm/256x256x256 [B/op]"]; ok {
+		t.Fatalf("B/op must not gate; keys: %v", keys(set))
 	}
 }
 

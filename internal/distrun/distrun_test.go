@@ -220,6 +220,58 @@ func TestDistributedChaosMatchesInProcess(t *testing.T) {
 	}
 }
 
+// TestCrossBackendBalancerEquivalence: a non-default supernode→process
+// balancer is a pure function of (pattern, grid), so four OS processes
+// re-deriving the work-greedy owner map independently must route exactly
+// the bytes the in-process backend routes. Runs deterministic on both
+// sides (the parity mode whose reductions forward canonical slots), so
+// the comparison pins the balancer end to end over a real TCP mesh.
+func TestCrossBackendBalancerEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 4 worker processes")
+	}
+	gen, spec := testProblem()
+	spec.PR, spec.PC = 2, 2 // square grid: row-reduce traffic is nonzero
+	spec.Balancer = "work"
+	spec.Deterministic = true
+	schemes := []core.Scheme{core.ShiftedBinaryTree}
+
+	pipe, err := exp.Prepare(gen, spec.Relax, spec.MaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := exp.MeasureVolumesOpts(pipe, procgrid.New(spec.PR, spec.PC), schemes, spec.Seed,
+		60*time.Second, exp.RunOpts{Balancer: core.WorkBalancer, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := distrun.MeasureVolumes(gen, spec, schemes, &distrun.Options{Stderr: testWriter{t}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(local[0].ColBcastSent, remote[0].ColBcastSent) ||
+		!reflect.DeepEqual(local[0].RowReduceRecv, remote[0].RowReduceRecv) ||
+		!reflect.DeepEqual(local[0].TotalSent, remote[0].TotalSent) {
+		t.Errorf("work-balancer run diverges across backends:\n  in-process: %v / %v\n  tcp:        %v / %v",
+			local[0].ColBcastSent, local[0].TotalSent, remote[0].ColBcastSent, remote[0].TotalSent)
+	}
+}
+
+// TestDistributedRejectsUnknownBalancer: an invalid balancer slug must
+// fail the launch with the slug-listing parse error, not hang the mesh.
+func TestDistributedRejectsUnknownBalancer(t *testing.T) {
+	gen, spec := testProblem()
+	spec.Balancer = "zigzag"
+	_, err := distrun.MeasureVolumes(gen, spec, []core.Scheme{core.FlatTree},
+		&distrun.Options{Stderr: testWriter{t}})
+	if err == nil {
+		t.Fatal("unknown balancer accepted")
+	}
+	if !strings.Contains(err.Error(), "zigzag") {
+		t.Fatalf("error does not name the bad slug: %v", err)
+	}
+}
+
 // TestWorkerTimeoutEmbedsSnapshot: a distributed timeout must surface the
 // chaos-style in-flight report (rank states, pending messages) in the
 // launcher's error, not just an exit code.

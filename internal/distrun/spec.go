@@ -57,6 +57,11 @@ type Spec struct {
 	// CoresPerNode is the rank→node packing consumed by the topology-aware
 	// schemes (0 = Edison-style default of 24).
 	CoresPerNode int `json:"cores_per_node,omitempty"`
+	// Balancer is the supernode→process mapping strategy slug ("cyclic",
+	// "nnz", "work", "subtree"; empty = cyclic). Balancers are pure
+	// functions of (pattern, grid), so every worker re-derives the same
+	// owner map; an unknown slug fails Build in every worker.
+	Balancer string `json:"balancer,omitempty"`
 
 	// Deterministic forces slot-based reductions (bit-exact results
 	// independent of delivery order).
@@ -150,9 +155,16 @@ func (s *Spec) Build() (*exp.Pipeline, *core.Plan, *pselinv.Engine, error) {
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	bal := core.CyclicBalancer
+	if s.Balancer != "" {
+		if bal, err = core.ParseBalancer(s.Balancer); err != nil {
+			return nil, nil, nil, fmt.Errorf("distrun: %w", err)
+		}
+	}
 	plan := core.NewPlanConfig(pipe.An.BP, procgrid.New(s.PR, s.PC), core.PlanConfig{
 		Scheme: s.Scheme, Seed: s.Seed, Symmetric: true,
-		Topo: core.Topology{CoresPerNode: s.CoresPerNode},
+		Balancer: bal,
+		Topo:     core.Topology{CoresPerNode: s.CoresPerNode},
 	})
 	eng := pselinv.NewEngine(plan, pipe.LU)
 	eng.Deterministic = s.Deterministic

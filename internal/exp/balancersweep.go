@@ -1,0 +1,102 @@
+// Balancer comparison sweep: the BENCH_balancers.json artifact behind
+// `cmd/scaling -balancers`. For each (P, balancer, scheme) cell it builds
+// the full communication plan with that supernode→process mapping, records
+// the per-rank flop/nnz imbalance factors of the owner map (the quantity
+// the balancers optimize, reported by the obs load section), and simulates
+// the run over several placement seeds for the makespan. See
+// EXPERIMENTS.md "Comparing supernode→process balancers".
+package exp
+
+import (
+	"encoding/json"
+	"os"
+
+	"pselinv/internal/core"
+	"pselinv/internal/netsim"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/stats"
+)
+
+// BalancerSweepPoint is one (P, balancer, scheme) cell of the comparison.
+type BalancerSweepPoint struct {
+	P        int    `json:"p"`
+	Balancer string `json:"balancer"`
+	Scheme   string `json:"scheme"`
+	// Per-rank work distribution of the owner map: max/mean imbalance
+	// factors (1.0 = perfectly balanced) and the heaviest rank's share.
+	FlopImbalance float64 `json:"flop_imbalance"`
+	NNZImbalance  float64 `json:"nnz_imbalance"`
+	MaxRankFlops  int64   `json:"max_rank_flops"`
+	// Simulated makespan over the placement seeds.
+	MakespanMean float64 `json:"makespan_mean_s"`
+	MakespanStd  float64 `json:"makespan_std_s"`
+}
+
+// BalancerSweep is the full artifact: every balancer × scheme at every P.
+type BalancerSweep struct {
+	Matrix       string                `json:"matrix"`
+	CoresPerNode int                   `json:"cores_per_node"`
+	Ps           []int                 `json:"ps"`
+	Seeds        []uint64              `json:"seeds"`
+	Points       []*BalancerSweepPoint `json:"points"`
+}
+
+// MeasureBalancerSweep runs the comparison: one plan + simulation per
+// (P, balancer, scheme) cell. The imbalance factors come straight from the
+// plan's per-rank tallies — the same cost walk that feeds the greedy
+// balancers — so the artifact shows exactly the quantity each mapping
+// optimizes, alongside the makespan it buys.
+func MeasureBalancerSweep(p *Pipeline, ps []int, balancers []core.Balancer, schemes []core.Scheme, seeds []uint64, params netsim.Params) *BalancerSweep {
+	topo := core.Topology{CoresPerNode: params.CoresPerNode}
+	sweep := &BalancerSweep{
+		Matrix:       p.Gen.Name,
+		CoresPerNode: params.CoresPerNode,
+		Ps:           ps,
+		Seeds:        seeds,
+	}
+	for _, procs := range ps {
+		grid := procgrid.Squarish(procs)
+		for _, bal := range balancers {
+			for _, scheme := range schemes {
+				plan := core.NewPlanConfig(p.An.BP, grid, core.PlanConfig{
+					Scheme: scheme, Seed: 1, Symmetric: true,
+					Balancer: bal, Topo: topo,
+				})
+				loads := plan.RankLoads()
+				flopImb, nnzImb := core.LoadImbalance(loads)
+				pt := &BalancerSweepPoint{
+					P:             procs,
+					Balancer:      bal.Slug(),
+					Scheme:        scheme.Slug(),
+					FlopImbalance: flopImb,
+					NNZImbalance:  nnzImb,
+				}
+				for _, l := range loads {
+					if l.Flops > pt.MaxRankFlops {
+						pt.MaxRankFlops = l.Flops
+					}
+				}
+				dag := netsim.BuildDAG(plan)
+				var times []float64
+				for _, seed := range seeds {
+					prm := params
+					prm.Seed = seed
+					times = append(times, netsim.SimulateDAG(dag, prm).Makespan)
+				}
+				s := stats.Summarize(times)
+				pt.MakespanMean, pt.MakespanStd = s.Mean, s.Std
+				sweep.Points = append(sweep.Points, pt)
+			}
+		}
+	}
+	return sweep
+}
+
+// WriteBalancerSweep writes the artifact as deterministic indented JSON.
+func WriteBalancerSweep(path string, sweep *BalancerSweep) error {
+	data, err := json.MarshalIndent(sweep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

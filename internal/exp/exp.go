@@ -114,6 +114,12 @@ type RunOpts struct {
 	// forces deterministic reductions so the numerics stay bit-identical
 	// to an unperturbed run.
 	Chaos *chaos.Config
+	// Deterministic forces slot-based canonical reductions even without a
+	// chaos adversary — the baseline a chaos or cross-balancer run is
+	// compared against must itself be deterministic, since the
+	// deterministic path ships reduce contributions unsummed and its wire
+	// volumes differ from the default accumulate-and-forward path.
+	Deterministic bool
 	// MailboxCap, when positive, bounds every rank's mailbox.
 	MailboxCap int
 	// LatencyScale, when positive, wraps the transport with
@@ -131,12 +137,16 @@ type RunOpts struct {
 	// and reported by the obs chain tables. Zero keeps
 	// core.DefaultTopology and leaves reports topology-free.
 	CoresPerNode int
+	// Balancer selects the supernode→process mapping strategy (zero value
+	// is the block-cyclic default).
+	Balancer core.Balancer
 }
 
 // planConfig translates the options into the plan knobs for one scheme.
 func (o *RunOpts) planConfig(scheme core.Scheme, seed uint64) core.PlanConfig {
 	return core.PlanConfig{Scheme: scheme, Seed: seed, Symmetric: true,
-		Topo: core.Topology{CoresPerNode: o.CoresPerNode}}
+		Balancer: o.Balancer,
+		Topo:     core.Topology{CoresPerNode: o.CoresPerNode}}
 }
 
 // transport builds the engine transport factory for the options, or nil
@@ -191,6 +201,7 @@ func MeasureVolumesOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme,
 			eng.Chaos = opts.Chaos
 			eng.Deterministic = true
 		}
+		eng.Deterministic = eng.Deterministic || opts.Deterministic
 		eng.DAG = opts.DAG
 		eng.Transport = opts.transport()
 		res, err := eng.Run(timeout)
@@ -271,6 +282,7 @@ func MeasureObsOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, see
 		rep := col.Report(scheme.String())
 		rep.SetBlockedSends(res.World.BlockedSendsVector())
 		rep.SetDagStats(DagReportStats(res.Dag))
+		rep.SetLoad(LoadSection(plan, eng.Trace))
 		out = append(out, &ObsMeasurement{
 			Scheme:  scheme,
 			Report:  rep,
@@ -280,6 +292,28 @@ func MeasureObsOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, see
 		})
 	}
 	return out, nil
+}
+
+// LoadSection builds the obs per-rank load section from the plan's work
+// tallies — charged by the same cost walk the balancers optimize — plus
+// the traced per-rank busy wall (nil recorder leaves busy out).
+func LoadSection(plan *core.Plan, rec *trace.Recorder) *obs.LoadReport {
+	loads := plan.RankLoads()
+	flops := make([]int64, len(loads))
+	nnz := make([]int64, len(loads))
+	for r, l := range loads {
+		flops[r] = l.Flops
+		nnz[r] = l.NNZ
+	}
+	var busy []int64
+	if rec != nil {
+		s := rec.Summarize()
+		busy = make([]int64, len(loads))
+		for r := range busy {
+			busy[r] = int64(s.BusyByRank[r])
+		}
+	}
+	return obs.NewLoadReport(plan.Balancer.Slug(), flops, nnz, busy)
 }
 
 // DagReportStats converts the engine's per-rank task-DAG scheduler
@@ -375,13 +409,24 @@ func WriteObsArtifacts(dir string, ms []*ObsMeasurement) ([]string, error) {
 // the runs additionally detour compute through the task-DAG scheduler, so
 // the preflight also pins DAG determinism under the adversary.
 func VerifyChaos(chaosSeed uint64, dag bool, timeout time.Duration) error {
+	return VerifyChaosBalanced(chaosSeed, dag, core.CyclicBalancer, timeout)
+}
+
+// VerifyChaosBalanced is VerifyChaos under an explicit supernode→process
+// balancer, so a -balancer run preflights the owner map it will actually
+// use (the parity invariant says the bits must not change; the adversary
+// stresses that the message schedule the map induces doesn't either).
+func VerifyChaosBalanced(chaosSeed uint64, dag bool, balancer core.Balancer, timeout time.Duration) error {
 	p, err := Prepare(sparse.Grid2D(8, 8, 2), 2, 6)
 	if err != nil {
 		return err
 	}
 	grid := procgrid.New(4, 4)
 	run := func(cc *chaos.Config) (map[[2]int][]float64, error) {
-		plan := core.NewPlan(p.An.BP, grid, core.ShiftedBinaryTree, 1)
+		plan := core.NewPlanConfig(p.An.BP, grid, core.PlanConfig{
+			Scheme: core.ShiftedBinaryTree, Seed: 1, Symmetric: true,
+			Balancer: balancer,
+		})
 		eng := pselinv.NewEngine(plan, p.LU)
 		eng.Deterministic = true
 		eng.DAG = dag

@@ -214,7 +214,7 @@ func (d *deliveries) get(rank int) int32 {
 func buildDAG(plan *core.Plan) *builder {
 	b := &builder{}
 	part := plan.BP.Part
-	grid := plan.Grid
+	grid := plan.Owners
 	w := func(k int) int64 { return int64(part.Width(k)) }
 
 	barrier := b.virtual(1 << 30)

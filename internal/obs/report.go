@@ -79,6 +79,13 @@ type Report struct {
 	// non-DAG runs (including the goldens) stay byte-identical.
 	Dag []*DagRankStats `json:"dag,omitempty"`
 
+	// Load, when present, holds the per-rank planned-work distribution of
+	// the supernode→process map (flops, factor nonzeros, measured busy
+	// wall) with its imbalance factors: attached by SetLoad after the run
+	// and omitted when the caller never measured loads, so pre-balancer
+	// reports stay byte-identical.
+	Load *LoadReport `json:"load,omitempty"`
+
 	Classes     []*ClassReport     `json:"classes"`
 	Ranks       []*RankReport      `json:"ranks"`
 	Collectives []*ChainSummary    `json:"collectives"`
@@ -100,6 +107,58 @@ type DagRankStats struct {
 	BusyNS      int64   `json:"busy_ns"`
 	WallNS      int64   `json:"wall_ns"`
 	Occupancy   float64 `json:"occupancy"`
+}
+
+// RankLoad is one rank's share of the planned work: the estimated
+// selected-inversion flops and factor nonzeros charged to the blocks it
+// owns, plus the measured busy wall time (zeroed by StripSchedule — it is
+// scheduling, not plan).
+type RankLoad struct {
+	Rank   int   `json:"rank"`
+	Flops  int64 `json:"flops"`
+	NNZ    int64 `json:"nnz"`
+	BusyNS int64 `json:"busy_ns,omitempty"`
+}
+
+// LoadReport is the per-rank load section of a balanced run: which
+// supernode→process mapping produced it, the per-rank work distribution,
+// and the max/mean imbalance factors against the uniform reference
+// (max · P / total; 1.0 is perfect balance).
+type LoadReport struct {
+	Balancer      string      `json:"balancer"`
+	Ranks         []*RankLoad `json:"ranks"`
+	TotalFlops    int64       `json:"total_flops"`
+	TotalNNZ      int64       `json:"total_nnz"`
+	FlopImbalance float64     `json:"flop_imbalance"`
+	NNZImbalance  float64     `json:"nnz_imbalance"`
+}
+
+// NewLoadReport assembles the load section from per-rank flop and nnz
+// tallies (index = rank) and optional per-rank busy wall times (nil when
+// the run was not traced).
+func NewLoadReport(balancer string, flops, nnz, busyNS []int64) *LoadReport {
+	l := &LoadReport{Balancer: balancer, Ranks: make([]*RankLoad, len(flops))}
+	for r := range flops {
+		rl := &RankLoad{Rank: r, Flops: flops[r], NNZ: nnz[r]}
+		if r < len(busyNS) {
+			rl.BusyNS = busyNS[r]
+		}
+		l.Ranks[r] = rl
+		l.TotalFlops += flops[r]
+		l.TotalNNZ += nnz[r]
+	}
+	l.FlopImbalance = imbalance(flops)
+	l.NNZImbalance = imbalance(nnz)
+	return l
+}
+
+// SetLoad attaches the per-rank load section. A nil load leaves the report
+// untouched, keeping reports from callers that never measure loads
+// byte-identical.
+func (r *Report) SetLoad(l *LoadReport) {
+	if l != nil {
+		r.Load = l
+	}
 }
 
 // SetDagStats attaches per-rank task-DAG scheduler statistics to the
@@ -380,6 +439,13 @@ func (r *Report) StripSchedule() {
 		d.WallNS = 0
 		d.Occupancy = 0
 	}
+	if r.Load != nil {
+		// Flop/nnz tallies and their imbalance factors are functions of
+		// the plan; busy wall is measured.
+		for _, rl := range r.Load.Ranks {
+			rl.BusyNS = 0
+		}
+	}
 }
 
 // WriteJSON writes the report as indented JSON. Struct fields encode in
@@ -440,6 +506,10 @@ func (r *Report) Summary() string {
 		}
 		fmt.Fprintf(&b, "  backpressure: %d sends blocked on full mailboxes (per-rank imbalance %.2f)\n",
 			total, imbalance(r.BlockedSends))
+	}
+	if r.Load != nil {
+		fmt.Fprintf(&b, "  load[%s]: flop imbalance %.2f, nnz imbalance %.2f over %d ranks\n",
+			r.Load.Balancer, r.Load.FlopImbalance, r.Load.NNZImbalance, len(r.Load.Ranks))
 	}
 	if len(r.Dag) > 0 {
 		tasks, offloaded, maxWidth := 0, 0, 0

@@ -1,0 +1,64 @@
+package procgrid
+
+import "fmt"
+
+// Map is an explicit supernode→grid-position owner map: block-row i lives
+// on grid row RowOf[i], block-column j on grid column ColOf[j], so block
+// (i, j) is owned by RankOf(RowOf[i], ColOf[j]). The factored form is not
+// an implementation convenience — the restricted collectives of the plan
+// (Col-Bcast down a processor column, Row-Reduce across a processor row)
+// only make sense when every block of a block-column shares one grid
+// column and every block of a block-row shares one grid row, so any
+// load balancer must assign whole block-rows and block-columns, never
+// individual blocks.
+type Map struct {
+	Grid  *Grid
+	RowOf []int // block-row i → grid row
+	ColOf []int // block-column j → grid column
+}
+
+// Cyclic returns the 2D block-cyclic owner map over ns supernodes —
+// RowOf[i] = i mod Pr, ColOf[j] = j mod Pc — reproducing
+// Grid.OwnerOfBlock exactly.
+func Cyclic(g *Grid, ns int) *Map {
+	m := &Map{Grid: g, RowOf: make([]int, ns), ColOf: make([]int, ns)}
+	for i := 0; i < ns; i++ {
+		m.RowOf[i] = i % g.Pr
+		m.ColOf[i] = i % g.Pc
+	}
+	return m
+}
+
+// NumSnodes returns the number of supernodes the map covers.
+func (m *Map) NumSnodes() int { return len(m.RowOf) }
+
+// ProcRowOfBlock returns the grid row owning block-row i.
+func (m *Map) ProcRowOfBlock(i int) int { return m.RowOf[i] }
+
+// ProcColOfBlock returns the grid column owning block-column j.
+func (m *Map) ProcColOfBlock(j int) int { return m.ColOf[j] }
+
+// OwnerOfBlock returns the rank owning block (i, j).
+func (m *Map) OwnerOfBlock(i, j int) int {
+	return m.Grid.RankOf(m.RowOf[i], m.ColOf[j])
+}
+
+// Validate checks that the map is a total, valid assignment: one in-range
+// grid row per block-row and one in-range grid column per block-column.
+func (m *Map) Validate() error {
+	if len(m.RowOf) != len(m.ColOf) {
+		return fmt.Errorf("procgrid: map covers %d block-rows but %d block-columns",
+			len(m.RowOf), len(m.ColOf))
+	}
+	for i, r := range m.RowOf {
+		if r < 0 || r >= m.Grid.Pr {
+			return fmt.Errorf("procgrid: block-row %d mapped to grid row %d outside %v", i, r, m.Grid)
+		}
+	}
+	for j, c := range m.ColOf {
+		if c < 0 || c >= m.Grid.Pc {
+			return fmt.Errorf("procgrid: block-column %d mapped to grid column %d outside %v", j, c, m.Grid)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package pselinv
+
+import (
+	"math"
+	"testing"
+
+	"pselinv/internal/blockmat"
+	"pselinv/internal/core"
+	"pselinv/internal/etree"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/sparse"
+)
+
+// TestBalancersByteIdentical is the tentpole's parity property: the owner
+// map decides who computes and who forwards, never what is computed — in
+// deterministic mode every reduction folds globally canonical slots in a
+// fixed order at the root, so swapping the balancer must reproduce the
+// cyclic baseline bit for bit. Pinned at P ∈ {4, 16} across the paper's
+// three schemes for every balancer.
+func TestBalancersByteIdentical(t *testing.T) {
+	g := sparse.Grid2D(8, 8, 3)
+	an, lu, ref := prep(t, g, etree.Options{Relax: 2, MaxWidth: 8})
+	for _, dims := range [][2]int{{2, 2}, {4, 4}} {
+		grid := procgrid.New(dims[0], dims[1])
+		for _, scheme := range []core.Scheme{core.FlatTree, core.BinaryTree, core.ShiftedBinaryTree} {
+			base := runPlan(t, core.NewPlanConfig(an.BP, grid, core.PlanConfig{
+				Scheme: scheme, Seed: 3, Symmetric: true, Balancer: core.CyclicBalancer,
+			}), lu, false)
+			// Cyclic through the map must also match the sequential
+			// reference, so parity is anchored to correct values.
+			for _, key := range ref.Ainv.Keys() {
+				want := ref.Ainv.MustGet(key.I, key.J)
+				got := base[blockmat.Key{I: key.I, J: key.J}]
+				for x := range want.Data {
+					if d := math.Abs(got[x] - want.Data[x]); d > 1e-9 {
+						t.Fatalf("grid %v scheme %v: cyclic block (%d,%d) off by %g",
+							grid, scheme, key.I, key.J, d)
+					}
+				}
+			}
+			for _, b := range core.AllBalancers()[1:] {
+				got := runPlan(t, core.NewPlanConfig(an.BP, grid, core.PlanConfig{
+					Scheme: scheme, Seed: 3, Symmetric: true, Balancer: b,
+				}), lu, false)
+				if msg := diffBits(base, got); msg != "" {
+					t.Fatalf("grid %v scheme %v: %v vs cyclic: %s", grid, scheme, b, msg)
+				}
+			}
+		}
+	}
+}
+
+// TestBalancersByteIdenticalDag extends the parity property to task-DAG
+// execution with real pool concurrency: balancer × DAG must still match
+// the cyclic sequential-mode baseline bit for bit.
+func TestBalancersByteIdenticalDag(t *testing.T) {
+	withPoolWorkers(t, 4)
+	g := sparse.Grid2D(8, 8, 3)
+	an, lu, _ := prep(t, g, etree.Options{Relax: 2, MaxWidth: 8})
+	grid := procgrid.New(4, 4)
+	base := runPlan(t, core.NewPlanConfig(an.BP, grid, core.PlanConfig{
+		Scheme: core.ShiftedBinaryTree, Seed: 3, Symmetric: true,
+	}), lu, false)
+	for _, b := range core.AllBalancers() {
+		got := runPlan(t, core.NewPlanConfig(an.BP, grid, core.PlanConfig{
+			Scheme: core.ShiftedBinaryTree, Seed: 3, Symmetric: true, Balancer: b,
+		}), lu, true)
+		if msg := diffBits(base, got); msg != "" {
+			t.Fatalf("%v dag vs cyclic sequential: %s", b, msg)
+		}
+	}
+}
+
+// TestBalancersByteIdenticalAsym covers the general (asymmetric-value)
+// path: the Û broadcasts and upper-triangle reductions route through the
+// same owner map, so parity must hold there too.
+func TestBalancersByteIdenticalAsym(t *testing.T) {
+	g := sparse.Asymmetrize(sparse.Grid2D(8, 8, 3), 7, 0.6)
+	an, lu, _ := prep(t, g, etree.Options{Relax: 2, MaxWidth: 8})
+	grid := procgrid.New(4, 4)
+	base := runPlan(t, core.NewPlanConfig(an.BP, grid, core.PlanConfig{
+		Scheme: core.ShiftedBinaryTree, Seed: 3, Symmetric: false,
+	}), lu, false)
+	for _, b := range core.AllBalancers()[1:] {
+		got := runPlan(t, core.NewPlanConfig(an.BP, grid, core.PlanConfig{
+			Scheme: core.ShiftedBinaryTree, Seed: 3, Symmetric: false, Balancer: b,
+		}), lu, false)
+		if msg := diffBits(base, got); msg != "" {
+			t.Fatalf("%v vs cyclic (asym path): %s", b, msg)
+		}
+	}
+}

@@ -34,6 +34,21 @@ import (
 // satisfies the ≥16-seed acceptance bar.
 var chaosSeeds = flag.Int("chaos-seeds", 16, "seeds per chaos sweep")
 
+// -balancer runs every chaos sweep under a non-default supernode→process
+// map (CI sweeps -balancer=work): the parity invariant says the owner map
+// must change neither the bits nor the adversary's grip on them.
+var chaosBalancer = flag.String("balancer", "cyclic", "supernode→process balancer for the chaos sweeps: "+strings.Join(core.BalancerSlugs(), "|"))
+
+// chaosBalancerChoice resolves -balancer once per test.
+func chaosBalancerChoice(t testing.TB) core.Balancer {
+	t.Helper()
+	b, err := core.ParseBalancer(*chaosBalancer)
+	if err != nil {
+		t.Fatalf("-balancer: %v", err)
+	}
+	return b
+}
+
 const chaosTimeout = 60 * time.Second
 
 // chaosEngine builds a deterministic-mode engine for a (matrix, grid) pair.
@@ -56,7 +71,8 @@ func chaosEngineScheme(t testing.TB, g *sparse.Generated, opt etree.Options,
 	}
 	plan := core.NewPlanConfig(an.BP, grid, core.PlanConfig{
 		Scheme: scheme, Seed: 1, Symmetric: symmetric,
-		Topo: core.Topology{CoresPerNode: coresPerNode},
+		Topo:     core.Topology{CoresPerNode: coresPerNode},
+		Balancer: chaosBalancerChoice(t),
 	})
 	eng := pselinv.NewEngine(plan, lu)
 	eng.Deterministic = true

@@ -273,13 +273,13 @@ func (st *rankState) runPass2Dag() {
 	}
 	for _, bk := range st.prog.crossSrcs {
 		i, k := bk.I, bk.J
-		dst := st.e.Plan.Grid.OwnerOfBlock(k, i)
+		dst := st.e.Plan.Owners.OwnerOfBlock(k, i)
 		st.r.Send(dst, core.OpKey(core.OpCrossSend, k, i), simmpi.ClassCrossSend,
 			st.lhat[blockKey{i, k}].Data)
 	}
 	for _, bk := range st.prog.crossUSrcs {
 		k, i := bk.I, bk.J
-		dst := st.e.Plan.Grid.OwnerOfBlock(i, k)
+		dst := st.e.Plan.Owners.OwnerOfBlock(i, k)
 		st.r.Send(dst, core.OpKey(core.OpCrossSendU, k, i), simmpi.ClassCrossSend,
 			st.uhat[blockKey{k, i}].Data)
 	}

@@ -35,8 +35,10 @@ import (
 type blockKey struct{ I, J int }
 
 // gemmDesc is one local matrix product A⁻¹_{J,I}·L̂_{I,K} assigned to a rank.
-// Slot is the task's canonical position among the local contributions to
-// its reduction (plan enumeration order), used by deterministic mode.
+// Slot is the task's canonical position among ALL contributions to its
+// reduction — the index of its broadcast operand's block row within the
+// supernode structure C — used by deterministic mode to fold reductions in
+// an order every rank (and every supernode→process mapping) agrees on.
 type gemmDesc struct{ K, I, J, Slot int }
 
 // rankProgram is the immutable per-rank role description derived centrally
@@ -57,7 +59,6 @@ type rankProgram struct {
 
 	rowLocal  map[blockKey]int // (K, J) -> local GEMM contributions to Row-Reduce
 	diagLocal map[int]int      // K -> local contributions to Diag-Reduce
-	diagSlot  map[blockKey]int // (K, J) -> canonical slot of that diag contribution
 
 	// Asymmetric (general) path only:
 	trsmUByK   map[int][]int      // K -> block cols I of owned U blocks to normalize
@@ -90,12 +91,18 @@ type Engine struct {
 	// (internal/chaos) on each run's world.
 	Chaos *chaos.Config
 	// Deterministic makes the floating-point result independent of message
-	// delivery order: every reduction contribution accumulates into its own
-	// canonical slot and the slots are combined in a fixed order at
-	// completion, instead of summing in arrival order. Runs with the same
-	// inputs are then bit-exact regardless of scheduling — the property the
-	// chaos sweep compares against. Costs one scratch matrix per in-flight
-	// contribution instead of one per reduction.
+	// delivery order, tree scheme AND supernode→process mapping: every
+	// reduction contribution is identified by a globally canonical slot
+	// (its block-row index within the supernode structure), non-root tree
+	// nodes forward their held slots verbatim — no partial summation — and
+	// the root folds the complete slot set in ascending order. Runs with
+	// the same inputs are then bit-exact regardless of scheduling, and two
+	// runs that differ only in balancer, scheme or grid produce identical
+	// bytes — the property the chaos sweep and the cross-balancer parity
+	// tests compare against. Costs one scratch matrix per in-flight
+	// contribution instead of one per reduction, and reduce messages carry
+	// slot payloads instead of partial sums (larger on the wire: a testing
+	// mode, not the measured configuration).
 	Deterministic bool
 	// DAG schedules each rank's TRSM/GEMM-sized compute as a task DAG on
 	// the shared dense worker pool (see dag.go), overlapping it with the
@@ -124,14 +131,13 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 			byBlock:   map[blockKey][]int{},
 			rowLocal:  map[blockKey]int{},
 			diagLocal: map[int]int{},
-			diagSlot:  map[blockKey]int{},
 			trsmUByK:  map[int][]int{},
 			byKIU:     map[blockKey][]int{},
 			byBlockU:  map[blockKey][]int{},
 			colLocal:  map[blockKey]int{},
 		}
 	}
-	grid := plan.Grid
+	grid := plan.Owners
 	for _, sp := range plan.Snodes {
 		k := sp.K
 		diagOwner := grid.OwnerOfBlock(k, k)
@@ -179,22 +185,24 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 		for _, part := range tr.Participants() {
 			progs[part].expect2 += len(tr.Children(part))
 		}
-		// GEMM tasks and local reduce contribution counts.
-		for _, i := range sp.C {
+		// GEMM tasks and local reduce contribution counts. A task's Slot is
+		// the canonical index of its broadcast operand's block row within C —
+		// a GLOBAL identity shared by every rank, not a per-rank counter —
+		// so the deterministic fold order is a property of the pattern alone,
+		// independent of which balancer distributed the work.
+		for ci, i := range sp.C {
 			for _, j := range sp.C {
 				owner := grid.OwnerOfBlock(j, i)
 				pr := progs[owner]
 				ti := len(pr.tasks)
-				pr.tasks = append(pr.tasks, gemmDesc{K: k, I: i, J: j, Slot: pr.rowLocal[blockKey{k, j}]})
+				pr.tasks = append(pr.tasks, gemmDesc{K: k, I: i, J: j, Slot: ci})
 				pr.byKI[blockKey{k, i}] = append(pr.byKI[blockKey{k, i}], ti)
 				pr.byBlock[blockKey{j, i}] = append(pr.byBlock[blockKey{j, i}], ti)
 				pr.rowLocal[blockKey{k, j}]++
 			}
 		}
 		for _, j := range sp.C {
-			pr := progs[grid.OwnerOfBlock(j, k)]
-			pr.diagSlot[blockKey{k, j}] = pr.diagLocal[k]
-			pr.diagLocal[k]++
+			progs[grid.OwnerOfBlock(j, k)].diagLocal[k]++
 		}
 		if !plan.Symmetric {
 			// Pass 1: row broadcast of the diagonal factor and Û TRSMs.
@@ -227,12 +235,12 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 					progs[part].expect2 += len(tr.Children(part))
 				}
 			}
-			for _, i := range sp.C {
+			for ci, i := range sp.C {
 				for _, j := range sp.C {
 					owner := grid.OwnerOfBlock(i, j)
 					pr := progs[owner]
 					ti := len(pr.tasksU)
-					pr.tasksU = append(pr.tasksU, gemmDesc{K: k, I: i, J: j, Slot: pr.colLocal[blockKey{k, j}]})
+					pr.tasksU = append(pr.tasksU, gemmDesc{K: k, I: i, J: j, Slot: ci})
 					pr.byKIU[blockKey{k, i}] = append(pr.byKIU[blockKey{k, i}], ti)
 					pr.byBlockU[blockKey{i, j}] = append(pr.byBlockU[blockKey{i, j}], ti)
 					pr.colLocal[blockKey{k, j}]++
@@ -372,15 +380,18 @@ func (e *Engine) RunWorld(world *simmpi.World, timeout time.Duration) (*RunResul
 // (non-root), to the finalized ainv block (row/col root), or back to the
 // arena (diag root).
 //
-// In deterministic mode sum stays nil until completion: each contribution
-// lives in its own slot — local contributions first, in plan enumeration
-// order, then one slot per tree child, in child-list order — and
-// combineSlots folds them left-to-right, making the floating-point result
-// independent of arrival order.
+// In deterministic mode sum stays nil until completion: the slot array has
+// one entry per contribution to the WHOLE reduction (|C| of them, indexed
+// by the contributor's block-row position in the supernode structure), of
+// which this rank holds its local contributions plus whatever its subtree
+// delivered. Non-root ranks forward their held slots verbatim — no
+// floating-point work — and the root, which ends up holding the complete
+// set, folds the slots in ascending index order. The fold bracketing is
+// therefore a property of the pattern alone: independent of arrival order,
+// tree shape, and the supernode→process mapping.
 type redState struct {
 	sum          *dense.Matrix
-	slots        []*dense.Matrix // deterministic mode only
-	base         int             // number of local slots (children follow)
+	slots        []*dense.Matrix // deterministic mode only, sized |C|
 	localPending int
 	childPending int
 	done         bool
@@ -401,27 +412,27 @@ func (st *rankState) slotFor(red *redState, si, rows, cols int) *dense.Matrix {
 	return m
 }
 
-// childArrived stores (deterministic) or accumulates (default) a child's
-// partial sum. Reduce payloads transfer buffer ownership to the receiver;
-// deterministic mode keeps the buffer as the slot and recycles it in
-// combineSlots, the default path recycles it immediately.
-func (st *rankState) childArrived(red *redState, tr *core.Tree, src int, rows, cols int, data []float64) {
+// childArrived merges a child's reduce message. Reduce payloads transfer
+// buffer ownership to the receiver and are recycled here. The default path
+// accumulates the child's partial sum; deterministic mode unpacks the
+// child's slot payload — [count, slot indices..., slot blocks...] — into
+// this rank's slot array, untouched by floating-point arithmetic.
+func (st *rankState) childArrived(red *redState, rows, cols int, data []float64) {
 	if st.e.deterministic() {
-		ci := -1
-		for x, c := range tr.Children(st.r.ID) {
-			if c == src {
-				ci = x
-				break
+		count := int(data[0])
+		blk := rows * cols
+		off := 1 + count
+		for x := 0; x < count; x++ {
+			si := int(data[1+x])
+			if red.slots[si] != nil {
+				panic(fmt.Sprintf("pselinv: reduction slot %d filled twice", si))
 			}
+			m := dense.GetMatrixUninit(rows, cols)
+			copy(m.Data, data[off:off+blk])
+			red.slots[si] = m
+			off += blk
 		}
-		if ci < 0 {
-			panic(fmt.Sprintf("pselinv: reduce message from %d, not a child of %d", src, st.r.ID))
-		}
-		si := red.base + ci
-		if red.slots[si] != nil {
-			panic(fmt.Sprintf("pselinv: child slot %d filled twice", si))
-		}
-		red.slots[si] = matFromData(rows, cols, data)
+		dense.PutBuf(data)
 	} else {
 		addPayload(red.sum, data)
 		dense.PutBuf(data)
@@ -429,8 +440,37 @@ func (st *rankState) childArrived(red *redState, tr *core.Tree, src int, rows, c
 	red.childPending--
 }
 
-// combineSlots (deterministic mode) folds the slots left-to-right into a
-// fresh sum and recycles the slot buffers. No-op otherwise.
+// forwardSlots (deterministic mode, non-root) serializes the held slots —
+// ascending index, no summation — and sends them to the reduce-tree
+// parent: [count, slot indices..., slot blocks...].
+func (st *rankState) forwardSlots(red *redState, parent int, key uint64, class simmpi.Class, rows, cols int) {
+	count := 0
+	for _, m := range red.slots {
+		if m != nil {
+			count++
+		}
+	}
+	blk := rows * cols
+	buf := dense.GetBuf(1 + count + count*blk)
+	buf[0] = float64(count)
+	w, off := 1, 1+count
+	for si, m := range red.slots {
+		if m == nil {
+			continue
+		}
+		buf[w] = float64(si)
+		w++
+		copy(buf[off:off+blk], m.Data)
+		off += blk
+		dense.PutBuf(m.Data)
+	}
+	red.slots = nil
+	st.r.Send(parent, key, class, buf)
+}
+
+// combineSlots (deterministic mode, root only) folds the complete slot set
+// in ascending index order into a fresh sum and recycles the slot buffers.
+// No-op otherwise.
 func (st *rankState) combineSlots(red *redState, rows, cols int) {
 	if !st.e.deterministic() {
 		return
@@ -681,13 +721,13 @@ func (st *rankState) runPass2() {
 	}
 	for _, bk := range st.prog.crossSrcs {
 		i, k := bk.I, bk.J
-		dst := st.e.Plan.Grid.OwnerOfBlock(k, i)
+		dst := st.e.Plan.Owners.OwnerOfBlock(k, i)
 		st.r.Send(dst, core.OpKey(core.OpCrossSend, k, i), simmpi.ClassCrossSend,
 			st.lhat[blockKey{i, k}].Data)
 	}
 	for _, bk := range st.prog.crossUSrcs {
 		k, i := bk.I, bk.J
-		dst := st.e.Plan.Grid.OwnerOfBlock(i, k)
+		dst := st.e.Plan.Owners.OwnerOfBlock(i, k)
 		st.r.Send(dst, core.OpKey(core.OpCrossSendU, k, i), simmpi.ClassCrossSend,
 			st.uhat[blockKey{k, i}].Data)
 	}
@@ -745,12 +785,11 @@ func (st *rankState) handle(msg simmpi.Message) {
 		// reduce sends transfer ownership of their buffer to the receiver.
 		j := blk
 		red := st.getRowRed(k, j)
-		tr := sp.RowReduces[cIndex(sp.C, j)].Tree
-		st.childArrived(red, tr, msg.Src, st.width(j), st.width(k), msg.Data)
+		st.childArrived(red, st.width(j), st.width(k), msg.Data)
 		st.maybeCompleteRow(k, j, red)
 	case core.OpDiagReduce:
 		red := st.getDiagRed(k)
-		st.childArrived(red, sp.DiagReduce.Tree, msg.Src, st.width(k), st.width(k), msg.Data)
+		st.childArrived(red, st.width(k), st.width(k), msg.Data)
 		st.maybeCompleteDiag(k, red)
 	case core.OpSymmSend:
 		// Finalized A⁻¹_{J,K} arrives at the owner of (K, J); mirror it.
@@ -788,8 +827,7 @@ func (st *rankState) handle(msg simmpi.Message) {
 	case core.OpColReduce:
 		j := blk
 		red := st.getColRed(k, j)
-		tr := sp.ColReduces[cIndex(sp.C, j)].Tree
-		st.childArrived(red, tr, msg.Src, st.width(k), st.width(j), msg.Data)
+		st.childArrived(red, st.width(k), st.width(j), msg.Data)
 		st.maybeCompleteCol(k, j, red)
 	default:
 		panic(fmt.Sprintf("pselinv: unexpected %v message in pass 2", kind))
@@ -843,11 +881,12 @@ func (st *rankState) tryRunU(ti int) {
 }
 
 // newRedState builds a reduction's tracking state: the shared sum in the
-// default mode, the empty canonical slot array in deterministic mode.
-func (st *rankState) newRedState(rows, cols, local, children int) *redState {
-	red := &redState{localPending: local, childPending: children, base: local}
+// default mode, the empty canonical slot array — one entry per global
+// contribution — in deterministic mode.
+func (st *rankState) newRedState(rows, cols, local, children, nslots int) *redState {
+	red := &redState{localPending: local, childPending: children}
 	if st.e.deterministic() {
-		red.slots = make([]*dense.Matrix, local+children)
+		red.slots = make([]*dense.Matrix, nslots)
 	} else {
 		red.sum = dense.GetMatrix(rows, cols)
 	}
@@ -861,7 +900,7 @@ func (st *rankState) getColRed(k, j int) *redState {
 	}
 	sp := st.e.Plan.Snodes[k]
 	tr := sp.ColReduces[cIndex(sp.C, j)].Tree
-	red := st.newRedState(st.width(k), st.width(j), st.prog.colLocal[key], len(tr.Children(st.r.ID)))
+	red := st.newRedState(st.width(k), st.width(j), st.prog.colLocal[key], len(tr.Children(st.r.ID)), len(sp.C))
 	st.colRed[key] = red
 	return red
 }
@@ -876,15 +915,20 @@ func (st *rankState) maybeCompleteCol(k, j int, red *redState) {
 	sp := st.e.Plan.Snodes[k]
 	op := &sp.ColReduces[cIndex(sp.C, j)]
 	end := st.collSpan("col-reduce", k, op.Tree)
-	st.combineSlots(red, st.width(k), st.width(j))
 	me := st.r.ID
 	if me != op.Tree.Root {
-		// The buffer travels up the tree; the parent recycles it.
-		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassColReduce, red.sum.Data)
-		red.sum = nil
+		if st.e.deterministic() {
+			st.forwardSlots(red, op.Tree.Parent(me), op.Key(), simmpi.ClassColReduce,
+				st.width(k), st.width(j))
+		} else {
+			// The buffer travels up the tree; the parent recycles it.
+			st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassColReduce, red.sum.Data)
+			red.sum = nil
+		}
 		end()
 		return
 	}
+	st.combineSlots(red, st.width(k), st.width(j))
 	m := red.sum
 	red.sum = nil // ownership moves to ainv (released via RunResult.Release)
 	m.Scale(-1)
@@ -910,9 +954,11 @@ func (st *rankState) tryDiagContribAsym(k, j int) {
 		return
 	}
 	st.diagTDone[key] = true
+	sp := st.e.Plan.Snodes[k]
+	slot := cIndex(sp.C, j)
 	red := st.getDiagRed(k)
 	if st.sched != nil {
-		out := st.slotFor(red, st.prog.diagSlot[key], st.width(k), st.width(k))
+		out := st.slotFor(red, slot, st.width(k), st.width(k))
 		st.sched.submit(k, "gemm",
 			st.sched.depf("bcast-u(%d,%d) ainv(%d,%d)", k, j, j, k),
 			func() {
@@ -924,7 +970,7 @@ func (st *rankState) tryDiagContribAsym(k, j int) {
 		return
 	}
 	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uh, av, 1,
-		st.slotFor(red, st.prog.diagSlot[key], st.width(k), st.width(k)))
+		st.slotFor(red, slot, st.width(k), st.width(k)))
 	red.localPending--
 	st.maybeCompleteDiag(k, red)
 }
@@ -995,7 +1041,7 @@ func (st *rankState) getRowRed(k, j int) *redState {
 	}
 	sp := st.e.Plan.Snodes[k]
 	tr := sp.RowReduces[cIndex(sp.C, j)].Tree
-	red := st.newRedState(st.width(j), st.width(k), st.prog.rowLocal[key], len(tr.Children(st.r.ID)))
+	red := st.newRedState(st.width(j), st.width(k), st.prog.rowLocal[key], len(tr.Children(st.r.ID)), len(sp.C))
 	st.rowRed[key] = red
 	return red
 }
@@ -1004,8 +1050,9 @@ func (st *rankState) getDiagRed(k int) *redState {
 	if red, ok := st.diagRed[k]; ok {
 		return red
 	}
-	tr := st.e.Plan.Snodes[k].DiagReduce.Tree
-	red := st.newRedState(st.width(k), st.width(k), st.prog.diagLocal[k], len(tr.Children(st.r.ID)))
+	sp := st.e.Plan.Snodes[k]
+	tr := sp.DiagReduce.Tree
+	red := st.newRedState(st.width(k), st.width(k), st.prog.diagLocal[k], len(tr.Children(st.r.ID)), len(sp.C))
 	st.diagRed[k] = red
 	return red
 }
@@ -1021,16 +1068,21 @@ func (st *rankState) maybeCompleteRow(k, j int, red *redState) {
 	sp := st.e.Plan.Snodes[k]
 	op := &sp.RowReduces[cIndex(sp.C, j)]
 	end := st.collSpan("row-reduce", k, op.Tree)
-	st.combineSlots(red, st.width(j), st.width(k))
 	me := st.r.ID
 	if me != op.Tree.Root {
-		// The buffer travels up the tree; the parent recycles it.
-		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassRowReduce, red.sum.Data)
-		red.sum = nil
+		if st.e.deterministic() {
+			st.forwardSlots(red, op.Tree.Parent(me), op.Key(), simmpi.ClassRowReduce,
+				st.width(j), st.width(k))
+		} else {
+			// The buffer travels up the tree; the parent recycles it.
+			st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassRowReduce, red.sum.Data)
+			red.sum = nil
+		}
 		end()
 		return
 	}
 	// Root: A⁻¹_{J,K} = −(accumulated sum).
+	st.combineSlots(red, st.width(j), st.width(k))
 	m := red.sum
 	red.sum = nil // ownership moves to ainv (released via RunResult.Release)
 	m.Scale(-1)
@@ -1044,7 +1096,7 @@ func (st *rankState) maybeCompleteRow(k, j int, red *redState) {
 		return
 	}
 	// Symmetric path: mirror to the upper triangle.
-	dst := st.e.Plan.Grid.OwnerOfBlock(k, j)
+	dst := st.e.Plan.Owners.OwnerOfBlock(k, j)
 	st.r.Send(dst, core.OpKey(core.OpSymmSend, k, j), simmpi.ClassSymmSend, m.Data)
 	// Local contribution to the diagonal update:
 	// L̂_{J,K}ᵀ · A⁻¹_{J,K} = Û_{K,J} · A⁻¹_{J,K}, accumulated into the
@@ -1053,9 +1105,10 @@ func (st *rankState) maybeCompleteRow(k, j int, red *redState) {
 	if !ok {
 		panic(fmt.Sprintf("pselinv: row-reduce root %d lacks L̂(%d,%d)", me, j, k))
 	}
+	slot := cIndex(sp.C, j)
 	dred := st.getDiagRed(k)
 	if st.sched != nil {
-		out := st.slotFor(dred, st.prog.diagSlot[blockKey{k, j}], st.width(k), st.width(k))
+		out := st.slotFor(dred, slot, st.width(k), st.width(k))
 		st.sched.submit(k, "gemm",
 			st.sched.depf("lhat(%d,%d) rowred(%d,%d)", j, k, k, j),
 			func() {
@@ -1067,7 +1120,7 @@ func (st *rankState) maybeCompleteRow(k, j int, red *redState) {
 		return
 	}
 	dense.Gemm(dense.DoTrans, dense.NoTrans, 1, lhjk, m, 1,
-		st.slotFor(dred, st.prog.diagSlot[blockKey{k, j}], st.width(k), st.width(k)))
+		st.slotFor(dred, slot, st.width(k), st.width(k)))
 	dred.localPending--
 	st.maybeCompleteDiag(k, dred)
 }
@@ -1081,15 +1134,20 @@ func (st *rankState) maybeCompleteDiag(k int, red *redState) {
 	red.done = true
 	op := st.e.Plan.Snodes[k].DiagReduce
 	endColl := st.collSpan("diag-reduce", k, op.Tree)
-	st.combineSlots(red, st.width(k), st.width(k))
 	me := st.r.ID
 	if me != op.Tree.Root {
-		// The buffer travels up the tree; the parent recycles it.
-		st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassDiagReduce, red.sum.Data)
-		red.sum = nil
+		if st.e.deterministic() {
+			st.forwardSlots(red, op.Tree.Parent(me), op.Key(), simmpi.ClassDiagReduce,
+				st.width(k), st.width(k))
+		} else {
+			// The buffer travels up the tree; the parent recycles it.
+			st.r.Send(op.Tree.Parent(me), op.Key(), simmpi.ClassDiagReduce, red.sum.Data)
+			red.sum = nil
+		}
 		endColl()
 		return
 	}
+	st.combineSlots(red, st.width(k), st.width(k))
 	endColl()
 	if st.sched != nil {
 		sum := red.sum

@@ -211,6 +211,11 @@ type Request struct {
 	// topology-aware schemes (toposhifted, bine); 0 keeps the Edison-style
 	// default of 24 ranks per node. Other schemes ignore it.
 	CoresPerNode int `json:"cores_per_node,omitempty"`
+	// Balancer selects the supernode→process mapping strategy (default
+	// cyclic); any slug from pselinv.BalancerSlugs is accepted:
+	// cyclic|nnz|work|subtree. The mapping changes the communication plan
+	// but never the computed values.
+	Balancer string `json:"balancer,omitempty"`
 	// Ordering selects the fill-reducing ordering: nd|natural|rcm|mmd.
 	// The service default is nested dissection — the expensive ordering is
 	// exactly what the plan cache amortizes across a same-pattern family.
@@ -248,6 +253,7 @@ type Response struct {
 	Cache     string  `json:"cache"` // hit|miss|coalesced
 	Procs     int     `json:"procs"`
 	Scheme    string  `json:"scheme"`
+	Balancer  string  `json:"balancer"`
 	Ordering  string  `json:"ordering"`
 	Symmetric bool    `json:"symmetric"`
 	LogAbsDet float64 `json:"logabsdet"`
@@ -350,6 +356,21 @@ func parseScheme(s string) (pselinv.Scheme, *httpError) {
 	return scheme, nil
 }
 
+// parseBalancer validates the request's balancer slug; the 400 lists the
+// valid slugs (same contract as parseScheme). The slug itself is what the
+// analysis consumes — validation here keeps bad requests out of the
+// symbolic cache.
+func parseBalancer(s string) (pselinv.Balancer, *httpError) {
+	if s == "" {
+		return pselinv.CyclicBalancer, nil
+	}
+	b, err := pselinv.ParseBalancer(s)
+	if err != nil {
+		return 0, badRequest("%v", err)
+	}
+	return b, nil
+}
+
 // parseOrdering maps the request field to an ordering method plus its
 // canonical name (part of the cache key). The zero value defaults to
 // nested dissection, not the library's natural ordering: a service exists
@@ -408,6 +429,10 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 	if herr != nil {
 		return nil, herr
 	}
+	balancer, herr := parseBalancer(req.Balancer)
+	if herr != nil {
+		return nil, herr
+	}
 	ordMethod, ordName, herr := parseOrdering(req.Ordering)
 	if herr != nil {
 		return nil, herr
@@ -457,8 +482,11 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 	// Cache key: pattern fingerprint + the analysis options that change
 	// its symbolic outcome.
 	// CoresPerNode is baked into the Symbolic's engine templates, so it is
-	// part of the key (a non-default packing must not reuse default plans).
-	key := fmt.Sprintf("%s/%s/r%d/w%d/c%d", m.Fingerprint(), ordName, s.cfg.Relax, s.cfg.MaxWidth, req.CoresPerNode)
+	// part of the key (a non-default packing must not reuse default plans),
+	// and so is the balancer — a different supernode→process map is a
+	// different plan.
+	key := fmt.Sprintf("%s/%s/r%d/w%d/c%d/b%s", m.Fingerprint(), ordName, s.cfg.Relax, s.cfg.MaxWidth,
+		req.CoresPerNode, balancer.Slug())
 	tCache := time.Now()
 	sym, outcome, berr := s.cache.getOrBuild(key, func() (*pselinv.Symbolic, error) {
 		return pselinv.AnalyzePattern(m, pselinv.Options{
@@ -466,6 +494,7 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 			Relax:        s.cfg.Relax,
 			MaxWidth:     s.cfg.MaxWidth,
 			CoresPerNode: req.CoresPerNode,
+			Balancer:     balancer.Slug(),
 		})
 	})
 	if berr != nil {
@@ -511,6 +540,7 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 		Cache:     string(outcome),
 		Procs:     res.Procs(),
 		Scheme:    scheme.Slug(),
+		Balancer:  balancer.Slug(),
 		Ordering:  ordName,
 		Symmetric: sys.Symmetric(),
 		LogAbsDet: sys.LogAbsDet(),

@@ -176,6 +176,63 @@ func TestServeTopoSchemes(t *testing.T) {
 	}
 }
 
+// TestServeBalancers: every balancer slug must be accepted, echoed in the
+// response, and produce the same diagonal as the cyclic default (the
+// parity invariant, observed through the service); an unknown slug must
+// 400 listing every valid one — the same contract schemes keep.
+func TestServeBalancers(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	base := &Request{
+		Matrix:   MatrixSpec{Kind: "grid2d", NX: 8, NY: 8, Seed: 7},
+		Procs:    8,
+		Diagonal: true,
+	}
+	_, ref := postJSON(t, ts.URL, base)
+	if ref == nil {
+		t.Fatal("baseline request failed")
+	}
+	if ref.Balancer != "cyclic" {
+		t.Fatalf("default response balancer %q, want cyclic", ref.Balancer)
+	}
+	for _, slug := range pselinv.BalancerSlugs() {
+		req := *base
+		req.Balancer = slug
+		hr, resp := postJSON(t, ts.URL, &req)
+		if resp == nil {
+			t.Fatalf("%s: status %d", slug, hr.StatusCode)
+		}
+		if resp.Balancer != slug {
+			t.Fatalf("%s: response balancer %q", slug, resp.Balancer)
+		}
+		for i := range ref.Diagonal {
+			if math.Abs(resp.Diagonal[i]-ref.Diagonal[i]) > 1e-12 {
+				t.Fatalf("%s: diagonal[%d] = %g, want %g", slug, i, resp.Diagonal[i], ref.Diagonal[i])
+			}
+		}
+	}
+	// An unknown balancer must 400 naming every valid slug.
+	body, err := json.Marshal(&Request{
+		Matrix: MatrixSpec{Kind: "grid2d", NX: 5, NY: 5}, Balancer: "zigzag",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(ts.URL+"/v1/selinv", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", hr.StatusCode)
+	}
+	for _, slug := range pselinv.BalancerSlugs() {
+		if !strings.Contains(string(msg), slug) {
+			t.Fatalf("error %q does not list valid balancer %q", msg, slug)
+		}
+	}
+}
+
 func TestServeValidation(t *testing.T) {
 	_, ts := testServer(t, Config{MaxN: 100, MaxProcs: 16})
 	cases := []Request{
@@ -185,6 +242,7 @@ func TestServeValidation(t *testing.T) {
 		{Matrix: MatrixSpec{Kind: "grid2d", NX: 5, NY: 5}, Procs: 64},            // exceeds MaxProcs
 		{Matrix: MatrixSpec{Kind: "grid2d", NX: 5, NY: 5}, Scheme: "fibonacci"},  // unknown scheme
 		{Matrix: MatrixSpec{Kind: "grid2d", NX: 5, NY: 5}, Ordering: "random"},   // unknown ordering
+		{Matrix: MatrixSpec{Kind: "grid2d", NX: 5, NY: 5}, Balancer: "zigzag"},   // unknown balancer
 		{Matrix: MatrixSpec{Kind: "matrixmarket", Data: "%%MatrixMarket\njunk"}}, // parse error
 	}
 	for i, req := range cases {

@@ -42,6 +42,7 @@ import (
 	"pselinv/internal/core"
 	"pselinv/internal/dense"
 	"pselinv/internal/etree"
+	"pselinv/internal/exp"
 	"pselinv/internal/factor"
 	"pselinv/internal/netsim"
 	"pselinv/internal/obs"
@@ -201,6 +202,34 @@ func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
 // SchemeSlugs lists the flag-facing names of every scheme.
 func SchemeSlugs() []string { return core.SchemeSlugs() }
 
+// Balancer selects the supernode→process mapping strategy of the
+// distributed phase. All balancers produce the same selected-inversion
+// values; only the per-rank work and communication distribution changes.
+type Balancer = core.Balancer
+
+// Supernode→process load balancers.
+const (
+	// CyclicBalancer is the 2D block-cyclic default (the paper's mapping).
+	CyclicBalancer = core.CyclicBalancer
+	// NNZBalancer greedily assigns supernodes to the least-loaded rank by
+	// factor nonzero count.
+	NNZBalancer = core.NNZBalancer
+	// WorkBalancer greedily assigns supernodes by estimated
+	// selected-inversion flops.
+	WorkBalancer = core.WorkBalancer
+	// SubtreeBalancer partitions the postordered elimination tree into
+	// contiguous near-equal-work ranges, keeping subtrees rank-local.
+	SubtreeBalancer = core.SubtreeBalancer
+)
+
+// ParseBalancer resolves a flag or request value ("cyclic", "nnz", "work",
+// "subtree") to a Balancer; an unknown name is an error listing the valid
+// slugs.
+func ParseBalancer(name string) (Balancer, error) { return core.ParseBalancer(name) }
+
+// BalancerSlugs lists the flag-facing names of every balancer.
+func BalancerSlugs() []string { return core.BalancerSlugs() }
+
 // Options configures the analysis phase.
 type Options struct {
 	// Ordering defaults to nested dissection.
@@ -229,6 +258,12 @@ type Options struct {
 	// topology-aware schemes (TopoShiftedTree, BineTree); 0 uses the
 	// Edison-style default of 24 ranks per node. Other schemes ignore it.
 	CoresPerNode int
+	// Balancer selects the supernode→process mapping strategy by slug
+	// ("cyclic", "nnz", "work", "subtree"); empty means "cyclic". An
+	// unknown slug is an AnalyzePattern error. The mapping changes which
+	// rank owns which supernode — and therefore the communication plan —
+	// but not the computed values.
+	Balancer string
 }
 
 func (o Options) withDefaults() Options {
@@ -254,6 +289,7 @@ func (o Options) withDefaults() Options {
 // mutex-guarded; all methods are safe for concurrent use.
 type Symbolic struct {
 	opt Options
+	bal Balancer // parsed from opt.Balancer
 	fp  string
 	an  *etree.Analysis
 
@@ -268,6 +304,7 @@ type Symbolic struct {
 type engineKey struct {
 	pr, pc    int
 	scheme    Scheme
+	balancer  Balancer
 	seed      uint64
 	symmetric bool
 }
@@ -285,6 +322,13 @@ const maxEngineTemplates = 16
 // graph) that is the dominant cost of NewSystem.
 func AnalyzePattern(m *Matrix, opt Options) (*Symbolic, error) {
 	opt = opt.withDefaults()
+	bal := CyclicBalancer
+	if opt.Balancer != "" {
+		var err error
+		if bal, err = ParseBalancer(opt.Balancer); err != nil {
+			return nil, fmt.Errorf("pselinv: %w", err)
+		}
+	}
 	if !m.gen.A.IsStructurallySymmetric() {
 		return nil, fmt.Errorf("pselinv: %s: pattern must be structurally symmetric", m.Name())
 	}
@@ -293,6 +337,7 @@ func AnalyzePattern(m *Matrix, opt Options) (*Symbolic, error) {
 		etree.Options{Relax: opt.Relax, MaxWidth: opt.MaxWidth})
 	return &Symbolic{
 		opt:     opt,
+		bal:     bal,
 		fp:      m.Fingerprint(),
 		an:      an,
 		engines: map[engineKey]*pselinv.Engine{},
@@ -333,10 +378,13 @@ func (sy *Symbolic) Factorize(m *Matrix) (*System, error) {
 }
 
 // engineTemplate returns the cached engine template (communication plan +
-// per-rank programs, no numeric factor) for one grid/scheme/seed/symmetry
-// combination, building and caching it on first use.
+// per-rank programs, no numeric factor) for one
+// grid/scheme/balancer/seed/symmetry combination, building and caching it
+// on first use. The balancer is part of the key: a different
+// supernode→process map is a different plan with different per-rank
+// programs, never a reusable variant of an existing one.
 func (sy *Symbolic) engineTemplate(pr, pc int, scheme Scheme, seed uint64, symmetric bool) *pselinv.Engine {
-	key := engineKey{pr: pr, pc: pc, scheme: scheme, seed: seed, symmetric: symmetric}
+	key := engineKey{pr: pr, pc: pc, scheme: scheme, balancer: sy.bal, seed: seed, symmetric: symmetric}
 	sy.mu.Lock()
 	defer sy.mu.Unlock()
 	if eng, ok := sy.engines[key]; ok {
@@ -347,7 +395,8 @@ func (sy *Symbolic) engineTemplate(pr, pc int, scheme Scheme, seed uint64, symme
 	}
 	plan := core.NewPlanConfig(sy.an.BP, procgrid.New(pr, pc), core.PlanConfig{
 		Scheme: scheme, Seed: seed, Symmetric: symmetric,
-		Topo: core.Topology{CoresPerNode: sy.opt.CoresPerNode},
+		Balancer: sy.bal,
+		Topo:     core.Topology{CoresPerNode: sy.opt.CoresPerNode},
 	})
 	eng := pselinv.NewEngine(plan, nil)
 	sy.engines[key] = eng
@@ -634,6 +683,10 @@ func (s *System) ParallelSelInvObserved(procs int, scheme Scheme, seed uint64) (
 	}
 	rep := col.Report(scheme.String())
 	rep.SetDagStats(obsDagStats(res.dag))
+	// The engine template is cached, so this lookup reuses the plan the
+	// run just executed.
+	eng := s.sym.engineTemplate(g.Pr, g.Pc, scheme, seed, s.symmetric)
+	rep.SetLoad(exp.LoadSection(eng.Plan, rec))
 	return res, &TraceReport{rec: rec}, &ObsReport{rep: rep}, nil
 }
 
@@ -781,7 +834,8 @@ func (s *System) SimulateTiming(procs int, scheme Scheme, sp SimParams) *TimingR
 	// model charges for.
 	plan := core.NewPlanConfig(s.an.BP, grid, core.PlanConfig{
 		Scheme: scheme, Seed: 1, Symmetric: s.symmetric,
-		Topo: core.Topology{CoresPerNode: params.CoresPerNode},
+		Balancer: s.sym.bal,
+		Topo:     core.Topology{CoresPerNode: params.CoresPerNode},
 	})
 	res := netsim.Simulate(plan, params)
 	return &TimingResult{
