@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test tier1 bench bench-gemm bench-baseline bench-gate \
-	serve loadtest selftest vet race chaos fuzz-smoke tcp-smoke \
+	serve loadtest selftest vet race chaos fuzz-smoke tcp-smoke tcp-obs \
 	balancer-smoke clean
 
 all: build test
@@ -54,6 +54,21 @@ fuzz-smoke:
 tcp-smoke:
 	$(GO) test -race -count=1 ./internal/distrun/ ./internal/tcptransport/
 	$(GO) run ./cmd/commvol -table1 -quick -pr 2 -transport=tcp
+
+# Distributed observability smoke: the snapshot/merge/clock-sync test
+# surface under the race detector, then a real 4-process observed commvol
+# run (race-instrumented launcher AND workers — the workers are re-execs
+# of the same binary). The launcher's MergeObs refuses the merge unless
+# every class's merged traffic-matrix marginals equal the workers'
+# sent/received counters exactly, so a green run IS the end-to-end
+# telemetry conservation assertion. See EXPERIMENTS.md "Distributed
+# observability".
+TCP_OBS_OUT ?= obs-tcp
+tcp-obs:
+	$(GO) test -race -count=1 -run 'Obs|Clock|Snapshot|Merge|Straggler|Trim|Tail' \
+		./internal/obs/ ./internal/tcptransport/ ./internal/distrun/
+	$(GO) run -race ./cmd/commvol -obs -quick -pr 2 -transport=tcp \
+		-schemes flat,binary,shifted -obs-out $(TCP_OBS_OUT)
 
 # Balancer smoke: the cross-balancer parity and owner-map property tests
 # under the race detector, then one instrumented obs run per balancer so

@@ -47,12 +47,14 @@ var (
 	flagQuick    = flag.Bool("quick", false, "smaller grid and matrices (seconds instead of minutes)")
 	flagSeed     = flag.Int64("seed", 1, "matrix and shift seed")
 	flagCSV      = flag.Bool("csv", false, "emit heat maps as CSV instead of ASCII")
-	flagPr       = flag.Int("pr", 24, "main grid dimension (Pr = Pc)")
+	flagPr       = flag.Int("pr", 24, "main grid rows (Pr; columns default to the same)")
+	flagPc       = flag.Int("pc", 0, "main grid columns (0 = -pr, i.e. square; rectangular grids like -pr 4 -pc 2 give P=8 distributed runs)")
 	flag46       = flag.Bool("table1paper", false, "Table I on the paper's literal 46x46 grid via the analytic volume model (no engine run)")
 	flagWork     = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
 	flagChaos    = flag.Uint64("chaos-seed", 0, "non-zero: run every engine measurement under the seeded chaos adversary (adversarial message reordering; volumes unchanged, numerics forced deterministic)")
-	flagObs      = flag.Bool("obs", false, "re-run the main measurement with the communication substrate instrumented: JSON reports, merged Chrome traces, and measured forwarding chains per scheme")
+	flagObs      = flag.Bool("obs", false, "re-run the main measurement with the communication substrate instrumented: JSON reports, merged Chrome traces, and measured forwarding chains per scheme. With -transport=tcp each rank is a real OS process: the per-rank snapshots are streamed back, clock-aligned onto rank 0 and merged into one report whose matrices are conservation-checked against the workers' counters")
 	flagObsOut   = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
+	flagObsRing  = flag.Int("obs-ring", 0, "per-rank observability event-ring capacity for -obs runs (0 = default 16384; oversized values are clamped)")
 	flagSchemes  = flag.String("schemes", "", "comma-separated tree schemes to measure (empty = the paper's flat,binary,shifted; valid: "+strings.Join(core.SchemeSlugs(), "|")+")")
 	flagBalancer = flag.String("balancer", "cyclic", "supernode→process balancer: "+strings.Join(core.BalancerSlugs(), "|"))
 	flagCPN      = flag.Int("cores-per-node", 0, "ranks per node consumed by the topology-aware schemes (0 = Edison default 24)")
@@ -115,15 +117,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "commvol: unknown -transport %q (want inproc or tcp)\n", *flagTransport)
 		os.Exit(2)
 	}
-	if *flagTransport == "tcp" {
-		if *flagObs {
-			fmt.Fprintln(os.Stderr, "commvol: -obs needs the in-process substrate (the collector taps goroutine mailboxes); drop -transport=tcp")
-			os.Exit(2)
-		}
-		if *flagLatScale != 0 {
-			fmt.Fprintln(os.Stderr, "commvol: -latency-scale decorates the in-process transport only (TCP links have real latency); drop -transport=tcp")
-			os.Exit(2)
-		}
+	if *flagTransport == "tcp" && *flagLatScale != 0 {
+		fmt.Fprintln(os.Stderr, "commvol: -latency-scale decorates the in-process transport only (TCP links have real latency); drop -transport=tcp")
+		os.Exit(2)
 	}
 	fmt.Printf("dense kernel workers: %d\n", dense.SetWorkers(*flagWork))
 	if *flagChaos != 0 {
@@ -147,20 +143,24 @@ func main() {
 	// work-per-rank and tree-width-to-grid ratios comparable (EXPERIMENTS.md
 	// details the scaling). Use -pr to override, e.g. -pr 46 for the
 	// literal grid.
-	grid := procgrid.New(*flagPr, *flagPr)
+	pc := *flagPc
+	if pc <= 0 {
+		pc = *flagPr
+	}
+	grid := procgrid.New(*flagPr, pc)
 	smallGrid := procgrid.New(max(1, *flagPr/3), max(1, *flagPr/3)) // Figure 6's "small P" grid
 	audikw := sparse.AudikwStandin(*flagSeed)
 	if *flagQuick {
-		// An explicit -pr wins over -quick's default grid shrink (so
+		// An explicit -pr/-pc wins over -quick's default grid shrink (so
 		// `-quick -pr 2 -transport=tcp` runs P=4 real processes on the
 		// quick matrix); -quick alone shrinks both.
-		prSet := false
+		gridSet := false
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "pr" {
-				prSet = true
+			if f.Name == "pr" || f.Name == "pc" {
+				gridSet = true
 			}
 		})
-		if !prSet {
+		if !gridSet {
 			grid = procgrid.New(12, 12)
 			smallGrid = procgrid.New(6, 6)
 		}
@@ -191,21 +191,53 @@ func main() {
 	}
 
 	if *flagObs {
-		fmt.Printf("== Observability: instrumented runs on %v (reports + merged traces in %s) ==\n", grid, *flagObsOut)
-		ms, err := exp.MeasureObsOpts(pipe, grid, schemeList(), uint64(*flagSeed), 20*time.Minute,
-			exp.RunOpts{CoresPerNode: *flagCPN, Balancer: balancerChoice()})
-		check(err)
-		for _, m := range ms {
-			fmt.Printf("-- %v --\n%s\n", m.Scheme, m.Report.Summary())
-			// The measured Col-Bcast traffic matrix is the per-link version
-			// of the Figure 5 per-rank heat maps (embedded up to 64 ranks).
-			if hm := m.Report.RenderMatrix("Col-Bcast"); hm != "" {
-				fmt.Print(hm)
-				fmt.Println()
+		var paths []string
+		if *flagTransport == "tcp" {
+			fmt.Printf("== Observability: distributed runs on %v, one OS process per rank (merged reports + offset-corrected traces in %s) ==\n", grid, *flagObsOut)
+			spec := distrun.Spec{
+				Relax:        exp.DefaultRelax,
+				MaxWidth:     exp.DefaultMaxWidth,
+				PR:           grid.Pr,
+				PC:           grid.Pc,
+				Seed:         uint64(*flagSeed),
+				CoresPerNode: *flagCPN,
+				Balancer:     balancerSlug(),
+				MailboxCap:   *flagMailCap,
+				ObsRingCap:   *flagObsRing,
+				TimeoutSec:   flagTimeout.Seconds(),
 			}
+			if *flagChaos != 0 {
+				spec.ChaosEnabled, spec.ChaosSeed, spec.Deterministic = true, *flagChaos, true
+			}
+			ms, err := distrun.MeasureObs(audikw, spec, schemeList(), nil)
+			check(err)
+			for _, m := range ms {
+				fmt.Printf("-- %v --\n%s\n", m.Scheme, m.Report.Summary())
+				if hm := m.Report.RenderMatrix("Col-Bcast"); hm != "" {
+					fmt.Print(hm)
+					fmt.Println()
+				}
+				fmt.Println("conservation: merged traffic-matrix marginals equal the workers' volume counters")
+			}
+			paths, err = distrun.WriteObsArtifacts(*flagObsOut, ms)
+			check(err)
+		} else {
+			fmt.Printf("== Observability: instrumented runs on %v (reports + merged traces in %s) ==\n", grid, *flagObsOut)
+			ms, err := exp.MeasureObsOpts(pipe, grid, schemeList(), uint64(*flagSeed), 20*time.Minute,
+				exp.RunOpts{Chaos: chaosCfg(), CoresPerNode: *flagCPN, Balancer: balancerChoice(), ObsRingCap: *flagObsRing})
+			check(err)
+			for _, m := range ms {
+				fmt.Printf("-- %v --\n%s\n", m.Scheme, m.Report.Summary())
+				// The measured Col-Bcast traffic matrix is the per-link version
+				// of the Figure 5 per-rank heat maps (embedded up to 64 ranks).
+				if hm := m.Report.RenderMatrix("Col-Bcast"); hm != "" {
+					fmt.Print(hm)
+					fmt.Println()
+				}
+			}
+			paths, err = exp.WriteObsArtifacts(*flagObsOut, ms)
+			check(err)
 		}
-		paths, err := exp.WriteObsArtifacts(*flagObsOut, ms)
-		check(err)
 		fmt.Println("artifacts:")
 		for _, p := range paths {
 			fmt.Println("  " + p)

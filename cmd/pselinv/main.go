@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -40,6 +41,9 @@ var (
 	flagSim      = flag.Bool("sim", false, "also run the network timing simulator at this processor count")
 	flagAsym     = flag.Bool("asym", false, "perturb the generated matrix to asymmetric values (general path)")
 	flagTrace    = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the parallel run to this file")
+	flagObs      = flag.Bool("obs", false, "instrument the parallel run's communication substrate: print the telemetry summary (traffic totals, imbalance, measured forwarding chains, straggler attribution) and write the JSON report + merged Chrome trace to -obs-out")
+	flagObsOut   = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
+	flagObsRing  = flag.Int("obs-ring", 0, "per-rank observability event-ring capacity for -obs runs (0 = default 16384; oversized values are clamped)")
 	flagDag      = flag.Bool("dag", false, "intra-rank task-DAG execution: schedule supernode updates on the kernel worker pool, overlapped with the tree collectives (result stays byte-identical)")
 	flagWork     = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
 )
@@ -137,7 +141,21 @@ func main() {
 
 	sch := scheme(*flagScheme)
 	var par *pselinv.ParallelResult
-	if *flagTrace != "" {
+	if *flagObs {
+		var trep *pselinv.TraceReport
+		var orep *pselinv.ObsReport
+		par, trep, orep, err = sys.ParallelSelInvObservedCap(*flagProcs, sch, uint64(*flagSeed), *flagObsRing)
+		check(err)
+		fmt.Printf("%s", orep.Summary())
+		check(writeObsArtifacts(*flagObsOut, sch, trep, orep))
+		if *flagTrace != "" {
+			f, ferr := os.Create(*flagTrace)
+			check(ferr)
+			check(trep.WriteChromeTrace(f))
+			check(f.Close())
+			fmt.Printf("trace written to %s (open in chrome://tracing)\n", *flagTrace)
+		}
+	} else if *flagTrace != "" {
 		var rep *pselinv.TraceReport
 		par, rep, err = sys.ParallelSelInvTraced(*flagProcs, sch, uint64(*flagSeed))
 		check(err)
@@ -209,6 +227,43 @@ func main() {
 			*flagProcs, tr.Seconds, tr.ComputeSeconds, tr.CommSeconds,
 			tr.Messages, float64(tr.Bytes)/1e6)
 	}
+}
+
+// writeObsArtifacts writes the observed run's JSON report and merged
+// compute+collective Chrome trace into dir as obs-<scheme>.json and
+// trace-<scheme>.json — the same layout cmd/scaling and cmd/commvol use,
+// so downstream tooling reads all three the same way.
+func writeObsArtifacts(dir string, sch pselinv.Scheme, trep *pselinv.TraceReport, orep *pselinv.ObsReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := strings.ToLower(strings.ReplaceAll(sch.String(), " ", "-"))
+	rp := filepath.Join(dir, "obs-"+slug+".json")
+	rf, err := os.Create(rp)
+	if err != nil {
+		return err
+	}
+	if err := orep.WriteJSON(rf); err != nil {
+		rf.Close()
+		return err
+	}
+	if err := rf.Close(); err != nil {
+		return err
+	}
+	tp := filepath.Join(dir, "trace-"+slug+".json")
+	tf, err := os.Create(tp)
+	if err != nil {
+		return err
+	}
+	if err := trep.WriteChromeTrace(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("obs artifacts:\n  %s\n  %s\n", rp, tp)
+	return nil
 }
 
 func check(err error) {

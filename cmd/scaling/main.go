@@ -44,9 +44,10 @@ var (
 	flagSeeds  = flag.Int("seeds", 6, "placement seeds per point (paper: 6 runs)")
 	flagWork   = flag.Int("workers", 0, "dense-kernel worker pool size (0 = GOMAXPROCS)")
 	flagChaos  = flag.Uint64("chaos-seed", 0, "non-zero: preflight the real engine under the seeded chaos adversary before simulating (the scaling sweeps themselves are timing-model replays with no live messages)")
-	flagObs    = flag.Bool("obs", false, "run the fixed observability problem (real engine, 4x4 grid) per scheme and write JSON reports + merged Chrome traces")
-	flagObsOut = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
-	flagObsSd  = flag.Uint64("obs-seed", 1, "tree-shift seed for -obs runs")
+	flagObs     = flag.Bool("obs", false, "run the fixed observability problem (real engine, 4x4 grid) per scheme and write JSON reports + merged Chrome traces; with -transport=tcp the observed run instead spans 4 OS processes on a 2x2 grid and the artifacts are the clock-aligned merged report and offset-corrected trace")
+	flagObsOut  = flag.String("obs-out", "obs-out", "directory for -obs artifacts")
+	flagObsSd   = flag.Uint64("obs-seed", 1, "tree-shift seed for -obs runs")
+	flagObsRing = flag.Int("obs-ring", 0, "per-rank observability event-ring capacity for -obs runs (0 = default 16384; oversized values are clamped)")
 	flagDag    = flag.Bool("dag", false, "run the live-engine sections (-obs, -chaos-seed preflight) in intra-rank task-DAG mode: supernode updates scheduled on the kernel worker pool, overlapped with the tree collectives")
 
 	flagTransport = flag.String("transport", "inproc", "communication substrate for the live preflight: inproc, or tcp to validate the real engine across 4 OS processes on localhost (byte-identical volumes to inproc) before the simulated sweeps")
@@ -121,7 +122,13 @@ func main() {
 		fmt.Println("ok (bit-identical to unperturbed run, bytes conserved)")
 	}
 	if *flagObs {
-		if err := runObs(*flagObsOut, *flagObsSd, *flagDag); err != nil {
+		var err error
+		if *flagTransport == "tcp" {
+			err = runObsTCP(*flagObsOut, *flagObsSd)
+		} else {
+			err = runObs(*flagObsOut, *flagObsSd, *flagDag)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "scaling:", err)
 			os.Exit(1)
 		}
@@ -318,7 +325,7 @@ func runObs(dir string, seed uint64, dag bool) error {
 	}
 	fmt.Printf("== Observability: measured forwarding chains and traffic matrices on %v ==\n", grid)
 	ms, err := exp.MeasureObsOpts(p, grid, parseSchemes(core.Schemes()), seed, 5*time.Minute,
-		exp.RunOpts{DAG: dag, Balancer: parseBalancer()})
+		exp.RunOpts{DAG: dag, Balancer: parseBalancer(), ObsRingCap: *flagObsRing})
 	if err != nil {
 		return err
 	}
@@ -326,6 +333,42 @@ func runObs(dir string, seed uint64, dag bool) error {
 		fmt.Printf("-- %v --\n%s\n", m.Scheme, m.Report.Summary())
 	}
 	paths, err := exp.WriteObsArtifacts(dir, ms)
+	if err != nil {
+		return err
+	}
+	fmt.Println("artifacts:")
+	for _, p := range paths {
+		fmt.Println("  " + p)
+	}
+	fmt.Println()
+	return nil
+}
+
+// runObsTCP is runObs across real OS processes: the same observability
+// problem's matrix on a 2×2 grid, one worker process per rank meshed over
+// localhost TCP. Each worker streams a telemetry snapshot back to the
+// launcher; the merged report's traffic matrices are conservation-checked
+// against the workers' volume counters before anything is written, so a
+// successful run certifies the distributed telemetry path end to end.
+func runObsTCP(dir string, seed uint64) error {
+	grid := procgrid.New(2, 2)
+	fmt.Printf("== Observability: distributed runs on %v, one OS process per rank ==\n", grid)
+	spec := distrun.Spec{
+		Relax: 2, MaxWidth: 8,
+		PR: grid.Pr, PC: grid.Pc, Seed: seed,
+		Balancer:   parseBalancer().Slug(),
+		ObsRingCap: *flagObsRing,
+		TimeoutSec: (5 * time.Minute).Seconds(),
+	}
+	ms, err := distrun.MeasureObs(sparse.Grid2D(16, 16, 1), spec, parseSchemes(core.Schemes()), nil)
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
+		fmt.Printf("-- %v --\n%s\n", m.Scheme, m.Report.Summary())
+	}
+	fmt.Println("conservation: merged traffic-matrix marginals equal the workers' volume counters")
+	paths, err := distrun.WriteObsArtifacts(dir, ms)
 	if err != nil {
 		return err
 	}

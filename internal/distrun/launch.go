@@ -12,6 +12,7 @@ import (
 
 	"pselinv/internal/core"
 	"pselinv/internal/exp"
+	"pselinv/internal/obs"
 	"pselinv/internal/simmpi"
 	"pselinv/internal/sparse"
 	"pselinv/internal/stats"
@@ -62,6 +63,10 @@ func (o *Options) setupTimeout() time.Duration {
 type Outcome struct {
 	Results []Result
 	Elapsed time.Duration
+	// Snapshots holds each rank's telemetry snapshot on observed runs
+	// (Spec.Obs), rank-indexed; nil entries mark ranks whose snapshot was
+	// lost or trimmed away entirely. Empty on unobserved runs.
+	Snapshots []*obs.Snapshot
 }
 
 // SentBytes assembles the per-rank sent-byte vector for one class — the
@@ -128,6 +133,7 @@ type launchedWorker struct {
 	stdin  io.WriteCloser
 	addrCh chan string
 	resCh  chan Result
+	obsCh  chan *obs.Snapshot
 	scanCh chan error // scanner goroutine exit status
 }
 
@@ -198,6 +204,9 @@ func Launch(specPath string, spec *Spec, opts *Options) (*Outcome, error) {
 	// themselves; the launcher allows setup slack on top before declaring
 	// a worker lost.
 	outcome := &Outcome{Results: make([]Result, p)}
+	if spec.Obs {
+		outcome.Snapshots = make([]*obs.Snapshot, p)
+	}
 	resultDeadline := time.After(spec.Timeout() + opts.setupTimeout())
 	var failures []string
 	for r, w := range workers {
@@ -212,6 +221,16 @@ func Launch(specPath string, spec *Spec, opts *Options) (*Outcome, error) {
 				return nil, fmt.Errorf("distrun: rank %d reported itself as rank %d", r, res.Rank)
 			}
 			outcome.Results[r] = res
+			if spec.Obs {
+				// A worker writes its obs line before its result line, so by
+				// the time the result arrived the snapshot (if any) is
+				// already buffered.
+				select {
+				case snap := <-w.obsCh:
+					outcome.Snapshots[r] = snap
+				default:
+				}
+			}
 			if res.Error != "" {
 				failures = append(failures, fmt.Sprintf("rank %d: %s", r, res.Error))
 			}
@@ -260,6 +279,7 @@ func spawnWorker(argv []string, specPath string, rank int, errSink io.Writer) (*
 		stdin:  stdin,
 		addrCh: make(chan string, 1),
 		resCh:  make(chan Result, 1),
+		obsCh:  make(chan *obs.Snapshot, 1),
 		scanCh: make(chan error, 1),
 	}
 	if err := cmd.Start(); err != nil {
@@ -282,6 +302,13 @@ func spawnWorker(argv []string, specPath string, rank int, errSink io.Writer) (*
 					continue
 				}
 				w.resCh <- res
+			case strings.HasPrefix(line, obsPrefix):
+				snap, err := obs.UnmarshalSnapshot([]byte(line[len(obsPrefix):]))
+				if err != nil {
+					fmt.Fprintf(errSink, "distrun: rank %d: bad obs line: %v\n", rank, err)
+					continue
+				}
+				w.obsCh <- snap
 			default:
 				fmt.Fprintln(errSink, line)
 			}

@@ -1,0 +1,165 @@
+// Launcher-side assembly of distributed observability: merge the per-rank
+// telemetry snapshots an observed run streamed back, verify the merged
+// traffic matrices marginalize exactly to the launcher's global conservation
+// counters, and expose the multi-process analogue of exp.MeasureObs.
+package distrun
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pselinv/internal/core"
+	"pselinv/internal/exp"
+	"pselinv/internal/obs"
+	"pselinv/internal/simmpi"
+	"pselinv/internal/sparse"
+	"pselinv/internal/trace"
+)
+
+// MergeObs merges the outcome's per-rank snapshots into one clock-aligned
+// run and cross-checks it against the workers' volume counters: for every
+// class, the merged traffic-matrix row sums must equal the summed sent
+// counters and the column sums the received ones. The counters travel on the
+// result line and the matrices on the obs line, so agreement certifies the
+// telemetry path end to end, independently of the launcher's own
+// sent==received conservation check.
+func (o *Outcome) MergeObs() (*obs.Merged, error) {
+	if len(o.Snapshots) == 0 {
+		return nil, fmt.Errorf("distrun: outcome has no snapshots (run without Spec.Obs?)")
+	}
+	snaps := make([]*obs.Snapshot, 0, len(o.Snapshots))
+	for r, s := range o.Snapshots {
+		if s == nil {
+			return nil, fmt.Errorf("distrun: rank %d produced no telemetry snapshot", r)
+		}
+		snaps = append(snaps, s)
+	}
+	m, err := obs.Merge(snaps)
+	if err != nil {
+		return nil, err
+	}
+	sum := func(col func(*Result) []int64) func(simmpi.Class) int64 {
+		return func(c simmpi.Class) int64 {
+			var total int64
+			for r := range o.Results {
+				if xs := col(&o.Results[r]); int(c) < len(xs) {
+					total += xs[c]
+				}
+			}
+			return total
+		}
+	}
+	if err := m.CheckConservation(
+		sum(func(r *Result) []int64 { return r.SentBytes }),
+		sum(func(r *Result) []int64 { return r.RecvBytes }),
+		sum(func(r *Result) []int64 { return r.SentMsgs }),
+		sum(func(r *Result) []int64 { return r.RecvMsgs }),
+	); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ObsMeasurement is one fully observed distributed run for one scheme: the
+// merged cross-process report (traffic matrices, chains, clock alignment,
+// straggler attribution), the merged offset-corrected span timeline, and the
+// raw outcome for callers that want the per-rank results.
+type ObsMeasurement struct {
+	Scheme  core.Scheme
+	Report  *obs.Report
+	Merged  *obs.Merged
+	Outcome *Outcome
+	Elapsed time.Duration
+}
+
+// Spans returns the merged, offset-corrected, canonically sorted timeline.
+func (m *ObsMeasurement) Spans() []trace.Event { return m.Merged.Spans }
+
+// MeasureObs is the multi-process analogue of exp.MeasureObs: it stages gen
+// on disk, runs one observed distributed launch per scheme, merges each
+// run's per-rank snapshots onto rank 0's clock and returns the per-scheme
+// merged reports. Every merge is conservation-checked against the workers'
+// volume counters before it is returned.
+func MeasureObs(gen *sparse.Generated, base Spec, schemes []core.Scheme, opts *Options) ([]*ObsMeasurement, error) {
+	dir, err := os.MkdirTemp("", "distrun-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	staged, err := StageMatrix(dir, gen)
+	if err != nil {
+		return nil, err
+	}
+	base.MatrixFile, base.MatrixName, base.Geom = staged.MatrixFile, staged.MatrixName, staged.Geom
+	base.Obs = true
+
+	out := make([]*ObsMeasurement, 0, len(schemes))
+	for _, scheme := range schemes {
+		spec := base
+		spec.Scheme = scheme
+		specPath, err := WriteSpec(dir, &spec)
+		if err != nil {
+			return nil, err
+		}
+		outcome, err := Launch(specPath, &spec, opts)
+		if err != nil {
+			return nil, fmt.Errorf("distrun: obs %v on %dx%d: %w", scheme, spec.PR, spec.PC, err)
+		}
+		merged, err := outcome.MergeObs()
+		if err != nil {
+			return nil, fmt.Errorf("distrun: obs %v on %dx%d: %w", scheme, spec.PR, spec.PC, err)
+		}
+		out = append(out, &ObsMeasurement{
+			Scheme:  scheme,
+			Report:  merged.Report(scheme.String()),
+			Merged:  merged,
+			Outcome: outcome,
+			Elapsed: outcome.Elapsed,
+		})
+	}
+	return out, nil
+}
+
+// WriteObsArtifacts is the distributed analogue of exp.WriteObsArtifacts: it
+// writes each measurement's merged JSON report and offset-corrected Chrome
+// trace into dir (created if needed) as obs-<scheme>.json and
+// trace-<scheme>.json, returning the written paths. The trace spans carry
+// every worker's compute and collective timeline shifted onto rank 0's clock,
+// so cross-process send→recv edges line up in chrome://tracing.
+func WriteObsArtifacts(dir string, ms []*ObsMeasurement) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, m := range ms {
+		slug := exp.SchemeSlug(m.Scheme)
+		rp := filepath.Join(dir, "obs-"+slug+".json")
+		rf, err := os.Create(rp)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Report.WriteJSON(rf); err != nil {
+			rf.Close()
+			return nil, err
+		}
+		if err := rf.Close(); err != nil {
+			return nil, err
+		}
+		tp := filepath.Join(dir, "trace-"+slug+".json")
+		tf, err := os.Create(tp)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.WriteChromeTraceEvents(tf, m.Spans()); err != nil {
+			tf.Close()
+			return nil, err
+		}
+		if err := tf.Close(); err != nil {
+			return nil, err
+		}
+		paths = append(paths, rp, tp)
+	}
+	return paths, nil
+}

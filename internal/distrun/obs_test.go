@@ -1,0 +1,177 @@
+package distrun_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pselinv/internal/core"
+	"pselinv/internal/distrun"
+	"pselinv/internal/exp"
+	"pselinv/internal/procgrid"
+)
+
+// TestDistributedObservability runs an observed 4-process TCP launch and
+// checks the end-to-end acceptance properties: every rank streamed a
+// snapshot back, the merge conservation-checks against the workers' volume
+// counters (inside MergeObs), every offset-corrected send→recv edge has
+// non-negative latency, and the merged report carries the clock and
+// straggler sections. The schedule-stripped merged report must match the
+// checked-in golden AND be byte-identical to the in-process observed report
+// of the same problem — the cross-backend equivalence the telemetry pipeline
+// promises.
+func TestDistributedObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 4 worker processes")
+	}
+	gen, spec := testProblem()
+	spec.PR, spec.PC = 2, 2
+	spec.Deterministic = true
+	schemes := []core.Scheme{core.BinaryTree}
+
+	ms, err := distrun.MeasureObs(gen, spec, schemes, &distrun.Options{Stderr: testWriter{t}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ms[0]
+	p := spec.P()
+
+	if len(m.Outcome.Snapshots) != p {
+		t.Fatalf("%d snapshots, want %d", len(m.Outcome.Snapshots), p)
+	}
+	for r, s := range m.Outcome.Snapshots {
+		if s == nil {
+			t.Fatalf("rank %d snapshot missing", r)
+		}
+		if s.WallNS <= 0 || s.PlanFlops <= 0 {
+			t.Errorf("rank %d snapshot lacks wall/plan data: %+v", r, s)
+		}
+		if len(s.Clock) != p-1 {
+			t.Errorf("rank %d carries %d clock measurements, want %d", r, len(s.Clock), p-1)
+		}
+	}
+
+	if lat := m.Merged.MinEdgeLatencyNS(); lat < 0 {
+		t.Errorf("min offset-corrected edge latency %d, want >= 0", lat)
+	}
+	if len(m.Spans()) == 0 {
+		t.Error("merged run has no trace spans")
+	}
+	for i, sp := range m.Spans() {
+		if sp.End < sp.Start {
+			t.Fatalf("merged span %d ends before it starts: %+v", i, sp)
+		}
+	}
+
+	rep := m.Report
+	if rep.Clock == nil || len(rep.Clock.Ranks) != p {
+		t.Fatalf("merged report clock section: %+v", rep.Clock)
+	}
+	if rep.Clock.Ranks[0].OffsetNS != 0 {
+		t.Errorf("rank 0 offset %d, want 0 (anchor)", rep.Clock.Ranks[0].OffsetNS)
+	}
+	if rep.Straggler == nil || len(rep.Straggler.Ranks) != p {
+		t.Fatalf("merged report straggler section: %+v", rep.Straggler)
+	}
+	for r, rs := range rep.Straggler.Ranks {
+		if rs.WallNS <= 0 {
+			t.Errorf("straggler rank %d wall %d, want > 0", r, rs.WallNS)
+		}
+		if rs.BusyNS <= 0 {
+			t.Errorf("straggler rank %d busy %d, want > 0", r, rs.BusyNS)
+		}
+	}
+
+	// Cross-backend equivalence: stripped of everything schedule-dependent,
+	// the merged four-process report and the in-process observed report are
+	// the same deterministic function of (matrix, grid, scheme, seed).
+	pipe, err := exp.Prepare(gen, spec.Relax, spec.MaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := exp.MeasureObsOpts(pipe, procgrid.New(spec.PR, spec.PC), schemes, spec.Seed,
+		60*time.Second, exp.RunOpts{Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.StripSchedule()
+	localRep := local[0].Report
+	localRep.StripSchedule()
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := localRep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("stripped merged report diverges from in-process report:\n--- tcp ---\n%s\n--- in-process ---\n%s", got, want)
+	}
+
+	goldenPath := filepath.Join("testdata", "obs-p4.golden.json")
+	if os.Getenv("PSELINV_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", goldenPath)
+		return
+	}
+	wantGolden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (set PSELINV_UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if string(got) != string(wantGolden) {
+		t.Errorf("merged report drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, wantGolden)
+	}
+}
+
+// TestDistributedObsRingCap: the spec-level ring-capacity override must
+// bound every worker's retained event stream, with the overflow visible as
+// dropped events in the snapshot rather than silently absorbed.
+func TestDistributedObsRingCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 4 worker processes")
+	}
+	gen, spec := testProblem()
+	spec.PR, spec.PC = 2, 2
+	spec.ObsRingCap = 4
+	ms, err := distrun.MeasureObs(gen, spec, []core.Scheme{core.FlatTree}, &distrun.Options{Stderr: testWriter{t}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range ms[0].Outcome.Snapshots {
+		if len(s.Events) > 4 {
+			t.Errorf("rank %d retained %d events, ring cap is 4", r, len(s.Events))
+		}
+		if s.RingLen <= 4 {
+			t.Errorf("rank %d only ever appended %d events; problem too small to overflow?", r, s.RingLen)
+		}
+	}
+	// Overflowed rings make the chain analysis incomplete — honestly
+	// degraded, exactly like in-process ring overflow.
+	if ms[0].Report.ChainsOK {
+		t.Error("report claims complete chains despite overflowed rings")
+	}
+}
+
+// TestSpecObsRingCapClamped pins the validation/clamping rules shared by
+// the launcher spec and the pselinvd request path.
+func TestSpecObsRingCapClamped(t *testing.T) {
+	for in, want := range map[int]int{
+		0:                         1 << 14, // obs.DefaultRingCap
+		-5:                        1 << 14,
+		64:                        64,
+		distrun.MaxObsRingCap:     distrun.MaxObsRingCap,
+		distrun.MaxObsRingCap * 2: distrun.MaxObsRingCap,
+	} {
+		s := distrun.Spec{ObsRingCap: in}
+		if got := s.ObsRingCapClamped(); got != want {
+			t.Errorf("ObsRingCapClamped(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"pselinv/internal/core"
 	"pselinv/internal/exp"
+	"pselinv/internal/obs"
 	"pselinv/internal/procgrid"
 	"pselinv/internal/pselinv"
 	"pselinv/internal/sparse"
@@ -76,9 +77,27 @@ type Spec struct {
 	// sends surface in the worker results).
 	MailboxCap int `json:"mailbox_cap,omitempty"`
 
+	// Obs turns on full observability in every worker: an obs collector and
+	// trace recorder on a shared process-local clock epoch, handshake clock
+	// sync on the mesh, and a trimmed telemetry snapshot streamed back to
+	// the launcher ahead of the result line (see Outcome.Snapshots).
+	Obs bool `json:"obs,omitempty"`
+	// ObsRingCap overrides the per-rank event-ring capacity of the workers'
+	// collectors (0 = obs.DefaultRingCap; clamped to MaxObsRingCap).
+	ObsRingCap int `json:"obs_ring_cap,omitempty"`
+
 	// TimeoutSec bounds each worker's engine run.
 	TimeoutSec float64 `json:"timeout_sec"`
 }
+
+// MaxObsRingCap bounds the per-rank event-ring capacity a spec (or a
+// pselinvd request) may ask for, so one request cannot pin unbounded memory
+// per rank.
+const MaxObsRingCap = obs.MaxRingCap
+
+// ObsRingCapClamped resolves the spec's ring-capacity override to the value
+// the workers actually use.
+func (s *Spec) ObsRingCapClamped() int { return obs.ClampRingCap(s.ObsRingCap) }
 
 // P returns the world size.
 func (s *Spec) P() int { return s.PR * s.PC }

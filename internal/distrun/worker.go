@@ -10,8 +10,11 @@ import (
 	"time"
 
 	"pselinv/internal/chaos"
+	"pselinv/internal/core"
+	"pselinv/internal/obs"
 	"pselinv/internal/simmpi"
 	"pselinv/internal/tcptransport"
+	"pselinv/internal/trace"
 )
 
 // Environment variables that switch a binary into worker mode. The
@@ -29,6 +32,19 @@ const (
 const (
 	addrPrefix   = "PSELINV-ADDR "
 	resultPrefix = "PSELINV-RESULT "
+	obsPrefix    = "PSELINV-OBS "
+)
+
+const (
+	// workerClockPings is the number of clock-sync round trips each dialed
+	// mesh connection runs during the handshake of an observed run.
+	workerClockPings = 8
+	// maxObsBytes bounds the encoded telemetry snapshot a worker puts on one
+	// stdout line; TrimToSize drops the oldest ring events to fit, which the
+	// merged report surfaces as dropped events. Must stay under the
+	// launcher's scanner line limit with room for the result line's error
+	// snapshots.
+	maxObsBytes = 2 << 20
 )
 
 // Result is one worker's report, emitted as a single JSON line. The
@@ -139,7 +155,26 @@ func runWorker(rank int, spec *Spec, stdin io.Reader, stdout io.Writer) Result {
 		return fail(fmt.Errorf("address map has %d entries, world size is %d", len(addrs), p))
 	}
 
-	tr, err := ln.Connect(tcptransport.Config{Rank: rank, Addrs: addrs, Capacity: spec.MailboxCap})
+	// Observability: collector, trace recorder and the transport clock sync
+	// all share one epoch, so every local timestamp lives on the same
+	// process clock and the launcher can shift this whole process by a
+	// single estimated offset when merging.
+	cfg := tcptransport.Config{Rank: rank, Addrs: addrs, Capacity: spec.MailboxCap}
+	var col *obs.Collector
+	var rec *trace.Recorder
+	if spec.Obs {
+		epoch := time.Now()
+		col = obs.NewCollectorCapAt(p, spec.ObsRingCapClamped(), epoch)
+		if spec.CoresPerNode > 0 {
+			col.SetTopology(spec.CoresPerNode)
+		}
+		rec = trace.NewRecorderAt(epoch)
+		eng.Trace = rec
+		cfg.ClockSyncPings = workerClockPings
+		cfg.ClockEpoch = epoch
+	}
+
+	tr, err := ln.Connect(cfg)
 	if err != nil {
 		return fail(fmt.Errorf("connecting mesh: %w", err))
 	}
@@ -147,6 +182,9 @@ func runWorker(rank int, spec *Spec, stdin io.Reader, stdout io.Writer) Result {
 	defer world.Close()
 	if spec.ChaosEnabled {
 		chaos.Install(chaos.Config{Seed: spec.ChaosSeed, DupDetect: true}, world)
+	}
+	if col != nil {
+		world.SetObserver(col)
 	}
 
 	start := time.Now()
@@ -168,12 +206,46 @@ func runWorker(rank int, spec *Spec, stdin io.Reader, stdout io.Writer) Result {
 	if err != nil {
 		// Attach the in-flight snapshot (rank states, pending queue
 		// summaries) so a distributed hang reads like a chaos-harness
-		// timeout, not an opaque exit code.
+		// timeout, not an opaque exit code. An observed run appends the tail
+		// of its event ring: the last messages this rank actually saw.
 		rep := chaos.Snapshot(world, plan, err)
-		return fail(fmt.Errorf("%w\n%s", err, rep.String()))
+		msg := rep.String()
+		if col != nil {
+			msg += "\n" + col.EncodeRank(rank).TailString(16)
+		}
+		return fail(fmt.Errorf("%w\n%s", err, msg))
 	}
 	if runRes != nil {
 		runRes.Release()
 	}
+	if col != nil {
+		emitSnapshot(stdout, rank, spec, plan, tr, col, rec, res.ElapsedNS)
+	}
 	return res
+}
+
+// emitSnapshot assembles this rank's telemetry snapshot and streams it to
+// the launcher as one bounded stdout line, ahead of the result line. A
+// snapshot that fails to encode is dropped (telemetry must not fail the
+// run); the launcher then reports the missing rank at merge time.
+func emitSnapshot(stdout io.Writer, rank int, spec *Spec, plan *core.Plan, tr *tcptransport.Transport, col *obs.Collector, rec *trace.Recorder, elapsedNS int64) {
+	snap := col.EncodeRank(rank)
+	snap.WallNS = elapsedNS
+	loads := plan.RankLoads()
+	snap.PlanFlops = loads[rank].Flops
+	snap.PlanNNZ = loads[rank].NNZ
+	snap.Balancer = plan.Balancer.Slug()
+	if rec != nil {
+		snap.Spans = rec.Events()
+	}
+	for _, m := range tr.ClockOffsets() {
+		snap.Clock = append(snap.Clock, obs.ClockMeasurement{
+			Peer: m.Peer, OffsetNS: m.OffsetNS, UncNS: m.UncNS, RTTNS: m.RTTNS,
+		})
+	}
+	data, err := snap.TrimToSize(maxObsBytes)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(stdout, "%s%s\n", obsPrefix, data)
 }

@@ -140,6 +140,9 @@ type RunOpts struct {
 	// Balancer selects the supernode→process mapping strategy (zero value
 	// is the block-cyclic default).
 	Balancer core.Balancer
+	// ObsRingCap overrides the observability collector's per-rank event-ring
+	// capacity (0 = obs.DefaultRingCap). Only MeasureObsOpts consumes it.
+	ObsRingCap int
 }
 
 // planConfig translates the options into the plan knobs for one scheme.
@@ -266,12 +269,17 @@ func MeasureObsOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, see
 	for _, scheme := range schemes {
 		plan := core.NewPlanConfig(p.An.BP, grid, opts.planConfig(scheme, seed))
 		eng := pselinv.NewEngine(plan, p.LU)
-		col := obs.NewCollector(grid.Size())
+		col := obs.NewCollectorCap(grid.Size(), obs.ClampRingCap(opts.ObsRingCap))
 		if opts.CoresPerNode > 0 {
 			col.SetTopology(opts.CoresPerNode)
 		}
 		eng.Observer = col
 		eng.Trace = trace.NewRecorder()
+		if opts.Chaos != nil {
+			eng.Chaos = opts.Chaos
+			eng.Deterministic = true
+		}
+		eng.Deterministic = eng.Deterministic || opts.Deterministic
 		eng.DAG = opts.DAG
 		eng.Transport = opts.transport()
 		res, err := eng.Run(timeout)
@@ -282,7 +290,20 @@ func MeasureObsOpts(p *Pipeline, grid *procgrid.Grid, schemes []core.Scheme, see
 		rep := col.Report(scheme.String())
 		rep.SetBlockedSends(res.World.BlockedSendsVector())
 		rep.SetDagStats(DagReportStats(res.Dag))
-		rep.SetLoad(LoadSection(plan, eng.Trace))
+		load := LoadSection(plan, eng.Trace)
+		rep.SetLoad(load)
+		// Straggler attribution: all ranks share the process, so each one's
+		// wall is the run's elapsed time; busy comes from the traced spans
+		// and the prediction from the balancer's flop charges.
+		wall := make([]int64, grid.Size())
+		busy := make([]int64, grid.Size())
+		flops := make([]int64, grid.Size())
+		for r, rl := range load.Ranks {
+			wall[r] = res.Elapsed.Nanoseconds()
+			busy[r] = rl.BusyNS
+			flops[r] = rl.Flops
+		}
+		rep.AttachStraggler(wall, busy, flops, 0)
 		out = append(out, &ObsMeasurement{
 			Scheme:  scheme,
 			Report:  rep,

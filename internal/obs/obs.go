@@ -33,15 +33,17 @@ const (
 )
 
 // Event is one communication event on a rank's ring, in the rank's program
-// order (the ring index is the per-rank sequence number).
+// order (the ring index is the per-rank sequence number). The JSON tags are
+// the snapshot wire format (see Snapshot); they are deliberately short —
+// a worker ships up to ringCap of these per run.
 type Event struct {
-	T     time.Duration // since collector creation
-	Wait  time.Duration // blocked-recv wait; zero for sends and TryRecv
-	Tag   uint64
-	Bytes int64
-	Peer  int32 // dst for sends, src for recvs
-	Class simmpi.Class
-	Dir   Dir
+	T     time.Duration `json:"t"`           // since collector creation
+	Wait  time.Duration `json:"w,omitempty"` // blocked wait; zero for TryRecv
+	Tag   uint64        `json:"g"`
+	Bytes int64         `json:"b"`
+	Peer  int32         `json:"p"` // dst for sends, src for recvs
+	Class simmpi.Class  `json:"c"`
+	Dir   Dir           `json:"d"`
 }
 
 // rankObs is the per-rank slice of the collector. The matrix rows, ring
@@ -58,10 +60,16 @@ type rankObs struct {
 
 	ring    []Event
 	ringLen int64 // total events appended, including overwritten ones
+	// linear marks a ring reconstructed by Decode: already oldest-first,
+	// with ringLen - len(ring) events dropped before serialization.
+	linear bool
 
 	waitTotal time.Duration
 	waitMax   time.Duration
 	waitCount int64
+
+	sendWaitTotal time.Duration
+	sendWaitMax   time.Duration
 
 	hwm atomic.Int64 // mailbox queue-depth high-watermark
 }
@@ -71,6 +79,23 @@ type rankObs struct {
 // small enough that a large world does not balloon (rings are allocated
 // lazily, on a rank's first event).
 const DefaultRingCap = 1 << 14
+
+// MaxRingCap bounds the ring capacity an external override (CLI flag,
+// distrun spec, pselinvd request) may ask for, so one request cannot pin
+// unbounded memory per rank.
+const MaxRingCap = 1 << 20
+
+// ClampRingCap resolves an external ring-capacity override: non-positive
+// values fall back to DefaultRingCap, oversized ones clamp to MaxRingCap.
+func ClampRingCap(n int) int {
+	switch {
+	case n <= 0:
+		return DefaultRingCap
+	case n > MaxRingCap:
+		return MaxRingCap
+	}
+	return n
+}
 
 // Collector implements simmpi.Observer. Create one per run, install it
 // with World.SetObserver (or Engine.Observer) before the run, and call
@@ -102,13 +127,22 @@ func NewCollector(p int) *Collector { return NewCollectorCap(p, DefaultRingCap) 
 // overwritten; the report then marks its chain analysis incomplete while
 // the traffic matrices (plain counters, not ring-bound) stay exact.
 func NewCollectorCap(p, ringCap int) *Collector {
+	return NewCollectorCapAt(p, ringCap, time.Now())
+}
+
+// NewCollectorCapAt is NewCollectorCap with an explicit clock epoch. A
+// distributed worker passes one shared epoch to its collector, trace
+// recorder, and transport clock sync so every local timestamp lives on the
+// same process clock and the launcher-side merge can shift whole processes
+// by a single estimated offset.
+func NewCollectorCapAt(p, ringCap int, start time.Time) *Collector {
 	if p <= 0 {
 		panic("obs: non-positive world size")
 	}
 	if ringCap < 1 {
 		ringCap = 1
 	}
-	return &Collector{start: time.Now(), p: p, ringCap: ringCap, ranks: make([]rankObs, p)}
+	return &Collector{start: start, p: p, ringCap: ringCap, ranks: make([]rankObs, p)}
 }
 
 // P returns the world size the collector was built for.
@@ -140,8 +174,8 @@ func (ro *rankObs) appendEvent(e Event, cap int) {
 
 // events returns the retained events oldest-first plus the dropped count.
 func (ro *rankObs) events(cap int) ([]Event, int64) {
-	if ro.ringLen <= int64(len(ro.ring)) {
-		return ro.ring, 0
+	if ro.linear || ro.ringLen <= int64(len(ro.ring)) {
+		return ro.ring, ro.ringLen - int64(len(ro.ring))
 	}
 	// The ring wrapped: linearize from the oldest retained slot.
 	out := make([]Event, len(ro.ring))
@@ -155,7 +189,7 @@ func (ro *rankObs) events(cap int) ([]Event, int64) {
 // in the class matrix and appends a send event to src's ring. Self-sends
 // update only the destination queue-depth watermark, matching the volume
 // counters which exclude intra-rank bytes.
-func (c *Collector) RecordSend(src, dst int, class simmpi.Class, tag uint64, bytes int64, depth int) {
+func (c *Collector) RecordSend(src, dst int, class simmpi.Class, tag uint64, bytes int64, depth int, wait time.Duration) {
 	d := &c.ranks[dst]
 	for {
 		old := d.hwm.Load()
@@ -167,10 +201,14 @@ func (c *Collector) RecordSend(src, dst int, class simmpi.Class, tag uint64, byt
 		return
 	}
 	s := &c.ranks[src]
+	s.sendWaitTotal += wait
+	if wait > s.sendWaitMax {
+		s.sendWaitMax = wait
+	}
 	s.row(&s.sentB, class, c.p)[dst] += bytes
 	s.row(&s.sentN, class, c.p)[dst]++
 	s.appendEvent(Event{
-		T: time.Since(c.start), Tag: tag, Bytes: bytes,
+		T: time.Since(c.start), Wait: wait, Tag: tag, Bytes: bytes,
 		Peer: int32(dst), Class: class, Dir: DirSend,
 	}, c.ringCap)
 }

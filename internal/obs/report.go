@@ -45,6 +45,11 @@ type RankReport struct {
 	QueueHWM      int   `json:"queue_hwm"`
 	RecvWaitNS    int64 `json:"recv_wait_ns"`
 	RecvWaitMaxNS int64 `json:"recv_wait_max_ns"`
+	// SendWaitNS is the total time the rank spent blocked in Send on a
+	// full bounded mailbox; omitted on unbounded runs (always zero there)
+	// so pre-existing reports stay byte-identical.
+	SendWaitNS    int64 `json:"send_wait_ns,omitempty"`
+	SendWaitMaxNS int64 `json:"send_wait_max_ns,omitempty"`
 	Recvs         int64 `json:"recvs"`
 	Events        int64 `json:"events"`
 	Dropped       int64 `json:"dropped"`
@@ -85,6 +90,20 @@ type Report struct {
 	// and omitted when the caller never measured loads, so pre-balancer
 	// reports stay byte-identical.
 	Load *LoadReport `json:"load,omitempty"`
+
+	// Clock, when present, records the per-process clock-offset estimation
+	// of a merged multi-process report: the correction applied to each
+	// rank's timestamps, its worst-case uncertainty, and how the
+	// monotonicity repair went (see Merge). In-process reports — one
+	// clock — omit it. Entirely measured, so StripSchedule drops it.
+	Clock *ClockReport `json:"clock,omitempty"`
+
+	// Straggler, when present, decomposes each rank's wall time into
+	// busy/send-wait/recv-wait/idle and diffs the measured busy share
+	// against the balancer's predicted flop share, flagging ranks whose
+	// measured/predicted ratio exceeds the threshold. Attached by
+	// AttachStraggler; omitted when never measured.
+	Straggler *StragglerReport `json:"straggler,omitempty"`
 
 	Classes     []*ClassReport     `json:"classes"`
 	Ranks       []*RankReport      `json:"ranks"`
@@ -240,6 +259,8 @@ func (c *Collector) Report(label string) *Report {
 			QueueHWM:      int(ro.hwm.Load()),
 			RecvWaitNS:    int64(ro.waitTotal),
 			RecvWaitMaxNS: int64(ro.waitMax),
+			SendWaitNS:    int64(ro.sendWaitTotal),
+			SendWaitMaxNS: int64(ro.sendWaitMax),
 			Recvs:         ro.waitCount,
 			Events:        ro.ringLen,
 		}
@@ -417,10 +438,13 @@ func (r *Report) TotalRecvWait() time.Duration {
 func (r *Report) StripSchedule() {
 	r.WaitImbalance = 0
 	r.Critical = nil
+	r.Clock = nil
 	for _, rr := range r.Ranks {
 		rr.QueueHWM = 0
 		rr.RecvWaitNS = 0
 		rr.RecvWaitMaxNS = 0
+		rr.SendWaitNS = 0
+		rr.SendWaitMaxNS = 0
 	}
 	for _, cs := range r.Collectives {
 		if cs.Kind == KindReduce.String() {
@@ -444,6 +468,22 @@ func (r *Report) StripSchedule() {
 		// the plan; busy wall is measured.
 		for _, rl := range r.Load.Ranks {
 			rl.BusyNS = 0
+		}
+	}
+	if r.Straggler != nil {
+		// The predicted shares are plan-determined; everything measured
+		// (wall decomposition, busy shares, ratios, flags) is scheduling.
+		r.Straggler.MaxRatio = 0
+		r.Straggler.FlaggedRanks = nil
+		for _, rs := range r.Straggler.Ranks {
+			rs.WallNS = 0
+			rs.BusyNS = 0
+			rs.SendWaitNS = 0
+			rs.RecvWaitNS = 0
+			rs.IdleNS = 0
+			rs.BusyShare = 0
+			rs.Ratio = 0
+			rs.Flagged = false
 		}
 	}
 }
@@ -510,6 +550,38 @@ func (r *Report) Summary() string {
 	if r.Load != nil {
 		fmt.Fprintf(&b, "  load[%s]: flop imbalance %.2f, nnz imbalance %.2f over %d ranks\n",
 			r.Load.Balancer, r.Load.FlopImbalance, r.Load.NNZImbalance, len(r.Load.Ranks))
+	}
+	if r.Clock != nil {
+		fmt.Fprintf(&b, "  clock: max offset uncertainty %v, min edge latency %v",
+			time.Duration(r.Clock.MaxUncNS).Round(time.Microsecond),
+			time.Duration(r.Clock.MinEdgeNS).Round(time.Microsecond))
+		if r.Clock.RelaxRounds > 0 || r.Clock.ClampedEdges > 0 {
+			fmt.Fprintf(&b, " (causality repair: %d relax rounds, %d edges clamped)",
+				r.Clock.RelaxRounds, r.Clock.ClampedEdges)
+		}
+		b.WriteString("\n")
+	}
+	if r.Straggler != nil {
+		fmt.Fprintf(&b, "  straggler: max busy/predicted ratio %.2f (threshold %.2f)",
+			r.Straggler.MaxRatio, r.Straggler.Threshold)
+		if len(r.Straggler.FlaggedRanks) > 0 {
+			fmt.Fprintf(&b, "; FLAGGED ranks %v", r.Straggler.FlaggedRanks)
+		}
+		b.WriteString("\n")
+		for _, rs := range r.Straggler.Ranks {
+			mark := " "
+			if rs.Flagged {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "  %s rank %-3d wall %-10v busy %-10v send-wait %-10v recv-wait %-10v idle %-10v pred %.3f meas %.3f\n",
+				mark, rs.Rank,
+				time.Duration(rs.WallNS).Round(time.Microsecond),
+				time.Duration(rs.BusyNS).Round(time.Microsecond),
+				time.Duration(rs.SendWaitNS).Round(time.Microsecond),
+				time.Duration(rs.RecvWaitNS).Round(time.Microsecond),
+				time.Duration(rs.IdleNS).Round(time.Microsecond),
+				rs.PredShare, rs.BusyShare)
+		}
 	}
 	if len(r.Dag) > 0 {
 		tasks, offloaded, maxWidth := 0, 0, 0

@@ -1,0 +1,466 @@
+// Snapshot is the serializable per-process slice of a distributed run's
+// telemetry: the worker encodes its rank's collector state (traffic-matrix
+// rows, event ring, wait statistics), its trace spans, its planned load and
+// the clock-offset measurements from the transport handshake; the launcher
+// decodes one snapshot per rank and merges them into a single Report and a
+// single offset-corrected span timeline, as if the whole run had happened
+// inside one process.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"pselinv/internal/simmpi"
+	"pselinv/internal/trace"
+)
+
+// Snapshot is one rank's telemetry in wire form. All times are nanoseconds
+// on the owning process's clock (a shared per-process epoch: see
+// NewCollectorCapAt); the merge shifts them onto rank 0's clock.
+type Snapshot struct {
+	P            int `json:"p"`
+	Rank         int `json:"rank"`
+	RingCap      int `json:"ring_cap"`
+	CoresPerNode int `json:"cores_per_node,omitempty"`
+
+	// Per-class traffic-matrix rows of the owning rank: SentB[class][dst]
+	// and RecvB[class][src] are bytes, SentN/RecvN message counts. Unused
+	// classes stay nil, exactly as in the live collector.
+	SentB [][]int64 `json:"sent_b,omitempty"`
+	RecvB [][]int64 `json:"recv_b,omitempty"`
+	SentN [][]int64 `json:"sent_n,omitempty"`
+	RecvN [][]int64 `json:"recv_n,omitempty"`
+
+	// Events is the retained event ring, oldest first; RingLen counts all
+	// events ever appended, so RingLen - len(Events) were dropped (ring
+	// overflow, or trimmed by TrimToSize to bound the wire frame).
+	Events  []Event `json:"events,omitempty"`
+	RingLen int64   `json:"ring_len,omitempty"`
+
+	RecvWaitNS    int64 `json:"recv_wait_ns,omitempty"`
+	RecvWaitMaxNS int64 `json:"recv_wait_max_ns,omitempty"`
+	RecvWaitCount int64 `json:"recv_wait_count,omitempty"`
+	SendWaitNS    int64 `json:"send_wait_ns,omitempty"`
+	SendWaitMaxNS int64 `json:"send_wait_max_ns,omitempty"`
+	QueueHWM      int64 `json:"queue_hwm,omitempty"`
+
+	// WallNS is the worker's run wall time; PlanFlops/PlanNNZ the planned
+	// load the balancer charged to this rank, Balancer its slug — shipped
+	// per-rank so the launcher can assemble the load and straggler
+	// sections without rebuilding the plan.
+	WallNS    int64  `json:"wall_ns,omitempty"`
+	PlanFlops int64  `json:"plan_flops,omitempty"`
+	PlanNNZ   int64  `json:"plan_nnz,omitempty"`
+	Balancer  string `json:"balancer,omitempty"`
+
+	// Spans is the worker's trace-recorder timeline (same clock).
+	Spans []trace.Event `json:"spans,omitempty"`
+
+	// Clock holds the handshake clock-offset measurements this process
+	// made toward its peers (one per ordered pair it dialed).
+	Clock []ClockMeasurement `json:"clock,omitempty"`
+}
+
+// EncodeRank serializes one rank's slice of the collector. In a distributed
+// worker the world hosts exactly that one rank, so the snapshot carries the
+// whole process's telemetry. Safe to call only after the run completed.
+func (c *Collector) EncodeRank(rank int) *Snapshot {
+	ro := &c.ranks[rank]
+	events, _ := ro.events(c.ringCap)
+	return &Snapshot{
+		P:             c.p,
+		Rank:          rank,
+		RingCap:       c.ringCap,
+		CoresPerNode:  c.coresPerNode,
+		SentB:         ro.sentB,
+		RecvB:         ro.recvB,
+		SentN:         ro.sentN,
+		RecvN:         ro.recvN,
+		Events:        events,
+		RingLen:       ro.ringLen,
+		RecvWaitNS:    int64(ro.waitTotal),
+		RecvWaitMaxNS: int64(ro.waitMax),
+		RecvWaitCount: ro.waitCount,
+		SendWaitNS:    int64(ro.sendWaitTotal),
+		SendWaitMaxNS: int64(ro.sendWaitMax),
+		QueueHWM:      ro.hwm.Load(),
+	}
+}
+
+// MarshalSnapshot encodes a snapshot as one compact JSON line.
+func MarshalSnapshot(s *Snapshot) ([]byte, error) { return json.Marshal(s) }
+
+// UnmarshalSnapshot decodes a snapshot produced by MarshalSnapshot.
+func UnmarshalSnapshot(data []byte) (*Snapshot, error) {
+	s := &Snapshot{}
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("obs: decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// TrimToSize drops the oldest ring events until the encoded snapshot fits
+// in maxBytes, returning the encoding. The traffic matrices (exact
+// counters) are never trimmed; a trimmed ring shows up as dropped events in
+// the merged report, which then marks its chain analysis incomplete — the
+// same degradation as ring overflow inside the collector.
+func (s *Snapshot) TrimToSize(maxBytes int) ([]byte, error) {
+	data, err := MarshalSnapshot(s)
+	if err != nil {
+		return nil, err
+	}
+	for len(data) > maxBytes && len(s.Events) > 0 {
+		// Events dominate the encoding; estimate how many must go from the
+		// mean event size, then re-measure (halving as the fallback keeps
+		// the loop logarithmic even if the estimate is off).
+		excess := len(data) - maxBytes
+		per := len(data) / (len(s.Events) + 1)
+		drop := excess/per + 1
+		if drop > len(s.Events) {
+			drop = len(s.Events)
+		} else if drop < len(s.Events)/2 {
+			drop = len(s.Events) / 2
+		}
+		s.Events = append([]Event(nil), s.Events[drop:]...)
+		if data, err = MarshalSnapshot(s); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// Merged is the launcher-side combination of one snapshot per rank: a
+// unified collector whose Report sees the run exactly as an in-process
+// observed run would, the offset-corrected merged span timeline, and the
+// clock section documenting the correction.
+type Merged struct {
+	Collector *Collector
+	// Spans is the merged, offset-corrected, canonically sorted timeline.
+	Spans []trace.Event
+	// Clock documents the per-rank corrections; also attached to reports
+	// built via Report.
+	Clock *ClockReport
+
+	wall, sendWait, recvWait, busy []int64
+	planFlops, planNNZ             []int64
+	balancer                       string
+}
+
+// Merge combines one snapshot per rank (any order; exactly ranks 0..P-1 of
+// a common world size) into a Merged run. Timestamps are shifted onto rank
+// 0's clock using the handshake offset estimates, then repaired so every
+// matched send→recv edge is non-negative: first by constraint relaxation of
+// the per-rank offsets (bounded by the offsets' uncertainty in practice),
+// then by clamping any residual edge, counting both in the clock section.
+func Merge(snaps []*Snapshot) (*Merged, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("obs: merge of zero snapshots")
+	}
+	p := snaps[0].P
+	byRank := make([]*Snapshot, p)
+	ringCap := 1
+	for _, s := range snaps {
+		if s.P != p {
+			return nil, fmt.Errorf("obs: merge: world size mismatch (%d vs %d)", s.P, p)
+		}
+		if s.Rank < 0 || s.Rank >= p {
+			return nil, fmt.Errorf("obs: merge: rank %d out of range [0,%d)", s.Rank, p)
+		}
+		if byRank[s.Rank] != nil {
+			return nil, fmt.Errorf("obs: merge: duplicate snapshot for rank %d", s.Rank)
+		}
+		byRank[s.Rank] = s
+		if s.RingCap > ringCap {
+			ringCap = s.RingCap
+		}
+		for _, rows := range [][][]int64{s.SentB, s.RecvB, s.SentN, s.RecvN} {
+			if rows != nil && len(rows) != numClasses {
+				return nil, fmt.Errorf("obs: merge: rank %d snapshot has %d classes, want %d", s.Rank, len(rows), numClasses)
+			}
+		}
+	}
+	for r, s := range byRank {
+		if s == nil {
+			return nil, fmt.Errorf("obs: merge: missing snapshot for rank %d", r)
+		}
+	}
+
+	// Per-rank clock corrections: pairwise midpoint estimates combined and
+	// anchored at rank 0, then relaxed against the causality constraints
+	// observed in the event stream itself.
+	meas := make([][]ClockMeasurement, p)
+	for r, s := range byRank {
+		meas[r] = s.Clock
+	}
+	off, unc := combineOffsets(p, meas)
+	rounds := relaxOffsets(off, edgeSlacks(byRank))
+
+	col := NewCollectorCapAt(p, ringCap, time.Time{})
+	col.coresPerNode = byRank[0].CoresPerNode
+
+	m := &Merged{
+		Collector: col,
+		wall:      make([]int64, p),
+		sendWait:  make([]int64, p),
+		recvWait:  make([]int64, p),
+		busy:      make([]int64, p),
+		planFlops: make([]int64, p),
+		planNNZ:   make([]int64, p),
+		balancer:  byRank[0].Balancer,
+	}
+
+	// Place every rank's slice into the unified collector, shifting event
+	// and span times by the rank's correction. A uniform post-shift then
+	// moves the earliest timestamp to zero so the merged timeline starts
+	// where an in-process one would.
+	var base int64
+	haveBase := false
+	seeBase := func(t int64) {
+		if !haveBase || t < base {
+			base, haveBase = t, true
+		}
+	}
+	for r, s := range byRank {
+		for i := range s.Events {
+			s.Events[i].T -= time.Duration(off[r])
+			seeBase(int64(s.Events[i].T))
+		}
+		for i := range s.Spans {
+			s.Spans[i].Start -= time.Duration(off[r])
+			s.Spans[i].End -= time.Duration(off[r])
+			seeBase(int64(s.Spans[i].Start))
+		}
+	}
+
+	// Residual causality violations (negative constraint cycles from
+	// estimator noise) are clamped per edge: the recv timestamp is lifted
+	// to the send timestamp.
+	clamped, minEdge := clampEdges(byRank)
+
+	for r, s := range byRank {
+		ro := &col.ranks[r]
+		ro.sentB, ro.recvB = s.SentB, s.RecvB
+		ro.sentN, ro.recvN = s.SentN, s.RecvN
+		ro.ring = s.Events
+		ro.ringLen = s.RingLen
+		ro.linear = true
+		ro.waitTotal = time.Duration(s.RecvWaitNS)
+		ro.waitMax = time.Duration(s.RecvWaitMaxNS)
+		ro.waitCount = s.RecvWaitCount
+		ro.sendWaitTotal = time.Duration(s.SendWaitNS)
+		ro.sendWaitMax = time.Duration(s.SendWaitMaxNS)
+		ro.hwm.Store(s.QueueHWM)
+		if haveBase && base != 0 {
+			for i := range ro.ring {
+				ro.ring[i].T -= time.Duration(base)
+			}
+		}
+
+		m.wall[r] = s.WallNS
+		m.sendWait[r] = s.SendWaitNS
+		m.recvWait[r] = s.RecvWaitNS
+		m.planFlops[r] = s.PlanFlops
+		m.planNNZ[r] = s.PlanNNZ
+		for _, sp := range s.Spans {
+			if haveBase && base != 0 {
+				sp.Start -= time.Duration(base)
+				sp.End -= time.Duration(base)
+			}
+			m.busy[r] += int64(sp.End - sp.Start)
+			m.Spans = append(m.Spans, sp)
+		}
+	}
+	// Note the uniform base shift cancels in every edge latency, so minEdge
+	// needs no adjustment.
+	trace.SortEvents(m.Spans)
+
+	clock := &ClockReport{
+		RelaxRounds:  rounds,
+		ClampedEdges: clamped,
+		MinEdgeNS:    minEdge,
+		Ranks:        make([]*ClockRank, p),
+	}
+	for r := 0; r < p; r++ {
+		clock.Ranks[r] = &ClockRank{Rank: r, OffsetNS: off[r], UncNS: unc[r]}
+		if unc[r] > clock.MaxUncNS {
+			clock.MaxUncNS = unc[r]
+		}
+	}
+	m.Clock = clock
+	return m, nil
+}
+
+// edgeKey identifies a matched message: the engine sends at most one
+// message per (tag, src, dst), the same invariant the chain analyzer keys
+// on.
+type edgeKey struct {
+	tag      uint64
+	src, dst int32
+}
+
+// edgeSlacks scans the snapshots' raw (uncorrected) event streams and
+// returns, per ordered rank pair, the minimum raw recv−send difference over
+// its matched edges — the feasibility bound for the offset relaxation.
+func edgeSlacks(byRank []*Snapshot) map[[2]int]int64 {
+	sends := map[edgeKey]int64{}
+	for r, s := range byRank {
+		for _, e := range s.Events {
+			if e.Dir == DirSend {
+				sends[edgeKey{e.Tag, int32(r), e.Peer}] = int64(e.T)
+			}
+		}
+	}
+	slack := map[[2]int]int64{}
+	for r, s := range byRank {
+		for _, e := range s.Events {
+			if e.Dir != DirRecv {
+				continue
+			}
+			sendT, ok := sends[edgeKey{e.Tag, e.Peer, int32(r)}]
+			if !ok {
+				continue // sender's ring dropped the event
+			}
+			key := [2]int{int(e.Peer), r}
+			d := int64(e.T) - sendT
+			if cur, ok := slack[key]; !ok || d < cur {
+				slack[key] = d
+			}
+		}
+	}
+	return slack
+}
+
+// clampEdges enforces non-negative latency on every matched edge of the
+// (already offset-shifted) event streams by lifting late recv timestamps to
+// their send timestamps, returning the clamp count and the final minimum
+// edge latency (>= 0 whenever at least one edge matched).
+func clampEdges(byRank []*Snapshot) (clamped int, minEdge int64) {
+	sends := map[edgeKey]int64{}
+	for r, s := range byRank {
+		for _, e := range s.Events {
+			if e.Dir == DirSend {
+				sends[edgeKey{e.Tag, int32(r), e.Peer}] = int64(e.T)
+			}
+		}
+	}
+	first := true
+	for r, s := range byRank {
+		for i := range s.Events {
+			e := &s.Events[i]
+			if e.Dir != DirRecv {
+				continue
+			}
+			sendT, ok := sends[edgeKey{e.Tag, e.Peer, int32(r)}]
+			if !ok {
+				continue
+			}
+			if int64(e.T) < sendT {
+				e.T = time.Duration(sendT)
+				clamped++
+			}
+			lat := int64(e.T) - sendT
+			if first || lat < minEdge {
+				minEdge, first = lat, false
+			}
+		}
+	}
+	return clamped, minEdge
+}
+
+// Report assembles the merged report: the unified collector's traffic
+// matrices and chain analysis, the clock section, the per-rank load section
+// (from the workers' shipped plan charges) and the straggler section
+// diffing measured busy against the balancer's prediction.
+func (m *Merged) Report(label string) *Report {
+	rep := m.Collector.Report(label)
+	rep.SetClock(m.Clock)
+	rep.SetLoad(NewLoadReport(m.balancer, m.planFlops, m.planNNZ, m.busy))
+	rep.AttachStraggler(m.wall, m.busy, m.planFlops, 0)
+	return rep
+}
+
+// MinEdgeLatencyNS returns the smallest offset-corrected send→recv latency
+// of the merged run; the merge guarantees >= 0 (0 exactly when an edge was
+// clamped). Returns 0 when no edge matched.
+func (m *Merged) MinEdgeLatencyNS() int64 {
+	if m.Clock == nil {
+		return 0
+	}
+	return m.Clock.MinEdgeNS
+}
+
+// CheckConservation verifies the merged matrices against externally
+// tracked per-class totals (the launcher's global conservation counters):
+// for every class, the matrix row sums must equal sentBytes/sentMsgs and
+// the column sums recvBytes/recvMsgs. A mismatch means telemetry was lost
+// or double-counted in flight.
+func (m *Merged) CheckConservation(sentBytes, recvBytes, sentMsgs, recvMsgs func(class simmpi.Class) int64) error {
+	c := m.Collector
+	var errs []string
+	for _, class := range simmpi.Classes() {
+		var sb, rb, sn, rn int64
+		for r := range c.ranks {
+			ro := &c.ranks[r]
+			if ro.sentB != nil && ro.sentB[class] != nil {
+				for _, b := range ro.sentB[class] {
+					sb += b
+				}
+				for _, n := range ro.sentN[class] {
+					sn += n
+				}
+			}
+			if ro.recvB != nil && ro.recvB[class] != nil {
+				for _, b := range ro.recvB[class] {
+					rb += b
+				}
+				for _, n := range ro.recvN[class] {
+					rn += n
+				}
+			}
+		}
+		if want := sentBytes(class); sb != want {
+			errs = append(errs, fmt.Sprintf("%v: matrix sent bytes %d != counter %d", class, sb, want))
+		}
+		if want := recvBytes(class); rb != want {
+			errs = append(errs, fmt.Sprintf("%v: matrix recv bytes %d != counter %d", class, rb, want))
+		}
+		if want := sentMsgs(class); sn != want {
+			errs = append(errs, fmt.Sprintf("%v: matrix sent msgs %d != counter %d", class, sn, want))
+		}
+		if want := recvMsgs(class); rn != want {
+			errs = append(errs, fmt.Sprintf("%v: matrix recv msgs %d != counter %d", class, rn, want))
+		}
+	}
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return fmt.Errorf("obs: merged-report conservation violated: %v", errs)
+	}
+	return nil
+}
+
+// TailString renders the newest n retained events of the snapshot's ring as
+// a compact multi-line string — the post-mortem appendix a crashed worker
+// attaches to its failure report so the launcher shows the last messages
+// each rank saw.
+func (s *Snapshot) TailString(n int) string {
+	evs := s.Events
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	if len(evs) == 0 {
+		return fmt.Sprintf("rank %d: no events retained", s.Rank)
+	}
+	out := fmt.Sprintf("rank %d: last %d of %d events:", s.Rank, len(evs), s.RingLen)
+	for _, e := range evs {
+		dir := "send to"
+		if e.Dir == DirRecv {
+			dir = "recv from"
+		}
+		out += fmt.Sprintf("\n  t=%-12v %s %-4d %-12v tag=%#x %d B",
+			time.Duration(e.T).Round(time.Microsecond), dir, e.Peer, e.Class, e.Tag, e.Bytes)
+	}
+	return out
+}

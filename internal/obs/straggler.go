@@ -1,0 +1,128 @@
+// Straggler attribution: decompose each rank's wall time into busy /
+// send-wait / recv-wait / idle and diff the measured busy share against the
+// balancer's predicted per-rank flop share (core.Plan.RankLoads). A rank
+// whose measured/predicted ratio exceeds the threshold is flagged — the
+// balancer thought it gave that rank its fair slice but the hardware or the
+// schedule disagreed, which is exactly the evidence the paper's load-balance
+// figures argue from.
+package obs
+
+// DefaultStragglerThreshold flags ranks whose measured busy share exceeds
+// 1.5x their predicted flop share. Loose enough that kernel-level variance
+// on a balanced run stays quiet, tight enough that a rank doing double its
+// predicted work is always surfaced.
+const DefaultStragglerThreshold = 1.5
+
+// RankStraggler is one rank's wall-time decomposition against its predicted
+// share of the work.
+type RankStraggler struct {
+	Rank int `json:"rank"`
+	// WallNS is the rank's process wall time (worker elapsed for
+	// multi-process runs, run elapsed for in-process ones).
+	WallNS int64 `json:"wall_ns"`
+	// BusyNS sums the rank's traced spans (compute + collective bodies).
+	// Blocked-recv wait inside a collective span counts as busy here and is
+	// broken out separately in RecvWaitNS, so the columns overlap rather
+	// than partition exactly.
+	BusyNS     int64 `json:"busy_ns"`
+	SendWaitNS int64 `json:"send_wait_ns"`
+	RecvWaitNS int64 `json:"recv_wait_ns"`
+	// IdleNS is max(0, wall - busy): time outside every traced span.
+	IdleNS int64 `json:"idle_ns"`
+	// PredFlops is the balancer's planned flop charge for this rank;
+	// PredShare its fraction of the total plan.
+	PredFlops int64   `json:"pred_flops"`
+	PredShare float64 `json:"pred_share"`
+	// BusyShare is the rank's fraction of the total measured busy time;
+	// Ratio = BusyShare / PredShare (1.0 means the balancer's prediction
+	// held exactly).
+	BusyShare float64 `json:"busy_share"`
+	Ratio     float64 `json:"ratio"`
+	Flagged   bool    `json:"flagged,omitempty"`
+}
+
+// StragglerReport is the per-rank straggler section of a report.
+type StragglerReport struct {
+	Threshold    float64          `json:"threshold"`
+	MaxRatio     float64          `json:"max_ratio"`
+	FlaggedRanks []int            `json:"flagged_ranks,omitempty"`
+	Ranks        []*RankStraggler `json:"ranks"`
+}
+
+// NewStragglerReport builds the straggler section for p ranks. Any of the
+// measurement slices may be nil (treated as all-zero: e.g. busy when the run
+// was not traced); short slices are read as zero-padded. threshold <= 0
+// uses DefaultStragglerThreshold.
+func NewStragglerReport(p int, wall, busy, sendWait, recvWait, predFlops []int64, threshold float64) *StragglerReport {
+	if threshold <= 0 {
+		threshold = DefaultStragglerThreshold
+	}
+	at := func(xs []int64, i int) int64 {
+		if i < len(xs) {
+			return xs[i]
+		}
+		return 0
+	}
+	var totalBusy, totalFlops int64
+	for r := 0; r < p; r++ {
+		totalBusy += at(busy, r)
+		totalFlops += at(predFlops, r)
+	}
+	s := &StragglerReport{Threshold: threshold, Ranks: make([]*RankStraggler, p)}
+	for r := 0; r < p; r++ {
+		rs := &RankStraggler{
+			Rank:       r,
+			WallNS:     at(wall, r),
+			BusyNS:     at(busy, r),
+			SendWaitNS: at(sendWait, r),
+			RecvWaitNS: at(recvWait, r),
+			PredFlops:  at(predFlops, r),
+		}
+		if idle := rs.WallNS - rs.BusyNS; idle > 0 {
+			rs.IdleNS = idle
+		}
+		if totalFlops > 0 {
+			rs.PredShare = round4(float64(rs.PredFlops) / float64(totalFlops))
+		}
+		if totalBusy > 0 {
+			rs.BusyShare = round4(float64(rs.BusyNS) / float64(totalBusy))
+		}
+		// The ratio is only meaningful when both sides exist: an untraced
+		// run (no busy) or a rank the plan assigned no work to reports 0.
+		if rs.PredShare > 0 && totalBusy > 0 {
+			rs.Ratio = round4(rs.BusyShare / rs.PredShare)
+		}
+		if rs.Ratio > s.MaxRatio {
+			s.MaxRatio = rs.Ratio
+		}
+		if rs.Ratio > threshold {
+			rs.Flagged = true
+			s.FlaggedRanks = append(s.FlaggedRanks, r)
+		}
+		s.Ranks[r] = rs
+	}
+	return s
+}
+
+// round4 keeps the report's derived ratios at 4 decimals so float formatting
+// noise cannot perturb golden files.
+func round4(x float64) float64 {
+	return float64(int64(x*10000+0.5)) / 10000
+}
+
+// AttachStraggler builds and attaches the straggler section from the
+// report's own per-rank wait columns plus externally supplied wall times,
+// traced busy times and the balancer's predicted flop charges. threshold
+// <= 0 uses the default; a report without rank rows is left untouched.
+func (r *Report) AttachStraggler(wall, busy, predFlops []int64, threshold float64) {
+	if len(r.Ranks) == 0 {
+		return
+	}
+	sendWait := make([]int64, len(r.Ranks))
+	recvWait := make([]int64, len(r.Ranks))
+	for i, rr := range r.Ranks {
+		sendWait[i] = rr.SendWaitNS
+		recvWait[i] = rr.RecvWaitNS
+	}
+	r.Straggler = NewStragglerReport(len(r.Ranks), wall, busy, sendWait, recvWait, predFlops, threshold)
+}

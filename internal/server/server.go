@@ -233,6 +233,11 @@ type Request struct {
 	// trace path carries the merged compute+collective timeline, and the
 	// run's aggregates feed the pselinvd_obs_* metrics.
 	Obs bool `json:"obs,omitempty"`
+	// ObsRingCap overrides the per-rank event-ring capacity of an observed
+	// run (0 = the obs package default). Negative values are rejected;
+	// oversized ones are clamped server-side so one request cannot pin
+	// unbounded memory per rank. Only meaningful with "obs": true.
+	ObsRingCap int `json:"obs_ring_cap,omitempty"`
 	// TimeoutMS bounds the engine run (0 = server default).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// Dag runs the inversion in intra-rank task-DAG mode: each rank's
@@ -455,6 +460,12 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 	if seed == 0 {
 		seed = 1
 	}
+	if req.ObsRingCap < 0 {
+		return nil, badRequest("obs_ring_cap %d is negative", req.ObsRingCap)
+	}
+	if req.ObsRingCap > 0 && !req.Obs {
+		return nil, badRequest("obs_ring_cap requires \"obs\": true")
+	}
 
 	// Admission control guards the whole heavy section: matrix
 	// realization, analysis, factorization and the engine run.
@@ -519,7 +530,7 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 	if req.Obs {
 		// Observed runs always carry the merged trace: the collective
 		// spans are half the point of the instrumentation.
-		res, tr, orep, err = sys.ParallelSelInvObserved(procs, scheme, seed)
+		res, tr, orep, err = sys.ParallelSelInvObservedCap(procs, scheme, seed, req.ObsRingCap)
 	} else if req.Trace {
 		res, tr, err = sys.ParallelSelInvTraced(procs, scheme, seed)
 	} else {

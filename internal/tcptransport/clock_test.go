@@ -1,0 +1,162 @@
+package tcptransport
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// simClock models a worker's skewed, drifting clock: reading it at true
+// time t (ns) gives offset + t*(1+drift).
+type simClock struct {
+	offset int64
+	drift  float64
+}
+
+func (c simClock) read(trueNS int64) int64 {
+	return c.offset + trueNS + int64(c.drift*float64(trueNS))
+}
+
+// TestEstimateOffsetSkewedClocks simulates ping/pong exchanges between a
+// local and a remote clock with a large constant skew and asymmetric
+// per-trip network jitter, and asserts the midpoint estimator recovers the
+// true offset within its reported worst-case uncertainty.
+func TestEstimateOffsetSkewedClocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		local := simClock{offset: 0}
+		remote := simClock{offset: rng.Int63n(2_000_000_000) - 1_000_000_000} // ±1s skew
+		baseLat := int64(20_000 + rng.Intn(80_000))                           // 20–100µs one-way
+
+		var samples []PingSample
+		trueNow := int64(1_000_000) // ns
+		for i := 0; i < 8; i++ {
+			t0 := local.read(trueNow)
+			fwd := baseLat + rng.Int63n(200_000) // queueing jitter only adds
+			tr := remote.read(trueNow + fwd)
+			back := baseLat + rng.Int63n(200_000)
+			t2 := local.read(trueNow + fwd + back)
+			samples = append(samples, PingSample{T0: t0, TR: tr, T2: t2})
+			trueNow += fwd + back + 50_000
+		}
+		m := EstimateOffset(samples)
+		trueOffset := remote.offset // drift 0 here; pure skew
+		if diff := m.OffsetNS - trueOffset; diff > m.UncNS || -diff > m.UncNS {
+			t.Fatalf("trial %d: estimate %d vs true %d differs by %d, beyond claimed uncertainty %d",
+				trial, m.OffsetNS, trueOffset, diff, m.UncNS)
+		}
+		if m.UncNS <= 0 || m.RTTNS <= 0 {
+			t.Fatalf("trial %d: degenerate measurement %+v", trial, m)
+		}
+	}
+}
+
+// TestEstimateOffsetDriftingClocks adds clock-rate drift (up to ±50ppm, far
+// beyond real quartz) on both ends. Over a handshake-scale window (< 10ms)
+// the drift contribution stays well under the RTT/2 uncertainty, so the
+// bound must still hold against the mid-exchange true offset.
+func TestEstimateOffsetDriftingClocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		local := simClock{drift: (rng.Float64() - 0.5) * 100e-6}
+		remote := simClock{
+			offset: rng.Int63n(200_000_000) - 100_000_000,
+			drift:  (rng.Float64() - 0.5) * 100e-6,
+		}
+		baseLat := int64(10_000 + rng.Intn(40_000))
+
+		var samples []PingSample
+		trueNow := int64(500_000)
+		var midTrue int64
+		for i := 0; i < 8; i++ {
+			t0 := local.read(trueNow)
+			fwd := baseLat + rng.Int63n(100_000)
+			tr := remote.read(trueNow + fwd)
+			back := baseLat + rng.Int63n(100_000)
+			t2 := local.read(trueNow + fwd + back)
+			samples = append(samples, PingSample{T0: t0, TR: tr, T2: t2})
+			midTrue = trueNow + (fwd+back)/2
+			trueNow += fwd + back + 100_000
+		}
+		m := EstimateOffset(samples)
+		// True offset as observed mid-exchange: remote reading minus local
+		// reading at the same true instant.
+		trueOffset := remote.read(midTrue) - local.read(midTrue)
+		if diff := m.OffsetNS - trueOffset; diff > m.UncNS || -diff > m.UncNS {
+			t.Fatalf("trial %d: estimate %d vs true %d differs by %d, beyond claimed uncertainty %d",
+				trial, m.OffsetNS, trueOffset, diff, m.UncNS)
+		}
+	}
+}
+
+// TestHandshakeClockSync runs a real localhost mesh with clock sync enabled
+// and checks the shape of the measurements: every rank holds one estimate
+// per dialed peer, and the two directions of each pair agree within their
+// combined uncertainties (they measure the same physical offset with
+// opposite sign — here ~0, since all "processes" share one clock).
+func TestHandshakeClockSync(t *testing.T) {
+	const p = 3
+	listeners := make([]*Listener, p)
+	addrs := make([]string, p)
+	for i := range listeners {
+		l, err := Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr()
+	}
+	epoch := time.Now()
+	trs := make([]*Transport, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			trs[rank], errs[rank] = listeners[rank].Connect(Config{
+				Rank: rank, Addrs: addrs, SetupTimeout: 20 * time.Second,
+				ClockSyncPings: 8, ClockEpoch: epoch,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d connect: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+
+	offs := make([]map[int]ClockMeasurement, p)
+	for r, tr := range trs {
+		ms := tr.ClockOffsets()
+		if len(ms) != p-1 {
+			t.Fatalf("rank %d: %d clock measurements, want %d", r, len(ms), p-1)
+		}
+		offs[r] = map[int]ClockMeasurement{}
+		for _, m := range ms {
+			if m.Peer == r || m.Peer < 0 || m.Peer >= p {
+				t.Fatalf("rank %d: measurement for bad peer %d", r, m.Peer)
+			}
+			if m.RTTNS <= 0 || m.UncNS <= 0 {
+				t.Fatalf("rank %d → %d: degenerate measurement %+v", r, m.Peer, m)
+			}
+			offs[r][m.Peer] = m
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := a + 1; b < p; b++ {
+			fwd, rev := offs[a][b], offs[b][a]
+			if sum := fwd.OffsetNS + rev.OffsetNS; sum > fwd.UncNS+rev.UncNS || -sum > fwd.UncNS+rev.UncNS {
+				t.Errorf("pair (%d,%d): offsets %d and %d not antisymmetric within %d",
+					a, b, fwd.OffsetNS, rev.OffsetNS, fwd.UncNS+rev.UncNS)
+			}
+		}
+	}
+}

@@ -17,26 +17,38 @@ import (
 //
 // and the per-type payloads are
 //
-//	hello:           uint32 magic, uint8 version, uint32 src rank, uint32 world size
+//	hello:           uint32 magic, uint8 version, uint32 src rank,
+//	                 uint32 world size, uint8 clock-sync ping count
 //	data:            uint64 tag, uint64 serial, uint32 src, uint32 dst,
 //	                 uint8 class, then len(Data) float64s as IEEE-754 bits
 //	barrier-arrive:  uint32 src rank
 //	barrier-release: empty
+//	clock-ping:      uint32 seq
+//	clock-pong:      uint32 seq, int64 responder clock (ns since its epoch)
 //
 // All integers are little-endian. The tag crosses the wire verbatim as a
 // uint64 — the engine's OpKind/supernode/block packing (core.OpKey) is
 // opaque to the transport, so the packing round-trip is what the fuzz
 // tests in internal/core and this package pin.
+//
+// Clock-sync frames flow only during the handshake: the dialer announces
+// its ping count in the hello, then alternates ping/pong with the acceptor
+// on the same (otherwise unidirectional) connection before either side
+// starts its steady-state writer/reader, so the reader loops never see
+// them. Version 2 added the ping-count byte.
 const (
 	frameHello byte = iota + 1
 	frameData
 	frameBarrierArrive
 	frameBarrierRelease
+	frameClockPing
+	frameClockPong
 
 	helloMagic   uint32 = 0x50534C56 // "PSLV"
-	helloVersion byte   = 1
+	helloVersion byte   = 2
 
 	frameHeader  = 5 // length + type
+	helloLen     = 4 + 1 + 4 + 4 + 1
 	dataOverhead = 8 + 8 + 4 + 4 + 1
 
 	// maxFramePayload bounds a frame so a corrupt or hostile length field
@@ -86,34 +98,73 @@ func decodeDataPayload(p []byte) (simmpi.Message, error) {
 	return msg, nil
 }
 
-// appendHelloFrame appends the connection-opening handshake.
-func appendHelloFrame(buf []byte, src, size int) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, 13)
+// appendHelloFrame appends the connection-opening handshake. pings is the
+// number of clock-sync round trips the dialer will run before steady state
+// (0: none).
+func appendHelloFrame(buf []byte, src, size, pings int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, helloLen)
 	buf = append(buf, frameHello)
 	buf = binary.LittleEndian.AppendUint32(buf, helloMagic)
 	buf = append(buf, helloVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(src))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(size))
+	buf = append(buf, byte(pings))
 	return buf
 }
 
-// decodeHelloPayload validates the handshake and returns the peer rank.
-func decodeHelloPayload(p []byte, wantSize int) (src int, err error) {
-	if len(p) != 13 {
-		return 0, fmt.Errorf("tcptransport: bad hello length %d", len(p))
+// decodeHelloPayload validates the handshake and returns the peer rank and
+// its announced clock-sync ping count.
+func decodeHelloPayload(p []byte, wantSize int) (src, pings int, err error) {
+	if len(p) != helloLen {
+		return 0, 0, fmt.Errorf("tcptransport: bad hello length %d", len(p))
 	}
 	if m := binary.LittleEndian.Uint32(p[0:]); m != helloMagic {
-		return 0, fmt.Errorf("tcptransport: bad hello magic %#x", m)
+		return 0, 0, fmt.Errorf("tcptransport: bad hello magic %#x", m)
 	}
 	if v := p[4]; v != helloVersion {
-		return 0, fmt.Errorf("tcptransport: protocol version %d, want %d", v, helloVersion)
+		return 0, 0, fmt.Errorf("tcptransport: protocol version %d, want %d", v, helloVersion)
 	}
 	src = int(binary.LittleEndian.Uint32(p[5:]))
 	if size := int(binary.LittleEndian.Uint32(p[9:])); size != wantSize {
-		return 0, fmt.Errorf("tcptransport: peer rank %d believes world size is %d, want %d",
+		return 0, 0, fmt.Errorf("tcptransport: peer rank %d believes world size is %d, want %d",
 			src, size, wantSize)
 	}
-	return src, nil
+	return src, int(p[13]), nil
+}
+
+// appendClockPing appends one clock-sync probe.
+func appendClockPing(buf []byte, seq uint32) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, 4)
+	buf = append(buf, frameClockPing)
+	buf = binary.LittleEndian.AppendUint32(buf, seq)
+	return buf
+}
+
+// decodeClockPing parses a clock-ping payload.
+func decodeClockPing(p []byte) (seq uint32, err error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("tcptransport: bad clock-ping length %d", len(p))
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+// appendClockPong appends the reply to a clock-sync probe: the echoed
+// sequence number plus the responder's clock reading, taken as close to the
+// ping receipt as the code path allows.
+func appendClockPong(buf []byte, seq uint32, clock int64) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, 12)
+	buf = append(buf, frameClockPong)
+	buf = binary.LittleEndian.AppendUint32(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(clock))
+	return buf
+}
+
+// decodeClockPong parses a clock-pong payload.
+func decodeClockPong(p []byte) (seq uint32, clock int64, err error) {
+	if len(p) != 12 {
+		return 0, 0, fmt.Errorf("tcptransport: bad clock-pong length %d", len(p))
+	}
+	return binary.LittleEndian.Uint32(p), int64(binary.LittleEndian.Uint64(p[4:])), nil
 }
 
 // appendBarrierArrive appends a rank's arrival notification (sent to the

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,62 @@ type Config struct {
 	// propagates backpressure to its TCP peers through the kernel socket
 	// buffers once its inbox fills.
 	Capacity int
+	// ClockSyncPings, when positive, runs that many ping/pong round trips
+	// on every dialed connection during the handshake (clamped to 255 —
+	// the hello announces the count in one byte) and records an NTP-style
+	// midpoint estimate of each peer's clock offset, retrievable with
+	// ClockOffsets. Zero keeps the handshake as before.
+	ClockSyncPings int
+	// ClockEpoch is the instant local clock readings are measured from;
+	// the observability layer passes the same epoch to its collector and
+	// trace recorder so offsets translate its timestamps directly. Zero
+	// means "now" (at Connect).
+	ClockEpoch time.Time
+}
+
+// ClockMeasurement is one dialed connection's clock-offset estimate.
+// OffsetNS estimates (peer clock − local clock) — both as ns since the
+// respective process epochs — at the midpoint of the best round trip;
+// UncNS is the worst-case uncertainty (half that round trip) and RTTNS the
+// round trip itself.
+type ClockMeasurement struct {
+	Peer     int
+	OffsetNS int64
+	UncNS    int64
+	RTTNS    int64
+}
+
+// PingSample is one clock-sync round trip: T0 the local clock when the ping
+// left, TR the remote clock in the pong, T2 the local clock when the pong
+// arrived.
+type PingSample struct {
+	T0, TR, T2 int64
+}
+
+// EstimateOffset applies the NTP midpoint estimator to a set of round
+// trips, trusting the sample with the smallest RTT (queueing delays only
+// ever lengthen a round trip, so the fastest sample carries the least
+// asymmetry): offset = TR − (T0+T2)/2, uncertainty = RTT/2 — the true
+// offset provably lies within ±uncertainty of the estimate if the remote
+// clock was read between ping receipt and pong send.
+func EstimateOffset(samples []PingSample) ClockMeasurement {
+	best := ClockMeasurement{}
+	found := false
+	for _, s := range samples {
+		rtt := s.T2 - s.T0
+		if rtt < 0 {
+			continue // a non-monotonic local clock; skip the sample
+		}
+		if !found || rtt < best.RTTNS {
+			best = ClockMeasurement{
+				OffsetNS: s.TR - (s.T0+s.T2)/2,
+				UncNS:    (rtt + 1) / 2,
+				RTTNS:    rtt,
+			}
+			found = true
+		}
+	}
+	return best
 }
 
 // Listener is a rank's bound-but-unconnected endpoint: the first phase of
@@ -199,6 +256,12 @@ type Transport struct {
 	err   error
 
 	dialRetries int64
+
+	// epoch is the local clock-sync reference instant; clockOff holds the
+	// per-dialed-peer offset estimates, written only during Connect and
+	// read only after it returns.
+	epoch    time.Time
+	clockOff []ClockMeasurement
 }
 
 var (
@@ -239,12 +302,25 @@ func (l *Listener) Connect(cfg Config) (*Transport, error) {
 	}
 	deadline := time.Now().Add(setup)
 
+	pings := cfg.ClockSyncPings
+	if pings < 0 {
+		pings = 0
+	}
+	if pings > 255 {
+		pings = 255 // one byte in the hello
+	}
+	epoch := cfg.ClockEpoch
+	if epoch.IsZero() {
+		epoch = time.Now()
+	}
+
 	t := &Transport{
 		rank:  cfg.Rank,
 		p:     p,
 		inbox: simmpi.NewInbox(cfg.Rank),
 		ln:    l.ln,
 		links: make([]*outLink, p),
+		epoch: epoch,
 	}
 	t.local[0] = cfg.Rank
 	t.barrier.init()
@@ -269,11 +345,18 @@ func (l *Listener) Connect(cfg Config) (*Transport, error) {
 			break
 		}
 		var hello []byte
-		hello = appendHelloFrame(hello, t.rank, p)
+		hello = appendHelloFrame(hello, t.rank, p, pings)
 		if _, err := conn.Write(hello); err != nil {
 			conn.Close()
 			dialErr = fmt.Errorf("tcptransport: handshake to rank %d: %w", dst, err)
 			break
+		}
+		if pings > 0 {
+			if err := t.clockSync(conn, dst, pings, deadline); err != nil {
+				conn.Close()
+				dialErr = fmt.Errorf("tcptransport: clock sync to rank %d: %w", dst, err)
+				break
+			}
 		}
 		link := newOutLink(dst, conn)
 		t.links[dst] = link
@@ -291,6 +374,55 @@ func (l *Listener) Connect(cfg Config) (*Transport, error) {
 		return nil, dialErr
 	}
 	return t, nil
+}
+
+// clockSync runs the dialer's side of the handshake clock exchange: pings
+// serial ping/pong round trips on the not-yet-steady-state connection, then
+// records the midpoint estimate of (peer clock − local clock) for the
+// ordered (rank, dst) pair. Serial round trips keep at most one probe in
+// flight, so each pong unambiguously brackets its remote clock reading.
+func (t *Transport) clockSync(conn net.Conn, dst, pings int, deadline time.Time) error {
+	conn.SetReadDeadline(deadline)
+	defer conn.SetReadDeadline(time.Time{})
+	samples := make([]PingSample, 0, pings)
+	var out, in []byte
+	for seq := 0; seq < pings; seq++ {
+		out = appendClockPing(out[:0], uint32(seq))
+		t0 := time.Since(t.epoch)
+		if _, err := conn.Write(out); err != nil {
+			return err
+		}
+		typ, payload, kept, err := readFrame(conn, in)
+		t2 := time.Since(t.epoch)
+		in = kept
+		if err != nil {
+			return err
+		}
+		if typ != frameClockPong {
+			return fmt.Errorf("unexpected frame type %d awaiting clock pong", typ)
+		}
+		gotSeq, tr, err := decodeClockPong(payload)
+		if err != nil {
+			return err
+		}
+		if gotSeq != uint32(seq) {
+			return fmt.Errorf("clock pong seq %d, want %d", gotSeq, seq)
+		}
+		samples = append(samples, PingSample{T0: int64(t0), TR: tr, T2: int64(t2)})
+	}
+	m := EstimateOffset(samples)
+	m.Peer = dst
+	t.clockOff = append(t.clockOff, m)
+	return nil
+}
+
+// ClockOffsets returns the per-peer clock-offset estimates measured during
+// the handshake (one per dialed connection; empty unless
+// Config.ClockSyncPings was positive). Valid after Connect returns.
+func (t *Transport) ClockOffsets() []ClockMeasurement {
+	out := append([]ClockMeasurement(nil), t.clockOff...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
 }
 
 // dialRetry dials addr until it succeeds or the setup deadline passes.
@@ -331,16 +463,21 @@ func (t *Transport) acceptAll(deadline time.Time, done chan<- error) {
 			return
 		}
 		conn.SetReadDeadline(deadline)
-		typ, payload, _, err := readFrame(conn, nil)
+		typ, payload, buf, err := readFrame(conn, nil)
 		if err != nil || typ != frameHello {
 			conn.Close()
 			done <- fmt.Errorf("tcptransport: rank %d: bad handshake (type %d): %v", t.rank, typ, err)
 			return
 		}
-		src, err := decodeHelloPayload(payload, t.p)
+		src, pings, err := decodeHelloPayload(payload, t.p)
 		if err != nil || src == t.rank || src < 0 || src >= t.p || seen[src] {
 			conn.Close()
 			done <- fmt.Errorf("tcptransport: rank %d: invalid hello from rank %d: %v", t.rank, src, err)
+			return
+		}
+		if err := t.answerClockPings(conn, pings, buf); err != nil {
+			conn.Close()
+			done <- fmt.Errorf("tcptransport: rank %d: clock sync with rank %d: %w", t.rank, src, err)
 			return
 		}
 		conn.SetReadDeadline(time.Time{})
@@ -351,6 +488,35 @@ func (t *Transport) acceptAll(deadline time.Time, done chan<- error) {
 	}
 	t.ln.SetDeadline(time.Time{})
 	done <- nil
+}
+
+// answerClockPings runs the acceptor's side of the handshake clock
+// exchange: answer exactly the announced number of pings, stamping each
+// pong with the local clock right after the ping arrived. The connection's
+// read deadline is still the setup deadline here, so a stalled dialer
+// cannot wedge the accept loop.
+func (t *Transport) answerClockPings(conn net.Conn, pings int, buf []byte) error {
+	var pong []byte
+	for i := 0; i < pings; i++ {
+		typ, payload, kept, err := readFrame(conn, buf)
+		now := time.Since(t.epoch)
+		buf = kept
+		if err != nil {
+			return err
+		}
+		if typ != frameClockPing {
+			return fmt.Errorf("unexpected frame type %d awaiting clock ping", typ)
+		}
+		seq, err := decodeClockPing(payload)
+		if err != nil {
+			return err
+		}
+		pong = appendClockPong(pong[:0], seq, int64(now))
+		if _, err := conn.Write(pong); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // fail records the first transport error and unblocks the local rank (its

@@ -361,7 +361,41 @@ func TestDecodeRejectsCorruptFrames(t *testing.T) {
 	if _, err := decodeDataPayload(make([]byte, dataOverhead+3)); err == nil {
 		t.Error("misaligned payload accepted")
 	}
-	if _, err := decodeHelloPayload(make([]byte, 13), 4); err == nil {
+	if _, _, err := decodeHelloPayload(make([]byte, helloLen), 4); err == nil {
 		t.Error("zero-magic hello accepted")
+	}
+	if _, _, err := decodeHelloPayload(make([]byte, helloLen-1), 4); err == nil {
+		t.Error("short hello accepted")
+	}
+	if _, err := decodeClockPing(make([]byte, 3)); err == nil {
+		t.Error("short clock ping accepted")
+	}
+	if _, _, err := decodeClockPong(make([]byte, 11)); err == nil {
+		t.Error("short clock pong accepted")
+	}
+}
+
+// TestHelloRoundTrip pins the v2 hello layout, ping count included.
+func TestHelloRoundTrip(t *testing.T) {
+	buf := appendHelloFrame(nil, 3, 8, 11)
+	src, pings, err := decodeHelloPayload(buf[frameHeader:], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != 3 || pings != 11 {
+		t.Fatalf("hello round trip: src=%d pings=%d, want 3, 11", src, pings)
+	}
+}
+
+// TestClockFrameRoundTrip pins the clock ping/pong payloads.
+func TestClockFrameRoundTrip(t *testing.T) {
+	ping := appendClockPing(nil, 7)
+	if seq, err := decodeClockPing(ping[frameHeader:]); err != nil || seq != 7 {
+		t.Fatalf("ping round trip: seq=%d err=%v", seq, err)
+	}
+	pong := appendClockPong(nil, 9, -12345)
+	seq, clk, err := decodeClockPong(pong[frameHeader:])
+	if err != nil || seq != 9 || clk != -12345 {
+		t.Fatalf("pong round trip: seq=%d clk=%d err=%v", seq, clk, err)
 	}
 }

@@ -16,23 +16,26 @@ import (
 	"time"
 )
 
-// Event is one completed span on a rank's timeline.
+// Event is one completed span on a rank's timeline. The JSON tags are the
+// wire format used when a distributed worker ships its spans back to the
+// launcher inside an obs snapshot; they are short because a run produces
+// thousands of spans.
 type Event struct {
-	Rank      int
-	Kind      string // e.g. "trsm", "gemm", "diag-inverse", "col-bcast"
-	Supernode int
+	Rank      int    `json:"r"`
+	Kind      string `json:"k"` // e.g. "trsm", "gemm", "diag-inverse", "col-bcast"
+	Supernode int    `json:"sn"`
 	// Role distinguishes collective-communication spans from compute spans:
 	// it is "" for compute and the rank's tree position ("root",
 	// "forwarder", "leaf") for collective spans, so one Chrome trace merges
 	// both and still lets Perfetto queries split them apart.
-	Role  string
+	Role string `json:"ro,omitempty"`
 	// Deps annotates a task-DAG span with the operands the task waited on
 	// (e.g. "bcast(5,2) ainv(7,2)"). It is "" for rank-loop spans; task
 	// spans carry it so the Chrome trace shows each task's dependency
 	// edges and Perfetto can split scheduled compute from loop compute.
-	Deps  string
-	Start time.Duration // since recorder creation
-	End   time.Duration
+	Deps  string        `json:"d,omitempty"`
+	Start time.Duration `json:"s"` // since recorder creation
+	End   time.Duration `json:"e"`
 }
 
 // Dur returns the span length.
@@ -50,6 +53,14 @@ type Recorder struct {
 // NewRecorder returns a recorder whose clock starts now.
 func NewRecorder() *Recorder {
 	return &Recorder{start: time.Now()}
+}
+
+// NewRecorderAt returns a recorder with an explicit clock epoch. A
+// distributed worker shares one epoch between its recorder, its obs
+// collector and the transport clock sync so every local timestamp lives on
+// the same process clock.
+func NewRecorderAt(start time.Time) *Recorder {
+	return &Recorder{start: start}
 }
 
 // Span starts a span and returns the function that ends it. Usage:
@@ -104,6 +115,15 @@ func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	out := append([]Event(nil), r.events...)
 	r.mu.Unlock()
+	SortEvents(out)
+	return out
+}
+
+// SortEvents sorts a span slice into the deterministic total order used by
+// Events: by start time, ties broken on every remaining field. Exposed so a
+// launcher that merges span streams from several worker processes can
+// restore the canonical order after shifting their clocks.
+func SortEvents(out []Event) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Start != b.Start {
@@ -126,7 +146,6 @@ func (r *Recorder) Events() []Event {
 		}
 		return a.Deps < b.Deps
 	})
-	return out
 }
 
 // Summary aggregates the timeline per rank and per kind.
@@ -139,14 +158,18 @@ type Summary struct {
 }
 
 // Summarize computes utilization statistics from the recorded events.
-func (r *Recorder) Summarize() Summary {
+func (r *Recorder) Summarize() Summary { return SummarizeEvents(r.Events()) }
+
+// SummarizeEvents is Summarize over an explicit span slice (e.g. the merged
+// stream of several worker processes).
+func SummarizeEvents(evs []Event) Summary {
 	s := Summary{
 		BusyByRank: map[int]time.Duration{},
 		ByKind:     map[string]time.Duration{},
 		Count:      map[string]int{},
 	}
 	ranks := map[int]bool{}
-	for _, e := range r.Events() {
+	for _, e := range evs {
 		ranks[e.Rank] = true
 		s.BusyByRank[e.Rank] += e.Dur()
 		s.ByKind[e.Kind] += e.Dur()
@@ -197,7 +220,13 @@ type chromeEvent struct {
 // WriteChromeTrace emits the timeline in the Chrome trace-event JSON-array
 // format: one row per rank (tid), spans named by kind and supernode.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	evs := r.Events()
+	return WriteChromeTraceEvents(w, r.Events())
+}
+
+// WriteChromeTraceEvents is WriteChromeTrace over an explicit span slice;
+// the launcher uses it to write the offset-corrected merged timeline of a
+// multi-process run. Events should already be in SortEvents order.
+func WriteChromeTraceEvents(w io.Writer, evs []Event) error {
 	out := make([]chromeEvent, 0, len(evs))
 	for _, e := range evs {
 		args := map[string]string{"supernode": fmt.Sprint(e.Supernode)}

@@ -264,6 +264,11 @@ type Options struct {
 	// rank owns which supernode — and therefore the communication plan —
 	// but not the computed values.
 	Balancer string
+	// ObsRingCap overrides the per-rank event-ring capacity observed runs
+	// retain (0 = the obs package default; oversized values are clamped).
+	// Larger rings keep the chain analysis complete on bigger problems at
+	// the cost of memory per rank.
+	ObsRingCap int
 }
 
 func (o Options) withDefaults() Options {
@@ -674,9 +679,21 @@ func (o *ObsReport) ClassSentBytes() map[string]int64 {
 // run is traced (compute + collective spans merged in one timeline) and
 // the communication substrate is instrumented, yielding the ObsReport.
 func (s *System) ParallelSelInvObserved(procs int, scheme Scheme, seed uint64) (*ParallelResult, *TraceReport, *ObsReport, error) {
+	return s.ParallelSelInvObservedCap(procs, scheme, seed, 0)
+}
+
+// ParallelSelInvObservedCap is ParallelSelInvObserved with an explicit
+// per-rank event-ring capacity override for this run (0 falls back to
+// Options.ObsRingCap, then the obs default; oversized values are clamped).
+// Request-scoped callers (pselinvd) use it so one request's capacity never
+// leaks into the shared System's options.
+func (s *System) ParallelSelInvObservedCap(procs int, scheme Scheme, seed uint64, ringCap int) (*ParallelResult, *TraceReport, *ObsReport, error) {
+	if ringCap <= 0 {
+		ringCap = s.opt.ObsRingCap
+	}
 	g := procgrid.Squarish(procs)
 	rec := trace.NewRecorder()
-	col := obs.NewCollector(g.Size())
+	col := obs.NewCollectorCap(g.Size(), obs.ClampRingCap(ringCap))
 	res, _, err := s.parallelRun(g.Pr, g.Pc, scheme, seed, rec, col)
 	if err != nil {
 		return nil, nil, nil, err
@@ -686,7 +703,20 @@ func (s *System) ParallelSelInvObserved(procs int, scheme Scheme, seed uint64) (
 	// The engine template is cached, so this lookup reuses the plan the
 	// run just executed.
 	eng := s.sym.engineTemplate(g.Pr, g.Pc, scheme, seed, s.symmetric)
-	rep.SetLoad(exp.LoadSection(eng.Plan, rec))
+	load := exp.LoadSection(eng.Plan, rec)
+	rep.SetLoad(load)
+	// Straggler attribution: every simulated rank shares the process, so each
+	// one's wall is the run's elapsed time; busy comes from the traced spans
+	// and the prediction from the balancer's flop charges.
+	wall := make([]int64, g.Size())
+	busy := make([]int64, g.Size())
+	flops := make([]int64, g.Size())
+	for r, rl := range load.Ranks {
+		wall[r] = res.Elapsed.Nanoseconds()
+		busy[r] = rl.BusyNS
+		flops[r] = rl.Flops
+	}
+	rep.AttachStraggler(wall, busy, flops, 0)
 	return res, &TraceReport{rec: rec}, &ObsReport{rep: rep}, nil
 }
 
