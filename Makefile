@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build test tier1 bench bench-gemm bench-baseline bench-gate \
 	serve loadtest selftest vet race chaos fuzz-smoke tcp-smoke tcp-obs \
-	balancer-smoke clean
+	balancer-smoke pexsi-batch clean
 
 all: build test
 
@@ -83,38 +83,56 @@ balancer-smoke:
 			-balancer $$b -schemes shifted || exit 1; \
 	done
 
-# The kernel throughput sweep recorded in BENCH_gemm.json.
+# Multi-pole batch smoke: the batch-engine parity and allocation-flatness
+# tests plus the server batch-endpoint contract under the race detector,
+# then a real 16-pole complex Matsubara batch through cmd/pexsi. See
+# EXPERIMENTS.md "Multi-pole batch throughput".
+pexsi-batch:
+	$(GO) test -race -count=1 -run 'Batch|ComplexPole' \
+		./internal/pexsi/ ./internal/server/
+	$(GO) run ./cmd/pexsi -mode complex -batch -nx 10 -ny 10 -poles 16 \
+		-procs 4 -balancer work
+
+# The kernel throughput sweep recorded in BENCH_gemm.json (BenchmarkZGemm's
+# numbers land in BENCH_pexsi.json).
 bench-gemm:
-	$(GO) test -run XXX -bench 'BenchmarkGemm$$|BenchmarkGemmNaive|BenchmarkTrsmBlocked' \
+	$(GO) test -run XXX -bench 'BenchmarkGemm$$|BenchmarkGemmNaive|BenchmarkTrsmBlocked|BenchmarkZGemm' \
 		-benchtime 300ms ./internal/dense/
 
 bench:
 	$(GO) test -run XXX -bench 'EndToEnd' -benchtime 300x .
 
 # ---- Bench-regression gate -------------------------------------------------
-# The CI gate re-runs a small, representative benchmark set (two GEMM
-# shapes, the 16-rank end-to-end inversion, and the 4-rank sequential/DAG
-# end-to-end pair) and compares it against the committed baseline with
-# cmd/benchgate (medians + Mann-Whitney U test). A significant slowdown
-# beyond BENCH_TOLERANCE fails CI.
+# The CI gate re-runs a small, representative benchmark set (two real GEMM
+# shapes, the 4M complex GEMM at 512, the 16-rank end-to-end inversion,
+# the 4-rank sequential/DAG end-to-end pair, and the 16-pole PEXSI batch)
+# and compares it against the committed baseline with cmd/benchgate
+# (medians + Mann-Whitney U test). A significant slowdown beyond
+# BENCH_TOLERANCE fails CI.
 #
 # To update the baseline after an intentional perf change (or on new
 # runner hardware): run `make bench-baseline` on the machine class CI uses
 # (the bench-baseline job in ci.yml can do this via workflow_dispatch),
 # commit .github/bench-baseline.txt, and explain the change in the commit
 # message.
-BENCH_GATE_PATTERN = ^BenchmarkGemm$$/^(256x256x256|512x512x512)$$|^BenchmarkEndToEndParallel16(Obs|Topo|Work)?$$|^BenchmarkEndToEndParallel$$|^BenchmarkEndToEndDag$$
+#
+# The pattern is a top-level alternation of independent slash-split
+# per-level regexes (a '|' outside brackets splits the whole pattern, so
+# each branch carries exactly its benchmark's sub-level depth — a single
+# multi-level pattern would leave shallower benchmarks partially matched
+# and never measured).
+BENCH_GATE_PATTERN = ^BenchmarkGemm$$/^(256x256x256|512x512x512)$$|^BenchmarkZGemm$$/^4m$$/^512$$|^BenchmarkEndToEndParallel16(Obs|Topo|Work)?$$|^BenchmarkEndToEndParallel$$|^BenchmarkEndToEndDag$$|^BenchmarkPexsiBatch16$$
 BENCH_COUNT ?= 5
 BENCH_TOLERANCE ?= 0.25
 BENCH_OUT ?= /tmp/bench-new.txt
 
 bench-baseline:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -count=$(BENCH_COUNT) \
-		-benchtime 300ms ./internal/dense/ . | tee .github/bench-baseline.txt
+		-benchtime 300ms ./internal/dense/ ./internal/pexsi/ . | tee .github/bench-baseline.txt
 
 bench-gate:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -count=$(BENCH_COUNT) \
-		-benchtime 300ms ./internal/dense/ . | tee $(BENCH_OUT)
+		-benchtime 300ms ./internal/dense/ ./internal/pexsi/ . | tee $(BENCH_OUT)
 	$(GO) run ./cmd/benchgate -baseline .github/bench-baseline.txt \
 		-new $(BENCH_OUT) -tolerance $(BENCH_TOLERANCE)
 

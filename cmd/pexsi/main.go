@@ -8,11 +8,18 @@
 //	               distributed engine on its own simulated rank group
 //	               (reports per-pole communication);
 //	-mode complex  true Matsubara poles via the complex-shift selected
-//	               inversion (reports the truncated Fermi density).
+//	               inversion on the distributed engine (-procs ranks per
+//	               pole; -procs 1 uses the serial kernel), reporting the
+//	               truncated Fermi density. -batch shares one engine
+//	               template across all poles and pipelines factorization
+//	               with inversion.
+//
+// Both modes honor -scheme, -balancer and -dag.
 //
 // Examples:
 //
-//	pexsi -mode complex -nx 10 -ny 10 -beta 2 -mu 50 -poles 32
+//	pexsi -mode complex -nx 10 -ny 10 -beta 2 -mu 50 -poles 32 -procs 4
+//	pexsi -mode complex -batch -poles 32 -balancer work -dag
 //	pexsi -mode real -nx 12 -ny 12 -poles 5 -procs 16 -scheme shifted
 package main
 
@@ -28,16 +35,19 @@ import (
 )
 
 var (
-	flagMode   = flag.String("mode", "complex", "real|complex")
-	flagNX     = flag.Int("nx", 10, "grid extent x")
-	flagNY     = flag.Int("ny", 10, "grid extent y")
-	flagDofs   = flag.Int("dofs", 1, "unknowns per element (>1 uses the DG generator)")
-	flagSeed   = flag.Int64("seed", 1, "generator seed")
-	flagPoles  = flag.Int("poles", 16, "number of poles")
-	flagBeta   = flag.Float64("beta", 2.0, "inverse temperature (complex mode)")
-	flagMu     = flag.Float64("mu", 50.0, "chemical potential (complex mode)")
-	flagProcs  = flag.Int("procs", 16, "simulated ranks per pole group (real mode)")
-	flagScheme = flag.String("scheme", "shifted", "tree scheme (real mode): flat|binary|shifted|hybrid")
+	flagMode     = flag.String("mode", "complex", "real|complex")
+	flagNX       = flag.Int("nx", 10, "grid extent x")
+	flagNY       = flag.Int("ny", 10, "grid extent y")
+	flagDofs     = flag.Int("dofs", 1, "unknowns per element (>1 uses the DG generator)")
+	flagSeed     = flag.Int64("seed", 1, "generator seed")
+	flagPoles    = flag.Int("poles", 16, "number of poles")
+	flagBeta     = flag.Float64("beta", 2.0, "inverse temperature (complex mode)")
+	flagMu       = flag.Float64("mu", 50.0, "chemical potential (complex mode)")
+	flagProcs    = flag.Int("procs", 16, "simulated ranks per pole group (1 = serial kernel in complex mode)")
+	flagScheme   = flag.String("scheme", "shifted", "tree scheme: "+strings.Join(core.SchemeSlugs(), "|"))
+	flagBalancer = flag.String("balancer", "cyclic", "supernode→process balancer: "+strings.Join(core.BalancerSlugs(), "|"))
+	flagDAG      = flag.Bool("dag", false, "intra-rank task-DAG execution")
+	flagBatch    = flag.Bool("batch", false, "complex mode: batch engine (one shared template, pipelined factorization)")
 )
 
 func main() {
@@ -50,26 +60,55 @@ func main() {
 	}
 	fmt.Printf("Hamiltonian %s: n=%d nnz=%d\n", h.Name, h.A.N, h.A.NNZ())
 
+	scheme, err := core.ParseScheme(strings.ToLower(*flagScheme))
+	check(err)
+	balancer, err := core.ParseBalancer(strings.ToLower(*flagBalancer))
+	check(err)
+
 	switch strings.ToLower(*flagMode) {
 	case "complex":
-		poles := pexsi.MatsubaraPoles(*flagPoles, *flagBeta, *flagMu)
+		poles, err := pexsi.MatsubaraPoles(*flagPoles, *flagBeta, *flagMu)
+		check(err)
+		if *flagBatch {
+			res, err := pexsi.RunBatch(h, pexsi.BatchConfig{
+				Poles: poles, Relax: 4, MaxWidth: 48,
+				Procs: *flagProcs, Scheme: scheme, Balancer: balancer, DAG: *flagDAG,
+				Seed: uint64(*flagSeed),
+			})
+			check(err)
+			lo, hi, tr := summarize(res.Density)
+			fmt.Printf("complex Matsubara batch: %d poles × %d ranks, %v\n",
+				len(poles), *flagProcs, res.Elapsed.Round(1e6))
+			fmt.Printf("density diag: min %.4f max %.4f, electron count (trace) %.3f of %d states\n",
+				lo, hi, tr, h.A.N)
+			for l, st := range res.Stats {
+				fmt.Printf("  pole %2d: factor %v + invert %v, %.1f MB allocated\n",
+					l, st.FactorElapsed.Round(1e6), st.InvertElapsed.Round(1e6),
+					float64(st.AllocBytes)/1e6)
+			}
+			return
+		}
 		res, err := pexsi.RunComplex(h, pexsi.ComplexConfig{
 			Poles: poles, Relax: 4, MaxWidth: 48, Parallel: true,
+			Procs: *flagProcs, Scheme: scheme, Balancer: balancer, DAG: *flagDAG,
+			Seed: uint64(*flagSeed),
 		})
 		check(err)
 		lo, hi, tr := summarize(res.Density)
-		fmt.Printf("complex Matsubara expansion: %d poles, %v\n", len(poles), res.Elapsed.Round(1e6))
+		kernel := "serial kernel"
+		if *flagProcs > 1 {
+			kernel = fmt.Sprintf("distributed engine × %d ranks", *flagProcs)
+		}
+		fmt.Printf("complex Matsubara expansion: %d poles (%s), %v\n",
+			len(poles), kernel, res.Elapsed.Round(1e6))
 		fmt.Printf("density diag: min %.4f max %.4f, electron count (trace) %.3f of %d states\n",
 			lo, hi, tr, h.A.N)
 		fmt.Printf("log|det(H - z_0)| = %.4f\n", real(res.LogDets[0]))
 	case "real":
-		scheme := map[string]core.Scheme{
-			"flat": core.FlatTree, "binary": core.BinaryTree,
-			"shifted": core.ShiftedBinaryTree, "hybrid": core.Hybrid,
-		}[strings.ToLower(*flagScheme)]
 		poles := pexsi.FermiPoles(*flagPoles, 0.5, 1.6)
 		res, err := pexsi.Run(h, pexsi.Config{
 			Poles: poles, ProcsPerPole: *flagProcs, Scheme: scheme,
+			Balancer: balancer, DAG: *flagDAG,
 			Seed: uint64(*flagSeed), Relax: 4, MaxWidth: 48, Parallel: true,
 		})
 		check(err)

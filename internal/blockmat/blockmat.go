@@ -18,15 +18,24 @@ import (
 type Key struct{ I, J int }
 
 // BlockMatrix stores dense blocks over a supernode partition. Absent blocks
-// are structurally zero.
+// are structurally zero. Elem is the element type new zero blocks are
+// created with (EnsureZero); the zero value keeps the historical real
+// behavior.
 type BlockMatrix struct {
 	Part   *etree.Partition
+	Elem   dense.Elem
 	blocks map[Key]*dense.Matrix
 }
 
-// New returns an empty block matrix over the partition.
+// New returns an empty real block matrix over the partition.
 func New(part *etree.Partition) *BlockMatrix {
 	return &BlockMatrix{Part: part, blocks: make(map[Key]*dense.Matrix)}
+}
+
+// NewElem returns an empty block matrix whose zero blocks carry the given
+// element type.
+func NewElem(part *etree.Partition, elem dense.Elem) *BlockMatrix {
+	return &BlockMatrix{Part: part, Elem: elem, blocks: make(map[Key]*dense.Matrix)}
 }
 
 // BlockDims returns the (rows, cols) of block (i, j).
@@ -65,7 +74,7 @@ func (m *BlockMatrix) EnsureZero(i, j int) *dense.Matrix {
 		return b
 	}
 	r, c := m.BlockDims(i, j)
-	b := dense.NewMatrix(r, c)
+	b := dense.NewMatrixElem(r, c, m.Elem)
 	m.blocks[Key{i, j}] = b
 	return b
 }
@@ -101,7 +110,7 @@ func (m *BlockMatrix) Range(fn func(Key, *dense.Matrix)) {
 
 // Clone returns a deep copy.
 func (m *BlockMatrix) Clone() *BlockMatrix {
-	c := New(m.Part)
+	c := NewElem(m.Part, m.Elem)
 	for k, b := range m.blocks {
 		c.blocks[k] = b.Clone()
 	}
@@ -152,6 +161,17 @@ func (m *BlockMatrix) At(i, j int) float64 {
 		return 0
 	}
 	return b.At(i-m.Part.Start[ki], j-m.Part.Start[kj])
+}
+
+// ZAt returns complex scalar entry (i, j) of a complex-element block
+// matrix, zero when its block is absent.
+func (m *BlockMatrix) ZAt(i, j int) complex128 {
+	ki, kj := m.Part.SnodeOf[i], m.Part.SnodeOf[j]
+	b, ok := m.Get(ki, kj)
+	if !ok {
+		return 0
+	}
+	return b.ZAt(i-m.Part.Start[ki], j-m.Part.Start[kj])
 }
 
 // Bytes returns the total payload size of all stored blocks in bytes

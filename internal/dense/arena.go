@@ -77,26 +77,33 @@ func bufClassDown(capacity int) int {
 
 var matHeaderPool = sync.Pool{New: func() any { return new(Matrix) }}
 
-// GetMatrix returns a zeroed rows×cols matrix from the arena. Release it
-// with PutMatrix when its contents are dead.
-func GetMatrix(rows, cols int) *Matrix {
-	m := GetMatrixUninit(rows, cols)
+// GetMatrix returns a zeroed rows×cols real matrix from the arena. Release
+// it with PutMatrix when its contents are dead.
+func GetMatrix(rows, cols int) *Matrix { return GetMatrixElem(rows, cols, Real) }
+
+// GetMatrixElem returns a zeroed rows×cols matrix of the given element
+// type from the arena.
+func GetMatrixElem(rows, cols int, elem Elem) *Matrix {
+	m := GetMatrixUninitElem(rows, cols, elem)
 	m.Zero()
 	return m
 }
 
 // GetMatrixUninit is GetMatrix without the clearing pass: the contents are
 // undefined and must be fully overwritten by the caller.
-func GetMatrixUninit(rows, cols int) *Matrix {
+func GetMatrixUninit(rows, cols int) *Matrix { return GetMatrixUninitElem(rows, cols, Real) }
+
+// GetMatrixUninitElem is GetMatrixElem without the clearing pass.
+func GetMatrixUninitElem(rows, cols int, elem Elem) *Matrix {
 	m := matHeaderPool.Get().(*Matrix)
-	m.Rows, m.Cols = rows, cols
-	m.Data = GetBuf(rows * cols)
+	m.Rows, m.Cols, m.Elem = rows, cols, elem
+	m.Data = GetBuf(rows * cols * elem.Width())
 	return m
 }
 
-// GetMatrixCopy returns an arena-backed deep copy of src.
+// GetMatrixCopy returns an arena-backed deep copy of src (any element type).
 func GetMatrixCopy(src *Matrix) *Matrix {
-	m := GetMatrixUninit(src.Rows, src.Cols)
+	m := GetMatrixUninitElem(src.Rows, src.Cols, src.Elem)
 	copy(m.Data, src.Data)
 	return m
 }
@@ -109,6 +116,6 @@ func PutMatrix(m *Matrix) {
 	}
 	PutBuf(m.Data)
 	m.Data = nil
-	m.Rows, m.Cols = 0, 0
+	m.Rows, m.Cols, m.Elem = 0, 0, Real
 	matHeaderPool.Put(m)
 }

@@ -13,10 +13,15 @@ import (
 	"math"
 )
 
-// Matrix is a dense column-major matrix.
+// Matrix is a dense column-major matrix. Elem selects the element type:
+// Real matrices hold one float64 per entry (len(Data) == Rows*Cols);
+// Complex matrices interleave (re, im) pairs in the same buffer
+// (len(Data) == 2*Rows*Cols). The zero value of Elem is Real, so plain
+// struct literals keep their historical meaning.
 type Matrix struct {
 	Rows, Cols int
-	Data       []float64 // len == Rows*Cols, column-major
+	Elem       Elem
+	Data       []float64 // len == Rows*Cols*Elem.Width(), column-major
 }
 
 // NewMatrix returns a zero-initialized Rows×Cols matrix.
@@ -57,7 +62,7 @@ func (a *Matrix) Add(i, j int, v float64) { a.Data[i+j*a.Rows] += v }
 
 // Clone returns a deep copy of a.
 func (a *Matrix) Clone() *Matrix {
-	b := NewMatrix(a.Rows, a.Cols)
+	b := &Matrix{Rows: a.Rows, Cols: a.Cols, Elem: a.Elem, Data: make([]float64, len(a.Data))}
 	copy(b.Data, a.Data)
 	return b
 }
@@ -80,16 +85,30 @@ func Eye(n int) *Matrix {
 
 // Transpose returns aᵀ as a new matrix.
 func (a *Matrix) Transpose() *Matrix {
-	t := NewMatrix(a.Cols, a.Rows)
+	t := NewMatrixElem(a.Cols, a.Rows, a.Elem)
 	a.TransposeInto(t)
 	return t
 }
 
-// TransposeInto writes aᵀ into t, which must be a.Cols×a.Rows; pair it with
-// GetMatrixUninit to transpose without allocating.
+// TransposeInto writes aᵀ into t, which must be a.Cols×a.Rows with the
+// same element type; pair it with GetMatrixUninitElem to transpose without
+// allocating. Complex transposition moves the (re, im) pairs whole — no
+// conjugation.
 func (a *Matrix) TransposeInto(t *Matrix) {
 	if t.Rows != a.Cols || t.Cols != a.Rows {
 		panic("dense: shape mismatch in TransposeInto")
+	}
+	checkElem("TransposeInto", a, t)
+	if a.Elem == Complex {
+		for j := 0; j < a.Cols; j++ {
+			col := a.Data[2*j*a.Rows : 2*(j+1)*a.Rows]
+			for i := 0; i < a.Rows; i++ {
+				p := 2 * (j + i*t.Rows)
+				t.Data[p] = col[2*i]
+				t.Data[p+1] = col[2*i+1]
+			}
+		}
+		return
 	}
 	for j := 0; j < a.Cols; j++ {
 		col := a.Data[j*a.Rows : (j+1)*a.Rows]
@@ -244,6 +263,9 @@ func LU(a *Matrix) error {
 	n := a.Rows
 	if a.Cols != n {
 		panic("dense: LU of non-square matrix")
+	}
+	if a.Elem == Complex {
+		return zLU(a)
 	}
 	for k := 0; k < n; k++ {
 		p := a.At(k, k)

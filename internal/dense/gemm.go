@@ -81,6 +81,10 @@ func (v view) rows(i0, i1 int) view {
 // above parallelGemmFlops, are split across the package worker pool (see
 // SetWorkers); small products use the naive reference loops directly.
 func Gemm(ta, tb Trans, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if c.Elem == Complex || a.Elem == Complex || b.Elem == Complex {
+		zGemm(ta, tb, alpha, a, b, beta, c)
+		return
+	}
 	am, ak := a.Rows, a.Cols
 	if ta == DoTrans {
 		am, ak = ak, am

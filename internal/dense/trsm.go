@@ -27,6 +27,10 @@ const (
 //
 // t must be square and its relevant dimension must match b.
 func Trsm(side Side, uplo UpLo, tt Trans, diag Diag, t, b *Matrix) {
+	if t.Elem == Complex || b.Elem == Complex {
+		zTrsm(side, uplo, tt, diag, t, b)
+		return
+	}
 	n := t.Rows
 	if t.Cols != n {
 		panic("dense: Trsm triangular operand not square")

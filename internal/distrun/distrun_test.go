@@ -13,8 +13,10 @@ import (
 	"pselinv/internal/core"
 	"pselinv/internal/distrun"
 	"pselinv/internal/exp"
+	"pselinv/internal/factor"
 	"pselinv/internal/procgrid"
 	"pselinv/internal/sparse"
+	"pselinv/internal/zselinv"
 )
 
 // TestMain installs the worker hook: when the launcher re-executes this
@@ -299,4 +301,59 @@ type testWriter struct{ t *testing.T }
 func (w testWriter) Write(p []byte) (int, error) {
 	w.t.Logf("worker: %s", strings.TrimRight(string(p), "\n"))
 	return len(p), nil
+}
+
+// TestDistributedComplexParityTCP: a complex-shift selected inversion on
+// four OS processes meshed over TCP must be bit-identical to the serial
+// zselinv reference. Workers discard their A⁻¹ shares after the run, so
+// the check is distributed too: every rank recomputes the serial
+// reference locally and verifies each block it owns word-for-word
+// (Spec.SelfCheck); the launcher then checks the shares cover the whole
+// selected inverse — together that is full bitwise parity over a real
+// TCP mesh.
+func TestDistributedComplexParityTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 8 worker processes")
+	}
+	gen, spec := testProblem()
+	spec.PR, spec.PC = 2, 2
+	spec.Complex = true
+	spec.ZRe, spec.ZIm = 0.5, 1.5
+	spec.SelfCheck = true
+	spec.Balancer = "work"
+
+	pipe := exp.PrepareSymbolic(gen, spec.Relax, spec.MaxWidth)
+	lu, err := factor.FactorizeShifted(pipe.An.A, complex(spec.ZRe, spec.ZIm), pipe.An.BP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := zselinv.SelInvFromLU(lu, complex(spec.ZRe, spec.ZIm))
+	wantBlocks := int64(len(ref.Ainv))
+	ref.Release()
+
+	dir := t.TempDir()
+	staged, err := distrun.StageMatrix(dir, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.MatrixFile, spec.MatrixName, spec.Geom = staged.MatrixFile, staged.MatrixName, staged.Geom
+	for _, scheme := range []core.Scheme{core.FlatTree, core.ShiftedBinaryTree} {
+		spec.Scheme = scheme
+		specPath, err := distrun.WriteSpec(dir, &spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcome, err := distrun.Launch(specPath, &spec, &distrun.Options{Stderr: testWriter{t}})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		var checked int64
+		for _, res := range outcome.Results {
+			checked += res.CheckedBlocks
+		}
+		if checked != wantBlocks {
+			t.Errorf("%v: workers verified %d blocks, selected inverse has %d — shares do not cover the result",
+				scheme, checked, wantBlocks)
+		}
+	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"pselinv/internal/core"
 	"pselinv/internal/exp"
+	"pselinv/internal/factor"
 	"pselinv/internal/obs"
 	"pselinv/internal/procgrid"
 	"pselinv/internal/pselinv"
@@ -63,6 +64,21 @@ type Spec struct {
 	// functions of (pattern, grid), so every worker re-derives the same
 	// owner map; an unknown slug fails Build in every worker.
 	Balancer string `json:"balancer,omitempty"`
+
+	// Complex switches the run to the complex-shift kernel: the staged
+	// matrix is factorized as A − zI with z = ZRe + i·ZIm on a general
+	// (asymmetric-path) plan. The engine forces canonical-slot
+	// deterministic reductions for complex element types, so the result is
+	// bit-identical to the serial zselinv reference on every transport.
+	Complex bool    `json:"complex,omitempty"`
+	ZRe     float64 `json:"z_re,omitempty"`
+	ZIm     float64 `json:"z_im,omitempty"`
+	// SelfCheck makes every worker verify each result block it owns
+	// bitwise against a locally recomputed serial reference before
+	// reporting (complex runs only). Workers discard their A⁻¹ shares, so
+	// this is how a multi-process run certifies numerical parity: each
+	// rank checks its own share, and the launcher sums the counts.
+	SelfCheck bool `json:"self_check,omitempty"`
 
 	// Deterministic forces slot-based reductions (bit-exact results
 	// independent of delivery order).
@@ -170,8 +186,15 @@ func (s *Spec) Build() (*exp.Pipeline, *core.Plan, *pselinv.Engine, error) {
 		return nil, nil, nil, fmt.Errorf("distrun: reading %s: %w", s.MatrixFile, err)
 	}
 	gen := &sparse.Generated{A: a, Name: s.MatrixName, Geom: s.Geom}
-	pipe, err := exp.Prepare(gen, s.Relax, s.MaxWidth)
-	if err != nil {
+	var pipe *exp.Pipeline
+	if s.Complex {
+		pipe = exp.PrepareSymbolic(gen, s.Relax, s.MaxWidth)
+		lu, err := factor.FactorizeShifted(pipe.An.A, complex(s.ZRe, s.ZIm), pipe.An.BP)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("distrun: shifted factorization of %s: %w", s.MatrixName, err)
+		}
+		pipe.LU = lu
+	} else if pipe, err = exp.Prepare(gen, s.Relax, s.MaxWidth); err != nil {
 		return nil, nil, nil, err
 	}
 	bal := core.CyclicBalancer
@@ -181,7 +204,7 @@ func (s *Spec) Build() (*exp.Pipeline, *core.Plan, *pselinv.Engine, error) {
 		}
 	}
 	plan := core.NewPlanConfig(pipe.An.BP, procgrid.New(s.PR, s.PC), core.PlanConfig{
-		Scheme: s.Scheme, Seed: s.Seed, Symmetric: true,
+		Scheme: s.Scheme, Seed: s.Seed, Symmetric: !s.Complex,
 		Balancer: bal,
 		Topo:     core.Topology{CoresPerNode: s.CoresPerNode},
 	})

@@ -5,16 +5,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"time"
 
+	"pselinv/internal/blockmat"
 	"pselinv/internal/chaos"
 	"pselinv/internal/core"
+	"pselinv/internal/dense"
+	"pselinv/internal/exp"
 	"pselinv/internal/obs"
+	"pselinv/internal/pselinv"
 	"pselinv/internal/simmpi"
 	"pselinv/internal/tcptransport"
 	"pselinv/internal/trace"
+	"pselinv/internal/zselinv"
 )
 
 // Environment variables that switch a binary into worker mode. The
@@ -62,6 +68,9 @@ type Result struct {
 	BlockedSends int64 `json:"blocked_sends,omitempty"`
 	// DialRetries counts mesh-setup dial attempts that had to back off.
 	DialRetries int64 `json:"dial_retries,omitempty"`
+	// CheckedBlocks is the number of result blocks this worker verified
+	// bitwise against its local serial reference (Spec.SelfCheck).
+	CheckedBlocks int64 `json:"checked_blocks,omitempty"`
 	ElapsedNS   int64 `json:"elapsed_ns"`
 	// Error carries the failure, including the chaos-style in-flight
 	// snapshot for timeouts, so the launcher can surface which ranks were
@@ -133,7 +142,7 @@ func runWorker(rank int, spec *Spec, stdin io.Reader, stdout io.Writer) Result {
 	defer ln.Close()
 	fmt.Fprintf(stdout, "%s%s\n", addrPrefix, ln.Addr())
 
-	_, plan, eng, err := spec.Build()
+	pipe, plan, eng, err := spec.Build()
 	if err != nil {
 		return fail(err)
 	}
@@ -159,7 +168,13 @@ func runWorker(rank int, spec *Spec, stdin io.Reader, stdout io.Writer) Result {
 	// all share one epoch, so every local timestamp lives on the same
 	// process clock and the launcher can shift this whole process by a
 	// single estimated offset when merging.
-	cfg := tcptransport.Config{Rank: rank, Addrs: addrs, Capacity: spec.MailboxCap}
+	// The hello carries the factorization's element tag, so a world whose
+	// processes disagree about real-vs-complex (divergent specs) dies at
+	// the handshake instead of mixing payload arithmetic.
+	cfg := tcptransport.Config{
+		Rank: rank, Addrs: addrs, Capacity: spec.MailboxCap,
+		Elem: byte(pipe.LU.Elem),
+	}
 	var col *obs.Collector
 	var rec *trace.Recorder
 	if spec.Obs {
@@ -216,12 +231,55 @@ func runWorker(rank int, spec *Spec, stdin io.Reader, stdout io.Writer) Result {
 		return fail(fmt.Errorf("%w\n%s", err, msg))
 	}
 	if runRes != nil {
+		if spec.SelfCheck && spec.Complex {
+			n, err := selfCheckComplex(rank, spec, pipe, runRes)
+			if err != nil {
+				runRes.Release()
+				return fail(err)
+			}
+			res.CheckedBlocks = n
+		}
 		runRes.Release()
 	}
 	if col != nil {
 		emitSnapshot(stdout, rank, spec, plan, tr, col, rec, res.ElapsedNS)
 	}
 	return res
+}
+
+// selfCheckComplex recomputes the serial zselinv reference from this
+// worker's own factorization and compares every result block the rank
+// gathered word-for-word (math.Float64bits). On a distributed transport
+// the gathered result holds exactly this rank's share, so the union of
+// all workers' checks covers the full selected inverse.
+func selfCheckComplex(rank int, spec *Spec, pipe *exp.Pipeline, runRes *pselinv.RunResult) (int64, error) {
+	ref := zselinv.SelInvFromLU(pipe.LU, complex(spec.ZRe, spec.ZIm))
+	defer ref.Release()
+	var checked int64
+	var checkErr error
+	runRes.Ainv.Range(func(key blockmat.Key, got *dense.Matrix) {
+		if checkErr != nil {
+			return
+		}
+		want, ok := ref.Block(key.I, key.J)
+		if !ok {
+			checkErr = fmt.Errorf("rank %d: block (%d,%d) absent from the serial reference", rank, key.I, key.J)
+			return
+		}
+		if got.Elem != dense.Complex || want.Elem != dense.Complex || len(got.Data) != len(want.Data) {
+			checkErr = fmt.Errorf("rank %d: block (%d,%d) shape/element mismatch vs serial reference", rank, key.I, key.J)
+			return
+		}
+		for w := range got.Data {
+			if math.Float64bits(got.Data[w]) != math.Float64bits(want.Data[w]) {
+				checkErr = fmt.Errorf("rank %d: block (%d,%d) word %d differs from serial reference: %x vs %x",
+					rank, key.I, key.J, w, math.Float64bits(got.Data[w]), math.Float64bits(want.Data[w]))
+				return
+			}
+		}
+		checked++
+	})
+	return checked, checkErr
 }
 
 // emitSnapshot assembles this rank's telemetry snapshot and streams it to

@@ -12,6 +12,7 @@ package factor
 import (
 	"fmt"
 	"math"
+	"math/cmplx"
 
 	"pselinv/internal/blockmat"
 	"pselinv/internal/dense"
@@ -31,6 +32,9 @@ type LU struct {
 	BP   *etree.BlockPattern
 	Diag []*dense.Matrix
 	F    *blockmat.BlockMatrix
+	// Elem is the element type of every factor block: Real for Factorize,
+	// Complex for FactorizeShifted.
+	Elem dense.Elem
 	// FactorFlops is the floating-point operation count of the numeric
 	// factorization, used as the SuperLU_DIST cost reference by the timing
 	// simulator.
@@ -56,9 +60,43 @@ func (lu *LU) UBlock(k, j int) (*dense.Matrix, bool) {
 // Factorize computes the block LU factorization of a (which must already be
 // permuted to the ordering the block pattern was computed for).
 func Factorize(a *sparse.CSC, bp *etree.BlockPattern) (*LU, error) {
+	work := blockmat.FromCSC(bp.Part, a)
+	return factorize(work, bp, dense.Real)
+}
+
+// FactorizeShifted computes the block LU factorization of A − zI over the
+// same block pattern as the real matrix: the complex shift only touches
+// the diagonal, so the symbolic analysis (and every engine template built
+// on it) is shared with the real problem. The factor blocks are complex
+// (interleaved storage), and the numeric loop is exactly the loop
+// Factorize runs — the dense kernels dispatch on the element type.
+func FactorizeShifted(a *sparse.CSC, z complex128, bp *etree.BlockPattern) (*LU, error) {
+	part := bp.Part
+	work := blockmat.NewElem(part, dense.Complex)
+	for j := 0; j < a.N; j++ {
+		kj := part.SnodeOf[j]
+		jc := j - part.Start[kj]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			ki := part.SnodeOf[i]
+			b := work.EnsureZero(ki, kj)
+			b.ZSet(i-part.Start[ki], jc, complex(a.Val[p], 0))
+		}
+	}
+	for j := 0; j < a.N; j++ {
+		kj := part.SnodeOf[j]
+		jc := j - part.Start[kj]
+		work.EnsureZero(kj, kj).ZAdd(jc, jc, -z)
+	}
+	return factorize(work, bp, dense.Complex)
+}
+
+// factorize runs the right-looking numeric loop over an assembled block
+// matrix of either element type.
+func factorize(work *blockmat.BlockMatrix, bp *etree.BlockPattern, elem dense.Elem) (*LU, error) {
 	part := bp.Part
 	ns := bp.NumSnodes()
-	work := blockmat.FromCSC(part, a)
+	work.Elem = elem
 	// Pre-create every block of the closed pattern (lower, upper, diagonal)
 	// so fill lands in existing zero blocks.
 	for k := 0; k < ns; k++ {
@@ -69,7 +107,7 @@ func Factorize(a *sparse.CSC, bp *etree.BlockPattern) (*LU, error) {
 			}
 		}
 	}
-	lu := &LU{BP: bp, Diag: make([]*dense.Matrix, ns), F: work}
+	lu := &LU{BP: bp, Diag: make([]*dense.Matrix, ns), F: work, Elem: elem}
 	for k := 0; k < ns; k++ {
 		dk := work.MustGet(k, k)
 		if err := dense.LU(dk); err != nil {
@@ -149,8 +187,26 @@ func (lu *LU) ReconstructDense() *dense.Matrix {
 func (lu *LU) LogAbsDet() float64 {
 	var s float64
 	for _, dk := range lu.Diag {
+		if dk.Elem == dense.Complex {
+			for i := 0; i < dk.Rows; i++ {
+				s += math.Log(cmplx.Abs(dk.ZAt(i, i)))
+			}
+			continue
+		}
 		for i := 0; i < dk.Rows; i++ {
 			s += math.Log(math.Abs(dk.At(i, i)))
+		}
+	}
+	return s
+}
+
+// LogDet returns log det(A) = Σ log(U_kk,ii) for a complex factorization —
+// the byproduct pole expansion uses to track the analytic branch.
+func (lu *LU) LogDet() complex128 {
+	var s complex128
+	for _, dk := range lu.Diag {
+		for i := 0; i < dk.Rows; i++ {
+			s += cmplx.Log(dk.ZAt(i, i))
 		}
 	}
 	return s
@@ -159,14 +215,15 @@ func (lu *LU) LogAbsDet() float64 {
 // DiagInverse returns (A_KK)⁻¹ = U_KK⁻¹ · L_KK⁻¹ computed from the packed
 // diagonal factor of supernode k.
 func (lu *LU) DiagInverse(k int) *dense.Matrix {
-	inv := dense.NewMatrix(lu.Diag[k].Rows, lu.Diag[k].Rows)
+	inv := dense.NewMatrixElem(lu.Diag[k].Rows, lu.Diag[k].Rows, lu.Elem)
 	lu.DiagInverseTo(k, inv)
 	return inv
 }
 
 // DiagInverseTo computes (A_KK)⁻¹ into inv, overwriting its contents; inv
-// must already have the supernode's square shape. Pair it with the dense
-// arena (GetMatrixUninit) to compute diagonal inverses without allocating.
+// must already have the supernode's square shape and element type. Pair it
+// with the dense arena (GetMatrixUninitElem) to compute diagonal inverses
+// without allocating.
 func (lu *LU) DiagInverseTo(k int, inv *dense.Matrix) {
 	dk := lu.Diag[k]
 	if inv.Rows != dk.Rows || inv.Cols != dk.Rows {
@@ -174,8 +231,14 @@ func (lu *LU) DiagInverseTo(k int, inv *dense.Matrix) {
 			inv.Rows, inv.Cols, dk.Rows, dk.Rows))
 	}
 	inv.Zero()
-	for i := 0; i < dk.Rows; i++ {
-		inv.Set(i, i, 1)
+	if dk.Elem == dense.Complex {
+		for i := 0; i < dk.Rows; i++ {
+			inv.ZSet(i, i, 1)
+		}
+	} else {
+		for i := 0; i < dk.Rows; i++ {
+			inv.Set(i, i, 1)
+		}
 	}
 	dense.Trsm(dense.Left, dense.Lower, dense.NoTrans, dense.Unit, dk, inv)
 	dense.Trsm(dense.Left, dense.Upper, dense.NoTrans, dense.NonUnit, dk, inv)

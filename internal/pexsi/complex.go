@@ -6,8 +6,12 @@ import (
 	"sync"
 	"time"
 
+	"pselinv/internal/core"
 	"pselinv/internal/etree"
+	"pselinv/internal/factor"
 	"pselinv/internal/ordering"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/pselinv"
 	"pselinv/internal/sparse"
 	"pselinv/internal/zselinv"
 )
@@ -26,13 +30,15 @@ type ComplexPole struct {
 //
 // from the classical expansion f(ε) = 1/2 − (2/β) Σₗ Re[1/(ε − zₗ)].
 // This is the textbook contour PEXSI's optimized pole selection improves
-// upon; the computational structure per pole is identical.
-func MatsubaraPoles(count int, beta, mu float64) []ComplexPole {
+// upon; the computational structure per pole is identical. Non-positive
+// count or inverse temperature is a (caller-surfaceable) error, not a
+// panic — both arrive directly from user-facing flags and requests.
+func MatsubaraPoles(count int, beta, mu float64) ([]ComplexPole, error) {
 	if count <= 0 {
-		panic("pexsi: non-positive pole count")
+		return nil, fmt.Errorf("pexsi: pole count %d must be positive", count)
 	}
 	if beta <= 0 {
-		panic("pexsi: non-positive inverse temperature")
+		return nil, fmt.Errorf("pexsi: inverse temperature β=%g must be positive", beta)
 	}
 	poles := make([]ComplexPole, count)
 	for l := range poles {
@@ -42,7 +48,7 @@ func MatsubaraPoles(count int, beta, mu float64) []ComplexPole {
 			Weight: complex(-2/beta, 0),
 		}
 	}
-	return poles
+	return poles, nil
 }
 
 // ComplexConfig controls a complex pole-expansion run.
@@ -51,6 +57,17 @@ type ComplexConfig struct {
 	Relax    int
 	MaxWidth int
 	Parallel bool // run poles concurrently
+	// Procs > 1 evaluates each pole on the distributed engine (general
+	// plan, canonical-slot deterministic reductions) instead of the serial
+	// kernel; the engine is bit-identical to the serial reference, so the
+	// density is the same either way. The remaining knobs configure the
+	// engine and are ignored for Procs ≤ 1.
+	Procs    int
+	Scheme   core.Scheme
+	Balancer core.Balancer
+	DAG      bool
+	Seed     uint64
+	Timeout  time.Duration // per-pole engine timeout (0 = 5 minutes)
 }
 
 // ComplexResult is the outcome of a truncated Fermi-operator expansion.
@@ -67,9 +84,14 @@ type ComplexResult struct {
 // RunComplex evaluates the truncated Fermi-operator expansion using the
 // complex-shift selected inversion. The analysis is performed once — all
 // shifted systems share H's sparsity pattern — and each pole reuses it.
+// For multi-pole throughput prefer RunBatch, which additionally shares one
+// engine template across poles and pipelines factorization with inversion.
 func RunComplex(h *sparse.Generated, cfg ComplexConfig) (*ComplexResult, error) {
 	if len(cfg.Poles) == 0 {
 		return nil, fmt.Errorf("pexsi: no poles configured")
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Minute
 	}
 	start := time.Now()
 	perm := ordering.Compute(ordering.NestedDissection, h.A, h.Geom)
@@ -79,21 +101,51 @@ func RunComplex(h *sparse.Generated, cfg ComplexConfig) (*ComplexResult, error) 
 	res := &ComplexResult{Density: make([]float64, n), LogDets: make([]complex128, len(cfg.Poles))}
 	contribs := make([][]float64, len(cfg.Poles))
 
+	// One engine template serves every pole when running distributed: the
+	// plan and per-rank programs depend only on the pattern.
+	var tmpl *pselinv.Engine
+	if cfg.Procs > 1 {
+		plan := core.NewPlanConfig(an.BP, procgrid.Squarish(cfg.Procs), core.PlanConfig{
+			Scheme: cfg.Scheme, Seed: cfg.Seed, Symmetric: false, Balancer: cfg.Balancer,
+		})
+		tmpl = pselinv.NewEngine(plan, nil)
+	}
+
 	runPole := func(l int) error {
 		pole := cfg.Poles[l]
-		zr, err := zselinv.SelInvShifted(an, pole.Z)
-		if err != nil {
-			return fmt.Errorf("pexsi: pole %d (z=%v): %w", l, pole.Z, err)
-		}
-		res.LogDets[l] = zr.LogDet()
 		d := make([]float64, n)
-		for orig := 0; orig < n; orig++ {
-			p := an.PermTotal[orig]
-			v, ok := zr.Entry(p, p)
-			if !ok {
-				return fmt.Errorf("pexsi: pole %d: diagonal entry %d missing", l, orig)
+		if tmpl != nil {
+			lu, err := factor.FactorizeShifted(an.A, pole.Z, an.BP)
+			if err != nil {
+				return fmt.Errorf("pexsi: pole %d (z=%v): %w", l, pole.Z, err)
 			}
-			d[orig] = real(pole.Weight * v)
+			eng := tmpl.Rebind(lu)
+			eng.DAG = cfg.DAG
+			run, err := eng.Run(cfg.Timeout)
+			if err != nil {
+				return fmt.Errorf("pexsi: pole %d (z=%v): %w", l, pole.Z, err)
+			}
+			res.LogDets[l] = lu.LogDet()
+			for orig := 0; orig < n; orig++ {
+				p := an.PermTotal[orig]
+				d[orig] = real(pole.Weight * run.Ainv.ZAt(p, p))
+			}
+			run.Release()
+		} else {
+			zr, err := zselinv.SelInvShifted(an, pole.Z)
+			if err != nil {
+				return fmt.Errorf("pexsi: pole %d (z=%v): %w", l, pole.Z, err)
+			}
+			res.LogDets[l] = zr.LogDet()
+			for orig := 0; orig < n; orig++ {
+				p := an.PermTotal[orig]
+				v, ok := zr.Entry(p, p)
+				if !ok {
+					return fmt.Errorf("pexsi: pole %d: diagonal entry %d missing", l, orig)
+				}
+				d[orig] = real(pole.Weight * v)
+			}
+			zr.Release()
 		}
 		contribs[l] = d
 		return nil

@@ -9,9 +9,19 @@ import (
 	"pselinv/internal/zdense"
 )
 
+// mustPoles builds a Matsubara pole set, failing the test on bad input.
+func mustPoles(t testing.TB, count int, beta, mu float64) []ComplexPole {
+	t.Helper()
+	poles, err := MatsubaraPoles(count, beta, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return poles
+}
+
 func TestMatsubaraPoles(t *testing.T) {
 	beta, mu := 4.0, 0.5
-	poles := MatsubaraPoles(6, beta, mu)
+	poles := mustPoles(t, 6, beta, mu)
 	for l, p := range poles {
 		if real(p.Z) != mu {
 			t.Fatalf("pole %d: Re(z) = %g, want %g", l, real(p.Z), mu)
@@ -26,19 +36,12 @@ func TestMatsubaraPoles(t *testing.T) {
 	}
 }
 
-func TestMatsubaraPolesPanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { MatsubaraPoles(0, 1, 0) },
-		func() { MatsubaraPoles(3, -1, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+func TestMatsubaraPolesErrors(t *testing.T) {
+	if _, err := MatsubaraPoles(0, 1, 0); err == nil {
+		t.Error("non-positive count: expected error")
+	}
+	if _, err := MatsubaraPoles(3, -1, 0); err == nil {
+		t.Error("non-positive beta: expected error")
 	}
 }
 
@@ -73,7 +76,7 @@ func denseTruncatedFermi(t *testing.T, a *sparse.CSC, poles []ComplexPole) []flo
 
 func TestRunComplexMatchesDense(t *testing.T) {
 	h := sparse.Grid2D(5, 5, 3)
-	poles := MatsubaraPoles(5, 2.0, 10.0)
+	poles := mustPoles(t, 5, 2.0, 10.0)
 	res, err := RunComplex(h, ComplexConfig{Poles: poles, Relax: 2, MaxWidth: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +99,7 @@ func TestRunComplexMatchesDense(t *testing.T) {
 
 func TestRunComplexParallelDeterministic(t *testing.T) {
 	h := sparse.Banded(18, 2, 5)
-	poles := MatsubaraPoles(4, 3.0, 2.0)
+	poles := mustPoles(t, 4, 3.0, 2.0)
 	seq, err := RunComplex(h, ComplexConfig{Poles: poles, MaxWidth: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +123,7 @@ func TestRunComplexConvergesTowardFermi(t *testing.T) {
 	// well above it.
 	mu := 100.0
 	errAt := func(count int) float64 {
-		res, err := RunComplex(h, ComplexConfig{Poles: MatsubaraPoles(count, 0.5, mu), MaxWidth: 3})
+		res, err := RunComplex(h, ComplexConfig{Poles: mustPoles(t, count, 0.5, mu), MaxWidth: 3})
 		if err != nil {
 			t.Fatal(err)
 		}

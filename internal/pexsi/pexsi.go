@@ -67,11 +67,16 @@ type Config struct {
 	Poles        []Pole
 	ProcsPerPole int         // simulated ranks per pole group
 	Scheme       core.Scheme // restricted-collective scheme within each group
-	Seed         uint64
-	Relax        int
-	MaxWidth     int
-	Parallel     bool          // run pole groups concurrently (as PEXSI does)
-	Timeout      time.Duration // per-pole engine timeout (0 = 5 minutes)
+	// Balancer selects the supernode→process mapping within each pole
+	// group (zero value: block-cyclic).
+	Balancer core.Balancer
+	// DAG enables intra-rank task-DAG execution within each pole group.
+	DAG      bool
+	Seed     uint64
+	Relax    int
+	MaxWidth int
+	Parallel bool          // run pole groups concurrently (as PEXSI does)
+	Timeout  time.Duration // per-pole engine timeout (0 = 5 minutes)
 }
 
 // PoleStats records the communication behaviour of one pole's inversion.
@@ -127,8 +132,13 @@ func Run(h *sparse.Generated, cfg Config) (*Result, error) {
 			elapsed = time.Since(t0)
 			diag = diagonalOf(an, sr.Ainv.At)
 		} else {
-			plan := core.NewPlan(an.BP, grid, cfg.Scheme, cfg.Seed+uint64(l))
-			run, err := pselinv.NewEngine(plan, lu).Run(cfg.Timeout)
+			plan := core.NewPlanConfig(an.BP, grid, core.PlanConfig{
+				Scheme: cfg.Scheme, Seed: cfg.Seed + uint64(l),
+				Symmetric: true, Balancer: cfg.Balancer,
+			})
+			eng := pselinv.NewEngine(plan, lu)
+			eng.DAG = cfg.DAG
+			run, err := eng.Run(cfg.Timeout)
 			if err != nil {
 				return fmt.Errorf("pexsi: pole %d (σ=%g): %w", l, pole.Shift, err)
 			}

@@ -1,0 +1,9 @@
+//go:build race
+
+package pexsi
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which sync.Pool deliberately drops items at random —
+// the dense arena's recycling (what TestBatchAllocFlat pins) is defeated
+// by construction there.
+const raceEnabled = true

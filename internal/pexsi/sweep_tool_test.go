@@ -1,0 +1,43 @@
+package pexsi
+
+// Throwaway measurement helper retained as a manual test: the pole-count
+// sweep behind BENCH_pexsi.json (batched engine vs one RunComplex per
+// pole). Run with:
+//
+//	go test ./internal/pexsi/ -run TestBatchSweepReport -v -batch-sweep
+//
+// It is skipped by default so the suite's runtime stays flat.
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"pselinv/internal/sparse"
+)
+
+var flagBatchSweep = flag.Bool("batch-sweep", false, "run the batch-vs-singles pole-count sweep")
+
+func TestBatchSweepReport(t *testing.T) {
+	if !*flagBatchSweep {
+		t.Skip("manual measurement sweep; pass -batch-sweep to run")
+	}
+	h := sparse.RandomSym(800, 4, 3)
+	for _, np := range []int{4, 8, 16, 32} {
+		poles := mustPoles(t, np, 2.0, 50.0)
+		t0 := time.Now()
+		if _, err := RunBatch(h, BatchConfig{Poles: poles, Relax: 4, MaxWidth: 24}); err != nil {
+			t.Fatal(err)
+		}
+		batch := time.Since(t0)
+		t0 = time.Now()
+		for _, p := range poles {
+			if _, err := RunComplex(h, ComplexConfig{Poles: []ComplexPole{p}, Relax: 4, MaxWidth: 24}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		singles := time.Since(t0)
+		t.Logf("poles=%2d batch=%8.1fms singles=%8.1fms ratio=%.2f",
+			np, batch.Seconds()*1e3, singles.Seconds()*1e3, float64(singles)/float64(batch))
+	}
+}

@@ -1,0 +1,156 @@
+// Complex parity suite: the distributed engine running a complex-shifted
+// factorization must be BIT-identical to the serial zselinv reference —
+// not merely close. Complex runs force deterministic canonical-slot
+// reductions inside the engine, and both sides share the factorization
+// and the element-generic dense kernels, so every scheme, balancer, DAG
+// setting and process count must reproduce the reference exactly. The
+// file lives in the external test package so it can import
+// internal/zselinv (which has no dependency back on pselinv).
+package pselinv_test
+
+import (
+	"math"
+	"testing"
+
+	"pselinv/internal/chaos"
+	"pselinv/internal/chaos/chaostest"
+	"pselinv/internal/core"
+	"pselinv/internal/dense"
+	"pselinv/internal/etree"
+	"pselinv/internal/factor"
+	"pselinv/internal/ordering"
+	"pselinv/internal/procgrid"
+	"pselinv/internal/pselinv"
+	"pselinv/internal/sparse"
+	"pselinv/internal/zselinv"
+)
+
+// prepComplex analyzes g, factorizes A − zI once, and runs the serial
+// reference over that same factorization — the engine under test consumes
+// the identical LU object, so any bit difference is the engine's own.
+func prepComplex(t testing.TB, g *sparse.Generated, opt etree.Options,
+	z complex128) (*etree.Analysis, *factor.LU, *zselinv.Result) {
+	t.Helper()
+	perm := ordering.Compute(ordering.NestedDissection, g.A, g.Geom)
+	an := etree.Analyze(g.A.Permute(perm), perm, opt)
+	lu, err := factor.FactorizeShifted(an.A, z, an.BP)
+	if err != nil {
+		t.Fatalf("%s: %v", g.Name, err)
+	}
+	return an, lu, zselinv.SelInvFromLU(lu, z)
+}
+
+// runComplexAndCompareBits runs the parallel engine and requires every
+// block to be bit-identical (math.Float64bits on the interleaved storage)
+// to the serial reference.
+func runComplexAndCompareBits(t testing.TB, an *etree.Analysis, lu *factor.LU,
+	ref *zselinv.Result, grid *procgrid.Grid, scheme core.Scheme,
+	balancer core.Balancer, dag bool) {
+	t.Helper()
+	plan := core.NewPlanConfig(an.BP, grid, core.PlanConfig{
+		Scheme: scheme, Seed: 1, Symmetric: false, Balancer: balancer,
+	})
+	eng := pselinv.NewEngine(plan, lu)
+	eng.DAG = dag
+	res, err := eng.Run(chaosTimeout)
+	if err != nil {
+		t.Fatalf("grid %v scheme %v balancer %v dag %v: %v", grid, scheme, balancer, dag, err)
+	}
+	defer res.Release()
+	if cerr := res.World.CheckConservation(); cerr != nil {
+		t.Fatalf("grid %v scheme %v: %v", grid, scheme, cerr)
+	}
+	if got, want := res.Ainv.NumBlocks(), len(ref.Ainv); got != want {
+		t.Fatalf("grid %v scheme %v: %d blocks computed, want %d", grid, scheme, got, want)
+	}
+	for key, want := range ref.Ainv {
+		got, ok := res.Ainv.Get(key.I, key.J)
+		if !ok {
+			t.Fatalf("grid %v scheme %v: block (%d,%d) missing", grid, scheme, key.I, key.J)
+		}
+		if got.Elem != dense.Complex {
+			t.Fatalf("block (%d,%d) is %v, want Complex", key.I, key.J, got.Elem)
+		}
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("block (%d,%d): payload %d words, want %d", key.I, key.J, len(got.Data), len(want.Data))
+		}
+		for x := range want.Data {
+			if math.Float64bits(got.Data[x]) != math.Float64bits(want.Data[x]) {
+				t.Fatalf("grid %v scheme %v balancer %v dag %v: block (%d,%d) word %d: %x != %x — not bit-identical",
+					grid, scheme, balancer, dag, key.I, key.J, x,
+					math.Float64bits(got.Data[x]), math.Float64bits(want.Data[x]))
+			}
+		}
+	}
+}
+
+// TestComplexParallelBitIdenticalToSerial is the headline parity matrix:
+// P ∈ {1, 4} × {flat, binary, shifted} × {cyclic, work}.
+func TestComplexParallelBitIdenticalToSerial(t *testing.T) {
+	g := sparse.Grid2D(6, 6, 3)
+	an, lu, ref := prepComplex(t, g, etree.Options{Relax: 2, MaxWidth: 6}, complex(0.5, 1.5))
+	for _, dims := range [][2]int{{1, 1}, {2, 2}} {
+		grid := procgrid.New(dims[0], dims[1])
+		for _, scheme := range []core.Scheme{core.FlatTree, core.BinaryTree, core.ShiftedBinaryTree} {
+			for _, bal := range []core.Balancer{core.CyclicBalancer, core.WorkBalancer} {
+				runComplexAndCompareBits(t, an, lu, ref, grid, scheme, bal, false)
+			}
+		}
+	}
+}
+
+// TestComplexParallelDagBitIdentical repeats the parity check with the
+// task-DAG scheduler enabled and the worker pool genuinely concurrent.
+func TestComplexParallelDagBitIdentical(t *testing.T) {
+	dense.SetWorkers(4)
+	defer dense.SetWorkers(0)
+	g := sparse.Grid2D(6, 6, 4)
+	an, lu, ref := prepComplex(t, g, etree.Options{Relax: 2, MaxWidth: 6}, complex(-0.25, 2))
+	for _, dims := range [][2]int{{1, 1}, {2, 2}} {
+		for _, bal := range []core.Balancer{core.CyclicBalancer, core.WorkBalancer} {
+			runComplexAndCompareBits(t, an, lu, ref, procgrid.New(dims[0], dims[1]),
+				core.ShiftedBinaryTree, bal, true)
+		}
+	}
+}
+
+// TestComplexMatrixZoo runs the bit-parity check across matrix families
+// (banded, 3-D grid, random symmetric pattern, DG) on the 2×2 grid.
+func TestComplexMatrixZoo(t *testing.T) {
+	for _, g := range []*sparse.Generated{
+		sparse.Banded(20, 2, 1),
+		sparse.Grid3D(3, 3, 3, 2),
+		sparse.RandomSym(40, 4, 3),
+		sparse.DG2D(3, 3, 3, 4),
+	} {
+		an, lu, ref := prepComplex(t, g, etree.Options{Relax: 1, MaxWidth: 8}, complex(1, 2))
+		runComplexAndCompareBits(t, an, lu, ref, procgrid.New(2, 2), core.ShiftedBinaryTree,
+			core.CyclicBalancer, false)
+	}
+}
+
+// TestComplexChaosSweep runs the seeded delivery adversary against a
+// complex engine: deterministic mode is forced for complex runs, so every
+// seed must reproduce the unperturbed baseline bit for bit.
+func TestComplexChaosSweep(t *testing.T) {
+	g := sparse.Grid2D(6, 6, 3)
+	an, lu, _ := prepComplex(t, g, etree.Options{Relax: 2, MaxWidth: 6}, complex(0.5, 1))
+	plan := core.NewPlanConfig(an.BP, procgrid.New(2, 2), core.PlanConfig{
+		Scheme: core.ShiftedBinaryTree, Seed: 1, Symmetric: false,
+	})
+	eng := pselinv.NewEngine(plan, lu)
+	chaostest.Sweep(t, eng, chaos.Config{DupDetect: true},
+		chaostest.Seeds(9000, 8), chaosTimeout)
+}
+
+// TestComplexSymmetricPlanRejected pins the guard: the symmetric path's
+// transpose mirror has no complex kernel, so a complex factorization on a
+// symmetric plan must fail loudly instead of producing garbage.
+func TestComplexSymmetricPlanRejected(t *testing.T) {
+	g := sparse.Grid2D(5, 5, 2)
+	an, lu, _ := prepComplex(t, g, etree.Options{MaxWidth: 5}, complex(0, 1))
+	plan := core.NewPlan(an.BP, procgrid.New(2, 2), core.ShiftedBinaryTree, 1)
+	if _, err := pselinv.NewEngine(plan, lu).Run(chaosTimeout); err == nil {
+		t.Fatal("complex factorization on a symmetric plan did not error")
+	}
+}

@@ -264,7 +264,7 @@ func (st *rankState) runPass2Dag() {
 	for _, k := range st.prog.leafDiags {
 		k := k
 		w := st.width(k)
-		inv := dense.GetMatrixUninit(w, w)
+		inv := dense.GetMatrixUninitElem(w, w, st.elem)
 		s.submit(k, "diag-inverse", s.depf("ready"), func() {
 			st.e.LU.DiagInverseTo(k, inv)
 		}, func() {

@@ -254,7 +254,19 @@ func NewEngine(plan *core.Plan, lu *factor.LU) *Engine {
 // deterministic reports whether this run uses canonical-slot reductions:
 // requested explicitly, or forced by DAG mode, whose concurrent tasks
 // rely on private slots for both race-freedom and bit-exactness.
-func (e *Engine) deterministic() bool { return e.Deterministic || e.DAG }
+func (e *Engine) deterministic() bool { return e.Deterministic || e.DAG || e.elem() == dense.Complex }
+
+// elem returns the element type of the bound factorization (Real for an
+// unbound plan template). Complex runs always use canonical-slot
+// reductions: the parity contract against the serial reference demands
+// delivery-order independence, and every rank derives the same answer from
+// its own LU, so the wire format stays consistent across processes.
+func (e *Engine) elem() dense.Elem {
+	if e.LU != nil {
+		return e.LU.Elem
+	}
+	return dense.Real
+}
 
 // Rebind returns a copy of the engine bound to a different numeric
 // factorization. The plan-derived per-rank programs — the expensive part of
@@ -334,6 +346,10 @@ func (e *Engine) Run(timeout time.Duration) (*RunResult, error) {
 // property the launcher checks after aggregating worker counters (see
 // internal/distrun), so the local check is skipped.
 func (e *Engine) RunWorld(world *simmpi.World, timeout time.Duration) (*RunResult, error) {
+	if e.elem() == dense.Complex && e.Plan.Symmetric {
+		return nil, fmt.Errorf("pselinv: complex factorization requires a general (non-symmetric) plan — " +
+			"the symmetric path's transpose mirror has no op-free complex kernel")
+	}
 	states := make([]*rankState, world.P)
 	scheme := e.Plan.Scheme.String()
 	start := time.Now()
@@ -407,7 +423,7 @@ func (st *rankState) slotFor(red *redState, si, rows, cols int) *dense.Matrix {
 	if red.slots[si] != nil {
 		panic(fmt.Sprintf("pselinv: reduction slot %d filled twice", si))
 	}
-	m := dense.GetMatrix(rows, cols)
+	m := dense.GetMatrixElem(rows, cols, st.elem)
 	red.slots[si] = m
 	return m
 }
@@ -420,14 +436,14 @@ func (st *rankState) slotFor(red *redState, si, rows, cols int) *dense.Matrix {
 func (st *rankState) childArrived(red *redState, rows, cols int, data []float64) {
 	if st.e.deterministic() {
 		count := int(data[0])
-		blk := rows * cols
+		blk := rows * cols * st.ew
 		off := 1 + count
 		for x := 0; x < count; x++ {
 			si := int(data[1+x])
 			if red.slots[si] != nil {
 				panic(fmt.Sprintf("pselinv: reduction slot %d filled twice", si))
 			}
-			m := dense.GetMatrixUninit(rows, cols)
+			m := dense.GetMatrixUninitElem(rows, cols, st.elem)
 			copy(m.Data, data[off:off+blk])
 			red.slots[si] = m
 			off += blk
@@ -450,7 +466,7 @@ func (st *rankState) forwardSlots(red *redState, parent int, key uint64, class s
 			count++
 		}
 	}
-	blk := rows * cols
+	blk := rows * cols * st.ew
 	buf := dense.GetBuf(1 + count + count*blk)
 	buf[0] = float64(count)
 	w, off := 1, 1+count
@@ -475,7 +491,7 @@ func (st *rankState) combineSlots(red *redState, rows, cols int) {
 	if !st.e.deterministic() {
 		return
 	}
-	red.sum = dense.GetMatrix(rows, cols)
+	red.sum = dense.GetMatrixElem(rows, cols, st.elem)
 	for si, m := range red.slots {
 		if m == nil {
 			panic(fmt.Sprintf("pselinv: reduction completed with empty slot %d", si))
@@ -510,11 +526,17 @@ type rankState struct {
 	// sched, non-nil iff Engine.DAG, detours TRSM/GEMM-sized compute
 	// through the worker-pool task scheduler (see dag.go).
 	sched *dagSched
+
+	// elem/ew cache the factorization's element type and per-entry word
+	// count: every payload and arena request below is sized rows*cols*ew.
+	elem dense.Elem
+	ew   int
 }
 
 func newRankState(e *Engine, r *simmpi.Rank) *rankState {
 	st := &rankState{
 		e: e, r: r, prog: e.programs[r.ID],
+		elem: e.elem(), ew: e.elem().Width(),
 		lhat:      map[blockKey]*dense.Matrix{},
 		diagFact:  map[int]*dense.Matrix{},
 		ainv:      map[blockKey]*dense.Matrix{},
@@ -557,11 +579,12 @@ func (st *rankState) collSpan(kind string, k int, tr *core.Tree) func() {
 	return st.e.Trace.SpanRole(me, kind, k, role)
 }
 
-func matFromData(rows, cols int, data []float64) *dense.Matrix {
-	if len(data) != rows*cols {
-		panic(fmt.Sprintf("pselinv: payload %d does not match %dx%d block", len(data), rows, cols))
+func matFromData(rows, cols int, elem dense.Elem, data []float64) *dense.Matrix {
+	if len(data) != rows*cols*elem.Width() {
+		panic(fmt.Sprintf("pselinv: %s payload %d does not match %dx%d block",
+			elem, len(data), rows, cols))
 	}
-	return &dense.Matrix{Rows: rows, Cols: cols, Data: data}
+	return &dense.Matrix{Rows: rows, Cols: cols, Elem: elem, Data: data}
 }
 
 // addPayload accumulates a raw reduce payload into sum without wrapping it
@@ -621,7 +644,7 @@ func (st *rankState) runPass1() {
 		}
 		kind, k, _ := decodeKey(msg.Tag)
 		w := st.width(k)
-		dk := matFromData(w, w, msg.Data)
+		dk := matFromData(w, w, st.elem, msg.Data)
 		st.diagFact[k] = dk
 		sp := st.e.Plan.Snodes[k]
 		switch kind {
@@ -714,7 +737,7 @@ func (st *rankState) runPass2() {
 	// Initial local actions: leaf diagonals and cross-sends of ready L̂.
 	for _, k := range st.prog.leafDiags {
 		end := st.e.Trace.Span(st.r.ID, "diag-inverse", k)
-		inv := dense.GetMatrixUninit(st.width(k), st.width(k))
+		inv := dense.GetMatrixUninitElem(st.width(k), st.width(k), st.elem)
 		st.e.LU.DiagInverseTo(k, inv)
 		end()
 		st.finalize(blockKey{k, k}, inv)
@@ -762,7 +785,7 @@ func (st *rankState) handle(msg simmpi.Message) {
 		// I'm the owner of (K, I): the broadcast root. Store L̂_{I,K} and
 		// start the Col-Bcast down processor column I.
 		i := blk
-		lh := matFromData(st.width(i), st.width(k), msg.Data)
+		lh := matFromData(st.width(i), st.width(k), st.elem, msg.Data)
 		cb := &sp.ColBcasts[cIndex(sp.C, i)]
 		end := st.collSpan("col-bcast", k, cb.Tree)
 		for _, c := range cb.Tree.Children(me) {
@@ -772,7 +795,7 @@ func (st *rankState) handle(msg simmpi.Message) {
 		st.bcastArrived(k, i, lh)
 	case core.OpColBcast:
 		i := blk
-		lh := matFromData(st.width(i), st.width(k), msg.Data)
+		lh := matFromData(st.width(i), st.width(k), st.elem, msg.Data)
 		cb := &sp.ColBcasts[cIndex(sp.C, i)]
 		end := st.collSpan("col-bcast", k, cb.Tree)
 		for _, c := range cb.Tree.Children(me) {
@@ -795,8 +818,8 @@ func (st *rankState) handle(msg simmpi.Message) {
 		// Finalized A⁻¹_{J,K} arrives at the owner of (K, J); mirror it.
 		// The payload is the sender's finalized block (not ours to recycle).
 		j := blk
-		low := matFromData(st.width(j), st.width(k), msg.Data)
-		up := dense.GetMatrixUninit(low.Cols, low.Rows)
+		low := matFromData(st.width(j), st.width(k), st.elem, msg.Data)
+		up := dense.GetMatrixUninitElem(low.Cols, low.Rows, low.Elem)
 		low.TransposeInto(up)
 		st.finalize(blockKey{k, j}, up)
 	case core.OpCrossSendU:
@@ -805,7 +828,7 @@ func (st *rankState) handle(msg simmpi.Message) {
 		// for block (I,K) — check whether the diagonal contribution for
 		// this block can now fire.
 		i := blk
-		uh := matFromData(st.width(k), st.width(i), msg.Data)
+		uh := matFromData(st.width(k), st.width(i), st.elem, msg.Data)
 		rb := &sp.RowBcasts[cIndex(sp.C, i)]
 		end := st.collSpan("row-bcast", k, rb.Tree)
 		for _, c := range rb.Tree.Children(me) {
@@ -816,7 +839,7 @@ func (st *rankState) handle(msg simmpi.Message) {
 		st.tryDiagContribAsym(k, i)
 	case core.OpRowBcast:
 		i := blk
-		uh := matFromData(st.width(k), st.width(i), msg.Data)
+		uh := matFromData(st.width(k), st.width(i), st.elem, msg.Data)
 		rb := &sp.RowBcasts[cIndex(sp.C, i)]
 		end := st.collSpan("row-bcast", k, rb.Tree)
 		for _, c := range rb.Tree.Children(me) {
@@ -888,7 +911,7 @@ func (st *rankState) newRedState(rows, cols, local, children, nslots int) *redSt
 	if st.e.deterministic() {
 		red.slots = make([]*dense.Matrix, nslots)
 	} else {
-		red.sum = dense.GetMatrix(rows, cols)
+		red.sum = dense.GetMatrixElem(rows, cols, st.elem)
 	}
 	return red
 }
@@ -1152,7 +1175,7 @@ func (st *rankState) maybeCompleteDiag(k int, red *redState) {
 	if st.sched != nil {
 		sum := red.sum
 		red.sum = nil
-		diag := dense.GetMatrixUninit(st.width(k), st.width(k))
+		diag := dense.GetMatrixUninitElem(st.width(k), st.width(k), st.elem)
 		st.sched.submit(k, "diag-inverse", st.sched.depf("diag-reduce(%d)", k),
 			func() {
 				st.e.LU.DiagInverseTo(k, diag)
@@ -1164,7 +1187,7 @@ func (st *rankState) maybeCompleteDiag(k int, red *redState) {
 		return
 	}
 	end := st.e.Trace.Span(st.r.ID, "diag-inverse", k)
-	diag := dense.GetMatrixUninit(st.width(k), st.width(k))
+	diag := dense.GetMatrixUninitElem(st.width(k), st.width(k), st.elem)
 	st.e.LU.DiagInverseTo(k, diag)
 	diag.AddScaled(-1, red.sum)
 	end()

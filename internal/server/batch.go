@@ -1,0 +1,376 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pselinv"
+	"pselinv/internal/pexsi"
+)
+
+// /v1/selinv/batch is the multi-pole PEXSI endpoint: one request carries a
+// matrix and a pole list, the server performs the symbolic analysis once
+// (through the same plan cache as /v1/selinv), factorizes A − zₗI for the
+// poles pipelined with the inversions, and streams one NDJSON record per
+// pole as it completes — so the client sees pole results arrive instead of
+// waiting for the slowest one. The whole batch holds a SINGLE engine slot:
+// admission is batch-aware, one saturated batch cannot starve the pool the
+// way its poles issued as independent requests would. Every per-pole result
+// is computed by exactly the code path a single-pole /v1/selinv complex
+// request takes, so the records are bit-identical to the equivalent
+// single-pole responses.
+
+// PoleSpec is one complex pole zₗ = z_re + i·z_im with an optional
+// quadrature weight wₗ (used by the density accumulation).
+type PoleSpec struct {
+	ZRe float64 `json:"z_re"`
+	ZIm float64 `json:"z_im"`
+	WRe float64 `json:"w_re,omitempty"`
+	WIm float64 `json:"w_im,omitempty"`
+}
+
+// BatchRequest is the /v1/selinv/batch request body. The pole list comes
+// either explicitly (poles) or generated from the Fermi–Dirac parameters
+// (num_poles + beta + mu → the first num_poles Matsubara poles with their
+// expansion weights); exactly one of the two forms must be present.
+type BatchRequest struct {
+	Matrix MatrixSpec `json:"matrix"`
+	// Shift applies A + σI to the values before any pole (pattern
+	// unchanged, cache shared).
+	Shift    float64    `json:"shift,omitempty"`
+	Poles    []PoleSpec `json:"poles,omitempty"`
+	Beta     float64    `json:"beta,omitempty"`
+	Mu       float64    `json:"mu,omitempty"`
+	NumPoles int        `json:"num_poles,omitempty"`
+	// Procs/Scheme/CoresPerNode/Balancer/Ordering/Seed/Dag mean exactly
+	// what they mean on /v1/selinv and apply to every pole's run.
+	Procs        int    `json:"procs,omitempty"`
+	Scheme       string `json:"scheme,omitempty"`
+	CoresPerNode int    `json:"cores_per_node,omitempty"`
+	Balancer     string `json:"balancer,omitempty"`
+	Ordering     string `json:"ordering,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+	Dag          bool   `json:"dag,omitempty"`
+	// Diagonal includes diag((A−zₗI)⁻¹) in every pole record.
+	Diagonal bool `json:"diagonal,omitempty"`
+	// Density accumulates 0.5 + Σₗ Re(wₗ·diag((A−zₗI)⁻¹)) over the poles in
+	// order (the PEXSI electron density for Matsubara weights) and returns
+	// it in the trailer record.
+	Density bool `json:"density,omitempty"`
+	// TimeoutMS bounds EACH pole's engine run (0 = server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// BatchHeader is the first NDJSON record of a batch response, emitted once
+// the analysis is done and before any pole runs.
+type BatchHeader struct {
+	Type     string `json:"type"` // "header"
+	ID       string `json:"id"`
+	N        int    `json:"n"`
+	NNZ      int    `json:"nnz"`
+	Snodes   int    `json:"snodes"`
+	Cache    string `json:"cache"`
+	Procs    int    `json:"procs"`
+	Scheme   string `json:"scheme"`
+	Balancer string `json:"balancer"`
+	Ordering string `json:"ordering"`
+	Poles    int    `json:"poles"`
+}
+
+// BatchPoleResult is one pole's streamed record. The numbers are exactly
+// what a single-pole /v1/selinv request with the same z and run parameters
+// returns (same factorization, same engine template, bit for bit).
+type BatchPoleResult struct {
+	Type       string             `json:"type"` // "pole"
+	Index      int                `json:"index"`
+	ZRe        float64            `json:"z_re"`
+	ZIm        float64            `json:"z_im"`
+	LogDetRe   float64            `json:"logdet_re"`
+	LogDetIm   float64            `json:"logdet_im"`
+	ElapsedMS  map[string]float64 `json:"elapsed_ms"`
+	DiagonalRe []float64          `json:"diagonal_re,omitempty"`
+	DiagonalIm []float64          `json:"diagonal_im,omitempty"`
+}
+
+// BatchTrailer terminates a successful batch stream.
+type BatchTrailer struct {
+	Type      string    `json:"type"` // "done"
+	Poles     int       `json:"poles"`
+	Density   []float64 `json:"density,omitempty"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// BatchStreamError is the terminal record of a batch that failed after
+// streaming began (pre-stream failures are plain HTTP errors).
+type BatchStreamError struct {
+	Type  string `json:"type"` // "error"
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// splitComplex unpacks a complex vector into re/im slices for JSON.
+func splitComplex(d []complex128) (re, im []float64) {
+	re = make([]float64, len(d))
+	im = make([]float64, len(d))
+	for i, v := range d {
+		re[i], im[i] = real(v), imag(v)
+	}
+	return re, im
+}
+
+// resolveBatchPoles validates the request's pole specification and returns
+// the effective pole list.
+func (s *Server) resolveBatchPoles(req *BatchRequest) ([]PoleSpec, *httpError) {
+	if len(req.Poles) > 0 && req.NumPoles > 0 {
+		return nil, badRequest("specify either poles or num_poles (with beta, mu), not both")
+	}
+	poles := req.Poles
+	if len(poles) == 0 {
+		if req.NumPoles <= 0 {
+			return nil, badRequest("batch needs poles or num_poles >= 1")
+		}
+		gen, err := pexsi.MatsubaraPoles(req.NumPoles, req.Beta, req.Mu)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		poles = make([]PoleSpec, len(gen))
+		for i, p := range gen {
+			poles[i] = PoleSpec{
+				ZRe: real(p.Z), ZIm: imag(p.Z),
+				WRe: real(p.Weight), WIm: imag(p.Weight),
+			}
+		}
+	}
+	if len(poles) > s.cfg.MaxBatchPoles {
+		return nil, badRequest("batch of %d poles exceeds server limit %d", len(poles), s.cfg.MaxBatchPoles)
+	}
+	for i, p := range poles {
+		if p.ZIm == 0 {
+			return nil, badRequest("pole %d lies on the real axis (z_im == 0); the shifted system could be singular there", i)
+		}
+	}
+	return poles, nil
+}
+
+func (s *Server) handleSelInvBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		s.metrics.countRequest("bad_request")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		s.metrics.countRequest("bad_request")
+		return
+	}
+	status, herr := s.serveBatch(w, r, &req)
+	if herr != nil {
+		// Nothing streamed yet: report as a regular HTTP error.
+		if herr.status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+			s.metrics.countRequest("rejected")
+		} else if herr.status == http.StatusBadRequest {
+			s.metrics.countRequest("bad_request")
+		} else {
+			s.metrics.countRequest("error")
+		}
+		http.Error(w, herr.msg, herr.status)
+		return
+	}
+	s.metrics.countRequest(status)
+}
+
+// poleJob carries one pole's factorized system through the batch pipeline.
+type poleJob struct {
+	l       int
+	sys     *pselinv.System
+	elapsed time.Duration
+	err     error
+}
+
+// serveBatch runs one batch end to end, streaming NDJSON records as poles
+// complete. It returns the request-counter status ("ok"/"error") once the
+// stream has begun, or an *httpError while a plain HTTP error is still
+// possible.
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, req *BatchRequest) (string, *httpError) {
+	poles, herr := s.resolveBatchPoles(req)
+	if herr != nil {
+		return "", herr
+	}
+	scheme, herr := parseScheme(req.Scheme)
+	if herr != nil {
+		return "", herr
+	}
+	balancer, herr := parseBalancer(req.Balancer)
+	if herr != nil {
+		return "", herr
+	}
+	ordMethod, ordName, herr := parseOrdering(req.Ordering)
+	if herr != nil {
+		return "", herr
+	}
+	procs := req.Procs
+	if procs == 0 {
+		procs = 16
+	}
+	if procs < 1 || procs > s.cfg.MaxProcs {
+		return "", badRequest("procs %d outside [1, %d]", procs, s.cfg.MaxProcs)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	// One slot for the whole batch: the K poles run through a shared
+	// analysis sequentially (factorization pipelined), so they occupy one
+	// engine's worth of the machine — admitting them as one unit keeps a
+	// batch from monopolizing the pool.
+	if err := s.acquire(r.Context()); err != nil {
+		if err == ErrSaturated {
+			return "", &httpError{status: http.StatusServiceUnavailable, msg: "server saturated; retry later"}
+		}
+		return "", &httpError{status: http.StatusRequestTimeout, msg: "client went away while queued"}
+	}
+	defer s.release()
+	if s.testSlowdown != nil {
+		s.testSlowdown()
+	}
+
+	t0 := time.Now()
+	m, merr := s.buildMatrix(req.Matrix, req.Shift)
+	if merr != nil {
+		if he, ok := merr.(*httpError); ok {
+			return "", he
+		}
+		return "", badRequest("%v", merr)
+	}
+	// Same cache key as /v1/selinv: a batch warms the cache for subsequent
+	// single-pole requests of the same family and vice versa.
+	key := fmt.Sprintf("%s/%s/r%d/w%d/c%d/b%s", m.Fingerprint(), ordName, s.cfg.Relax, s.cfg.MaxWidth,
+		req.CoresPerNode, balancer.Slug())
+	sym, outcome, berr := s.cache.getOrBuild(key, func() (*pselinv.Symbolic, error) {
+		return pselinv.AnalyzePattern(m, pselinv.Options{
+			Ordering:     ordMethod,
+			Relax:        s.cfg.Relax,
+			MaxWidth:     s.cfg.MaxWidth,
+			CoresPerNode: req.CoresPerNode,
+			Balancer:     balancer.Slug(),
+		})
+	})
+	if berr != nil {
+		return "", badRequest("analysis: %v", berr)
+	}
+
+	// The stream begins: from here failures are in-band records.
+	id := fmt.Sprintf("r%06d", s.reqID.Add(1))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(rec any) {
+		if enc.Encode(rec) == nil && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(&BatchHeader{
+		Type: "header", ID: id,
+		N: m.N(), NNZ: m.NNZ(), Snodes: sym.NumSupernodes(),
+		Cache: string(outcome), Procs: procs,
+		Scheme: scheme.Slug(), Balancer: balancer.Slug(), Ordering: ordName,
+		Poles: len(poles),
+	})
+
+	// Producer: factorize pole l+1 while pole l inverts (the batch
+	// engine's pipeline, request-scoped). The done channel unblocks the
+	// producer when the consumer aborts mid-batch.
+	jobs := make(chan poleJob, 1)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(jobs)
+		for l, p := range poles {
+			tf := time.Now()
+			sys, err := sym.FactorizeShifted(m, complex(p.ZRe, p.ZIm))
+			j := poleJob{l: l, sys: sys, elapsed: time.Since(tf), err: err}
+			select {
+			case jobs <- j:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	var density []float64
+	if req.Density {
+		density = make([]float64, m.N())
+		for i := range density {
+			density[i] = 0.5
+		}
+	}
+	completed := 0
+	for job := range jobs {
+		if err := r.Context().Err(); err != nil {
+			return "error", nil // client went away mid-stream
+		}
+		p := poles[job.l]
+		if job.err != nil {
+			emit(&BatchStreamError{Type: "error", Index: job.l, Error: "factorization: " + job.err.Error()})
+			return "error", nil
+		}
+		sys := job.sys
+		sys.SetTimeout(timeout)
+		sys.SetDAG(req.Dag)
+		tInv := time.Now()
+		res, err := sys.ParallelSelInv(procs, scheme, seed)
+		if err != nil {
+			emit(&BatchStreamError{Type: "error", Index: job.l, Error: "inversion: " + err.Error()})
+			return "error", nil
+		}
+		invDur := time.Since(tInv)
+		rec := &BatchPoleResult{
+			Type: "pole", Index: job.l, ZRe: p.ZRe, ZIm: p.ZIm,
+			ElapsedMS: map[string]float64{
+				"factorize": job.elapsed.Seconds() * 1e3,
+				"invert":    invDur.Seconds() * 1e3,
+			},
+		}
+		if ld, lerr := sys.LogDet(); lerr == nil {
+			rec.LogDetRe, rec.LogDetIm = real(ld), imag(ld)
+		}
+		if req.Diagonal || req.Density {
+			d := res.DiagonalComplex()
+			if req.Diagonal {
+				rec.DiagonalRe, rec.DiagonalIm = splitComplex(d)
+			}
+			if req.Density {
+				wt := complex(p.WRe, p.WIm)
+				for i, v := range d {
+					density[i] += real(wt * v)
+				}
+			}
+		}
+		res.Release()
+		s.metrics.observe("pole_factorize", job.elapsed)
+		s.metrics.observe("pole_invert", invDur)
+		emit(rec)
+		completed++
+	}
+	s.metrics.recordBatch(completed)
+	emit(&BatchTrailer{
+		Type: "done", Poles: completed, Density: density,
+		ElapsedMS: time.Since(t0).Seconds() * 1e3,
+	})
+	return "ok", nil
+}

@@ -72,6 +72,10 @@ type metrics struct {
 	requests  map[string]uint64     // status label -> count
 	latencies map[string]*histogram // phase label -> histogram
 
+	// Batch-endpoint counters (/v1/selinv/batch).
+	batchRuns  uint64
+	batchPoles uint64
+
 	// Communication-observability aggregates over observed runs
 	// ("obs": true requests).
 	obsRuns         uint64
@@ -102,6 +106,15 @@ func (m *metrics) recordObs(classBytes map[string]int64, volImbalance float64, m
 		m.obsMaxQueue = maxQueue
 	}
 	m.obsRecvWaitSec += recvWait.Seconds()
+	m.mu.Unlock()
+}
+
+// recordBatch folds one batch run's completed pole count into the batch
+// counters.
+func (m *metrics) recordBatch(poles int) {
+	m.mu.Lock()
+	m.batchRuns++
+	m.batchPoles += uint64(poles)
 	m.mu.Unlock()
 }
 
@@ -199,6 +212,13 @@ func (m *metrics) write(w io.Writer, cs CacheStats, g gauges) {
 	fmt.Fprintf(w, "# HELP pselinvd_traces_retained Per-request Chrome traces in the debug ring.\n")
 	fmt.Fprintf(w, "# TYPE pselinvd_traces_retained gauge\n")
 	fmt.Fprintf(w, "pselinvd_traces_retained %d\n", g.TracesRetained)
+
+	fmt.Fprintf(w, "# HELP pselinvd_batch_runs_total Multi-pole batch requests that streamed to completion.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_batch_runs_total counter\n")
+	fmt.Fprintf(w, "pselinvd_batch_runs_total %d\n", m.batchRuns)
+	fmt.Fprintf(w, "# HELP pselinvd_batch_poles_total Poles evaluated across batch requests.\n")
+	fmt.Fprintf(w, "# TYPE pselinvd_batch_poles_total counter\n")
+	fmt.Fprintf(w, "pselinvd_batch_poles_total %d\n", m.batchPoles)
 
 	fmt.Fprintf(w, "# HELP pselinvd_obs_runs_total Requests served with communication observability.\n")
 	fmt.Fprintf(w, "# TYPE pselinvd_obs_runs_total counter\n")

@@ -57,6 +57,9 @@ type Config struct {
 	// selects the pipeline defaults.
 	Relax    int
 	MaxWidth int
+	// MaxBatchPoles caps the pole count of one /v1/selinv/batch request
+	// (the whole batch holds a single engine slot). Default 64.
+	MaxBatchPoles int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
 	}
+	if c.MaxBatchPoles <= 0 {
+		c.MaxBatchPoles = 64
+	}
 	return c
 }
 
@@ -124,11 +130,12 @@ func New(cfg Config) *Server {
 	}
 }
 
-// Handler returns the HTTP mux: POST /v1/selinv, GET /metrics,
-// GET /debug/trace/{id}, GET /debug/obs/{id}, GET /healthz.
+// Handler returns the HTTP mux: POST /v1/selinv, POST /v1/selinv/batch,
+// GET /metrics, GET /debug/trace/{id}, GET /debug/obs/{id}, GET /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/selinv", s.handleSelInv)
+	mux.HandleFunc("/v1/selinv/batch", s.handleSelInvBatch)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/trace/", s.handleTrace)
 	mux.HandleFunc("/debug/obs/", s.handleObs)
@@ -201,6 +208,18 @@ type Request struct {
 	// it never changes the pattern, so shifted families share cache
 	// entries.
 	Shift float64 `json:"shift,omitempty"`
+	// ZRe/ZIm select the complex-pole kernel: when z_im is nonzero the
+	// system is factorized as A − zI with z = z_re + i·z_im (the per-pole
+	// PEXSI problem) and the selected inverse is complex — the diagonal
+	// comes back as diagonal_re/diagonal_im and the response carries
+	// log det(A − zI). Complex runs always use the general communication
+	// path with canonical deterministic reductions, so the result is
+	// bit-identical to the serial complex reference at any procs, scheme
+	// and balancer. A pole on the real axis (z_re set, z_im zero) is
+	// rejected: the shifted system could be singular there — use "shift"
+	// for real diagonal shifts.
+	ZRe float64 `json:"z_re,omitempty"`
+	ZIm float64 `json:"z_im,omitempty"`
 	// Procs is the simulated rank count (default 16).
 	Procs int `json:"procs,omitempty"`
 	// Scheme selects the collective tree (default shifted); any slug from
@@ -266,6 +285,13 @@ type Response struct {
 	ElapsedMS map[string]float64 `json:"elapsed_ms"`
 	MaxSentMB float64            `json:"max_sent_mb"`
 	Diagonal  []float64          `json:"diagonal,omitempty"`
+	// Complex marks a z_im != 0 run; the diagonal then splits into the
+	// re/im pair below and logdet_re/logdet_im carry log det(A − zI).
+	Complex    bool      `json:"complex,omitempty"`
+	LogDetRe   float64   `json:"logdet_re,omitempty"`
+	LogDetIm   float64   `json:"logdet_im,omitempty"`
+	DiagonalRe []float64 `json:"diagonal_re,omitempty"`
+	DiagonalIm []float64 `json:"diagonal_im,omitempty"`
 	TracePath string             `json:"trace,omitempty"`
 	ObsPath   string             `json:"obs,omitempty"`
 	// VolImbalance is max/mean per-rank sent bytes (observed runs only).
@@ -466,6 +492,9 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 	if req.ObsRingCap > 0 && !req.Obs {
 		return nil, badRequest("obs_ring_cap requires \"obs\": true")
 	}
+	if req.ZRe != 0 && req.ZIm == 0 {
+		return nil, badRequest("complex pole must lie off the real axis (z_im != 0); use \"shift\" for real diagonal shifts")
+	}
 
 	// Admission control guards the whole heavy section: matrix
 	// realization, analysis, factorization and the engine run.
@@ -514,7 +543,13 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 	analyzeDur := time.Since(tCache)
 
 	tFac := time.Now()
-	sys, ferr := sym.Factorize(m)
+	var sys *pselinv.System
+	var ferr error
+	if req.ZIm != 0 {
+		sys, ferr = sym.FactorizeShifted(m, complex(req.ZRe, req.ZIm))
+	} else {
+		sys, ferr = sym.Factorize(m)
+	}
 	if ferr != nil {
 		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: "factorization: " + ferr.Error()}
 	}
@@ -563,8 +598,18 @@ func (s *Server) serve(ctx context.Context, req *Request) (*Response, *httpError
 			"total":     total.Seconds() * 1e3,
 		},
 	}
+	if req.ZIm != 0 {
+		resp.Complex = true
+		if ld, lerr := sys.LogDet(); lerr == nil {
+			resp.LogDetRe, resp.LogDetIm = real(ld), imag(ld)
+		}
+	}
 	if req.Diagonal {
-		resp.Diagonal = res.Diagonal()
+		if resp.Complex {
+			resp.DiagonalRe, resp.DiagonalIm = splitComplex(res.DiagonalComplex())
+		} else {
+			resp.Diagonal = res.Diagonal()
+		}
 	}
 	if ds := res.DagStats(); len(ds) > 0 {
 		occ := 0.0

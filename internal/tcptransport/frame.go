@@ -18,7 +18,8 @@ import (
 // and the per-type payloads are
 //
 //	hello:           uint32 magic, uint8 version, uint32 src rank,
-//	                 uint32 world size, uint8 clock-sync ping count
+//	                 uint32 world size, uint8 clock-sync ping count,
+//	                 uint8 element tag
 //	data:            uint64 tag, uint64 serial, uint32 src, uint32 dst,
 //	                 uint8 class, then len(Data) float64s as IEEE-754 bits
 //	barrier-arrive:  uint32 src rank
@@ -35,7 +36,10 @@ import (
 // its ping count in the hello, then alternates ping/pong with the acceptor
 // on the same (otherwise unidirectional) connection before either side
 // starts its steady-state writer/reader, so the reader loops never see
-// them. Version 2 added the ping-count byte.
+// them. Version 2 added the ping-count byte; version 3 added the element
+// tag (dense.Elem: 0 real, 1 complex), so two processes built from
+// divergent specs fail at the handshake with an explicit mismatch error
+// instead of exchanging payloads that elementwise-add as the wrong type.
 const (
 	frameHello byte = iota + 1
 	frameData
@@ -45,10 +49,10 @@ const (
 	frameClockPong
 
 	helloMagic   uint32 = 0x50534C56 // "PSLV"
-	helloVersion byte   = 2
+	helloVersion byte   = 3
 
 	frameHeader  = 5 // length + type
-	helloLen     = 4 + 1 + 4 + 4 + 1
+	helloLen     = 4 + 1 + 4 + 4 + 1 + 1
 	dataOverhead = 8 + 8 + 4 + 4 + 1
 
 	// maxFramePayload bounds a frame so a corrupt or hostile length field
@@ -100,8 +104,8 @@ func decodeDataPayload(p []byte) (simmpi.Message, error) {
 
 // appendHelloFrame appends the connection-opening handshake. pings is the
 // number of clock-sync round trips the dialer will run before steady state
-// (0: none).
-func appendHelloFrame(buf []byte, src, size, pings int) []byte {
+// (0: none); elem is the element tag of the run's payloads.
+func appendHelloFrame(buf []byte, src, size, pings int, elem byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, helloLen)
 	buf = append(buf, frameHello)
 	buf = binary.LittleEndian.AppendUint32(buf, helloMagic)
@@ -109,12 +113,15 @@ func appendHelloFrame(buf []byte, src, size, pings int) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(src))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(size))
 	buf = append(buf, byte(pings))
+	buf = append(buf, elem)
 	return buf
 }
 
 // decodeHelloPayload validates the handshake and returns the peer rank and
-// its announced clock-sync ping count.
-func decodeHelloPayload(p []byte, wantSize int) (src, pings int, err error) {
+// its announced clock-sync ping count. A world-size or element-tag
+// disagreement is a configuration split across processes; failing the
+// handshake here surfaces it before any data frame flows.
+func decodeHelloPayload(p []byte, wantSize int, wantElem byte) (src, pings int, err error) {
 	if len(p) != helloLen {
 		return 0, 0, fmt.Errorf("tcptransport: bad hello length %d", len(p))
 	}
@@ -128,6 +135,10 @@ func decodeHelloPayload(p []byte, wantSize int) (src, pings int, err error) {
 	if size := int(binary.LittleEndian.Uint32(p[9:])); size != wantSize {
 		return 0, 0, fmt.Errorf("tcptransport: peer rank %d believes world size is %d, want %d",
 			src, size, wantSize)
+	}
+	if elem := p[14]; elem != wantElem {
+		return 0, 0, fmt.Errorf("tcptransport: peer rank %d runs element tag %d, this rank runs %d — specs diverge",
+			src, elem, wantElem)
 	}
 	return src, int(p[13]), nil
 }

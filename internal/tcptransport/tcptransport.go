@@ -57,6 +57,12 @@ type Config struct {
 	// trace recorder so offsets translate its timestamps directly. Zero
 	// means "now" (at Connect).
 	ClockEpoch time.Time
+	// Elem is the element tag of the run's payloads (dense.Elem numbering:
+	// 0 real, 1 complex). Announced in the hello; a peer announcing a
+	// different tag fails the handshake, so a world whose processes were
+	// built from divergent specs cannot exchange payloads that would
+	// elementwise-combine as the wrong arithmetic.
+	Elem byte
 }
 
 // ClockMeasurement is one dialed connection's clock-offset estimate.
@@ -257,6 +263,9 @@ type Transport struct {
 
 	dialRetries int64
 
+	// elem is the element tag announced in (and required of) every hello.
+	elem byte
+
 	// epoch is the local clock-sync reference instant; clockOff holds the
 	// per-dialed-peer offset estimates, written only during Connect and
 	// read only after it returns.
@@ -321,6 +330,7 @@ func (l *Listener) Connect(cfg Config) (*Transport, error) {
 		ln:    l.ln,
 		links: make([]*outLink, p),
 		epoch: epoch,
+		elem:  cfg.Elem,
 	}
 	t.local[0] = cfg.Rank
 	t.barrier.init()
@@ -345,7 +355,7 @@ func (l *Listener) Connect(cfg Config) (*Transport, error) {
 			break
 		}
 		var hello []byte
-		hello = appendHelloFrame(hello, t.rank, p, pings)
+		hello = appendHelloFrame(hello, t.rank, p, pings, t.elem)
 		if _, err := conn.Write(hello); err != nil {
 			conn.Close()
 			dialErr = fmt.Errorf("tcptransport: handshake to rank %d: %w", dst, err)
@@ -469,7 +479,7 @@ func (t *Transport) acceptAll(deadline time.Time, done chan<- error) {
 			done <- fmt.Errorf("tcptransport: rank %d: bad handshake (type %d): %v", t.rank, typ, err)
 			return
 		}
-		src, pings, err := decodeHelloPayload(payload, t.p)
+		src, pings, err := decodeHelloPayload(payload, t.p, t.elem)
 		if err != nil || src == t.rank || src < 0 || src >= t.p || seen[src] {
 			conn.Close()
 			done <- fmt.Errorf("tcptransport: rank %d: invalid hello from rank %d: %v", t.rank, src, err)

@@ -2,6 +2,7 @@ package tcptransport
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -361,10 +362,10 @@ func TestDecodeRejectsCorruptFrames(t *testing.T) {
 	if _, err := decodeDataPayload(make([]byte, dataOverhead+3)); err == nil {
 		t.Error("misaligned payload accepted")
 	}
-	if _, _, err := decodeHelloPayload(make([]byte, helloLen), 4); err == nil {
+	if _, _, err := decodeHelloPayload(make([]byte, helloLen), 4, 0); err == nil {
 		t.Error("zero-magic hello accepted")
 	}
-	if _, _, err := decodeHelloPayload(make([]byte, helloLen-1), 4); err == nil {
+	if _, _, err := decodeHelloPayload(make([]byte, helloLen-1), 4, 0); err == nil {
 		t.Error("short hello accepted")
 	}
 	if _, err := decodeClockPing(make([]byte, 3)); err == nil {
@@ -375,15 +376,28 @@ func TestDecodeRejectsCorruptFrames(t *testing.T) {
 	}
 }
 
-// TestHelloRoundTrip pins the v2 hello layout, ping count included.
+// TestHelloRoundTrip pins the v3 hello layout, ping count and element tag
+// included.
 func TestHelloRoundTrip(t *testing.T) {
-	buf := appendHelloFrame(nil, 3, 8, 11)
-	src, pings, err := decodeHelloPayload(buf[frameHeader:], 8)
+	buf := appendHelloFrame(nil, 3, 8, 11, 1)
+	src, pings, err := decodeHelloPayload(buf[frameHeader:], 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if src != 3 || pings != 11 {
 		t.Fatalf("hello round trip: src=%d pings=%d, want 3, 11", src, pings)
+	}
+}
+
+// TestHelloRejectsElementMismatch: a peer announcing a different element
+// tag is a configuration split (one process factorized real, another
+// complex) and must fail the handshake with an explicit error.
+func TestHelloRejectsElementMismatch(t *testing.T) {
+	buf := appendHelloFrame(nil, 3, 8, 0, 1)
+	if _, _, err := decodeHelloPayload(buf[frameHeader:], 8, 0); err == nil {
+		t.Fatal("element-tag mismatch accepted")
+	} else if !strings.Contains(err.Error(), "element tag") {
+		t.Fatalf("mismatch error does not name the element tag: %v", err)
 	}
 }
 

@@ -6,30 +6,36 @@
 // the poles zₗ lie off the real axis so the shifted systems are uniformly
 // nonsingular.
 //
-// The algorithm is the same two-pass Algorithm 1 as internal/selinv, over
-// complex blocks.
+// The implementation is the serial REFERENCE for the distributed complex
+// engine: it shares the numeric factorization (factor.FactorizeShifted)
+// and the element-generic dense kernels with internal/pselinv, and its
+// second pass reproduces the engine's canonical-slot reduction bracketing
+// exactly — each contribution is computed into its own zeroed slot with a
+// beta=1 GEMM, the slots are folded in ascending structure order, and the
+// fold is negated (off-diagonal) or subtracted from the diagonal inverse —
+// so a deterministic parallel run is bit-identical to this reference for
+// every scheme, balancer and transport.
 package zselinv
 
 import (
-	"fmt"
-	"math/cmplx"
-
+	"pselinv/internal/dense"
 	"pselinv/internal/etree"
-	"pselinv/internal/zdense"
+	"pselinv/internal/factor"
 )
 
 type blockKey struct{ I, J int }
 
 // Result holds the selected elements of (A − zI)⁻¹ over A's block pattern.
+// The blocks are complex dense.Matrix values (interleaved storage).
 type Result struct {
 	BP   *etree.BlockPattern
 	Z    complex128
-	Ainv map[blockKey]*zdense.Matrix
-	diag []*zdense.Matrix // packed diagonal LU factors
+	Ainv map[blockKey]*dense.Matrix
+	lu   *factor.LU
 }
 
 // Block returns the (i, j) block of the selected inverse when present.
-func (r *Result) Block(i, j int) (*zdense.Matrix, bool) {
+func (r *Result) Block(i, j int) (*dense.Matrix, bool) {
 	b, ok := r.Ainv[blockKey{i, j}]
 	return b, ok
 }
@@ -43,133 +49,119 @@ func (r *Result) Entry(i, j int) (complex128, bool) {
 	if !ok {
 		return 0, false
 	}
-	return b.At(i-part.Start[bi], j-part.Start[bj]), true
+	return b.ZAt(i-part.Start[bi], j-part.Start[bj]), true
 }
 
 // LogDet returns log det(A − zI) accumulated from the diagonal pivots
 // (principal branch per pivot).
-func (r *Result) LogDet() complex128 {
-	var s complex128
-	for _, dk := range r.diag {
-		for i := 0; i < dk.Rows; i++ {
-			s += clog(dk.At(i, i))
-		}
-	}
-	return s
-}
+func (r *Result) LogDet() complex128 { return r.lu.LogDet() }
 
-func clog(v complex128) complex128 { return cmplx.Log(v) }
+// Release returns every block of the selected inverse to the dense arena.
+// The result must not be used afterwards. Callers that extract what they
+// need per pole (like the batch engine's diagonal readout) release each
+// result so the next pole reuses the same storage; callers that hand the
+// blocks on (the root API's block-matrix conversion) must not.
+func (r *Result) Release() {
+	for _, m := range r.Ainv {
+		dense.PutMatrix(m)
+	}
+	r.Ainv = nil
+}
 
 // SelInvShifted factorizes A − zI over the analysis' block pattern and
 // runs both passes of the selected inversion.
 func SelInvShifted(an *etree.Analysis, z complex128) (*Result, error) {
-	bp := an.BP
+	lu, err := factor.FactorizeShifted(an.A, z, an.BP)
+	if err != nil {
+		return nil, err
+	}
+	return SelInvFromLU(lu, z), nil
+}
+
+// SelInvFromLU runs the two selected-inversion passes over an existing
+// complex factorization of A − zI (shared with the distributed engine via
+// Engine.Rebind in batch mode).
+func SelInvFromLU(lu *factor.LU, z complex128) *Result {
+	bp := lu.BP
 	part := bp.Part
 	ns := bp.NumSnodes()
 
-	// Assemble complex blocks of A − zI over the closed pattern.
-	work := map[blockKey]*zdense.Matrix{}
-	ensure := func(i, j int) *zdense.Matrix {
-		key := blockKey{i, j}
-		if b, ok := work[key]; ok {
-			return b
+	// Pass 1: L̂_{I,K} = L_{I,K}·L_KK⁻¹ and Û_{K,I} = U_KK⁻¹·U_{K,I}. The
+	// normalized copies live on the dense arena and are recycled when the
+	// run finishes, so repeated poles reuse their storage.
+	lhat := map[blockKey]*dense.Matrix{}
+	uhat := map[blockKey]*dense.Matrix{}
+	defer func() {
+		for _, m := range lhat {
+			dense.PutMatrix(m)
 		}
-		b := zdense.NewMatrix(part.Width(i), part.Width(j))
-		work[key] = b
-		return b
-	}
-	a := an.A
-	for j := 0; j < a.N; j++ {
-		kj := part.SnodeOf[j]
-		jc := j - part.Start[kj]
-		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-			i := a.RowIdx[p]
-			ki := part.SnodeOf[i]
-			ensure(ki, kj).Set(i-part.Start[ki], jc, complex(a.Val[p], 0))
+		for _, m := range uhat {
+			dense.PutMatrix(m)
 		}
-	}
-	for k := 0; k < ns; k++ {
-		d := ensure(k, k)
-		for i := 0; i < d.Rows; i++ {
-			d.Add(i, i, -z)
-		}
-		for _, i := range bp.RowsOf[k] {
-			ensure(i, k)
-			if i > k {
-				ensure(k, i)
-			}
-		}
-	}
-
-	// Right-looking block LU.
-	diag := make([]*zdense.Matrix, ns)
-	for k := 0; k < ns; k++ {
-		dk := work[blockKey{k, k}]
-		if err := zdense.LU(dk); err != nil {
-			return nil, fmt.Errorf("zselinv: supernode %d: %w", k, err)
-		}
-		diag[k] = dk
-		c := bp.Struct(k)
-		for _, i := range c {
-			zdense.Trsm(zdense.Right, zdense.Upper, zdense.NonUnit, dk, work[blockKey{i, k}])
-			zdense.Trsm(zdense.Left, zdense.Lower, zdense.Unit, dk, work[blockKey{k, i}])
-		}
-		for _, i := range c {
-			lb := work[blockKey{i, k}]
-			for _, j := range c {
-				zdense.Gemm(-1, lb, work[blockKey{k, j}], 1, ensure(i, j))
-			}
-		}
-	}
-
-	// Pass 1: L̂ and Û.
-	lhat := map[blockKey]*zdense.Matrix{}
-	uhat := map[blockKey]*zdense.Matrix{}
+	}()
 	for k := ns - 1; k >= 0; k-- {
-		dk := diag[k]
+		dk := lu.Diag[k]
 		for _, i := range bp.Struct(k) {
-			x := work[blockKey{i, k}].Clone()
-			zdense.Trsm(zdense.Right, zdense.Lower, zdense.Unit, dk, x)
+			x := dense.GetMatrixCopy(lu.F.MustGet(i, k))
+			dense.Trsm(dense.Right, dense.Lower, dense.NoTrans, dense.Unit, dk, x)
 			lhat[blockKey{i, k}] = x
-			y := work[blockKey{k, i}].Clone()
-			zdense.Trsm(zdense.Left, zdense.Upper, zdense.NonUnit, dk, y)
+			y := dense.GetMatrixCopy(lu.F.MustGet(k, i))
+			dense.Trsm(dense.Left, dense.Upper, dense.NoTrans, dense.NonUnit, dk, y)
 			uhat[blockKey{k, i}] = y
 		}
 	}
 
-	// Pass 2.
-	res := &Result{BP: bp, Z: z, Ainv: map[blockKey]*zdense.Matrix{}, diag: diag}
+	// Pass 2, in the engine's canonical bracketing: every contribution
+	// lands in a zeroed slot via a beta=1 GEMM; the root fold adds the
+	// slots in ascending structure order into a zeroed sum.
+	res := &Result{BP: bp, Z: z, Ainv: map[blockKey]*dense.Matrix{}, lu: lu}
 	ainv := res.Ainv
-	mustA := func(i, j int) *zdense.Matrix {
-		b, ok := ainv[blockKey{i, j}]
-		if !ok {
-			panic(fmt.Sprintf("zselinv: missing A⁻¹ block (%d,%d)", i, j))
-		}
-		return b
-	}
 	for k := ns - 1; k >= 0; k-- {
 		c := bp.Struct(k)
+		wk := part.Width(k)
+		if len(c) == 0 {
+			d := dense.GetMatrixElem(wk, wk, dense.Complex)
+			lu.DiagInverseTo(k, d)
+			ainv[blockKey{k, k}] = d
+			continue
+		}
+		// Lower targets: A⁻¹_{J,K} = −Σ_{i∈C} A⁻¹_{J,I}·L̂_{I,K}.
 		for _, j := range c {
-			target := zdense.NewMatrix(part.Width(j), part.Width(k))
+			sum := dense.GetMatrixElem(part.Width(j), wk, dense.Complex)
 			for _, i := range c {
-				zdense.Gemm(-1, mustA(j, i), lhat[blockKey{i, k}], 1, target)
+				slot := dense.GetMatrixElem(part.Width(j), wk, dense.Complex)
+				dense.Gemm(dense.NoTrans, dense.NoTrans, 1, ainv[blockKey{j, i}], lhat[blockKey{i, k}], 1, slot)
+				sum.AddScaled(1, slot)
+				dense.PutMatrix(slot)
 			}
-			ainv[blockKey{j, k}] = target
+			sum.Scale(-1)
+			ainv[blockKey{j, k}] = sum
 		}
+		// Upper targets: A⁻¹_{K,J} = −Σ_{i∈C} Û_{K,I}·A⁻¹_{I,J}.
 		for _, j := range c {
-			target := zdense.NewMatrix(part.Width(k), part.Width(j))
+			sum := dense.GetMatrixElem(wk, part.Width(j), dense.Complex)
 			for _, i := range c {
-				zdense.Gemm(-1, uhat[blockKey{k, i}], mustA(i, j), 1, target)
+				slot := dense.GetMatrixElem(wk, part.Width(j), dense.Complex)
+				dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uhat[blockKey{k, i}], ainv[blockKey{i, j}], 1, slot)
+				sum.AddScaled(1, slot)
+				dense.PutMatrix(slot)
 			}
-			ainv[blockKey{k, j}] = target
+			sum.Scale(-1)
+			ainv[blockKey{k, j}] = sum
 		}
-		d := zdense.Eye(part.Width(k))
-		zdense.Trsm(zdense.Left, zdense.Lower, zdense.Unit, diag[k], d)
-		zdense.Trsm(zdense.Left, zdense.Upper, zdense.NonUnit, diag[k], d)
-		for _, i := range c {
-			zdense.Gemm(-1, uhat[blockKey{k, i}], mustA(i, k), 1, d)
+		// Diagonal: A⁻¹_{K,K} = (A_KK)⁻¹ − Σ_{j∈C} Û_{K,J}·A⁻¹_{J,K}.
+		dsum := dense.GetMatrixElem(wk, wk, dense.Complex)
+		for _, j := range c {
+			slot := dense.GetMatrixElem(wk, wk, dense.Complex)
+			dense.Gemm(dense.NoTrans, dense.NoTrans, 1, uhat[blockKey{k, j}], ainv[blockKey{j, k}], 1, slot)
+			dsum.AddScaled(1, slot)
+			dense.PutMatrix(slot)
 		}
+		d := dense.GetMatrixElem(wk, wk, dense.Complex)
+		lu.DiagInverseTo(k, d)
+		d.AddScaled(-1, dsum)
+		dense.PutMatrix(dsum)
 		ainv[blockKey{k, k}] = d
 	}
-	return res, nil
+	return res
 }

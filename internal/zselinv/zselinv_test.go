@@ -47,7 +47,7 @@ func checkAgainstDense(t *testing.T, an *etree.Analysis, z complex128, tol float
 		r0, c0 := part.Start[key.I], part.Start[key.J]
 		for c := 0; c < b.Cols; c++ {
 			for r := 0; r < b.Rows; r++ {
-				if d := cmplx.Abs(b.At(r, c) - want.At(r0+r, c0+c)); d > tol {
+				if d := cmplx.Abs(b.ZAt(r, c) - want.At(r0+r, c0+c)); d > tol {
 					t.Fatalf("z=%v block (%d,%d): diff %g", z, key.I, key.J, d)
 				}
 			}
@@ -142,7 +142,7 @@ func TestComplexSelInvSymmetryOfInverse(t *testing.T) {
 		}
 		for c := 0; c < b.Cols; c++ {
 			for r := 0; r < b.Rows; r++ {
-				if cmplx.Abs(b.At(r, c)-mirror.At(c, r)) > 1e-9 {
+				if cmplx.Abs(b.ZAt(r, c)-mirror.ZAt(c, r)) > 1e-9 {
 					t.Fatalf("inverse not symmetric at block (%d,%d)", key.I, key.J)
 				}
 			}

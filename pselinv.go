@@ -54,6 +54,7 @@ import (
 	"pselinv/internal/simmpi"
 	"pselinv/internal/sparse"
 	"pselinv/internal/trace"
+	"pselinv/internal/zselinv"
 )
 
 // Matrix is a sparse symmetric matrix accepted by the solver pipeline.
@@ -382,6 +383,27 @@ func (sy *Symbolic) Factorize(m *Matrix) (*System, error) {
 	}, nil
 }
 
+// FactorizeShifted numerically factorizes A − zI for a complex shift z
+// against this symbolic analysis, returning a System whose selected
+// inverses are complex — the per-pole kernel of the PEXSI workload. The
+// matrix must share the pattern the analysis was built from (the shift
+// only touches the diagonal, so the pattern is unchanged). Complex systems
+// always use the general (asymmetric) communication path and canonical
+// deterministic reductions: every parallel run is bit-identical to the
+// serial complex reference.
+func (sy *Symbolic) FactorizeShifted(m *Matrix, z complex128) (*System, error) {
+	if got := m.Fingerprint(); got != sy.fp {
+		return nil, fmt.Errorf("pselinv: %s: sparsity pattern does not match the symbolic analysis (fingerprint %.12s… vs %.12s…)",
+			m.Name(), got, sy.fp)
+	}
+	lu, err := factor.FactorizeShifted(m.gen.A.Permute(sy.an.PermTotal), z, sy.an.BP)
+	if err != nil {
+		return nil, fmt.Errorf("pselinv: complex factorization of %s failed: %w", m.Name(), err)
+	}
+	// symmetric=false: the complex engine requires the general plan.
+	return &System{m: m, opt: sy.opt, sym: sy, an: sy.an, lu: lu, symmetric: false}, nil
+}
+
 // engineTemplate returns the cached engine template (communication plan +
 // per-rank programs, no numeric factor) for one
 // grid/scheme/balancer/seed/symmetry combination, building and caching it
@@ -494,6 +516,50 @@ func (inv *Inverse) Entry(i, j int) (v float64, ok bool) {
 	return b.At(pi-part.Start[bi], pj-part.Start[bj]), true
 }
 
+// Complex reports whether the inverse holds complex entries (the system
+// was built by FactorizeShifted); use the *Complex accessors then.
+func (inv *Inverse) Complex() bool {
+	c := false
+	inv.ainv.Range(func(_ blockmat.Key, b *dense.Matrix) {
+		if b.Elem == dense.Complex {
+			c = true
+		}
+	})
+	return c
+}
+
+// EntryComplex returns ((A−zI)⁻¹)ᵢⱼ of a complex system for original
+// indices, with ok reporting membership in the selected set.
+func (inv *Inverse) EntryComplex(i, j int) (v complex128, ok bool) {
+	n := len(inv.an.PermTotal)
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return 0, false
+	}
+	pi, pj := inv.an.PermTotal[i], inv.an.PermTotal[j]
+	part := inv.an.BP.Part
+	bi, bj := part.SnodeOf[pi], part.SnodeOf[pj]
+	b, present := inv.ainv.Get(bi, bj)
+	if !present {
+		return 0, false
+	}
+	return b.ZAt(pi-part.Start[bi], pj-part.Start[bj]), true
+}
+
+// DiagonalComplex returns diag((A−zI)⁻¹) of a complex system in the
+// original ordering — the per-pole quantity PEXSI weights and sums.
+func (inv *Inverse) DiagonalComplex() []complex128 {
+	n := len(inv.an.PermTotal)
+	d := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		v, ok := inv.EntryComplex(i, i)
+		if !ok {
+			panic(fmt.Sprintf("pselinv: diagonal entry %d missing from selected inverse", i))
+		}
+		d[i] = v
+	}
+	return d
+}
+
 // Diagonal returns diag(A⁻¹) in the original ordering — the quantity PEXSI
 // consumes.
 func (inv *Inverse) Diagonal() []float64 {
@@ -509,11 +575,30 @@ func (inv *Inverse) Diagonal() []float64 {
 	return d
 }
 
-// SelInv computes the selected inverse sequentially (the reference
-// Algorithm 1).
+// SelInv computes the selected inverse sequentially — the reference
+// Algorithm 1 for real systems, the canonical complex reference (the one
+// parallel complex runs are bit-identical to) for shifted systems.
 func (s *System) SelInv() (*Inverse, error) {
+	if s.lu.Elem == dense.Complex {
+		zr := zselinv.SelInvFromLU(s.lu, 0)
+		bm := blockmat.NewElem(s.an.BP.Part, dense.Complex)
+		for key, b := range zr.Ainv {
+			bm.Set(key.I, key.J, b)
+		}
+		return &Inverse{an: s.an, ainv: bm}, nil
+	}
 	res := selinv.SelInv(s.lu)
 	return &Inverse{an: s.an, ainv: res.Ainv}, nil
+}
+
+// LogDet returns log det(A − zI) of a complex (FactorizeShifted) system —
+// the pole-expansion byproduct tracking the analytic branch. Real systems
+// have no single-valued log det; use LogAbsDet there.
+func (s *System) LogDet() (complex128, error) {
+	if s.lu.Elem != dense.Complex {
+		return 0, fmt.Errorf("pselinv: LogDet requires a complex (shifted) factorization; use LogAbsDet for real systems")
+	}
+	return s.lu.LogDet(), nil
 }
 
 // ParallelResult is the outcome of a distributed run: the inverse plus the
@@ -832,8 +917,12 @@ func PoleExpansionDensity(m *Matrix, poles []Pole, procsPerPole int, scheme Sche
 // workload; see PoleExpansionDensity for the real-shift emulation run on
 // the distributed engine.
 func FermiOperatorDensity(m *Matrix, beta, mu float64, numPoles int) ([]float64, error) {
+	poles, err := pexsi.MatsubaraPoles(numPoles, beta, mu)
+	if err != nil {
+		return nil, err
+	}
 	res, err := pexsi.RunComplex(m.gen, pexsi.ComplexConfig{
-		Poles:    pexsi.MatsubaraPoles(numPoles, beta, mu),
+		Poles:    poles,
 		Relax:    4,
 		MaxWidth: 48,
 		Parallel: true,
